@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks for the two ellipsoid primitives on the per-round
+//! hot path: the support-bound computation (lines 5–7 of Algorithm 1) and the
+//! Löwner–John update after a cut (lines 14–21).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdm_ellipsoid::{Ellipsoid, KnowledgeSet};
+use pdm_linalg::{sampling, Vector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn directions(dim: usize, count: usize) -> Vec<Vector> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..count).map(|_| sampling::unit_sphere(&mut rng, dim)).collect()
+}
+
+fn bench_support_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ellipsoid_support_bounds");
+    for &dim in &[20usize, 100, 1024] {
+        let ellipsoid = Ellipsoid::ball(dim, 2.0);
+        let dirs = directions(dim, 32);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let x = &dirs[i % dirs.len()];
+                i += 1;
+                ellipsoid.support_bounds(x)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cut_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ellipsoid_cut_update");
+    for &dim in &[20usize, 100, 1024] {
+        let dirs = directions(dim, 32);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            let mut ellipsoid = Ellipsoid::ball(dim, 2.0);
+            let mut i = 0usize;
+            b.iter(|| {
+                let x = &dirs[i % dirs.len()];
+                i += 1;
+                let (lo, hi) = ellipsoid.support_bounds(x);
+                // Central cut through the current midpoint keeps the ellipsoid
+                // well-conditioned across iterations.
+                let outcome = ellipsoid.cut_below(x, 0.5 * (lo + hi));
+                outcome.is_updated()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_support_bounds, bench_cut_update);
+criterion_main!(benches);

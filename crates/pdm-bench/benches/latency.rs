@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks for the per-round latency of the posted-price
+//! mechanism (the quantity Section V-D reports) and for the broker-side
+//! privacy accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdm_market::query::QueryWeightDistribution;
+use pdm_market::{CompensationContract, DataBroker, DataOwner, QueryGenerator};
+use pdm_pricing::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One quote + observe cycle of the ellipsoid mechanism at several feature
+/// dimensions (paper: 0.115 ms at n = 100, 3.5 ms at n = 1024 sparse).
+fn bench_mechanism_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism_round");
+    for &dim in &[20usize, 100, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let env = SyntheticLinearEnvironment::builder(dim).rounds(16).build(&mut rng);
+        let config = PricingConfig::for_environment(&env, 100_000).with_reserve(true);
+        // Pre-draw a bank of rounds so the benchmark measures only the
+        // mechanism, not the environment.
+        let mut env = env;
+        let mut rounds = Vec::new();
+        while let Some(round) = {
+            use pdm_pricing::environment::Environment;
+            env.next_round(&mut rng)
+        } {
+            rounds.push(round);
+        }
+        group.bench_with_input(BenchmarkId::new("quote_observe", dim), &dim, |b, _| {
+            let mut mechanism = EllipsoidPricing::new(LinearModel::new(dim), config);
+            let mut i = 0usize;
+            b.iter(|| {
+                let round = &rounds[i % rounds.len()];
+                i += 1;
+                let quote = mechanism.quote(&round.features, round.reserve_price);
+                let accepted = quote.posted_price <= round.market_value;
+                mechanism.observe(&round.features, &quote, accepted);
+                quote.posted_price
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Broker-side privacy accounting + featurisation per query.
+fn bench_broker_prepare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_prepare");
+    for &owners in &[100usize, 1_000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let population: Vec<DataOwner> = (0..owners)
+            .map(|i| DataOwner::new(i as u64, vec![1.0, 2.0, 3.0], 5.0))
+            .collect();
+        let contracts = CompensationContract::sample_population(&mut rng, owners, 1.0, 1.0);
+        let broker = DataBroker::new(population, contracts, 20);
+        let mut generator = QueryGenerator::new(owners, QueryWeightDistribution::Gaussian);
+        let queries: Vec<_> = (0..64).map(|_| generator.next_query(&mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("owners", owners), &owners, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                broker.prepare(q).reserve_price
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanism_round, bench_broker_prepare);
+criterion_main!(benches);

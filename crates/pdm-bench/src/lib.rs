@@ -1,0 +1,35 @@
+//! # pdm-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (Section V), plus the ablations called out in
+//! `DESIGN.md`.  Each experiment is a binary (`cargo run -p pdm-bench
+//! --release --bin <name>`); the shared pipelines live here so the binaries,
+//! the Criterion benches, and the integration tests all exercise the same
+//! code.
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig1` | Fig. 1 — single-round regret shape |
+//! | `fig4` | Fig. 4(a)–(f) — cumulative regret, noisy linear query |
+//! | `fig5a` | Fig. 5(a) — regret ratios at n = 100 + risk-averse baseline |
+//! | `fig5b` | Fig. 5(b) — accommodation rental, log-linear model |
+//! | `fig5c` | Fig. 5(c) — impression pricing, logistic model |
+//! | `table1` | Table I — per-round statistics under the reserve version |
+//! | `overhead` | Section V-D — per-round latency and memory |
+//! | `lemma8` | Lemma 8 / Fig. 6 — conservative-cut ablation |
+//! | `regret_scaling` | Theorems 1 & 3 — regret growth in T and n, ε ablation |
+//!
+//! Every binary accepts `--full` to run at the paper's scale; the default is
+//! a scaled-down configuration that finishes in seconds and preserves the
+//! qualitative shape.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airbnb_pipeline;
+pub mod avazu_pipeline;
+pub mod linear_market;
+pub mod scale;
+pub mod table;
+
+pub use scale::Scale;

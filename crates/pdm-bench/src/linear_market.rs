@@ -1,0 +1,213 @@
+//! Shared harness for the noisy-linear-query experiments (Fig. 4, Fig. 5(a),
+//! Table I, Section V-D): a MovieLens-backed data market priced under the
+//! linear model by the four mechanism versions and the risk-averse baseline.
+
+use pdm_datasets::MovieLensGenerator;
+use pdm_market::{
+    CompensationContract, ConsumerPool, DataBroker, DataOwner, MarketEnvironment, QueryGenerator,
+};
+use pdm_market::query::QueryWeightDistribution;
+use pdm_pricing::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of one noisy-linear-query experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearMarketConfig {
+    /// Feature dimension `n` (number of compensation partitions).
+    pub dim: usize,
+    /// Horizon `T`.
+    pub rounds: usize,
+    /// Number of data owners backing the market.
+    pub num_owners: usize,
+    /// Uncertainty buffer δ used by the "with uncertainty" versions and to
+    /// derive the Gaussian market-value noise (the paper fixes δ = 0.01).
+    pub delta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LinearMarketConfig {
+    /// The paper's per-figure horizon for a given dimension (Fig. 4).
+    #[must_use]
+    pub fn paper_horizon(dim: usize) -> usize {
+        match dim {
+            0..=1 => 100,
+            2..=40 => 10_000,
+            _ => 100_000,
+        }
+    }
+}
+
+/// Builds the MovieLens-backed market environment for one configuration.
+///
+/// The data owners are the rating users of a synthetic MovieLens population;
+/// their per-query privacy compensations (differential-privacy leakage passed
+/// through tanh contracts) are partitioned into `dim` features, and the
+/// consumer valuation profile follows the paper's √(2n) scaling.
+#[must_use]
+pub fn build_environment(config: &LinearMarketConfig, noisy: bool) -> MarketEnvironment {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let ratings = MovieLensGenerator::new(config.num_owners, 200, 6).generate(config.seed);
+    let owners: Vec<DataOwner> = ratings
+        .ratings_by_user()
+        .into_iter()
+        .enumerate()
+        .map(|(i, records)| DataOwner::new(i as u64, records, 5.0))
+        .collect();
+    let contracts =
+        CompensationContract::sample_population(&mut rng, owners.len(), 1.0, 1.0);
+    let broker = DataBroker::new(owners, contracts, config.dim);
+    let generator = QueryGenerator::new(config.num_owners, QueryWeightDistribution::Gaussian);
+    let noise = if noisy {
+        // σ chosen so that the paper's buffer formula reproduces δ.
+        let sigma = UncertaintyBudget::from_delta(config.delta)
+            .implied_gaussian_sigma(config.rounds);
+        NoiseModel::Gaussian { std_dev: sigma }
+    } else {
+        NoiseModel::None
+    };
+    let consumers = ConsumerPool::sample(&mut rng, config.dim, noise);
+    MarketEnvironment::new(broker, generator, consumers, config.rounds)
+}
+
+/// The four mechanism versions evaluated in Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// Algorithm 1*: no reserve, no uncertainty buffer.
+    Pure,
+    /// Algorithm 2*: uncertainty buffer only.
+    WithUncertainty,
+    /// Algorithm 1: reserve price constraint only.
+    WithReserve,
+    /// Algorithm 2: reserve price and uncertainty buffer.
+    WithReserveAndUncertainty,
+}
+
+impl Version {
+    /// All four versions in the paper's plotting order.
+    pub const ALL: [Version; 4] = [
+        Version::Pure,
+        Version::WithUncertainty,
+        Version::WithReserve,
+        Version::WithReserveAndUncertainty,
+    ];
+
+    /// The paper's label for this version.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Version::Pure => "pure version",
+            Version::WithUncertainty => "with uncertainty",
+            Version::WithReserve => "with reserve price",
+            Version::WithReserveAndUncertainty => "with reserve price and uncertainty",
+        }
+    }
+
+    /// Whether this version honours the reserve price.
+    #[must_use]
+    pub fn uses_reserve(self) -> bool {
+        matches!(self, Version::WithReserve | Version::WithReserveAndUncertainty)
+    }
+
+    /// Whether this version uses the δ buffer (and noisy market values).
+    #[must_use]
+    pub fn uses_uncertainty(self) -> bool {
+        matches!(
+            self,
+            Version::WithUncertainty | Version::WithReserveAndUncertainty
+        )
+    }
+}
+
+/// Runs one version of the mechanism on the configured market and returns
+/// the simulation outcome.
+#[must_use]
+pub fn run_version(config: &LinearMarketConfig, version: Version) -> SimulationOutcome {
+    let env = build_environment(config, version.uses_uncertainty());
+    let mut pricing_config = PricingConfig::for_environment(&env, config.rounds)
+        .with_reserve(version.uses_reserve());
+    if version.uses_uncertainty() {
+        pricing_config = pricing_config.with_uncertainty(config.delta);
+    }
+    // The paper's evaluation fixes ε to ln²T/T (n = 1) or n²/T regardless of
+    // δ (Section V-A), i.e. without the 4nδ floor the analysis assumes, so
+    // the benchmark reproduces that exact setting.
+    let t = config.rounds.max(2) as f64;
+    let paper_epsilon = if config.dim <= 1 {
+        t.ln() * t.ln() / t
+    } else {
+        (config.dim * config.dim) as f64 / t
+    };
+    pricing_config = pricing_config.with_epsilon(paper_epsilon);
+    let mechanism = EllipsoidPricing::new(LinearModel::new(config.dim), pricing_config);
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+    Simulation::new(env, mechanism).run(&mut rng)
+}
+
+/// Runs the risk-averse baseline (always post the reserve price) on the same
+/// market.
+#[must_use]
+pub fn run_reserve_baseline(config: &LinearMarketConfig) -> SimulationOutcome {
+    let env = build_environment(config, false);
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+    Simulation::new(env, ReservePriceBaseline::new()).run(&mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> LinearMarketConfig {
+        LinearMarketConfig {
+            dim: 8,
+            rounds: 400,
+            num_owners: 120,
+            delta: 0.01,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn paper_horizons_match_fig4() {
+        assert_eq!(LinearMarketConfig::paper_horizon(1), 100);
+        assert_eq!(LinearMarketConfig::paper_horizon(20), 10_000);
+        assert_eq!(LinearMarketConfig::paper_horizon(40), 10_000);
+        assert_eq!(LinearMarketConfig::paper_horizon(60), 100_000);
+        assert_eq!(LinearMarketConfig::paper_horizon(100), 100_000);
+    }
+
+    #[test]
+    fn all_four_versions_run_and_reserve_helps() {
+        let config = small_config();
+        let pure = run_version(&config, Version::Pure);
+        let with_reserve = run_version(&config, Version::WithReserve);
+        assert_eq!(pure.report.rounds, config.rounds);
+        assert_eq!(with_reserve.report.rounds, config.rounds);
+        // Qualitative Fig. 4 claim: the reserve version does not do worse.
+        assert!(
+            with_reserve.cumulative_regret() <= pure.cumulative_regret() * 1.1,
+            "reserve {} vs pure {}",
+            with_reserve.cumulative_regret(),
+            pure.cumulative_regret()
+        );
+    }
+
+    #[test]
+    fn mechanism_beats_risk_averse_baseline() {
+        let config = small_config();
+        let ours = run_version(&config, Version::WithReserve);
+        let baseline = run_reserve_baseline(&config);
+        assert!(ours.regret_ratio() < baseline.regret_ratio());
+    }
+
+    #[test]
+    fn version_labels_and_flags() {
+        assert!(Version::WithReserveAndUncertainty.uses_reserve());
+        assert!(Version::WithReserveAndUncertainty.uses_uncertainty());
+        assert!(!Version::Pure.uses_reserve());
+        assert!(!Version::Pure.uses_uncertainty());
+        assert_eq!(Version::ALL.len(), 4);
+        assert_eq!(Version::WithReserve.label(), "with reserve price");
+    }
+}

@@ -1,0 +1,621 @@
+//! The Löwner–John ellipsoid knowledge set (Definition 1 and Algorithm 1/2 of
+//! the paper).
+//!
+//! An ellipsoid is parameterised by its centre `c ∈ Rⁿ` and a symmetric
+//! positive-definite shape matrix `A ∈ Rⁿˣⁿ`:
+//!
+//! ```text
+//! E = { θ ∈ Rⁿ : (θ − c)^T A⁻¹ (θ − c) ≤ 1 }
+//! ```
+//!
+//! The two operations the pricing mechanism needs each round are
+//!
+//! * the support bounds `¯p = min_{θ∈E} x^T θ = x^T(c − b)` and
+//!   `p̄ = max_{θ∈E} x^T θ = x^T(c + b)` with `b = A x / √(x^T A x)`
+//!   (lines 5–7 of Algorithm 1), and
+//! * the Löwner–John update of `(A, c)` after a cut with position parameter
+//!   `α` (lines 14–21), using the Grötschel–Lovász–Schrijver deep/shallow cut
+//!   formulas.
+//!
+//! Both are `O(n²)`; no inverse of `A` is ever formed on the hot path.
+
+use crate::cut::{Cut, CutOutcome};
+use crate::KnowledgeSet;
+use pdm_linalg::{jacobi_eigen, Cholesky, Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+/// Numerical floor used when deciding whether a direction carries any
+/// information (`√(x^T A x)` below this is treated as degenerate).
+const DIRECTION_TOL: f64 = 1e-12;
+
+/// An ellipsoidal knowledge set `E = {θ : (θ−c)^T A⁻¹ (θ−c) ≤ 1}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ellipsoid {
+    center: Vector,
+    shape: Matrix,
+    /// Cumulative count of volume-reducing cuts applied, kept for
+    /// diagnostics (the regret analysis bounds this count).
+    cuts_applied: usize,
+}
+
+impl Ellipsoid {
+    /// Creates the ball of the given radius centred at the origin
+    /// (`A = radius² · I`, `c = 0`), the initial knowledge set of
+    /// Algorithm 1/2.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `radius <= 0`.
+    #[must_use]
+    pub fn ball(dim: usize, radius: f64) -> Self {
+        assert!(dim > 0, "ellipsoid dimension must be positive");
+        assert!(radius > 0.0, "ellipsoid radius must be positive");
+        Self {
+            center: Vector::zeros(dim),
+            shape: Matrix::identity(dim).scaled(radius * radius),
+            cuts_applied: 0,
+        }
+    }
+
+    /// Creates an ellipsoid from an explicit centre and shape matrix.
+    ///
+    /// # Errors
+    /// Returns an error when `shape` is not symmetric positive definite or
+    /// its dimension does not match the centre.
+    pub fn new(center: Vector, shape: Matrix) -> Result<Self, pdm_linalg::LinalgError> {
+        if shape.rows() != center.len() || shape.cols() != center.len() {
+            return Err(pdm_linalg::LinalgError::DimensionMismatch {
+                operation: "Ellipsoid::new",
+                expected: center.len(),
+                actual: shape.rows(),
+            });
+        }
+        // Positive-definiteness check via Cholesky; the factor itself is not
+        // retained because the hot path never needs A⁻¹ explicitly.
+        Cholesky::factor(&shape, 1e-6)?;
+        let mut shape = shape;
+        shape.symmetrize();
+        Ok(Self {
+            center,
+            shape,
+            cuts_applied: 0,
+        })
+    }
+
+    /// Creates the initial knowledge set used by the paper for a box
+    /// `[lowerᵢ, upperᵢ]ⁿ`: the origin-centred ball of radius
+    /// `R = √(Σᵢ max(lᵢ², uᵢ²))` that encloses the box.
+    ///
+    /// # Panics
+    /// Panics when the slices have different lengths, are empty, or the
+    /// resulting radius is zero.
+    #[must_use]
+    pub fn enclosing_box(lower: &[f64], upper: &[f64]) -> Self {
+        assert_eq!(lower.len(), upper.len(), "box bounds length mismatch");
+        assert!(!lower.is_empty(), "box must have at least one dimension");
+        let radius_sq: f64 = lower
+            .iter()
+            .zip(upper.iter())
+            .map(|(&l, &u)| (l * l).max(u * u))
+            .sum();
+        Self::ball(lower.len(), radius_sq.sqrt())
+    }
+
+    /// The centre `c`.
+    #[must_use]
+    pub fn center(&self) -> &Vector {
+        &self.center
+    }
+
+    /// The shape matrix `A`.
+    #[must_use]
+    pub fn shape(&self) -> &Matrix {
+        &self.shape
+    }
+
+    /// Number of volume-reducing cuts applied since construction.
+    #[must_use]
+    pub fn cuts_applied(&self) -> usize {
+        self.cuts_applied
+    }
+
+    /// `√(x^T A x)` — the half-width of the ellipsoid along `x`, i.e. the
+    /// denominator of the position parameter `α`.
+    #[must_use]
+    pub fn direction_scale(&self, direction: &Vector) -> f64 {
+        self.shape.quadratic_form(direction).max(0.0).sqrt()
+    }
+
+    /// The boundary displacement `b = A x / √(x^T A x)` (line 5 of
+    /// Algorithm 1).  Returns `None` when the direction is degenerate.
+    #[must_use]
+    pub fn boundary_vector(&self, direction: &Vector) -> Option<Vector> {
+        let scale = self.direction_scale(direction);
+        if scale <= DIRECTION_TOL {
+            return None;
+        }
+        Some(self.shape.matvec(direction).scaled(1.0 / scale))
+    }
+
+    /// The position parameter `α = (x^T c − threshold) / √(x^T A x)` of the
+    /// hyperplane `x^T θ = threshold` (the signed distance from the centre in
+    /// the ‖·‖_{A⁻¹} norm). Returns `None` for a degenerate direction.
+    #[must_use]
+    pub fn cut_alpha(&self, direction: &Vector, threshold: f64) -> Option<f64> {
+        let scale = self.direction_scale(direction);
+        if scale <= DIRECTION_TOL {
+            return None;
+        }
+        let centre_value = direction
+            .dot(&self.center)
+            .expect("dimension verified by quadratic_form");
+        Some((centre_value - threshold) / scale)
+    }
+
+    /// Natural logarithm of the ellipsoid volume,
+    /// `ln V_n + ½ ln det A` where `V_n` is the unit-ball volume.
+    ///
+    /// Uses the Cholesky log-determinant, which stays finite long after the
+    /// raw determinant has underflowed.
+    #[must_use]
+    pub fn log_volume(&self) -> f64 {
+        let logdet = match Cholesky::factor(&self.shape, 1e-6) {
+            Ok(chol) => chol.log_determinant(),
+            // A numerically semi-definite shape matrix means the volume has
+            // collapsed to (effectively) zero.
+            Err(_) => return f64::NEG_INFINITY,
+        };
+        ln_unit_ball_volume(self.dim()) + 0.5 * logdet
+    }
+
+    /// Ellipsoid volume (may underflow to zero for very flat ellipsoids; use
+    /// [`Ellipsoid::log_volume`] in analyses).
+    #[must_use]
+    pub fn volume(&self) -> f64 {
+        self.log_volume().exp()
+    }
+
+    /// Lengths of the semi-axes (square roots of the shape eigenvalues),
+    /// sorted in descending order.
+    ///
+    /// # Panics
+    /// Panics if the eigendecomposition fails, which cannot happen for the
+    /// symmetric matrices maintained by this type.
+    #[must_use]
+    pub fn semi_axes(&self) -> Vector {
+        let eig = jacobi_eigen(&self.shape, 1e-6).expect("shape matrix stays symmetric");
+        eig.eigenvalues.map(|v| v.max(0.0).sqrt())
+    }
+
+    /// Smallest eigenvalue of the shape matrix (`γ_n(A)` in Lemmas 4–5).
+    #[must_use]
+    pub fn smallest_eigenvalue(&self) -> f64 {
+        let eig = jacobi_eigen(&self.shape, 1e-6).expect("shape matrix stays symmetric");
+        eig.smallest()
+    }
+
+    /// Shared implementation of the Löwner–John update for the halfspace
+    /// `{θ : direction^T θ ≤ threshold}`.
+    ///
+    /// The formulas are the deep/shallow-cut update of Grötschel et al.; the
+    /// "keep above" case is obtained by negating both the direction and the
+    /// threshold before calling this.
+    fn apply_cut_keep_below(&mut self, direction: &Vector, threshold: f64) -> CutOutcome {
+        let n = self.dim();
+        if n == 1 {
+            return self.apply_cut_one_dim(direction, threshold);
+        }
+        let scale = self.direction_scale(direction);
+        if scale <= DIRECTION_TOL {
+            return CutOutcome::DegenerateDirection;
+        }
+        let centre_value = direction
+            .dot(&self.center)
+            .expect("dimensions checked by quadratic_form");
+        let alpha = (centre_value - threshold) / scale;
+        let nf = n as f64;
+
+        if alpha > 1.0 {
+            // The halfspace misses the ellipsoid entirely.
+            return CutOutcome::WouldBeEmpty { alpha };
+        }
+        if alpha < -1.0 / nf {
+            // Too shallow: the Löwner–John ellipsoid of the surviving region
+            // is the current ellipsoid.
+            return CutOutcome::OutOfRange { alpha };
+        }
+        if alpha >= 1.0 - 1e-12 {
+            // Tangent cut: the surviving region is a single point; the update
+            // formula would collapse the shape matrix to zero and destroy
+            // positive definiteness, so we clamp just inside the valid range.
+            return self.apply_cut_keep_below(direction, centre_value - (1.0 - 1e-9) * scale);
+        }
+
+        let b = self.shape.matvec(direction).scaled(1.0 / scale);
+
+        // c' = c − (1 + nα)/(n + 1) · b
+        let step = (1.0 + nf * alpha) / (nf + 1.0);
+        let mut new_center = self.center.clone();
+        new_center
+            .axpy(-step, &b)
+            .expect("center and b share the dimension");
+
+        // A' = n²(1 − α²)/(n² − 1) · (A − 2(1 + nα)/((n + 1)(1 + α)) · b bᵀ)
+        let outer_coeff = 2.0 * (1.0 + nf * alpha) / ((nf + 1.0) * (1.0 + alpha));
+        let mut new_shape = self.shape.clone();
+        new_shape.rank_one_update(-outer_coeff, &b);
+        new_shape.scale_mut(nf * nf * (1.0 - alpha * alpha) / (nf * nf - 1.0));
+        new_shape.symmetrize();
+
+        if !new_shape.is_finite() || !new_center.is_finite() {
+            // Refuse to poison the knowledge set with NaNs; treat as a no-op.
+            return CutOutcome::OutOfRange { alpha };
+        }
+
+        self.center = new_center;
+        self.shape = new_shape;
+        self.cuts_applied += 1;
+        CutOutcome::Updated(Cut::from_alpha(alpha))
+    }
+
+    /// One-dimensional specialisation: the ellipsoid `[c − √A, c + √A]` is an
+    /// interval and the general update formula is singular (`n² − 1 = 0`), so
+    /// the interval is intersected exactly with the halfline.
+    fn apply_cut_one_dim(&mut self, direction: &Vector, threshold: f64) -> CutOutcome {
+        let x = direction[0];
+        if x.abs() <= DIRECTION_TOL {
+            return CutOutcome::DegenerateDirection;
+        }
+        let half_width = self.shape.get(0, 0).max(0.0).sqrt();
+        let c = self.center[0];
+        let lo = c - half_width;
+        let hi = c + half_width;
+        // direction^T θ ≤ threshold  ⇔  θ ≤ threshold / x  (x > 0) or ≥ (x < 0)
+        let bound = threshold / x;
+        let (new_lo, new_hi) = if x > 0.0 {
+            (lo, hi.min(bound))
+        } else {
+            (lo.max(bound), hi)
+        };
+        let alpha = {
+            let scale = half_width * x.abs();
+            if scale <= DIRECTION_TOL {
+                0.0
+            } else {
+                (c * x - threshold) / scale
+            }
+        };
+        if new_hi < new_lo {
+            return CutOutcome::WouldBeEmpty { alpha };
+        }
+        if new_hi >= hi - 1e-15 && new_lo <= lo + 1e-15 {
+            return CutOutcome::OutOfRange { alpha };
+        }
+        let new_c = 0.5 * (new_lo + new_hi);
+        let new_r = (0.5 * (new_hi - new_lo)).max(1e-15);
+        self.center[0] = new_c;
+        self.shape.set(0, 0, new_r * new_r);
+        self.cuts_applied += 1;
+        CutOutcome::Updated(Cut::from_alpha(alpha))
+    }
+}
+
+impl KnowledgeSet for Ellipsoid {
+    fn dim(&self) -> usize {
+        self.center.len()
+    }
+
+    fn support_bounds(&self, direction: &Vector) -> (f64, f64) {
+        let centre_value = direction
+            .dot(&self.center)
+            .expect("direction must match the ellipsoid dimension");
+        match self.boundary_vector(direction) {
+            Some(b) => {
+                let spread = direction.dot(&b).expect("dimensions already checked");
+                (centre_value - spread, centre_value + spread)
+            }
+            None => (centre_value, centre_value),
+        }
+    }
+
+    fn cut_below(&mut self, direction: &Vector, threshold: f64) -> CutOutcome {
+        self.apply_cut_keep_below(direction, threshold)
+    }
+
+    fn cut_above(&mut self, direction: &Vector, threshold: f64) -> CutOutcome {
+        // {θ : x^T θ ≥ h} = {θ : (−x)^T θ ≤ −h}
+        self.apply_cut_keep_below(&(-direction), -threshold)
+    }
+
+    fn contains(&self, theta: &Vector) -> bool {
+        if theta.len() != self.dim() {
+            return false;
+        }
+        let diff = theta - &self.center;
+        // Solve A z = diff so that diff^T A⁻¹ diff = diff^T z.
+        match self.shape.solve(&diff) {
+            Ok(z) => diff.dot(&z).map(|q| q <= 1.0 + 1e-8).unwrap_or(false),
+            Err(_) => false,
+        }
+    }
+}
+
+/// Natural log of the volume of the n-dimensional unit ball,
+/// `ln(π^{n/2} / Γ(n/2 + 1))`.
+#[must_use]
+pub fn ln_unit_ball_volume(n: usize) -> f64 {
+    let nf = n as f64;
+    0.5 * nf * std::f64::consts::PI.ln() - ln_gamma_half(n + 2)
+}
+
+/// `ln Γ(m / 2)` for a positive integer `m`, computed exactly from the
+/// recurrences `Γ(k) = (k−1)!` and `Γ(k + ½) = (2k)! √π / (4ᵏ k!)`.
+fn ln_gamma_half(m: usize) -> f64 {
+    assert!(m >= 1, "ln_gamma_half requires a positive argument");
+    if m % 2 == 0 {
+        // Γ(k) with k = m / 2.
+        let k = m / 2;
+        (1..k).map(|i| (i as f64).ln()).sum()
+    } else {
+        // Γ(k + 1/2) with k = (m − 1) / 2.
+        let k = (m - 1) / 2;
+        let ln_sqrt_pi = 0.5 * std::f64::consts::PI.ln();
+        let ln_fact = |j: usize| -> f64 { (1..=j).map(|i| (i as f64).ln()).sum() };
+        ln_fact(2 * k) + ln_sqrt_pi - (k as f64) * 4.0_f64.ln() - ln_fact(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_linalg::approx_eq;
+
+    #[test]
+    fn ball_support_bounds() {
+        let e = Ellipsoid::ball(3, 2.0);
+        let x = Vector::from_slice(&[1.0, 0.0, 0.0]);
+        let (lo, hi) = e.support_bounds(&x);
+        assert!(approx_eq(lo, -2.0, 1e-12));
+        assert!(approx_eq(hi, 2.0, 1e-12));
+
+        // A non-axis-aligned direction of norm ‖x‖ = √2 spans 2·r·‖x‖.
+        let d = Vector::from_slice(&[1.0, 1.0, 0.0]);
+        let (lo, hi) = e.support_bounds(&d);
+        assert!(approx_eq(hi - lo, 4.0 * 2.0_f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn enclosing_box_radius_matches_paper_formula() {
+        let e = Ellipsoid::enclosing_box(&[-1.0, -2.0], &[0.5, 3.0]);
+        // R = sqrt(max(1, 0.25) + max(4, 9)) = sqrt(10)
+        let x = Vector::from_slice(&[1.0, 0.0]);
+        let (_, hi) = e.support_bounds(&x);
+        assert!(approx_eq(hi, 10.0_f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn new_rejects_bad_shapes() {
+        let c = Vector::zeros(2);
+        let not_pd = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(Ellipsoid::new(c.clone(), not_pd).is_err());
+        let wrong_dim = Matrix::identity(3);
+        assert!(Ellipsoid::new(c, wrong_dim).is_err());
+    }
+
+    #[test]
+    fn central_cut_halves_log_volume_by_known_factor() {
+        let mut e = Ellipsoid::ball(4, 1.0);
+        let before = e.log_volume();
+        let x = Vector::from_slice(&[1.0, 0.0, 0.0, 0.0]);
+        // Cutting through the centre: threshold = x^T c = 0.
+        let outcome = e.cut_below(&x, 0.0);
+        assert!(outcome.is_updated());
+        assert_eq!(outcome.cut().unwrap().kind, crate::CutKind::Central);
+        let after = e.log_volume();
+        // Lemma 2 with α = 0: volume ratio ≤ exp(-1/(5n)); the actual central
+        // cut ratio for the Löwner–John ellipsoid is strictly below 1.
+        assert!(after < before);
+        assert!(after - before <= -1.0 / (5.0 * 4.0) + 1e-9);
+    }
+
+    #[test]
+    fn deep_cut_shrinks_more_than_central_cut() {
+        let x = Vector::from_slice(&[1.0, 0.0, 0.0]);
+        let mut central = Ellipsoid::ball(3, 1.0);
+        let mut deep = Ellipsoid::ball(3, 1.0);
+        central.cut_below(&x, 0.0);
+        deep.cut_below(&x, -0.5); // keep {θ₁ ≤ −0.5}: a deep cut
+        assert!(deep.log_volume() < central.log_volume());
+    }
+
+    #[test]
+    fn shallow_cut_still_shrinks_within_validity_range() {
+        let x = Vector::from_slice(&[1.0, 0.0, 0.0]);
+        let mut e = Ellipsoid::ball(3, 1.0);
+        let before = e.log_volume();
+        // α = −0.2 ∈ [−1/3, 0): shallow but valid.
+        let outcome = e.cut_below(&x, 0.2);
+        assert!(outcome.is_updated());
+        assert_eq!(outcome.cut().unwrap().kind, crate::CutKind::Shallow);
+        assert!(e.log_volume() < before);
+    }
+
+    #[test]
+    fn too_shallow_cut_is_a_no_op() {
+        let x = Vector::from_slice(&[1.0, 0.0, 0.0]);
+        let mut e = Ellipsoid::ball(3, 1.0);
+        let before = e.clone();
+        // α = −0.9 < −1/3.
+        let outcome = e.cut_below(&x, 0.9);
+        assert!(matches!(outcome, CutOutcome::OutOfRange { .. }));
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn infeasible_cut_reports_would_be_empty() {
+        let x = Vector::from_slice(&[1.0, 0.0, 0.0]);
+        let mut e = Ellipsoid::ball(3, 1.0);
+        let before = e.clone();
+        // Keep {θ₁ ≤ −2}: misses the unit ball entirely (α = 2 > 1).
+        let outcome = e.cut_below(&x, -2.0);
+        assert!(matches!(outcome, CutOutcome::WouldBeEmpty { .. }));
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn degenerate_direction_is_detected() {
+        let mut e = Ellipsoid::ball(2, 1.0);
+        let zero = Vector::zeros(2);
+        assert_eq!(e.cut_below(&zero, 0.0), CutOutcome::DegenerateDirection);
+    }
+
+    #[test]
+    fn cut_above_mirrors_cut_below() {
+        let x = Vector::from_slice(&[0.0, 1.0]);
+        let mut below = Ellipsoid::ball(2, 1.0);
+        let mut above = Ellipsoid::ball(2, 1.0);
+        below.cut_below(&x, 0.0);
+        above.cut_above(&x, 0.0);
+        // Mirror images: centres are opposite, volumes identical.
+        assert!(approx_eq(below.center()[1], -above.center()[1], 1e-12));
+        assert!(approx_eq(below.log_volume(), above.log_volume(), 1e-10));
+    }
+
+    #[test]
+    fn cut_preserves_feasible_weight_vector() {
+        // The true θ* must survive any sequence of consistent cuts.
+        let theta_star = Vector::from_slice(&[0.6, -0.3, 0.2]);
+        let mut e = Ellipsoid::ball(3, 2.0);
+        let directions = [
+            Vector::from_slice(&[1.0, 0.0, 0.0]),
+            Vector::from_slice(&[0.3, 0.8, 0.1]),
+            Vector::from_slice(&[-0.5, 0.4, 0.9]),
+            Vector::from_slice(&[0.2, 0.2, 0.2]),
+        ];
+        for (i, x) in directions.iter().enumerate() {
+            let value = x.dot(&theta_star).unwrap();
+            // Alternate accept/reject consistent with θ*.
+            if i % 2 == 0 {
+                e.cut_below(x, value + 0.05);
+            } else {
+                e.cut_above(x, value - 0.05);
+            }
+            assert!(e.contains(&theta_star), "θ* expelled after cut {i}");
+        }
+    }
+
+    #[test]
+    fn support_bounds_shrink_toward_truth_under_bisection() {
+        let theta_star = Vector::from_slice(&[0.5, 0.5]);
+        let x = Vector::from_slice(&[1.0, 1.0]).normalized();
+        let truth = x.dot(&theta_star).unwrap();
+        let mut e = Ellipsoid::ball(2, 2.0);
+        for _ in 0..30 {
+            let (lo, hi) = e.support_bounds(&x);
+            let mid = 0.5 * (lo + hi);
+            if mid <= truth {
+                e.cut_above(&x, mid);
+            } else {
+                e.cut_below(&x, mid);
+            }
+        }
+        let (lo, hi) = e.support_bounds(&x);
+        assert!(lo <= truth + 1e-6 && truth - 1e-6 <= hi);
+        assert!(hi - lo < 0.05, "bisection should tighten the width, got {}", hi - lo);
+    }
+
+    #[test]
+    fn one_dimensional_cuts_behave_like_interval() {
+        let mut e = Ellipsoid::ball(1, 2.0); // interval [−2, 2]
+        let x = Vector::from_slice(&[1.0]);
+        let outcome = e.cut_below(&x, 1.0); // keep [−2, 1]
+        assert!(outcome.is_updated());
+        let (lo, hi) = e.support_bounds(&x);
+        assert!(approx_eq(lo, -2.0, 1e-9));
+        assert!(approx_eq(hi, 1.0, 1e-9));
+
+        let outcome = e.cut_above(&x, -1.0); // keep [−1, 1]
+        assert!(outcome.is_updated());
+        let (lo, hi) = e.support_bounds(&x);
+        assert!(approx_eq(lo, -1.0, 1e-9));
+        assert!(approx_eq(hi, 1.0, 1e-9));
+
+        // Empty intersection is refused.
+        let before = e.clone();
+        assert!(matches!(
+            e.cut_below(&x, -5.0),
+            CutOutcome::WouldBeEmpty { .. }
+        ));
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn volume_of_unit_ball_matches_closed_form() {
+        // V_1 = 2, V_2 = π, V_3 = 4π/3.
+        assert!(approx_eq(ln_unit_ball_volume(1).exp(), 2.0, 1e-9));
+        assert!(approx_eq(
+            ln_unit_ball_volume(2).exp(),
+            std::f64::consts::PI,
+            1e-9
+        ));
+        assert!(approx_eq(
+            ln_unit_ball_volume(3).exp(),
+            4.0 * std::f64::consts::PI / 3.0,
+            1e-9
+        ));
+        // And the scaled ball volume: radius 2 in 2-D is 4π.
+        let e = Ellipsoid::ball(2, 2.0);
+        assert!(approx_eq(e.volume(), 4.0 * std::f64::consts::PI, 1e-6));
+    }
+
+    #[test]
+    fn semi_axes_and_smallest_eigenvalue() {
+        let shape = Matrix::diagonal(&[4.0, 1.0]);
+        let e = Ellipsoid::new(Vector::zeros(2), shape).unwrap();
+        let axes = e.semi_axes();
+        assert!(approx_eq(axes[0], 2.0, 1e-9));
+        assert!(approx_eq(axes[1], 1.0, 1e-9));
+        assert!(approx_eq(e.smallest_eigenvalue(), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn lemma2_volume_ratio_bound_holds_across_alpha_range() {
+        // Check V(E') / V(E) ≤ exp(−(1 + nα)² / (5n)) for several α in
+        // [−1/n, 1), n = 4.
+        let n = 4usize;
+        let x = Vector::from_slice(&[1.0, 0.0, 0.0, 0.0]);
+        for &alpha in &[-0.24, -0.1, 0.0, 0.2, 0.5, 0.8] {
+            let mut e = Ellipsoid::ball(n, 1.0);
+            let before = e.log_volume();
+            // threshold chosen so the position parameter equals alpha:
+            // α = (x^T c − h)/√(x^T A x) = −h   for the unit ball.
+            let outcome = e.cut_below(&x, -alpha);
+            assert!(outcome.is_updated(), "alpha = {alpha} should be valid");
+            let after = e.log_volume();
+            let bound = -(1.0 + n as f64 * alpha).powi(2) / (5.0 * n as f64);
+            assert!(
+                after - before <= bound + 1e-9,
+                "Lemma 2 violated for alpha = {alpha}: got {} > {}",
+                after - before,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn cuts_applied_counter_increments_only_on_updates() {
+        let mut e = Ellipsoid::ball(2, 1.0);
+        let x = Vector::from_slice(&[1.0, 0.0]);
+        assert_eq!(e.cuts_applied(), 0);
+        e.cut_below(&x, 0.0);
+        assert_eq!(e.cuts_applied(), 1);
+        e.cut_below(&x, 5.0); // out of range, no-op
+        assert_eq!(e.cuts_applied(), 1);
+    }
+
+    #[test]
+    fn contains_rejects_wrong_dimension() {
+        let e = Ellipsoid::ball(3, 1.0);
+        assert!(!e.contains(&Vector::zeros(2)));
+        assert!(e.contains(&Vector::zeros(3)));
+    }
+}

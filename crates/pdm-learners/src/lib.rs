@@ -1,0 +1,33 @@
+//! # pdm-learners
+//!
+//! The learning substrate the paper uses to obtain the *ground-truth* weight
+//! vectors for its non-linear pricing applications:
+//!
+//! * the Airbnb pipeline — pandas-style categorical encoding, interaction
+//!   features, ordinary least squares on the log price (Section V-B) — is
+//!   reproduced by [`encoding::CategoricalEncoder`],
+//!   [`encoding::InteractionFeatures`], and [`regression::LinearRegression`];
+//! * the Avazu pipeline — one-hot hashing and FTRL-Proximal logistic
+//!   regression on the click labels (Section V-C) — is reproduced by
+//!   [`encoding::HashingEncoder`] and [`ftrl::FtrlProximal`];
+//! * the dimensionality-reduction remark of Section II-B is covered by
+//!   [`pca::Pca`];
+//! * [`scaler::StandardScaler`] and [`split::train_test_split`] provide the
+//!   plumbing both pipelines share.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encoding;
+pub mod ftrl;
+pub mod pca;
+pub mod regression;
+pub mod scaler;
+pub mod split;
+
+pub use encoding::{CategoricalEncoder, HashingEncoder, InteractionFeatures};
+pub use ftrl::FtrlProximal;
+pub use pca::Pca;
+pub use regression::LinearRegression;
+pub use scaler::StandardScaler;
+pub use split::train_test_split;

@@ -1,0 +1,94 @@
+//! Train/test splitting (the paper holds out 20 % of the Airbnb records and
+//! the last two days of the Avazu log).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits indices `0..n` into a shuffled train set and test set, with
+/// `test_fraction` of the items going to the test set (at least one item in
+/// each set when `n >= 2`).
+///
+/// # Panics
+/// Panics when `test_fraction` is outside `(0, 1)`.
+pub fn train_test_split<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    test_fraction: f64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(rng);
+    let mut test_size = ((n as f64) * test_fraction).round() as usize;
+    if n >= 2 {
+        test_size = test_size.clamp(1, n - 1);
+    }
+    let test = indices[..test_size].to_vec();
+    let train = indices[test_size..].to_vec();
+    (train, test)
+}
+
+/// Splits a chronologically ordered set by holding out the trailing
+/// `holdout_fraction` of items (the Avazu "last two days" convention).
+///
+/// # Panics
+/// Panics when `holdout_fraction` is outside `(0, 1)`.
+#[must_use]
+pub fn chronological_split(n: usize, holdout_fraction: f64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        holdout_fraction > 0.0 && holdout_fraction < 1.0,
+        "holdout fraction must be in (0, 1)"
+    );
+    let holdout = ((n as f64) * holdout_fraction).round() as usize;
+    let cut = n.saturating_sub(holdout.max(usize::from(n >= 2)));
+    ((0..cut).collect(), (cut..n).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_split_partitions_all_indices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = train_test_split(&mut rng, 100, 0.2);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_split_is_shuffled() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, _) = train_test_split(&mut rng, 50, 0.2);
+        assert_ne!(train, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_sets_keep_both_sides_non_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, test) = train_test_split(&mut rng, 2, 0.01);
+        assert_eq!(train.len() + test.len(), 2);
+        assert!(!train.is_empty() && !test.is_empty());
+    }
+
+    #[test]
+    fn chronological_split_holds_out_the_tail() {
+        let (train, test) = chronological_split(10, 0.2);
+        assert_eq!(train, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(test, vec![8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn invalid_fraction_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = train_test_split(&mut rng, 10, 1.5);
+    }
+}

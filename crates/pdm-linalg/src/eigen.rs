@@ -1,0 +1,367 @@
+//! Symmetric eigenvalue decomposition via the cyclic Jacobi method.
+//!
+//! The ellipsoid knowledge set of the pricing mechanism is parameterised by a
+//! symmetric positive-definite shape matrix `A`; its eigenvalues give the
+//! squared semi-axis lengths and its determinant (product of eigenvalues)
+//! gives the volume up to the unit-ball constant.  Lemmas 4–6 of the paper
+//! reason about the smallest eigenvalue, so we need a reliable symmetric
+//! eigensolver — the cyclic Jacobi method is simple, numerically robust, and
+//! easily fast enough for the paper's dimensions (n ≤ 1024, and the
+//! eigensolver is only used in diagnostics/tests, never in the per-round hot
+//! path).
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) V^T`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues sorted in descending order.
+    pub eigenvalues: Vector,
+    /// Matrix whose `j`-th column is the eigenvector for `eigenvalues[j]`.
+    pub eigenvectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// Largest eigenvalue.
+    #[must_use]
+    pub fn largest(&self) -> f64 {
+        self.eigenvalues[0]
+    }
+
+    /// Smallest eigenvalue.
+    #[must_use]
+    pub fn smallest(&self) -> f64 {
+        self.eigenvalues[self.eigenvalues.len() - 1]
+    }
+
+    /// Condition number `λ_max / λ_min` (infinite when `λ_min == 0`).
+    #[must_use]
+    pub fn condition_number(&self) -> f64 {
+        let smallest = self.smallest();
+        if smallest == 0.0 {
+            f64::INFINITY
+        } else {
+            self.largest() / smallest
+        }
+    }
+
+    /// Product of the eigenvalues, i.e. the determinant of the original matrix.
+    #[must_use]
+    pub fn determinant(&self) -> f64 {
+        self.eigenvalues.iter().product()
+    }
+
+    /// Reconstructs the original matrix `V diag(λ) V^T` (used in tests).
+    #[must_use]
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.eigenvalues.len();
+        let mut out = Matrix::zeros(n, n);
+        for k in 0..n {
+            let col = self.eigenvectors.column(k);
+            let lambda = self.eigenvalues[k];
+            out.rank_one_update(lambda, &col);
+        }
+        out
+    }
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi method.
+///
+/// # Errors
+/// Returns [`LinalgError::NotSquare`] / [`LinalgError::NotSymmetric`] for bad
+/// inputs and [`LinalgError::NoConvergence`] if the off-diagonal mass does not
+/// vanish after [`MAX_SWEEPS`] sweeps (which does not happen for well-scaled
+/// symmetric matrices).
+pub fn jacobi_eigen(matrix: &Matrix, symmetry_tol: f64) -> Result<EigenDecomposition> {
+    if !matrix.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+        });
+    }
+    let asym = matrix.max_asymmetry();
+    if asym > symmetry_tol {
+        return Err(LinalgError::NotSymmetric {
+            max_asymmetry: asym,
+        });
+    }
+    let n = matrix.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty {
+            operation: "jacobi_eigen",
+        });
+    }
+
+    let mut a = matrix.clone();
+    a.symmetrize();
+    let mut v = Matrix::identity(n);
+
+    // Convergence threshold proportional to the matrix scale.
+    let scale = a.frobenius_norm().max(1e-300);
+    let tol = 1e-14 * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let off = off_diagonal_norm(&a);
+        if off <= tol {
+            return Ok(collect(a, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a.get(p, q);
+                if apq.abs() <= tol / (n * n) as f64 {
+                    continue;
+                }
+                let app = a.get(p, p);
+                let aqq = a.get(q, q);
+                // Classic Jacobi rotation angle.
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to A on both sides: A <- J^T A J.
+                for k in 0..n {
+                    let akp = a.get(k, p);
+                    let akq = a.get(k, q);
+                    a.set(k, p, c * akp - s * akq);
+                    a.set(k, q, s * akp + c * akq);
+                }
+                for k in 0..n {
+                    let apk = a.get(p, k);
+                    let aqk = a.get(q, k);
+                    a.set(p, k, c * apk - s * aqk);
+                    a.set(q, k, s * apk + c * aqk);
+                }
+                // Accumulate eigenvectors: V <- V J.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let off = off_diagonal_norm(&a);
+    if off <= tol * 100.0 {
+        // Close enough: accept the slightly less converged answer instead of
+        // failing the whole simulation.
+        return Ok(collect(a, v));
+    }
+    Err(LinalgError::NoConvergence {
+        algorithm: "jacobi_eigen",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Frobenius norm of the strictly-off-diagonal part of a square matrix.
+fn off_diagonal_norm(a: &Matrix) -> f64 {
+    let n = a.rows();
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                sum += a.get(i, j) * a.get(i, j);
+            }
+        }
+    }
+    sum.sqrt()
+}
+
+/// Extracts eigenvalues from the (nearly) diagonalised matrix and sorts the
+/// pairs in descending eigenvalue order.
+fn collect(a: Matrix, v: Matrix) -> EigenDecomposition {
+    let n = a.rows();
+    let mut pairs: Vec<(f64, Vector)> = (0..n).map(|i| (a.get(i, i), v.column(i))).collect();
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+    let eigenvalues = Vector::from_fn(n, |i| pairs[i].0);
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (j, (_, vec)) in pairs.iter().enumerate() {
+        for i in 0..n {
+            eigenvectors.set(i, j, vec[i]);
+        }
+    }
+    EigenDecomposition {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+/// Estimates the largest eigenvalue of a symmetric matrix with power
+/// iteration.
+///
+/// This is the cheap estimator used in runtime diagnostics where a full
+/// decomposition would be wasteful.
+///
+/// # Errors
+/// Returns [`LinalgError::NotSquare`] for non-square input and
+/// [`LinalgError::Empty`] for the 0×0 matrix.
+pub fn power_iteration_largest(matrix: &Matrix, iterations: usize) -> Result<f64> {
+    if !matrix.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+        });
+    }
+    let n = matrix.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty {
+            operation: "power_iteration_largest",
+        });
+    }
+    // Deterministic start vector with all components present.
+    let mut x = Vector::from_fn(n, |i| 1.0 + (i as f64 + 1.0) * 1e-3);
+    x = x.normalized();
+    let mut lambda = 0.0;
+    for _ in 0..iterations.max(1) {
+        let y = matrix.matvec(&x);
+        let norm = y.norm();
+        if norm == 0.0 {
+            return Ok(0.0);
+        }
+        x = y.scaled(1.0 / norm);
+        lambda = matrix.quadratic_form(&x);
+    }
+    Ok(lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let m = Matrix::diagonal(&[3.0, 1.0, 2.0]);
+        let e = jacobi_eigen(&m, 1e-12).unwrap();
+        assert_eq!(e.eigenvalues.as_slice(), &[3.0, 2.0, 1.0]);
+        assert!(approx_eq(e.determinant(), 6.0, 1e-9));
+        assert!(approx_eq(e.condition_number(), 3.0, 1e-9));
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = jacobi_eigen(&m, 1e-12).unwrap();
+        assert!(approx_eq(e.largest(), 3.0, 1e-9));
+        assert!(approx_eq(e.smallest(), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn reconstruction_matches_original() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ]);
+        let e = jacobi_eigen(&m, 1e-12).unwrap();
+        let r = e.reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    approx_eq(r.get(i, j), m.get(i, j), 1e-8),
+                    "mismatch at ({i},{j}): {} vs {}",
+                    r.get(i, j),
+                    m.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, 4.0, 0.5],
+            vec![1.0, 0.5, 3.0],
+        ]);
+        let e = jacobi_eigen(&m, 1e-12).unwrap();
+        let vt_v = e
+            .eigenvectors
+            .transpose()
+            .matmul(&e.eigenvectors)
+            .unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!(approx_eq(vt_v.get(i, j), expected, 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_square_and_asymmetric() {
+        assert!(matches!(
+            jacobi_eigen(&Matrix::zeros(2, 3), 1e-12),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let asym = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
+        assert!(matches!(
+            jacobi_eigen(&asym, 1e-12),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_equals_sum_of_eigenvalues() {
+        let m = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ]);
+        let e = jacobi_eigen(&m, 1e-12).unwrap();
+        assert!(approx_eq(e.eigenvalues.sum(), m.trace(), 1e-9));
+    }
+
+    #[test]
+    fn power_iteration_matches_jacobi() {
+        let m = Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 0.0],
+            vec![1.0, 0.0, 4.0],
+        ]);
+        let e = jacobi_eigen(&m, 1e-12).unwrap();
+        let approx = power_iteration_largest(&m, 200).unwrap();
+        assert!(approx_eq(approx, e.largest(), 1e-6));
+    }
+
+    #[test]
+    fn power_iteration_zero_matrix() {
+        let m = Matrix::zeros(3, 3);
+        assert!(approx_eq(power_iteration_largest(&m, 10).unwrap(), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn identity_eigenvalues_all_one() {
+        let e = jacobi_eigen(&Matrix::identity(5), 1e-12).unwrap();
+        for i in 0..5 {
+            assert!(approx_eq(e.eigenvalues[i], 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn larger_random_like_matrix_is_handled() {
+        // Deterministic pseudo-random symmetric PD matrix: B^T B + I.
+        let n = 12;
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.5);
+        let mut m = b.transpose().matmul(&b).unwrap();
+        for i in 0..n {
+            m.add_to(i, i, 1.0);
+        }
+        let e = jacobi_eigen(&m, 1e-9).unwrap();
+        assert!(e.smallest() >= 0.99, "PD matrix must keep eigenvalues >= 1");
+        assert!(approx_eq(e.eigenvalues.sum(), m.trace(), 1e-6));
+    }
+}

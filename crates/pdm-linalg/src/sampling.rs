@@ -1,0 +1,187 @@
+//! Random sampling helpers shared across the workspace.
+//!
+//! The sanctioned dependency list contains `rand` but not `rand_distr`, so the
+//! handful of distributions the paper's evaluation needs (Gaussian market-value
+//! noise, Laplace noise for differential privacy, Rademacher noise for the
+//! sub-Gaussian robustness checks) are implemented here once, on top of
+//! `rand::Rng`, and reused by `pdm-pricing`, `pdm-market`, and `pdm-datasets`.
+
+use crate::vector::Vector;
+use rand::Rng;
+
+/// Draws a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+///
+/// # Panics
+/// Panics when `std_dev` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws a Laplace variate with location zero and the given scale, the noise
+/// distribution of the standard ε-differential-privacy mechanism.
+///
+/// # Panics
+/// Panics when `scale` is not positive.
+pub fn laplace<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
+    assert!(scale > 0.0, "Laplace scale must be positive");
+    // Inverse-CDF sampling: u uniform on (-1/2, 1/2).
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
+}
+
+/// Draws a uniform variate on `[lo, hi)`.
+///
+/// # Panics
+/// Panics when `lo > hi`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "uniform bounds are inverted");
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+/// Draws a Rademacher variate (±1 with equal probability) scaled by
+/// `magnitude`.
+pub fn rademacher<R: Rng + ?Sized>(rng: &mut R, magnitude: f64) -> f64 {
+    if rng.gen::<bool>() {
+        magnitude
+    } else {
+        -magnitude
+    }
+}
+
+/// Samples a vector with i.i.d. standard normal entries.
+pub fn standard_normal_vector<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> Vector {
+    Vector::from_fn(dim, |_| standard_normal(rng))
+}
+
+/// Samples a vector with i.i.d. uniform entries on `[lo, hi)`.
+pub fn uniform_vector<R: Rng + ?Sized>(rng: &mut R, dim: usize, lo: f64, hi: f64) -> Vector {
+    Vector::from_fn(dim, |_| uniform(rng, lo, hi))
+}
+
+/// Samples a point uniformly at random from the surface of the unit sphere.
+///
+/// # Panics
+/// Panics when `dim == 0`.
+pub fn unit_sphere<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> Vector {
+    assert!(dim > 0, "unit_sphere requires a positive dimension");
+    loop {
+        let v = standard_normal_vector(rng, dim);
+        let n = v.norm();
+        if n > 1e-12 {
+            return v.scaled(1.0 / n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OnlineStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let mut stats = OnlineStats::new();
+        for _ in 0..50_000 {
+            stats.push(standard_normal(&mut r));
+        }
+        assert!(stats.mean().abs() < 0.02, "mean was {}", stats.mean());
+        assert!(
+            (stats.population_std() - 1.0).abs() < 0.02,
+            "std was {}",
+            stats.population_std()
+        );
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut r = rng();
+        let mut stats = OnlineStats::new();
+        for _ in 0..50_000 {
+            stats.push(normal(&mut r, 3.0, 0.5));
+        }
+        assert!((stats.mean() - 3.0).abs() < 0.02);
+        assert!((stats.population_std() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn laplace_moments() {
+        let mut r = rng();
+        let scale = 2.0;
+        let mut stats = OnlineStats::new();
+        for _ in 0..100_000 {
+            stats.push(laplace(&mut r, scale));
+        }
+        // Mean 0, variance 2·scale².
+        assert!(stats.mean().abs() < 0.05, "mean was {}", stats.mean());
+        let var = stats.population_variance();
+        assert!(
+            (var - 2.0 * scale * scale).abs() < 0.4,
+            "variance was {var}"
+        );
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = uniform(&mut r, -2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rademacher_is_symmetric() {
+        let mut r = rng();
+        let mut plus = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if rademacher(&mut r, 1.0) > 0.0 {
+                plus += 1;
+            }
+        }
+        let frac = plus as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "fraction of +1 was {frac}");
+    }
+
+    #[test]
+    fn unit_sphere_has_unit_norm() {
+        let mut r = rng();
+        for dim in [1, 2, 5, 20] {
+            let v = unit_sphere(&mut r, dim);
+            assert_eq!(v.len(), dim);
+            assert!((v.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vector_samplers_have_right_length() {
+        let mut r = rng();
+        assert_eq!(standard_normal_vector(&mut r, 7).len(), 7);
+        let u = uniform_vector(&mut r, 9, -1.0, 1.0);
+        assert_eq!(u.len(), 9);
+        assert!(u.iter().all(|x| (-1.0..1.0).contains(x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_std_panics() {
+        let mut r = rng();
+        let _ = normal(&mut r, 0.0, -1.0);
+    }
+}

@@ -1,0 +1,455 @@
+//! A dense two-phase simplex solver for small linear programs.
+//!
+//! The paper observes that pricing with the *exact* polytope knowledge set
+//! requires solving two linear programs per round, which is too slow for an
+//! online market; the ellipsoid relaxation replaces them with a handful of
+//! matrix–vector products.  This module provides the LP solver that (a) lets
+//! the test-suite cross-check ellipsoid bounds against the exact polytope
+//! bounds in low dimension and (b) powers the "exact polytope pricing"
+//! baseline used in the ablation benchmarks to demonstrate the latency gap.
+//!
+//! The solver handles problems of the form
+//!
+//! ```text
+//! maximize    c^T x
+//! subject to  A x <= b        (b may have negative entries)
+//!             x >= 0
+//! ```
+//!
+//! using the standard two-phase tableau method with Bland's anti-cycling rule.
+//! Callers with free (sign-unrestricted) variables shift them into the
+//! non-negative orthant before building the program (see
+//! `pdm-ellipsoid::Polytope`).
+
+use crate::error::{LinalgError, Result};
+
+/// Outcome of solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal(LpSolution),
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+/// An optimal solution to a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal value of the objective `c^T x`.
+    pub objective: f64,
+    /// Optimal primal point.
+    pub x: Vec<f64>,
+}
+
+/// A linear program `max c^T x  s.t.  A x <= b, x >= 0`.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+}
+
+/// Pivoting tolerance: entries smaller than this are treated as zero.
+const PIVOT_TOL: f64 = 1e-9;
+/// Feasibility tolerance for the phase-1 objective.
+const FEAS_TOL: f64 = 1e-7;
+/// Hard cap on pivots, proportional guard against degenerate stalling.
+const MAX_PIVOTS: usize = 10_000;
+
+impl LinearProgram {
+    /// Creates a linear program with the given objective (to maximise).
+    #[must_use]
+    pub fn new(objective: Vec<f64>) -> Self {
+        Self {
+            objective,
+            constraints: Vec::new(),
+            rhs: Vec::new(),
+        }
+    }
+
+    /// Number of decision variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints added so far.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Adds a constraint `coeffs · x <= rhs`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when `coeffs.len()` differs
+    /// from the number of variables.
+    pub fn add_constraint_le(&mut self, coeffs: Vec<f64>, rhs: f64) -> Result<()> {
+        if coeffs.len() != self.num_vars() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "LinearProgram::add_constraint_le",
+                expected: self.num_vars(),
+                actual: coeffs.len(),
+            });
+        }
+        self.constraints.push(coeffs);
+        self.rhs.push(rhs);
+        Ok(())
+    }
+
+    /// Adds a constraint `coeffs · x >= rhs` (stored as `-coeffs · x <= -rhs`).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] on length mismatch.
+    pub fn add_constraint_ge(&mut self, coeffs: Vec<f64>, rhs: f64) -> Result<()> {
+        let negated: Vec<f64> = coeffs.iter().map(|c| -c).collect();
+        self.add_constraint_le(negated, -rhs)
+    }
+
+    /// Solves the program with the two-phase simplex method.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::Empty`] for a program with zero variables and
+    /// [`LinalgError::NoConvergence`] if the pivot cap is hit (which indicates
+    /// a pathological or massively degenerate instance).
+    pub fn solve(&self) -> Result<LpOutcome> {
+        let n = self.num_vars();
+        if n == 0 {
+            return Err(LinalgError::Empty {
+                operation: "LinearProgram::solve",
+            });
+        }
+        let m = self.num_constraints();
+        if m == 0 {
+            // Without constraints, any positive objective coefficient makes
+            // the program unbounded; otherwise x = 0 is optimal.
+            if self.objective.iter().any(|&c| c > PIVOT_TOL) {
+                return Ok(LpOutcome::Unbounded);
+            }
+            return Ok(LpOutcome::Optimal(LpSolution {
+                objective: 0.0,
+                x: vec![0.0; n],
+            }));
+        }
+
+        // -- Tableau layout ---------------------------------------------------
+        // Columns: [x_0..x_{n-1} | slack/surplus_0..m-1 | artificial_* | rhs]
+        // Rows:    [constraint_0..m-1 | objective]
+        // We first normalise every row so its RHS is non-negative; rows that
+        // were flipped receive a surplus variable (-1) plus an artificial
+        // variable, others receive a plain slack.
+        let mut needs_artificial = vec![false; m];
+        let mut num_artificial = 0usize;
+        for i in 0..m {
+            if self.rhs[i] < 0.0 {
+                needs_artificial[i] = true;
+                num_artificial += 1;
+            }
+        }
+        let slack_offset = n;
+        let art_offset = n + m;
+        let total_cols = n + m + num_artificial + 1; // +1 for RHS
+        let rhs_col = total_cols - 1;
+
+        let mut tableau = vec![vec![0.0_f64; total_cols]; m + 1];
+        let mut basis = vec![0usize; m];
+
+        let mut art_index = 0usize;
+        for i in 0..m {
+            let flip = if needs_artificial[i] { -1.0 } else { 1.0 };
+            for j in 0..n {
+                tableau[i][j] = flip * self.constraints[i][j];
+            }
+            // Slack (or surplus after the flip) variable for this row.
+            tableau[i][slack_offset + i] = flip;
+            tableau[i][rhs_col] = flip * self.rhs[i];
+            if needs_artificial[i] {
+                let col = art_offset + art_index;
+                tableau[i][col] = 1.0;
+                basis[i] = col;
+                art_index += 1;
+            } else {
+                basis[i] = slack_offset + i;
+            }
+        }
+
+        // -- Phase 1: minimise the sum of artificial variables ----------------
+        if num_artificial > 0 {
+            // Objective row: maximise -(sum of artificials).
+            for j in 0..total_cols {
+                tableau[m][j] = 0.0;
+            }
+            for j in 0..num_artificial {
+                tableau[m][art_offset + j] = -1.0;
+            }
+            // Price out the artificial basis columns.
+            for i in 0..m {
+                if basis[i] >= art_offset {
+                    for j in 0..total_cols {
+                        tableau[m][j] = tableau[m][j] + tableau[i][j];
+                    }
+                }
+            }
+            Self::run_simplex(&mut tableau, &mut basis, rhs_col)?;
+            // With the reduced-cost convention used here the objective row's
+            // RHS equals minus the phase-1 objective, i.e. the residual sum of
+            // artificial variables. A positive residual means infeasible.
+            let artificial_residual = tableau[m][rhs_col];
+            if artificial_residual > FEAS_TOL {
+                return Ok(LpOutcome::Infeasible);
+            }
+            // Drive any artificial variables that linger in the basis at value
+            // zero out of it, if possible.
+            for i in 0..m {
+                if basis[i] >= art_offset {
+                    let mut pivot_col = None;
+                    for j in 0..art_offset {
+                        if tableau[i][j].abs() > PIVOT_TOL {
+                            pivot_col = Some(j);
+                            break;
+                        }
+                    }
+                    if let Some(col) = pivot_col {
+                        Self::pivot(&mut tableau, &mut basis, i, col);
+                    }
+                }
+            }
+        }
+
+        // -- Phase 2: original objective --------------------------------------
+        for j in 0..total_cols {
+            tableau[m][j] = 0.0;
+        }
+        for j in 0..n {
+            tableau[m][j] = self.objective[j];
+        }
+        // Zero out artificial columns so they can never re-enter.
+        for j in 0..num_artificial {
+            for row in tableau.iter_mut().take(m) {
+                row[art_offset + j] = 0.0;
+            }
+        }
+        // Price out the current basis.
+        for i in 0..m {
+            let coeff = tableau[m][basis[i]];
+            if coeff.abs() > 0.0 {
+                for j in 0..total_cols {
+                    tableau[m][j] -= coeff * tableau[i][j];
+                }
+            }
+        }
+        let bounded = Self::run_simplex(&mut tableau, &mut basis, rhs_col)?;
+        if !bounded {
+            return Ok(LpOutcome::Unbounded);
+        }
+
+        // -- Extract the solution ---------------------------------------------
+        let mut x = vec![0.0; n];
+        for i in 0..m {
+            if basis[i] < n {
+                x[basis[i]] = tableau[i][rhs_col];
+            }
+        }
+        let objective = self
+            .objective
+            .iter()
+            .zip(x.iter())
+            .map(|(c, v)| c * v)
+            .sum();
+        Ok(LpOutcome::Optimal(LpSolution { objective, x }))
+    }
+
+    /// Runs simplex pivots until optimality (returns `Ok(true)`) or detects an
+    /// unbounded direction (returns `Ok(false)`).
+    fn run_simplex(
+        tableau: &mut [Vec<f64>],
+        basis: &mut [usize],
+        rhs_col: usize,
+    ) -> Result<bool> {
+        let m = basis.len();
+        for _ in 0..MAX_PIVOTS {
+            // Entering column: Bland's rule — smallest index with positive
+            // reduced cost (we maximise, and the objective row stores the
+            // current reduced costs directly).
+            let mut entering = None;
+            for j in 0..rhs_col {
+                if tableau[m][j] > PIVOT_TOL {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(col) = entering else {
+                return Ok(true);
+            };
+            // Leaving row: minimum ratio test, ties broken by smallest basis
+            // index (Bland).
+            let mut leaving: Option<(usize, f64)> = None;
+            for i in 0..m {
+                let a = tableau[i][col];
+                if a > PIVOT_TOL {
+                    let ratio = tableau[i][rhs_col] / a;
+                    match leaving {
+                        None => leaving = Some((i, ratio)),
+                        Some((best_i, best_ratio)) => {
+                            if ratio < best_ratio - PIVOT_TOL
+                                || ((ratio - best_ratio).abs() <= PIVOT_TOL
+                                    && basis[i] < basis[best_i])
+                            {
+                                leaving = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = leaving else {
+                return Ok(false);
+            };
+            Self::pivot(tableau, basis, row, col);
+        }
+        Err(LinalgError::NoConvergence {
+            algorithm: "simplex",
+            iterations: MAX_PIVOTS,
+        })
+    }
+
+    /// Performs a single pivot on `(row, col)`.
+    fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+        let pivot_val = tableau[row][col];
+        let width = tableau[row].len();
+        for j in 0..width {
+            tableau[row][j] /= pivot_val;
+        }
+        let nrows = tableau.len();
+        for i in 0..nrows {
+            if i == row {
+                continue;
+            }
+            let factor = tableau[i][col];
+            if factor.abs() <= 0.0 {
+                continue;
+            }
+            for j in 0..width {
+                tableau[i][j] -= factor * tableau[row][j];
+            }
+        }
+        basis[row] = col;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn expect_optimal(outcome: LpOutcome) -> LpSolution {
+        match outcome {
+            LpOutcome::Optimal(sol) => sol,
+            other => panic!("expected optimal solution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximisation() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+        // Optimum: x = 2, y = 6, objective 36.
+        let mut lp = LinearProgram::new(vec![3.0, 5.0]);
+        lp.add_constraint_le(vec![1.0, 0.0], 4.0).unwrap();
+        lp.add_constraint_le(vec![0.0, 2.0], 12.0).unwrap();
+        lp.add_constraint_le(vec![3.0, 2.0], 18.0).unwrap();
+        let sol = expect_optimal(lp.solve().unwrap());
+        assert!(approx_eq(sol.objective, 36.0, 1e-7));
+        assert!(approx_eq(sol.x[0], 2.0, 1e-7));
+        assert!(approx_eq(sol.x[1], 6.0, 1e-7));
+    }
+
+    #[test]
+    fn ge_constraints_require_phase_one() {
+        // max x + y s.t. x + y <= 10, x >= 2, y >= 3.
+        let mut lp = LinearProgram::new(vec![1.0, 1.0]);
+        lp.add_constraint_le(vec![1.0, 1.0], 10.0).unwrap();
+        lp.add_constraint_ge(vec![1.0, 0.0], 2.0).unwrap();
+        lp.add_constraint_ge(vec![0.0, 1.0], 3.0).unwrap();
+        let sol = expect_optimal(lp.solve().unwrap());
+        assert!(approx_eq(sol.objective, 10.0, 1e-7));
+    }
+
+    #[test]
+    fn minimisation_via_negated_objective() {
+        // min x + 2y  s.t. x + y >= 4, x <= 3, y <= 5  ==  max -(x + 2y).
+        // Optimum of the min problem: x = 3, y = 1, value 5.
+        let mut lp = LinearProgram::new(vec![-1.0, -2.0]);
+        lp.add_constraint_ge(vec![1.0, 1.0], 4.0).unwrap();
+        lp.add_constraint_le(vec![1.0, 0.0], 3.0).unwrap();
+        lp.add_constraint_le(vec![0.0, 1.0], 5.0).unwrap();
+        let sol = expect_optimal(lp.solve().unwrap());
+        assert!(approx_eq(-sol.objective, 5.0, 1e-7));
+        assert!(approx_eq(sol.x[0], 3.0, 1e-7));
+        assert!(approx_eq(sol.x[1], 1.0, 1e-7));
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        // x <= 1 and x >= 2 cannot both hold.
+        let mut lp = LinearProgram::new(vec![1.0]);
+        lp.add_constraint_le(vec![1.0], 1.0).unwrap();
+        lp.add_constraint_ge(vec![1.0], 2.0).unwrap();
+        assert_eq!(lp.solve().unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        // max x with only x >= 1 — unbounded above.
+        let mut lp = LinearProgram::new(vec![1.0]);
+        lp.add_constraint_ge(vec![1.0], 1.0).unwrap();
+        assert_eq!(lp.solve().unwrap(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn no_constraints_cases() {
+        let lp = LinearProgram::new(vec![1.0, 0.0]);
+        assert_eq!(lp.solve().unwrap(), LpOutcome::Unbounded);
+        let lp2 = LinearProgram::new(vec![-1.0, -2.0]);
+        let sol = expect_optimal(lp2.solve().unwrap());
+        assert_eq!(sol.x, vec![0.0, 0.0]);
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn zero_variable_program_is_an_error() {
+        let lp = LinearProgram::new(vec![]);
+        assert!(lp.solve().is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut lp = LinearProgram::new(vec![1.0, 2.0]);
+        assert!(lp.add_constraint_le(vec![1.0], 1.0).is_err());
+        assert!(lp.add_constraint_ge(vec![1.0, 2.0, 3.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Degenerate vertex at the origin with redundant constraints.
+        let mut lp = LinearProgram::new(vec![1.0, 1.0]);
+        lp.add_constraint_le(vec![1.0, 0.0], 0.0).unwrap();
+        lp.add_constraint_le(vec![1.0, 1.0], 0.0).unwrap();
+        lp.add_constraint_le(vec![0.0, 1.0], 0.0).unwrap();
+        let sol = expect_optimal(lp.solve().unwrap());
+        assert!(approx_eq(sol.objective, 0.0, 1e-9));
+    }
+
+    #[test]
+    fn box_support_function() {
+        // Support of the box [0,1]^3 in direction (1,2,3) is 6.
+        let mut lp = LinearProgram::new(vec![1.0, 2.0, 3.0]);
+        for i in 0..3 {
+            let mut row = vec![0.0; 3];
+            row[i] = 1.0;
+            lp.add_constraint_le(row, 1.0).unwrap();
+        }
+        let sol = expect_optimal(lp.solve().unwrap());
+        assert!(approx_eq(sol.objective, 6.0, 1e-7));
+    }
+}

@@ -1,0 +1,254 @@
+//! Small statistics helpers shared across the workspace.
+//!
+//! Table I of the paper reports the mean and standard deviation of the market
+//! value, reserve price, posted price, and per-round regret.  [`OnlineStats`]
+//! accumulates those quantities in one pass (Welford's algorithm) without
+//! storing the whole trace, which matters for the 10⁵-round sweeps.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean of a slice; zero for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation (divide by `n`); zero for fewer than one
+/// element.
+#[must_use]
+pub fn population_std(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Sample standard deviation (divide by `n - 1`); zero for fewer than two
+/// elements.
+#[must_use]
+pub fn sample_std(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+/// Streaming mean / variance / min / max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every observation in `values`.
+    pub fn extend(&mut self, values: &[f64]) {
+        for &v in values {
+            self.push(v);
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (zero when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of the observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance (zero when empty).
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample variance (zero when fewer than two observations).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean =
+            self.mean + delta * other.count as f64 / total as f64;
+        let new_m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = new_mean;
+        self.m2 = new_m2;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn slice_helpers_match_known_values() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!(approx_eq(mean(&data), 5.0, 1e-12));
+        assert!(approx_eq(population_std(&data), 2.0, 1e-12));
+        assert!(sample_std(&data) > population_std(&data));
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(population_std(&[]), 0.0);
+        assert_eq!(sample_std(&[]), 0.0);
+        assert_eq!(sample_std(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let data = [1.5, -2.0, 3.25, 0.0, 10.0, -7.5];
+        let mut s = OnlineStats::new();
+        s.extend(&data);
+        assert_eq!(s.count(), data.len() as u64);
+        assert!(approx_eq(s.mean(), mean(&data), 1e-12));
+        assert!(approx_eq(s.population_std(), population_std(&data), 1e-12));
+        assert!(approx_eq(s.sample_std(), sample_std(&data), 1e-12));
+        assert!(approx_eq(s.sum(), data.iter().sum::<f64>(), 1e-12));
+        assert_eq!(s.min(), -7.5);
+        assert_eq!(s.max(), 10.0);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        let mut sa = OnlineStats::new();
+        sa.extend(&a);
+        let mut sb = OnlineStats::new();
+        sb.extend(&b);
+        sa.merge(&sb);
+
+        let mut all = OnlineStats::new();
+        all.extend(&a);
+        all.extend(&b);
+
+        assert_eq!(sa.count(), all.count());
+        assert!(approx_eq(sa.mean(), all.mean(), 1e-12));
+        assert!(approx_eq(sa.population_variance(), all.population_variance(), 1e-9));
+        assert_eq!(sa.min(), all.min());
+        assert_eq!(sa.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = OnlineStats::new();
+        s.extend(&[1.0, 2.0]);
+        let before = s.clone();
+        s.merge(&OnlineStats::new());
+        assert_eq!(s.count(), before.count());
+        assert!(approx_eq(s.mean(), before.mean(), 1e-15));
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 2);
+    }
+
+    #[test]
+    fn empty_online_stats_defaults() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_std(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+}

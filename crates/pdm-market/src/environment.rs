@@ -1,0 +1,236 @@
+//! The data-market round generator used by the Fig. 4 / Fig. 5(a) / Table I
+//! experiments.
+//!
+//! [`MarketEnvironment`] wires a [`DataBroker`], a [`QueryGenerator`], and a
+//! [`ConsumerPool`] into a [`pdm_pricing::Environment`]: every round draws a
+//! customised noisy linear query, runs it through privacy accounting and
+//! featurisation, and values it with the hidden consumer profile.
+
+use crate::broker::DataBroker;
+use crate::compensation::CompensationContract;
+use crate::consumer::ConsumerPool;
+use crate::owner::DataOwner;
+use crate::query::{QueryGenerator, QueryWeightDistribution};
+use pdm_linalg::sampling;
+use pdm_pricing::environment::{Environment, Round};
+use pdm_pricing::uncertainty::NoiseModel;
+use rand::Rng;
+
+/// A fully assembled personal-data-market environment.
+#[derive(Debug, Clone)]
+pub struct MarketEnvironment {
+    broker: DataBroker,
+    generator: QueryGenerator,
+    consumers: ConsumerPool,
+    horizon: usize,
+    produced: usize,
+}
+
+impl MarketEnvironment {
+    /// Assembles an environment from its parts.
+    ///
+    /// # Panics
+    /// Panics when the query generator does not cover the broker's owner
+    /// population, the consumer pool does not match the broker's feature
+    /// dimension, or the horizon is zero.
+    #[must_use]
+    pub fn new(
+        broker: DataBroker,
+        generator: QueryGenerator,
+        consumers: ConsumerPool,
+        horizon: usize,
+    ) -> Self {
+        assert_eq!(
+            generator.num_owners(),
+            broker.num_owners(),
+            "query generator must cover the broker's owner population"
+        );
+        assert_eq!(
+            consumers.feature_dim(),
+            broker.feature_dim(),
+            "consumer valuation dimension must match the broker's feature dimension"
+        );
+        assert!(horizon > 0, "horizon must be positive");
+        Self {
+            broker,
+            generator,
+            consumers,
+            horizon,
+            produced: 0,
+        }
+    }
+
+    /// Builds the synthetic MovieLens-backed market of Section V-A: an owner
+    /// population with rating-like records, heterogeneous tanh compensation
+    /// contracts, Gaussian query weights, and a consumer valuation profile
+    /// with the paper's √(2n) scaling.
+    #[must_use]
+    pub fn synthetic<R: Rng + ?Sized>(
+        rng: &mut R,
+        num_owners: usize,
+        feature_dim: usize,
+        horizon: usize,
+        noise: NoiseModel,
+    ) -> Self {
+        assert!(num_owners > 0 && feature_dim > 0 && horizon > 0);
+        let owners: Vec<DataOwner> = (0..num_owners)
+            .map(|i| {
+                // Rating-like records on a 0.5–5.0 scale, a handful per owner.
+                let count = 1 + (i % 5);
+                let records: Vec<f64> = (0..count)
+                    .map(|_| sampling::uniform(rng, 0.5, 5.0))
+                    .collect();
+                DataOwner::new(i as u64, records, 5.0)
+            })
+            .collect();
+        let contracts = CompensationContract::sample_population(rng, num_owners, 1.0, 1.0);
+        let broker = DataBroker::new(owners, contracts, feature_dim);
+        let generator = QueryGenerator::new(num_owners, QueryWeightDistribution::Gaussian);
+        let consumers = ConsumerPool::sample(rng, feature_dim, noise);
+        Self::new(broker, generator, consumers, horizon)
+    }
+
+    /// The broker (owner population, contracts, featurisation).
+    #[must_use]
+    pub fn broker(&self) -> &DataBroker {
+        &self.broker
+    }
+
+    /// The hidden consumer valuation profile.
+    #[must_use]
+    pub fn consumers(&self) -> &ConsumerPool {
+        &self.consumers
+    }
+
+    /// Helper used by the overhead benchmark: generate a single priced query
+    /// without consuming the horizon.
+    pub fn sample_priced_query<R: Rng + ?Sized>(&mut self, rng: &mut R) -> crate::broker::PricedQuery {
+        let query = self.generator.next_query(rng);
+        self.broker.prepare(&query)
+    }
+}
+
+impl Environment for MarketEnvironment {
+    fn input_dim(&self) -> usize {
+        self.broker.feature_dim()
+    }
+
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    fn weight_norm_bound(&self) -> f64 {
+        // The paper gives the broker the prior ‖θ*‖ ≤ 2√n.
+        2.0 * (self.broker.feature_dim() as f64).sqrt()
+    }
+
+    fn feature_norm_bound(&self) -> f64 {
+        1.0
+    }
+
+    fn next_round(&mut self, rng: &mut dyn rand::RngCore) -> Option<Round> {
+        if self.produced >= self.horizon {
+            return None;
+        }
+        self.produced += 1;
+        let query = self.generator.next_query(rng);
+        let priced = self.broker.prepare(&query);
+        let market_value = self.consumers.market_value(rng, &priced.features);
+        Some(Round {
+            features: priced.features,
+            reserve_price: priced.reserve_price,
+            market_value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_pricing::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn environment(owners: usize, dim: usize, horizon: usize, seed: u64) -> MarketEnvironment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarketEnvironment::synthetic(&mut rng, owners, dim, horizon, NoiseModel::None)
+    }
+
+    #[test]
+    fn synthetic_market_produces_valid_rounds() {
+        let mut env = environment(60, 10, 25, 41);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut count = 0;
+        let mut sellable = 0;
+        while let Some(round) = env.next_round(&mut rng) {
+            count += 1;
+            assert_eq!(round.features.len(), 10);
+            assert!((round.features.norm() - 1.0).abs() < 1e-9);
+            assert!(round.features.iter().all(|x| *x >= 0.0));
+            assert!(round.reserve_price > 0.0);
+            if round.market_value >= round.reserve_price {
+                sellable += 1;
+            }
+        }
+        assert_eq!(count, 25);
+        assert!(env.next_round(&mut rng).is_none());
+        // The Section V-A construction makes most rounds sellable.
+        assert!(sellable * 10 >= count * 8, "only {sellable}/{count} rounds sellable");
+    }
+
+    #[test]
+    fn environment_hints_match_paper_priors() {
+        let env = environment(40, 16, 10, 2);
+        assert_eq!(env.input_dim(), 16);
+        assert!((env.weight_norm_bound() - 8.0).abs() < 1e-12);
+        assert!((env.feature_norm_bound() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pricing_mechanism_runs_on_the_market_environment() {
+        let horizon = 400;
+        let env = environment(50, 8, horizon, 7);
+        let config = PricingConfig::for_environment(&env, horizon).with_reserve(true);
+        let mechanism = EllipsoidPricing::new(LinearModel::new(8), config);
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = Simulation::new(env, mechanism).run(&mut rng);
+        assert_eq!(outcome.report.rounds, horizon);
+        // The learning mechanism must do markedly better than forfeiting the
+        // whole market value every round.
+        assert!(outcome.regret_ratio() < 0.5);
+        assert!(outcome.report.acceptance_rate() > 0.5);
+    }
+
+    #[test]
+    fn reserve_beats_risk_averse_baseline_on_market_data() {
+        let horizon = 600;
+        let env_a = environment(50, 8, horizon, 13);
+        let env_b = environment(50, 8, horizon, 13);
+        let config = PricingConfig::for_environment(&env_a, horizon).with_reserve(true);
+        let mechanism = EllipsoidPricing::new(LinearModel::new(8), config);
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let ours = Simulation::new(env_a, mechanism).run(&mut rng);
+        let mut rng = StdRng::seed_from_u64(5);
+        let baseline = Simulation::new(env_b, ReservePriceBaseline::new()).run(&mut rng);
+        assert!(
+            ours.regret_ratio() < baseline.regret_ratio(),
+            "ellipsoid {} must beat the risk-averse baseline {}",
+            ours.regret_ratio(),
+            baseline.regret_ratio()
+        );
+    }
+
+    #[test]
+    fn mismatched_components_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let env = environment(10, 4, 5, 1);
+        let broker = env.broker().clone();
+        let wrong_generator = QueryGenerator::new(3, QueryWeightDistribution::Gaussian);
+        let consumers = ConsumerPool::sample(&mut rng, 4, NoiseModel::None);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            MarketEnvironment::new(broker, wrong_generator, consumers, 5)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! # pdm-market
+//!
+//! The personal-data-market substrate of Fig. 2 in the paper: data owners
+//! contribute private records to a data broker, online data consumers issue
+//! customised noisy queries, and the broker must
+//!
+//! 1. quantify each owner's **privacy leakage** under the query
+//!    (differential-privacy based, following Li et al.),
+//! 2. convert leakages into **privacy compensations** through per-owner
+//!    contracts (the tanh compensation functions of Li et al.),
+//! 3. treat the total compensation as the query's **reserve price**,
+//! 4. summarise the compensation profile into the query's **feature vector**
+//!    (sorted, partitioned, summed, L2-normalised — Section II-B), and
+//! 5. post a price using the mechanism from `pdm-pricing`.
+//!
+//! [`MarketEnvironment`] packages steps 1–4 as a
+//! [`pdm_pricing::Environment`], so the noisy-linear-query evaluation
+//! (Fig. 4, Fig. 5(a), Table I) runs on exactly this substrate.
+//! [`market::Market`] additionally closes the loop of Fig. 2 — answering sold
+//! queries with Laplace noise and allocating the compensations — which the
+//! examples use to show end-to-end broker accounting.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod compensation;
+pub mod consumer;
+pub mod environment;
+pub mod features;
+pub mod market;
+pub mod owner;
+pub mod privacy;
+pub mod query;
+
+pub use broker::{DataBroker, PricedQuery};
+pub use compensation::CompensationContract;
+pub use consumer::{ConsumerPool, DataConsumer};
+pub use environment::MarketEnvironment;
+pub use features::FeatureAggregator;
+pub use market::{Market, MarketReport, TradeOutcome};
+pub use owner::DataOwner;
+pub use privacy::{LaplaceMechanism, PrivacyQuantifier};
+pub use query::{LinearQuery, QueryGenerator};

@@ -1,0 +1,146 @@
+//! Differential-privacy leakage quantification and the Laplace answering
+//! mechanism.
+//!
+//! Following the "theory of pricing private data" pipeline (Li et al.) the
+//! paper builds on, answering a linear query with Laplace noise of scale `b`
+//! leaks `ε_i = |w_i| · Δ_i / b` about owner `i`, where `w_i` is the owner's
+//! weight in the query and `Δ_i` bounds how much her data can move the true
+//! answer.  The broker pre-computes these leakages for every arriving query;
+//! they drive the compensations and hence the reserve price and the feature
+//! vector.
+
+use crate::owner::DataOwner;
+use crate::query::LinearQuery;
+use pdm_linalg::sampling;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Quantifies per-owner differential-privacy leakage of a noisy linear query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivacyQuantifier;
+
+impl PrivacyQuantifier {
+    /// Creates a quantifier.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The privacy leakage `ε_i = |w_i| · Δ_i / b` of a single owner.
+    #[must_use]
+    pub fn owner_leakage(&self, weight: f64, data_range: f64, laplace_scale: f64) -> f64 {
+        if laplace_scale <= 0.0 {
+            return f64::INFINITY;
+        }
+        weight.abs() * data_range / laplace_scale
+    }
+
+    /// Per-owner leakages for a query over the given owner population.
+    ///
+    /// # Panics
+    /// Panics when the query covers a different number of owners.
+    #[must_use]
+    pub fn leakages(&self, query: &LinearQuery, owners: &[DataOwner]) -> Vec<f64> {
+        assert_eq!(
+            query.num_owners(),
+            owners.len(),
+            "query must cover exactly the owner population"
+        );
+        let scale = query.laplace_scale();
+        query
+            .weights
+            .iter()
+            .zip(owners.iter())
+            .map(|(w, owner)| self.owner_leakage(*w, owner.data_range, scale))
+            .collect()
+    }
+}
+
+/// The Laplace mechanism used to answer sold queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaplaceMechanism;
+
+impl LaplaceMechanism {
+    /// Creates the mechanism.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes the noisy answer of a query over the owners' aggregate
+    /// record values.
+    ///
+    /// # Panics
+    /// Panics when the query covers a different number of owners.
+    pub fn answer<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        query: &LinearQuery,
+        owners: &[DataOwner],
+    ) -> f64 {
+        assert_eq!(
+            query.num_owners(),
+            owners.len(),
+            "query must cover exactly the owner population"
+        );
+        let values: Vec<f64> = owners.iter().map(DataOwner::record_sum).collect();
+        let truth = query.true_answer(&values);
+        truth + sampling::laplace(rng, query.laplace_scale())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn owners(n: usize) -> Vec<DataOwner> {
+        (0..n)
+            .map(|i| DataOwner::new(i as u64, vec![1.0, 2.0], 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn leakage_scales_with_weight_and_noise() {
+        let q = PrivacyQuantifier::new();
+        // Larger weight ⇒ more leakage, larger noise ⇒ less leakage.
+        assert!(q.owner_leakage(2.0, 1.0, 1.0) > q.owner_leakage(1.0, 1.0, 1.0));
+        assert!(q.owner_leakage(1.0, 1.0, 2.0) < q.owner_leakage(1.0, 1.0, 1.0));
+        // Sign of the weight does not matter.
+        assert_eq!(q.owner_leakage(-3.0, 1.0, 1.0), q.owner_leakage(3.0, 1.0, 1.0));
+        // Degenerate noise scale is reported as unbounded leakage.
+        assert!(q.owner_leakage(1.0, 1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn leakages_follow_query_weights() {
+        let quantifier = PrivacyQuantifier::new();
+        let owners = owners(3);
+        let query = LinearQuery::new(0, vec![0.0, 1.0, -2.0], 2.0);
+        let eps = quantifier.leakages(&query, &owners);
+        assert_eq!(eps.len(), 3);
+        assert_eq!(eps[0], 0.0);
+        assert!((eps[2] / eps[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "owner population")]
+    fn leakages_require_matching_population() {
+        let quantifier = PrivacyQuantifier::new();
+        let query = LinearQuery::new(0, vec![1.0], 1.0);
+        let _ = quantifier.leakages(&query, &owners(2));
+    }
+
+    #[test]
+    fn laplace_answers_concentrate_on_the_truth() {
+        let mechanism = LaplaceMechanism::new();
+        let owners = owners(4);
+        // Each owner's record sum is 3, so the all-ones query has truth 12.
+        let query = LinearQuery::new(0, vec![1.0; 4], 0.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean: f64 =
+            (0..5000).map(|_| mechanism.answer(&mut rng, &query, &owners)).sum::<f64>() / 5000.0;
+        assert!((mean - 12.0).abs() < 0.1, "noisy answers must centre on the truth, got {mean}");
+    }
+}

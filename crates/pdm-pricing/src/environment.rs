@@ -1,0 +1,677 @@
+//! Round generators: who shows up, what are they worth, and what is the
+//! seller-side floor.
+//!
+//! An [`Environment`] produces one [`Round`] per trading period — the raw
+//! feature vector the buyer's product exposes, the reserve price the seller
+//! must respect, and the (hidden) market value used only by the simulation to
+//! decide acceptance and account regret.
+//!
+//! Two synthetic environments cover the paper's simulation studies:
+//!
+//! * [`SyntheticLinearEnvironment`] mirrors the noisy-linear-query setup of
+//!   Section V-A (unit-norm feature vectors, weight vector of norm `√(2n)`,
+//!   reserve equal to the sum of features).
+//! * [`SyntheticModelEnvironment`] generalises it to any
+//!   [`MarketValueModel`] and reserve policy (used for the log-linear and
+//!   logistic applications and for property tests).
+//!
+//! [`AdversarialLemma8Environment`] generates the two-phase adversarial
+//! sequence from Lemma 8 / Fig. 6; because the adversary's reserve depends on
+//! the mechanism's internal state, it is *driven* rather than iterated — see
+//! [`AdversarialLemma8Environment::play`].
+
+use crate::mechanism::{ContextualPricing, PostedPriceMechanism};
+use crate::model::{LinearModel, MarketValueModel};
+use crate::regret::RegretTracker;
+use crate::uncertainty::NoiseModel;
+use pdm_ellipsoid::KnowledgeSet;
+use pdm_linalg::{sampling, Vector};
+use rand::Rng;
+
+/// One trading round as seen by the simulation loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Round {
+    /// Raw feature vector `x_t` of the product (before the model's map `φ`).
+    pub features: Vector,
+    /// Reserve price `q_t` in market space.
+    pub reserve_price: f64,
+    /// Ground-truth market value `v_t` in market space (hidden from the
+    /// mechanism).
+    pub market_value: f64,
+}
+
+/// A source of trading rounds.
+pub trait Environment {
+    /// Dimension of the raw feature vectors.
+    fn input_dim(&self) -> usize;
+
+    /// Total number of rounds the environment will produce.
+    fn horizon(&self) -> usize;
+
+    /// A bound on ‖θ*‖ the broker may assume when initialising her knowledge
+    /// set (the paper's `R`).
+    fn weight_norm_bound(&self) -> f64;
+
+    /// A bound on ‖φ(x)‖ (the paper's `S`).
+    fn feature_norm_bound(&self) -> f64;
+
+    /// Produces the next round, or `None` once the horizon is exhausted.
+    fn next_round(&mut self, rng: &mut dyn rand::RngCore) -> Option<Round>;
+}
+
+/// How an environment derives the reserve price of each round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReservePolicy {
+    /// No reserve (the reserve is zero in every round).
+    None,
+    /// The reserve is the sum of the raw features — the "total privacy
+    /// compensation" rule of the data-market application.
+    SumOfFeatures,
+    /// The reserve is a fixed fraction of the market value.
+    FractionOfValue(f64),
+    /// The reserve's *link-space* value is a fixed fraction of the market
+    /// value's link-space value (the `q_t/v_t` log-ratio knob of the
+    /// accommodation-rental experiment).
+    FractionOfLinkValue(f64),
+}
+
+/// How raw feature vectors are sampled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeatureDistribution {
+    /// I.i.d. standard normal entries, then scaled to unit L2 norm
+    /// (the paper's normalisation `‖x_t‖ = 1`).
+    UnitNormGaussian,
+    /// Absolute values of i.i.d. standard normal entries, scaled to unit L2
+    /// norm.  This mirrors the data-market features, which are (non-negative)
+    /// aggregated privacy compensations.
+    UnitNormNonNegative,
+    /// I.i.d. uniform entries on `[lo, hi]`, then scaled to unit norm.
+    UnitNormUniform {
+        /// Lower end of the per-coordinate range.
+        lo: f64,
+        /// Upper end of the per-coordinate range.
+        hi: f64,
+    },
+    /// I.i.d. uniform entries on `[lo, hi]`, *not* normalised (used by the
+    /// hedonic models whose features are physical quantities).
+    RawUniform {
+        /// Lower end of the per-coordinate range.
+        lo: f64,
+        /// Upper end of the per-coordinate range.
+        hi: f64,
+    },
+}
+
+impl FeatureDistribution {
+    fn sample(&self, rng: &mut dyn rand::RngCore, dim: usize) -> Vector {
+        match *self {
+            FeatureDistribution::UnitNormGaussian => {
+                sampling::standard_normal_vector(rng, dim).normalized()
+            }
+            FeatureDistribution::UnitNormNonNegative => sampling::standard_normal_vector(rng, dim)
+                .map(f64::abs)
+                .normalized(),
+            FeatureDistribution::UnitNormUniform { lo, hi } => {
+                sampling::uniform_vector(rng, dim, lo, hi).normalized()
+            }
+            FeatureDistribution::RawUniform { lo, hi } => {
+                sampling::uniform_vector(rng, dim, lo, hi)
+            }
+        }
+    }
+}
+
+/// Synthetic environment over an arbitrary market value model.
+#[derive(Debug, Clone)]
+pub struct SyntheticModelEnvironment<M> {
+    model: M,
+    theta_star: Vector,
+    horizon: usize,
+    produced: usize,
+    reserve_policy: ReservePolicy,
+    noise: NoiseModel,
+    features: FeatureDistribution,
+    weight_norm_bound: f64,
+    feature_norm_bound: f64,
+}
+
+impl<M: MarketValueModel> SyntheticModelEnvironment<M> {
+    /// Creates an environment with an explicit ground-truth weight vector.
+    ///
+    /// # Panics
+    /// Panics when `theta_star` does not match the model's mapped dimension
+    /// or `horizon == 0`.
+    #[must_use]
+    pub fn new(
+        model: M,
+        theta_star: Vector,
+        horizon: usize,
+        reserve_policy: ReservePolicy,
+        noise: NoiseModel,
+        features: FeatureDistribution,
+    ) -> Self {
+        assert_eq!(
+            theta_star.len(),
+            model.mapped_dim(),
+            "theta_star must match the model's mapped dimension"
+        );
+        assert!(horizon > 0, "horizon must be positive");
+        let weight_norm_bound = 2.0 * theta_star.norm().max(1.0);
+        Self {
+            model,
+            theta_star,
+            horizon,
+            produced: 0,
+            reserve_policy,
+            noise,
+            features,
+            weight_norm_bound,
+            feature_norm_bound: 1.0,
+        }
+    }
+
+    /// Overrides the broker-visible bound on ‖θ*‖.
+    #[must_use]
+    pub fn with_weight_norm_bound(mut self, bound: f64) -> Self {
+        self.weight_norm_bound = bound.max(1e-9);
+        self
+    }
+
+    /// Overrides the broker-visible bound on ‖φ(x)‖.
+    #[must_use]
+    pub fn with_feature_norm_bound(mut self, bound: f64) -> Self {
+        self.feature_norm_bound = bound.max(1e-9);
+        self
+    }
+
+    /// The ground-truth weight vector (used by oracle baselines and tests).
+    #[must_use]
+    pub fn theta_star(&self) -> &Vector {
+        &self.theta_star
+    }
+
+    /// The market value model.
+    #[must_use]
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    fn reserve_for(&self, features: &Vector, link_value: f64) -> f64 {
+        match self.reserve_policy {
+            ReservePolicy::None => 0.0,
+            ReservePolicy::SumOfFeatures => features.sum(),
+            ReservePolicy::FractionOfValue(frac) => frac * self.model.link(link_value),
+            ReservePolicy::FractionOfLinkValue(frac) => self.model.link(frac * link_value),
+        }
+    }
+}
+
+impl<M: MarketValueModel> Environment for SyntheticModelEnvironment<M> {
+    fn input_dim(&self) -> usize {
+        self.model.input_dim()
+    }
+
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    fn weight_norm_bound(&self) -> f64 {
+        self.weight_norm_bound
+    }
+
+    fn feature_norm_bound(&self) -> f64 {
+        self.feature_norm_bound
+    }
+
+    fn next_round(&mut self, rng: &mut dyn rand::RngCore) -> Option<Round> {
+        if self.produced >= self.horizon {
+            return None;
+        }
+        self.produced += 1;
+        let features = self.features.sample(rng, self.model.input_dim());
+        let noiseless_link = self.model.link_value(&features, &self.theta_star);
+        let link_value = noiseless_link + self.noise.sample(rng);
+        let market_value = self.model.link(link_value);
+        let reserve_price = self.reserve_for(&features, noiseless_link);
+        Some(Round {
+            features,
+            reserve_price,
+            market_value,
+        })
+    }
+}
+
+/// Builder-style constructor for the noisy-linear-query environment of
+/// Section V-A.
+#[derive(Debug, Clone)]
+pub struct SyntheticLinearEnvironmentBuilder {
+    dim: usize,
+    rounds: usize,
+    noise: NoiseModel,
+    reserve_fraction: Option<f64>,
+    use_sum_of_features_reserve: bool,
+    uniform_weights: bool,
+}
+
+/// The noisy-linear-query environment (linear model, unit-norm features,
+/// weight vector of norm `√(2n)`, reserve = sum of features).
+pub type SyntheticLinearEnvironment = SyntheticModelEnvironment<LinearModel>;
+
+impl SyntheticLinearEnvironment {
+    /// Starts building the Section V-A environment for `dim` features.
+    #[must_use]
+    pub fn builder(dim: usize) -> SyntheticLinearEnvironmentBuilder {
+        SyntheticLinearEnvironmentBuilder {
+            dim,
+            rounds: 10_000,
+            noise: NoiseModel::None,
+            reserve_fraction: None,
+            use_sum_of_features_reserve: true,
+            uniform_weights: false,
+        }
+    }
+}
+
+impl SyntheticLinearEnvironmentBuilder {
+    /// Sets the horizon `T`.
+    #[must_use]
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds.max(1);
+        self
+    }
+
+    /// Sets the market-value noise model.
+    #[must_use]
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Uses a reserve equal to `fraction · v_t` instead of the sum of
+    /// features.
+    #[must_use]
+    pub fn reserve_fraction(mut self, fraction: f64) -> Self {
+        self.reserve_fraction = Some(fraction.max(0.0));
+        self.use_sum_of_features_reserve = false;
+        self
+    }
+
+    /// Disables the reserve price entirely.
+    #[must_use]
+    pub fn without_reserve(mut self) -> Self {
+        self.reserve_fraction = None;
+        self.use_sum_of_features_reserve = false;
+        self
+    }
+
+    /// Draws the ground-truth weights from the uniform distribution on
+    /// `[−1, 1]` instead of the Gaussian (both are used in Section V-A).
+    #[must_use]
+    pub fn uniform_weights(mut self, enable: bool) -> Self {
+        self.uniform_weights = enable;
+        self
+    }
+
+    /// Finalises the environment, sampling the ground-truth weight vector
+    /// with the paper's normalisation ‖θ*‖ = √(2n).
+    ///
+    /// The weights model per-feature revenue-to-cost ratios: positive values
+    /// spread around a common markup level.  Combined with the non-negative
+    /// unit-norm features and the sum-of-features reserve this guarantees the
+    /// paper's Section V-A property that the market value is at least the
+    /// reserve price with high probability (Table I reports value/reserve
+    /// ratios of ≈ 1.1–1.4 under the same construction).
+    #[must_use]
+    pub fn build<R: Rng + ?Sized>(self, rng: &mut R) -> SyntheticLinearEnvironment {
+        let dim = self.dim.max(1);
+        let raw = if self.uniform_weights {
+            // Uniform markup ratios in [0.75, 1.25] around the common level.
+            sampling::uniform_vector(rng, dim, 0.75, 1.25)
+        } else {
+            // Gaussian spread, truncated away from zero so every feature
+            // carries a strictly positive markup.
+            sampling::standard_normal_vector(rng, dim).map(|z| (1.0 + 0.2 * z).clamp(0.75, 1.25))
+        };
+        let target_norm = (2.0 * dim as f64).sqrt();
+        let norm = raw.norm().max(1e-12);
+        let theta_star = raw.scaled(target_norm / norm);
+        let reserve_policy = if self.use_sum_of_features_reserve {
+            ReservePolicy::SumOfFeatures
+        } else if let Some(frac) = self.reserve_fraction {
+            ReservePolicy::FractionOfValue(frac)
+        } else {
+            ReservePolicy::None
+        };
+        SyntheticModelEnvironment::new(
+            LinearModel::new(dim),
+            theta_star,
+            self.rounds,
+            reserve_policy,
+            self.noise,
+            FeatureDistribution::UnitNormNonNegative,
+        )
+        // The paper gives the broker the prior ‖θ*‖ ≤ 2√n.
+        .with_weight_norm_bound(2.0 * (dim as f64).sqrt())
+        .with_feature_norm_bound(1.0)
+    }
+}
+
+/// An environment that replays a pre-computed list of rounds.
+///
+/// The dataset-backed experiments (accommodation rental over Airbnb-style
+/// listings, impression pricing over Avazu-style click logs) first build
+/// every round's features, reserve, and ground-truth value offline, then
+/// replay them through the online mechanism; this type is that replay.
+#[derive(Debug, Clone)]
+pub struct ReplayEnvironment {
+    rounds: Vec<Round>,
+    cursor: usize,
+    weight_norm_bound: f64,
+    feature_norm_bound: f64,
+}
+
+impl ReplayEnvironment {
+    /// Creates a replay over the given rounds with the broker-visible bounds
+    /// `R` (on ‖θ*‖) and `S` (on ‖φ(x)‖).
+    ///
+    /// # Panics
+    /// Panics when the round list is empty or the rounds have inconsistent
+    /// feature dimensions.
+    #[must_use]
+    pub fn new(rounds: Vec<Round>, weight_norm_bound: f64, feature_norm_bound: f64) -> Self {
+        assert!(!rounds.is_empty(), "replay requires at least one round");
+        let dim = rounds[0].features.len();
+        assert!(
+            rounds.iter().all(|r| r.features.len() == dim),
+            "all replayed rounds must share a feature dimension"
+        );
+        Self {
+            rounds,
+            cursor: 0,
+            weight_norm_bound: weight_norm_bound.max(1e-9),
+            feature_norm_bound: feature_norm_bound.max(1e-9),
+        }
+    }
+
+    /// The replayed rounds.
+    #[must_use]
+    pub fn rounds(&self) -> &[Round] {
+        &self.rounds
+    }
+}
+
+impl Environment for ReplayEnvironment {
+    fn input_dim(&self) -> usize {
+        self.rounds[0].features.len()
+    }
+
+    fn horizon(&self) -> usize {
+        self.rounds.len()
+    }
+
+    fn weight_norm_bound(&self) -> f64 {
+        self.weight_norm_bound
+    }
+
+    fn feature_norm_bound(&self) -> f64 {
+        self.feature_norm_bound
+    }
+
+    fn next_round(&mut self, _rng: &mut dyn rand::RngCore) -> Option<Round> {
+        let round = self.rounds.get(self.cursor).cloned();
+        if round.is_some() {
+            self.cursor += 1;
+        }
+        round
+    }
+}
+
+/// The adversarial two-phase sequence of Lemma 8 / Fig. 6.
+///
+/// Phase 1 (rounds `1..T/2`): the feature vector is the first basis vector
+/// and the adversary sets the reserve price equal to the mechanism's current
+/// middle price, forcing it to keep cutting along that single direction if it
+/// is (incorrectly) willing to refine on conservative prices.
+/// Phase 2 (rounds `T/2+1..T`): the feature vector switches to the second
+/// basis vector, whose width has blown up for the misbehaving variant.
+#[derive(Debug, Clone)]
+pub struct AdversarialLemma8Environment {
+    horizon: usize,
+    theta_star: Vector,
+}
+
+impl AdversarialLemma8Environment {
+    /// Creates the adversary for a horizon of `horizon` rounds in dimension 2
+    /// with the given ground-truth weights.
+    ///
+    /// # Panics
+    /// Panics when the weights are not two-dimensional or the horizon is
+    /// smaller than 2.
+    #[must_use]
+    pub fn new(horizon: usize, theta_star: Vector) -> Self {
+        assert_eq!(theta_star.len(), 2, "the Lemma-8 adversary works in dimension 2");
+        assert!(horizon >= 2, "horizon must be at least 2");
+        Self {
+            horizon,
+            theta_star,
+        }
+    }
+
+    /// The feature vector the adversary plays in round `t` (1-based).
+    #[must_use]
+    pub fn features_for_round(&self, t: usize) -> Vector {
+        if t <= self.horizon / 2 {
+            Vector::basis(2, 0)
+        } else {
+            Vector::basis(2, 1)
+        }
+    }
+
+    /// Drives a mechanism through the full adversarial game, returning the
+    /// regret tracker (the caller inspects the cumulative regret).
+    ///
+    /// The adversary chooses each round's reserve price *after* inspecting
+    /// the mechanism's current support bounds, which is why this cannot be
+    /// expressed as a plain [`Environment`].
+    pub fn play<M: MarketValueModel, K: KnowledgeSet>(
+        &self,
+        mechanism: &mut ContextualPricing<M, K>,
+    ) -> RegretTracker {
+        let mut tracker = RegretTracker::new(false);
+        for t in 1..=self.horizon {
+            let features = self.features_for_round(t);
+            let value = features.dot(&self.theta_star).expect("dimension 2");
+            let reserve = if t <= self.horizon / 2 {
+                // Reserve = the current middle price along the first axis.
+                let (lo, hi) = mechanism.support_bounds(&features);
+                0.5 * (lo + hi)
+            } else {
+                0.0
+            };
+            let quote = mechanism.quote(&features, reserve);
+            let accepted = quote.posted_price <= value;
+            mechanism.observe(&features, &quote, accepted);
+            tracker.record(value, reserve, quote.posted_price);
+        }
+        tracker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{EllipsoidPricing, PricingConfig};
+    use crate::model::{LogLinearModel, LogisticModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_environment_matches_paper_normalisation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let env = SyntheticLinearEnvironment::builder(20).rounds(50).build(&mut rng);
+        let n = 20.0_f64;
+        assert!((env.theta_star().norm() - (2.0 * n).sqrt()).abs() < 1e-9);
+        assert_eq!(env.input_dim(), 20);
+        assert_eq!(env.horizon(), 50);
+        assert!((env.weight_norm_bound() - 2.0 * n.sqrt()).abs() < 1e-9);
+        assert!((env.feature_norm_bound() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_environment_rounds_have_unit_norm_features_and_sum_reserve() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut env = SyntheticLinearEnvironment::builder(10).rounds(20).build(&mut rng);
+        let mut count = 0;
+        while let Some(round) = env.next_round(&mut rng) {
+            count += 1;
+            assert!((round.features.norm() - 1.0).abs() < 1e-9);
+            assert!((round.reserve_price - round.features.sum()).abs() < 1e-9);
+            assert!(round.market_value.is_finite());
+        }
+        assert_eq!(count, 20);
+        assert!(env.next_round(&mut rng).is_none(), "horizon must be enforced");
+    }
+
+    #[test]
+    fn reserve_policies_produce_expected_floors() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let theta = Vector::from_slice(&[1.0, 1.0]);
+        // Fraction-of-value reserve under the linear model.
+        let mut env = SyntheticModelEnvironment::new(
+            LinearModel::new(2),
+            theta.clone(),
+            5,
+            ReservePolicy::FractionOfValue(0.5),
+            NoiseModel::None,
+            FeatureDistribution::UnitNormGaussian,
+        );
+        while let Some(round) = env.next_round(&mut rng) {
+            // Without noise, v = x·θ and q = v/2 exactly.
+            assert!((round.reserve_price - 0.5 * round.market_value).abs() < 1e-9);
+        }
+        // Fraction-of-link-value reserve under the log-linear model:
+        // ln q = 0.6 · ln v.
+        let mut env = SyntheticModelEnvironment::new(
+            LogLinearModel::new(2),
+            theta,
+            5,
+            ReservePolicy::FractionOfLinkValue(0.6),
+            NoiseModel::None,
+            FeatureDistribution::RawUniform { lo: 0.1, hi: 1.0 },
+        );
+        while let Some(round) = env.next_round(&mut rng) {
+            let ratio = round.reserve_price.ln() / round.market_value.ln();
+            assert!((ratio - 0.6).abs() < 1e-6, "log-ratio was {ratio}");
+        }
+    }
+
+    #[test]
+    fn none_reserve_policy_gives_zero_reserve() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut env = SyntheticModelEnvironment::new(
+            LogisticModel::new(3),
+            Vector::from_slice(&[1.0, -1.0, 0.5]),
+            3,
+            ReservePolicy::None,
+            NoiseModel::None,
+            FeatureDistribution::UnitNormGaussian,
+        );
+        while let Some(round) = env.next_round(&mut rng) {
+            assert_eq!(round.reserve_price, 0.0);
+            assert!((0.0..=1.0).contains(&round.market_value));
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_market_values() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let theta = Vector::from_slice(&[1.0, 1.0]);
+        let make = |noise| {
+            SyntheticModelEnvironment::new(
+                LinearModel::new(2),
+                theta.clone(),
+                1,
+                ReservePolicy::None,
+                noise,
+                FeatureDistribution::UnitNormGaussian,
+            )
+        };
+        // Same RNG stream ⇒ same features; the noisy value must differ from
+        // the noiseless one.
+        let mut quiet = make(NoiseModel::None);
+        let mut noisy = make(NoiseModel::Gaussian { std_dev: 0.5 });
+        let mut rng2 = StdRng::seed_from_u64(15);
+        let a = quiet.next_round(&mut rng).unwrap();
+        let b = noisy.next_round(&mut rng2).unwrap();
+        assert_eq!(a.features, b.features);
+        assert!((a.market_value - b.market_value).abs() > 1e-12);
+    }
+
+    #[test]
+    fn uniform_weight_option_changes_theta() {
+        let mut rng_a = StdRng::seed_from_u64(16);
+        let mut rng_b = StdRng::seed_from_u64(16);
+        let gaussian = SyntheticLinearEnvironment::builder(5).build(&mut rng_a);
+        let uniform = SyntheticLinearEnvironment::builder(5)
+            .uniform_weights(true)
+            .build(&mut rng_b);
+        assert_ne!(gaussian.theta_star(), uniform.theta_star());
+        // Both are normalised to the same length.
+        assert!((gaussian.theta_star().norm() - uniform.theta_star().norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_environment_replays_in_order_and_stops() {
+        let rounds = vec![
+            Round {
+                features: Vector::from_slice(&[1.0, 0.0]),
+                reserve_price: 0.5,
+                market_value: 1.0,
+            },
+            Round {
+                features: Vector::from_slice(&[0.0, 1.0]),
+                reserve_price: 0.7,
+                market_value: 2.0,
+            },
+        ];
+        let mut env = ReplayEnvironment::new(rounds.clone(), 2.0, 1.0);
+        assert_eq!(env.horizon(), 2);
+        assert_eq!(env.input_dim(), 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(env.next_round(&mut rng), Some(rounds[0].clone()));
+        assert_eq!(env.next_round(&mut rng), Some(rounds[1].clone()));
+        assert_eq!(env.next_round(&mut rng), None);
+        assert_eq!(env.rounds().len(), 2);
+    }
+
+    #[test]
+    fn lemma8_adversary_switches_direction_at_half_time() {
+        let adv = AdversarialLemma8Environment::new(10, Vector::from_slice(&[0.5, 0.5]));
+        assert_eq!(adv.features_for_round(1).as_slice(), &[1.0, 0.0]);
+        assert_eq!(adv.features_for_round(5).as_slice(), &[1.0, 0.0]);
+        assert_eq!(adv.features_for_round(6).as_slice(), &[0.0, 1.0]);
+        assert_eq!(adv.features_for_round(10).as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn lemma8_misbehaving_variant_accumulates_more_regret() {
+        let theta = Vector::from_slice(&[0.5, 0.5]);
+        let adv = AdversarialLemma8Environment::new(400, theta);
+        let base_config = PricingConfig::new(1.0, 400).with_reserve(true);
+
+        let mut correct = EllipsoidPricing::new(LinearModel::new(2), base_config);
+        let correct_regret = adv.play(&mut correct).cumulative_regret();
+
+        let mut misbehaving = EllipsoidPricing::new(
+            LinearModel::new(2),
+            base_config.with_conservative_cuts(true),
+        );
+        let misbehaving_regret = adv.play(&mut misbehaving).cumulative_regret();
+
+        assert!(
+            misbehaving_regret > correct_regret,
+            "cutting on conservative prices must hurt under the Lemma-8 adversary \
+             ({misbehaving_regret} vs {correct_regret})"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Market value models (Section II-B and IV-A of the paper).
+//!
+//! The market value of the product in round `t` is assumed to be
+//!
+//! ```text
+//! v_t = g( φ(x_t)^T θ* ) ⊕ uncertainty
+//! ```
+//!
+//! where `φ : Rⁿ → Rᵐ` is a public feature map, `g : R → R` is a public
+//! non-decreasing continuous *link* function, and only the weight vector `θ*`
+//! is unknown to the data broker.  The posted-price mechanism operates
+//! entirely in the *link space* (the scalar `z = φ(x)^T θ`), converting
+//! link-space prices to market prices with `g` and market-space reserve
+//! prices back with `g⁻¹`.
+//!
+//! | model       | φ               | g                     | typical use in the paper |
+//! |-------------|-----------------|-----------------------|--------------------------|
+//! | linear      | identity        | identity              | noisy linear queries     |
+//! | log-linear  | identity        | exp                   | accommodation rental     |
+//! | log-log     | elementwise ln  | exp                   | hedonic pricing          |
+//! | logistic    | identity        | sigmoid               | impressions / CTR        |
+//! | kernelized  | kernel features | identity              | impressions (non-linear) |
+
+mod kernel;
+mod linear;
+mod log_linear;
+mod log_log;
+mod logistic;
+
+pub use kernel::{KernelizedModel, MercerKernel};
+pub use linear::LinearModel;
+pub use log_linear::LogLinearModel;
+pub use log_log::LogLogModel;
+pub use logistic::LogisticModel;
+
+use pdm_linalg::Vector;
+
+/// A market value model `v = g(φ(x)^T θ*)`.
+///
+/// Implementations must guarantee that [`MarketValueModel::link`] is
+/// non-decreasing and continuous and that
+/// [`MarketValueModel::inverse_link`] is its (generalised) inverse, because
+/// the mechanism relies on `g(a) ≤ g(b) ⇔ a ≤ b` to translate accept/reject
+/// feedback between the market space and the link space.
+pub trait MarketValueModel: Send + Sync {
+    /// Short human-readable name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Dimension of the raw feature vectors `x`.
+    fn input_dim(&self) -> usize;
+
+    /// Dimension of the mapped feature vectors `φ(x)` (equals the dimension
+    /// of the weight vector the mechanism must learn).
+    fn mapped_dim(&self) -> usize;
+
+    /// The feature map `φ`.
+    fn map_features(&self, features: &Vector) -> Vector;
+
+    /// The link function `g` (non-decreasing, continuous).
+    fn link(&self, z: f64) -> f64;
+
+    /// The inverse of the link, used to pull market-space reserve prices into
+    /// the link space.  Values outside the range of `g` are clamped to the
+    /// nearest attainable point.
+    fn inverse_link(&self, value: f64) -> f64;
+
+    /// Evaluates the deterministic part of the market value,
+    /// `g(φ(x)^T θ)`.
+    ///
+    /// # Panics
+    /// Panics when `theta` does not match [`MarketValueModel::mapped_dim`].
+    fn value(&self, features: &Vector, theta: &Vector) -> f64 {
+        self.link(self.link_value(features, theta))
+    }
+
+    /// Evaluates the link-space value `φ(x)^T θ`.
+    ///
+    /// # Panics
+    /// Panics when `theta` does not match [`MarketValueModel::mapped_dim`].
+    fn link_value(&self, features: &Vector, theta: &Vector) -> f64 {
+        let mapped = self.map_features(features);
+        mapped
+            .dot(theta)
+            .expect("theta length must equal the model's mapped dimension")
+    }
+
+    /// A Lipschitz constant of `g` on the range of link values the
+    /// application produces; used by the regret bound of Theorem 2 and by the
+    /// default exploration threshold heuristic.
+    fn lipschitz_constant(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every bundled model must satisfy g(g⁻¹(v)) ≈ v on its value range and
+    /// be non-decreasing.
+    #[test]
+    fn link_inverse_roundtrip_and_monotonicity() {
+        let models: Vec<Box<dyn MarketValueModel>> = vec![
+            Box::new(LinearModel::new(3)),
+            Box::new(LogLinearModel::new(3)),
+            Box::new(LogLogModel::new(3)),
+            Box::new(LogisticModel::new(3)),
+        ];
+        for model in &models {
+            let zs = [-3.0, -1.0, -0.1, 0.0, 0.4, 1.5, 3.0];
+            let mut prev = f64::NEG_INFINITY;
+            for &z in &zs {
+                let v = model.link(z);
+                assert!(v >= prev, "{} link must be non-decreasing", model.name());
+                prev = v;
+                let z_back = model.inverse_link(v);
+                assert!(
+                    (model.link(z_back) - v).abs() < 1e-9,
+                    "{}: g(g⁻¹(v)) != v",
+                    model.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn value_composes_map_link_and_dot() {
+        let model = LogLinearModel::new(2);
+        let x = Vector::from_slice(&[0.5, 1.5]);
+        let theta = Vector::from_slice(&[1.0, 2.0]);
+        let expected = (0.5 + 3.0_f64).exp();
+        assert!((model.value(&x, &theta) - expected).abs() < 1e-12);
+        assert!((model.link_value(&x, &theta) - 3.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Impression pricing (the paper's online-advertising extension): learn a CTR
+//! model with FTRL-Proximal over hashed features, then post prices for
+//! impressions whose market value is their CTR.
+//!
+//! ```text
+//! cargo run --release --example impression_pricing
+//! ```
+
+use personal_data_pricing::datasets::AvazuGenerator;
+use personal_data_pricing::learners::{FtrlProximal, HashingEncoder};
+use personal_data_pricing::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dim = 128;
+    let (impressions, _truth) = AvazuGenerator::new(30_000, 22, -1.8).generate(9);
+
+    // 1. Train the CTR model on the first 80 % of the log.
+    let encoder = HashingEncoder::new(dim, 42);
+    let mut ctr_model = FtrlProximal::new(dim, 0.1, 1.0, 1.0, 1.0);
+    let cut = impressions.len() * 4 / 5;
+    for impression in &impressions[..cut] {
+        let mut tokens = impression.tokens();
+        tokens.push("bias".to_owned());
+        ctr_model.update(&encoder.encode(&tokens), impression.clicked);
+    }
+    let theta = ctr_model.weights();
+    println!(
+        "FTRL-Proximal learnt {} significant weights out of {dim} hashed features",
+        ctr_model.num_significant_weights(0.05)
+    );
+
+    // 2. Price the remaining impressions: market value = predicted CTR.
+    let rounds: Vec<Round> = impressions[cut..]
+        .iter()
+        .map(|impression| {
+            let mut tokens = impression.tokens();
+            tokens.push("bias".to_owned());
+            let features = encoder.encode(&tokens);
+            let link = features.dot(&theta).expect("dimensions match");
+            Round {
+                features,
+                reserve_price: 0.0,
+                market_value: 1.0 / (1.0 + (-link).exp()),
+            }
+        })
+        .collect();
+    let feature_bound = rounds.iter().map(|r| r.features.norm()).fold(1.0, f64::max);
+    let env = ReplayEnvironment::new(rounds, 2.0 * theta.norm().max(1.0), feature_bound);
+
+    let horizon = env.horizon();
+    let config = PricingConfig::for_environment(&env, horizon).with_reserve(false);
+    let mechanism = EllipsoidPricing::new(LogisticModel::new(dim), config);
+    let mut rng = StdRng::seed_from_u64(2);
+    let outcome = Simulation::new(env, mechanism).run(&mut rng);
+
+    println!(
+        "priced {} impressions: regret ratio {:.2}%, mean posted CTR-price {:.4}",
+        outcome.report.rounds,
+        outcome.regret_ratio() * 100.0,
+        outcome.report.posted_price_stats.mean()
+    );
+}

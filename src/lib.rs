@@ -1,0 +1,53 @@
+//! # personal-data-pricing
+//!
+//! Umbrella crate for the reproduction of Niu et al., *Online Pricing with
+//! Reserve Price Constraint for Personal Data Markets* (ICDE 2020).
+//!
+//! It re-exports the workspace crates under one roof so applications can
+//! depend on a single crate:
+//!
+//! * [`pricing`] — the contextual dynamic pricing mechanism (Algorithms 1/2),
+//!   market value models, regret accounting, and the simulation loop.
+//! * [`market`] — the personal-data-market substrate (owners, queries,
+//!   privacy leakage, tanh compensations, broker, consumers).
+//! * [`ellipsoid`] — the knowledge-set machinery (Löwner–John ellipsoid,
+//!   exact polytope, interval).
+//! * [`datasets`] — seeded synthetic stand-ins for MovieLens, Airbnb, Avazu,
+//!   and a loan-application scenario.
+//! * [`learners`] — OLS, FTRL-Proximal, encoders, PCA.
+//! * [`linalg`] — the dense linear-algebra substrate everything is built on.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the `pdm-bench`
+//! crate for the binaries that regenerate every table and figure of the
+//! paper's evaluation.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pdm_datasets as datasets;
+pub use pdm_ellipsoid as ellipsoid;
+pub use pdm_learners as learners;
+pub use pdm_linalg as linalg;
+pub use pdm_market as market;
+pub use pdm_pricing as pricing;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use pdm_market::{
+        CompensationContract, ConsumerPool, DataBroker, DataOwner, Market, MarketEnvironment,
+        QueryGenerator,
+    };
+    pub use pdm_pricing::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_core_types() {
+        use crate::prelude::*;
+        // A compile-time smoke test: the core types are nameable from the
+        // umbrella prelude.
+        let _config = PricingConfig::new(1.0, 10);
+        let _baseline = ReservePriceBaseline::new();
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) on the core invariants of the knowledge
+//! sets, the regret function, and the posted-price mechanism.
+
+use pdm_ellipsoid::{CutOutcome, Ellipsoid, Interval, KnowledgeSet, Polytope};
+use pdm_linalg::Vector;
+use personal_data_pricing::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a feature direction with entries in [-1, 1], not all ~zero.
+fn direction(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0f64..1.0, dim)
+        .prop_filter("direction must be non-degenerate", |v| {
+            v.iter().map(|x| x * x).sum::<f64>().sqrt() > 0.1
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. (1): regret is never negative when the value is non-negative, is
+    /// zero whenever the reserve exceeds the value, and never exceeds the
+    /// value.
+    #[test]
+    fn regret_bounds(
+        posted in 0.0f64..10.0,
+        value in 0.0f64..10.0,
+        reserve in 0.0f64..10.0,
+    ) {
+        let r = single_round_regret(posted, value, reserve);
+        prop_assert!(r >= 0.0);
+        prop_assert!(r <= value + 1e-12);
+        if reserve > value {
+            prop_assert_eq!(r, 0.0);
+        }
+    }
+
+    /// The reserve constraint can never increase the single-round regret
+    /// (Lemma 1), for any knowledge state summarised by the pure price.
+    #[test]
+    fn lemma1_reserve_never_hurts_single_round(
+        pure_price in 0.0f64..10.0,
+        value in 0.0f64..10.0,
+        reserve in 0.0f64..10.0,
+    ) {
+        let constrained = pure_price.max(reserve);
+        let with_reserve = single_round_regret(constrained, value, reserve);
+        let without = single_round_regret(pure_price, value, 0.0);
+        prop_assert!(with_reserve <= without + 1e-12);
+    }
+
+    /// Support bounds of the ellipsoid always enclose the value of any member
+    /// point, and cuts consistent with a member never expel it.
+    #[test]
+    fn ellipsoid_member_stays_inside_under_consistent_cuts(
+        dirs in prop::collection::vec(direction(3), 1..8),
+        theta in prop::collection::vec(-0.5f64..0.5, 3),
+    ) {
+        let theta = Vector::from_vec(theta);
+        let mut ellipsoid = Ellipsoid::ball(3, 1.0);
+        prop_assume!(ellipsoid.contains(&theta));
+        for d in dirs {
+            let x = Vector::from_vec(d);
+            let (lo, hi) = ellipsoid.support_bounds(&x);
+            let truth = x.dot(&theta).unwrap();
+            prop_assert!(lo <= truth + 1e-7 && truth <= hi + 1e-7);
+            // Post the midpoint and give truthful feedback.
+            let mid = 0.5 * (lo + hi);
+            if mid <= truth {
+                ellipsoid.cut_above(&x, mid);
+            } else {
+                ellipsoid.cut_below(&x, mid);
+            }
+            prop_assert!(ellipsoid.contains(&theta));
+        }
+    }
+
+    /// The interval knowledge set shrinks monotonically and bisection always
+    /// keeps the true scalar weight.
+    #[test]
+    fn interval_bisection_never_loses_the_target(
+        target in -1.9f64..1.9,
+        steps in 1usize..40,
+    ) {
+        let mut interval = Interval::new(-2.0, 2.0);
+        let x = Vector::from_slice(&[1.0]);
+        let mut last_width = interval.width();
+        for _ in 0..steps {
+            let mid = interval.midpoint();
+            let outcome = if mid <= target {
+                interval.cut_above(&x, mid)
+            } else {
+                interval.cut_below(&x, mid)
+            };
+            let emptied = matches!(outcome, CutOutcome::WouldBeEmpty { .. });
+            prop_assert!(!emptied);
+            prop_assert!(interval.contains(&Vector::from_slice(&[target])));
+            prop_assert!(interval.width() <= last_width + 1e-12);
+            last_width = interval.width();
+        }
+    }
+
+    /// The ellipsoid relaxation always encloses the exact polytope: its
+    /// support interval contains the polytope's after identical cuts.
+    #[test]
+    fn ellipsoid_bounds_enclose_polytope_bounds(
+        dirs in prop::collection::vec(direction(2), 1..5),
+        thresholds in prop::collection::vec(-0.8f64..0.8, 5),
+    ) {
+        let mut ellipsoid = Ellipsoid::enclosing_box(&[-1.0, -1.0], &[1.0, 1.0]);
+        let mut polytope = Polytope::from_box(&[-1.0, -1.0], &[1.0, 1.0]).unwrap();
+        for (i, d) in dirs.iter().enumerate() {
+            let x = Vector::from_slice(d);
+            let h = thresholds[i % thresholds.len()];
+            // Apply the same halfspace to both representations (when valid).
+            let poly_outcome = polytope.cut_below(&x, h);
+            if poly_outcome.is_updated() {
+                ellipsoid.cut_below(&x, h);
+            }
+            let (plo, phi) = polytope.support_bounds(&x);
+            let (elo, ehi) = ellipsoid.support_bounds(&x);
+            prop_assert!(elo <= plo + 1e-6, "ellipsoid lower bound {elo} above exact {plo}");
+            prop_assert!(ehi >= phi - 1e-6, "ellipsoid upper bound {ehi} below exact {phi}");
+        }
+    }
+
+    /// The mechanism's quotes always honour the reserve price (when enabled)
+    /// and always lie within the knowledge-set bounds pushed through the
+    /// link function.
+    #[test]
+    fn quotes_honour_reserve_and_bounds(
+        features in direction(4),
+        reserve in 0.0f64..1.5,
+    ) {
+        let config = PricingConfig::new(2.0, 1_000).with_reserve(true);
+        let mut mechanism = EllipsoidPricing::new(LinearModel::new(4), config);
+        let x = Vector::from_vec(features);
+        let quote = mechanism.quote(&x, reserve);
+        prop_assert!(quote.posted_price >= reserve - 1e-9);
+        match quote.kind {
+            QuoteKind::Exploratory | QuoteKind::Conservative => {
+                prop_assert!(quote.link_price <= quote.upper_bound + 1e-9);
+            }
+            QuoteKind::CertainNoSale => {
+                prop_assert!(quote.reserve_link >= quote.upper_bound - 1e-9);
+            }
+            QuoteKind::Baseline => unreachable!("contextual mechanism never emits Baseline"),
+        }
+    }
+}
