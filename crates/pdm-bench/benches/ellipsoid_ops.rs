@@ -10,7 +10,9 @@ use rand::SeedableRng;
 
 fn directions(dim: usize, count: usize) -> Vec<Vector> {
     let mut rng = StdRng::seed_from_u64(11);
-    (0..count).map(|_| sampling::unit_sphere(&mut rng, dim)).collect()
+    (0..count)
+        .map(|_| sampling::unit_sphere(&mut rng, dim))
+        .collect()
 }
 
 fn bench_support_bounds(c: &mut Criterion) {

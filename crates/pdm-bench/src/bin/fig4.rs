@@ -12,7 +12,10 @@ use pdm_bench::{table, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    println!("Fig. 4 — cumulative regret, noisy linear query ({})", scale.label());
+    println!(
+        "Fig. 4 — cumulative regret, noisy linear query ({})",
+        scale.label()
+    );
     println!();
 
     let dims: Vec<usize> = scale.pick(vec![1, 20, 40], vec![1, 20, 40, 60, 80, 100]);
@@ -54,13 +57,7 @@ fn main() {
 }
 
 fn checkpoint_list(rounds: usize) -> Vec<usize> {
-    let candidates = [
-        rounds / 100,
-        rounds / 10,
-        rounds / 4,
-        rounds / 2,
-        rounds,
-    ];
+    let candidates = [rounds / 100, rounds / 10, rounds / 4, rounds / 2, rounds];
     let mut list: Vec<usize> = candidates.iter().copied().filter(|&c| c >= 1).collect();
     list.dedup();
     list

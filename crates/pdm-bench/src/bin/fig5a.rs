@@ -26,13 +26,7 @@ fn main() {
     );
     println!();
 
-    let checkpoints = [
-        10,
-        100,
-        1_000,
-        config.rounds / 10,
-        config.rounds,
-    ];
+    let checkpoints = [10, 100, 1_000, config.rounds / 10, config.rounds];
     let mut rows = Vec::new();
     for version in Version::ALL {
         let outcome = run_version(&config, version);

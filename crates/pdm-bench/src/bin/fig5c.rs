@@ -11,7 +11,10 @@ use pdm_bench::{table, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    println!("Fig. 5(c) — regret ratios, impression pricing (logistic model) ({})", scale.label());
+    println!(
+        "Fig. 5(c) — regret ratios, impression pricing (logistic model) ({})",
+        scale.label()
+    );
     println!();
 
     let dims: Vec<usize> = scale.pick(vec![128], vec![128, 1024]);
@@ -34,10 +37,14 @@ fn main() {
         let mut rows = Vec::new();
         for case in [FeatureCase::Sparse, FeatureCase::Dense] {
             let outcome = pipeline.run_mechanism(&stream, case, 1);
-            let mut row = vec![format!("{} (d = {})", case.label(), match case {
-                FeatureCase::Sparse => dim,
-                FeatureCase::Dense => pipeline.num_active_weights(),
-            })];
+            let mut row = vec![format!(
+                "{} (d = {})",
+                case.label(),
+                match case {
+                    FeatureCase::Sparse => dim,
+                    FeatureCase::Dense => pipeline.num_active_weights(),
+                }
+            )];
             for &cp in &checkpoints {
                 let ratio = outcome.trace_at(cp).map_or(f64::NAN, |s| s.regret_ratio);
                 row.push(table::pct(ratio));

@@ -14,10 +14,16 @@ use pdm_pricing::prelude::*;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("Lemma 8 ablation — conservative-price cuts under the adversarial sequence ({})", scale.label());
+    println!(
+        "Lemma 8 ablation — conservative-price cuts under the adversarial sequence ({})",
+        scale.label()
+    );
     println!();
 
-    let horizons: Vec<usize> = scale.pick(vec![200, 400, 800, 1_600], vec![500, 1_000, 2_000, 4_000, 8_000, 16_000]);
+    let horizons: Vec<usize> = scale.pick(
+        vec![200, 400, 800, 1_600],
+        vec![500, 1_000, 2_000, 4_000, 8_000, 16_000],
+    );
     let theta_star = Vector::from_slice(&[0.5, 0.5]);
 
     let mut rows = Vec::new();
@@ -42,7 +48,12 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["T", "correct mechanism", "cuts on conservative", "blow-up factor"],
+            &[
+                "T",
+                "correct mechanism",
+                "cuts on conservative",
+                "blow-up factor"
+            ],
             &rows
         )
     );

@@ -17,7 +17,10 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("Section V-D — per-round latency and memory ({})", scale.label());
+    println!(
+        "Section V-D — per-round latency and memory ({})",
+        scale.label()
+    );
     println!();
 
     let mut rows = Vec::new();
@@ -40,7 +43,10 @@ fn main() {
     let pipeline = airbnb_pipeline::default_pipeline(scale.pick(4_000, 20_000), 42);
     let outcome = pipeline.run_mechanism(Some(0.6), 1);
     rows.push(overhead_row(
-        &format!("accommodation rental (log-linear, n = {})", pipeline.feature_dim),
+        &format!(
+            "accommodation rental (log-linear, n = {})",
+            pipeline.feature_dim
+        ),
         &outcome,
     ));
 
@@ -60,7 +66,10 @@ fn main() {
             FeatureCase::Dense => avazu.num_active_weights(),
         };
         rows.push(overhead_row(
-            &format!("impression (logistic, {} case, n = {effective_dim})", case.label()),
+            &format!(
+                "impression (logistic, {} case, n = {effective_dim})",
+                case.label()
+            ),
             &outcome,
         ));
     }
@@ -84,11 +93,16 @@ fn main() {
     let dim = 10;
     let rounds = scale.pick(150, 400);
     let mut rng = StdRng::seed_from_u64(3);
-    let env = SyntheticLinearEnvironment::builder(dim).rounds(rounds).build(&mut rng);
+    let env = SyntheticLinearEnvironment::builder(dim)
+        .rounds(rounds)
+        .build(&mut rng);
     let cfg = PricingConfig::for_environment(&env, rounds);
     let mut rng_run = StdRng::seed_from_u64(4);
-    let ell = Simulation::new(env.clone(), EllipsoidPricing::new(LinearModel::new(dim), cfg))
-        .run(&mut rng_run);
+    let ell = Simulation::new(
+        env.clone(),
+        EllipsoidPricing::new(LinearModel::new(dim), cfg),
+    )
+    .run(&mut rng_run);
     let mut rng_run = StdRng::seed_from_u64(4);
     let poly = Simulation::new(env, ExactPolytopePricing::exact(LinearModel::new(dim), cfg))
         .run(&mut rng_run);
@@ -106,7 +120,10 @@ fn main() {
     ];
     println!(
         "{}",
-        table::render(&["knowledge set", "mean latency/round", "regret ratio"], &rows)
+        table::render(
+            &["knowledge set", "mean latency/round", "regret ratio"],
+            &rows
+        )
     );
     println!(
         "The polytope's per-round cost grows with the number of accumulated constraints, while \

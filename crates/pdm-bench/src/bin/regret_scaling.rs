@@ -20,7 +20,10 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("Regret scaling (Theorems 1 and 3) and ε ablation ({})", scale.label());
+    println!(
+        "Regret scaling (Theorems 1 and 3) and ε ablation ({})",
+        scale.label()
+    );
     println!();
 
     one_dimensional_scaling(scale);
@@ -31,11 +34,16 @@ fn main() {
 /// Theorem 3: O(log T) regret in the one-dimensional case.
 fn one_dimensional_scaling(scale: Scale) {
     println!("-- one-dimensional case: cumulative regret vs T (expect ~constant increments per doubling) --");
-    let horizons: Vec<usize> = scale.pick(vec![250, 500, 1_000, 2_000], vec![1_000, 2_000, 4_000, 8_000, 16_000]);
+    let horizons: Vec<usize> = scale.pick(
+        vec![250, 500, 1_000, 2_000],
+        vec![1_000, 2_000, 4_000, 8_000, 16_000],
+    );
     let mut rows = Vec::new();
     for &t in &horizons {
         let mut rng = StdRng::seed_from_u64(7);
-        let env = SyntheticLinearEnvironment::builder(1).rounds(t).build(&mut rng);
+        let env = SyntheticLinearEnvironment::builder(1)
+            .rounds(t)
+            .build(&mut rng);
         let config = PricingConfig::for_environment(&env, t).with_reserve(false);
         let mechanism = OneDimPricing::one_dimensional(config);
         let mut run_rng = StdRng::seed_from_u64(8);
@@ -46,7 +54,10 @@ fn one_dimensional_scaling(scale: Scale) {
             table::pct(outcome.regret_ratio()),
         ]);
     }
-    println!("{}", table::render(&["T", "cumulative regret", "regret ratio"], &rows));
+    println!(
+        "{}",
+        table::render(&["T", "cumulative regret", "regret ratio"], &rows)
+    );
 }
 
 /// Theorem 1: regret growth with the feature dimension at a fixed horizon.
@@ -70,7 +81,10 @@ fn dimension_scaling(scale: Scale) {
             table::pct(outcome.regret_ratio()),
         ]);
     }
-    println!("{}", table::render(&["n", "cumulative regret", "regret ratio"], &rows));
+    println!(
+        "{}",
+        table::render(&["n", "cumulative regret", "regret ratio"], &rows)
+    );
 }
 
 /// Design-choice ablation: the exploration threshold ε.
@@ -84,7 +98,9 @@ fn epsilon_ablation(scale: Scale) {
     for &m in &multipliers {
         let epsilon = paper_epsilon * m;
         let mut rng = StdRng::seed_from_u64(13);
-        let env = SyntheticLinearEnvironment::builder(dim).rounds(rounds).build(&mut rng);
+        let env = SyntheticLinearEnvironment::builder(dim)
+            .rounds(rounds)
+            .build(&mut rng);
         let config = PricingConfig::for_environment(&env, rounds)
             .with_reserve(true)
             .with_epsilon(epsilon);
@@ -100,7 +116,10 @@ fn epsilon_ablation(scale: Scale) {
     }
     println!(
         "{}",
-        table::render(&["ε multiplier", "ε", "cumulative regret", "regret ratio"], &rows)
+        table::render(
+            &["ε multiplier", "ε", "cumulative regret", "regret ratio"],
+            &rows
+        )
     );
     println!(
         "Expected shape: very small ε over-explores, very large ε stops learning too early; the \

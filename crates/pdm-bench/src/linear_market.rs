@@ -3,10 +3,10 @@
 //! linear model by the four mechanism versions and the risk-averse baseline.
 
 use pdm_datasets::MovieLensGenerator;
+use pdm_market::query::QueryWeightDistribution;
 use pdm_market::{
     CompensationContract, ConsumerPool, DataBroker, DataOwner, MarketEnvironment, QueryGenerator,
 };
-use pdm_market::query::QueryWeightDistribution;
 use pdm_pricing::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,14 +55,13 @@ pub fn build_environment(config: &LinearMarketConfig, noisy: bool) -> MarketEnvi
         .enumerate()
         .map(|(i, records)| DataOwner::new(i as u64, records, 5.0))
         .collect();
-    let contracts =
-        CompensationContract::sample_population(&mut rng, owners.len(), 1.0, 1.0);
+    let contracts = CompensationContract::sample_population(&mut rng, owners.len(), 1.0, 1.0);
     let broker = DataBroker::new(owners, contracts, config.dim);
     let generator = QueryGenerator::new(config.num_owners, QueryWeightDistribution::Gaussian);
     let noise = if noisy {
         // σ chosen so that the paper's buffer formula reproduces δ.
-        let sigma = UncertaintyBudget::from_delta(config.delta)
-            .implied_gaussian_sigma(config.rounds);
+        let sigma =
+            UncertaintyBudget::from_delta(config.delta).implied_gaussian_sigma(config.rounds);
         NoiseModel::Gaussian { std_dev: sigma }
     } else {
         NoiseModel::None
@@ -107,7 +106,10 @@ impl Version {
     /// Whether this version honours the reserve price.
     #[must_use]
     pub fn uses_reserve(self) -> bool {
-        matches!(self, Version::WithReserve | Version::WithReserveAndUncertainty)
+        matches!(
+            self,
+            Version::WithReserve | Version::WithReserveAndUncertainty
+        )
     }
 
     /// Whether this version uses the δ buffer (and noisy market values).
@@ -125,8 +127,8 @@ impl Version {
 #[must_use]
 pub fn run_version(config: &LinearMarketConfig, version: Version) -> SimulationOutcome {
     let env = build_environment(config, version.uses_uncertainty());
-    let mut pricing_config = PricingConfig::for_environment(&env, config.rounds)
-        .with_reserve(version.uses_reserve());
+    let mut pricing_config =
+        PricingConfig::for_environment(&env, config.rounds).with_reserve(version.uses_reserve());
     if version.uses_uncertainty() {
         pricing_config = pricing_config.with_uncertainty(config.delta);
     }

@@ -14,14 +14,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// The six cities covered by the original dataset.
-pub const CITIES: [&str; 6] = [
-    "NYC",
-    "LA",
-    "SF",
-    "DC",
-    "Chicago",
-    "Boston",
-];
+pub const CITIES: [&str; 6] = ["NYC", "LA", "SF", "DC", "Chicago", "Boston"];
 
 /// Property type of a listing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -180,17 +173,14 @@ impl AirbnbGenerator {
         let amenity_jitter = rng.gen_range(0..=4i64) - 2;
         listing.amenities_count =
             (i64::from(listing.amenities_count) + amenity_jitter).clamp(3, 40) as u32;
-        listing.log_price = self.ground_truth_log_price(&listing)
-            + sampling::normal(rng, 0.0, self.noise_std);
+        listing.log_price =
+            self.ground_truth_log_price(&listing) + sampling::normal(rng, 0.0, self.noise_std);
         listing
     }
 
     /// The planted hedonic value of a listing (without residual noise).
     fn ground_truth_log_price(&self, listing: &AirbnbListing) -> f64 {
-        let city_idx = CITIES
-            .iter()
-            .position(|c| *c == listing.city)
-            .unwrap_or(0);
+        let city_idx = CITIES.iter().position(|c| *c == listing.city).unwrap_or(0);
         let city_premium = [0.55, 0.45, 0.65, 0.35, 0.20, 0.30][city_idx];
         let property_premium = match listing.property_type {
             PropertyType::Apartment => 0.05,
@@ -243,9 +233,9 @@ impl AirbnbGenerator {
             _ => CancellationPolicy::Strict,
         };
         let bedrooms = rng.gen_range(0..=4u32);
-        let accommodates = (1 + bedrooms * 2 + rng.gen_range(0..=2)) as u32;
+        let accommodates = 1 + bedrooms * 2 + rng.gen_range(0..=2u32);
         let bathrooms = 1.0 + 0.5 * f64::from(rng.gen_range(0..=3u32));
-        let beds = bedrooms.max(1) + rng.gen_range(0..=1);
+        let beds = bedrooms.max(1) + rng.gen_range(0..=1u32);
         let amenities_count = rng.gen_range(3..=40u32);
         let review_score = if rng.gen::<f64>() < 0.1 {
             0.0
@@ -310,7 +300,10 @@ mod tests {
         let listings = small();
         let mean_log = listings.iter().map(|l| l.log_price).sum::<f64>() / listings.len() as f64;
         // e^{4.5..5.7} ≈ 90..300 dollars per night.
-        assert!((4.3..=6.0).contains(&mean_log), "mean log price was {mean_log}");
+        assert!(
+            (4.3..=6.0).contains(&mean_log),
+            "mean log price was {mean_log}"
+        );
     }
 
     #[test]

@@ -182,8 +182,8 @@ mod tests {
     #[test]
     fn overall_ctr_is_realistic() {
         let (impressions, _) = AvazuGenerator::default_small().generate(2);
-        let ctr = impressions.iter().filter(|i| i.clicked).count() as f64
-            / impressions.len() as f64;
+        let ctr =
+            impressions.iter().filter(|i| i.clicked).count() as f64 / impressions.len() as f64;
         // The real dataset's CTR is ≈ 0.17; accept a broad band.
         assert!((0.05..=0.4).contains(&ctr), "overall CTR was {ctr}");
     }

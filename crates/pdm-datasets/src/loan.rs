@@ -153,7 +153,10 @@ mod tests {
         };
         let good = avg(&|a| a.credit_score > 780.0);
         let poor = avg(&|a| a.credit_score < 580.0);
-        assert!(good < poor, "good-credit rate {good} vs poor-credit rate {poor}");
+        assert!(
+            good < poor,
+            "good-credit rate {good} vs poor-credit rate {poor}"
+        );
     }
 
     #[test]

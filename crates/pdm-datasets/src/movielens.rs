@@ -103,9 +103,9 @@ impl MovieLensGenerator {
         let mut timestamp = 789_652_009u64; // the real dataset starts in 1995
         for user in 0..self.num_users {
             // Long-tailed per-user activity: 1 + geometric-ish draw.
-            let count = 1 + (sampling::uniform(&mut rng, 0.0, 1.0)
-                * 2.0
-                * self.mean_ratings_per_user as f64) as usize;
+            let count = 1
+                + (sampling::uniform(&mut rng, 0.0, 1.0) * 2.0 * self.mean_ratings_per_user as f64)
+                    as usize;
             // Per-user bias so owners are heterogeneous.
             let bias = sampling::normal(&mut rng, 0.0, 0.7);
             for _ in 0..count {
@@ -113,7 +113,7 @@ impl MovieLensGenerator {
                 let raw = 3.5 + bias + sampling::normal(&mut rng, 0.0, 1.0);
                 // Snap to the half-star grid and clamp to the legal range.
                 let stars = (raw * 2.0).round().clamp(1.0, 10.0) / 2.0;
-                timestamp += rng.gen_range(1..1_000);
+                timestamp += rng.gen_range(1..1_000u64);
                 ratings.push(Rating {
                     user_id: user as u64,
                     movie_id,

@@ -520,7 +520,11 @@ mod tests {
         }
         let (lo, hi) = e.support_bounds(&x);
         assert!(lo <= truth + 1e-6 && truth - 1e-6 <= hi);
-        assert!(hi - lo < 0.05, "bisection should tighten the width, got {}", hi - lo);
+        assert!(
+            hi - lo < 0.05,
+            "bisection should tighten the width, got {}",
+            hi - lo
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl Interval {
     /// Panics when `lo > hi` or either endpoint is non-finite.
     #[must_use]
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite(), "interval endpoints must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "interval endpoints must be finite"
+        );
         assert!(lo <= hi, "interval lower bound must not exceed upper bound");
         Self { lo, hi }
     }
@@ -175,7 +178,10 @@ mod tests {
         let mut iv = Interval::new(0.0, 1.0);
         let x = Vector::from_slice(&[1.0]);
         let before = iv;
-        assert!(matches!(iv.cut_below(&x, 5.0), CutOutcome::OutOfRange { .. }));
+        assert!(matches!(
+            iv.cut_below(&x, 5.0),
+            CutOutcome::OutOfRange { .. }
+        ));
         assert_eq!(iv, before);
         assert!(matches!(
             iv.cut_below(&x, -1.0),

@@ -303,8 +303,14 @@ mod tests {
             }
             let (plo, phi) = poly.support_bounds(x);
             let (elo, ehi) = ell.support_bounds(x);
-            assert!(elo <= plo + 1e-6, "ellipsoid lower bound must not exceed exact");
-            assert!(ehi >= phi - 1e-6, "ellipsoid upper bound must not fall below exact");
+            assert!(
+                elo <= plo + 1e-6,
+                "ellipsoid lower bound must not exceed exact"
+            );
+            assert!(
+                ehi >= phi - 1e-6,
+                "ellipsoid upper bound must not fall below exact"
+            );
             assert!(poly.contains(&theta_star));
             assert!(ell.contains(&theta_star));
         }

@@ -192,7 +192,10 @@ mod tests {
         let b = enc.encode(&tokens);
         assert_eq!(a, b);
         assert_eq!(a.len(), 64);
-        assert!((a.sum() - 2.0).abs() < 1e-12, "each token adds exactly one count");
+        assert!(
+            (a.sum() - 2.0).abs() < 1e-12,
+            "each token adds exactly one count"
+        );
         for token in &tokens {
             assert!(enc.bucket(token) < 64);
         }

@@ -35,7 +35,10 @@ impl FtrlProximal {
     pub fn new(dim: usize, alpha: f64, beta: f64, l1: f64, l2: f64) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert!(alpha > 0.0, "alpha must be positive");
-        assert!(beta >= 0.0 && l1 >= 0.0 && l2 >= 0.0, "hyper-parameters must be non-negative");
+        assert!(
+            beta >= 0.0 && l1 >= 0.0 && l2 >= 0.0,
+            "hyper-parameters must be non-negative"
+        );
         Self {
             alpha,
             beta,
@@ -215,7 +218,8 @@ mod tests {
                     logit += if rank % 2 == 0 { 2.0 } else { -1.5 };
                 }
             }
-            let clicked = rng.gen::<f64>() < sigmoid(logit + 0.3 * sampling::standard_normal(&mut rng));
+            let clicked =
+                rng.gen::<f64>() < sigmoid(logit + 0.3 * sampling::standard_normal(&mut rng));
             data.push((x, clicked));
         }
         (data, active_idx)

@@ -23,7 +23,9 @@ impl Pca {
     /// `n_components` exceeds the input dimension.
     pub fn fit(rows: &[Vector], n_components: usize) -> Result<Self, LinalgError> {
         if rows.is_empty() {
-            return Err(LinalgError::Empty { operation: "Pca::fit" });
+            return Err(LinalgError::Empty {
+                operation: "Pca::fit",
+            });
         }
         let dim = rows[0].len();
         if n_components == 0 || n_components > dim {
@@ -126,7 +128,10 @@ mod tests {
         let pca = Pca::fit(&rows, 2).unwrap();
         let first = Vector::from_fn(3, |i| pca_component(&pca, i, 0));
         // Aligned (up to sign) with (0.6, 0.8, 0).
-        let alignment = first.dot(&Vector::from_slice(&[0.6, 0.8, 0.0])).unwrap().abs();
+        let alignment = first
+            .dot(&Vector::from_slice(&[0.6, 0.8, 0.0]))
+            .unwrap()
+            .abs();
         assert!(alignment > 0.99, "alignment was {alignment}");
         assert!(pca.explained_variance()[0] > 5.0 * pca.explained_variance()[1]);
     }

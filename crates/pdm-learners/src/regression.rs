@@ -235,7 +235,10 @@ mod tests {
             );
         }
         let mse = model.mse(&rows, &targets);
-        assert!((mse - 0.09).abs() < 0.03, "MSE should approach σ² = 0.09, got {mse}");
+        assert!(
+            (mse - 0.09).abs() < 0.03,
+            "MSE should approach σ² = 0.09, got {mse}"
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl Cholesky {
     /// `2 * sum(log L[i][i])`.
     #[must_use]
     pub fn log_determinant(&self) -> f64 {
-        (0..self.dim()).map(|i| self.lower.get(i, i).ln()).sum::<f64>() * 2.0
+        (0..self.dim())
+            .map(|i| self.lower.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
     }
 
     /// Solves `A x = b` using the factorisation (forward then backward
@@ -180,7 +183,11 @@ mod tests {
         let a = spd_example();
         let chol = Cholesky::factor(&a, 1e-12).unwrap();
         assert!(chol.determinant() > 0.0);
-        assert!(approx_eq(chol.log_determinant(), chol.determinant().ln(), 1e-10));
+        assert!(approx_eq(
+            chol.log_determinant(),
+            chol.determinant().ln(),
+            1e-10
+        ));
     }
 
     #[test]

@@ -76,7 +76,7 @@ const MAX_SWEEPS: usize = 100;
 /// # Errors
 /// Returns [`LinalgError::NotSquare`] / [`LinalgError::NotSymmetric`] for bad
 /// inputs and [`LinalgError::NoConvergence`] if the off-diagonal mass does not
-/// vanish after [`MAX_SWEEPS`] sweeps (which does not happen for well-scaled
+/// vanish after `MAX_SWEEPS` sweeps (which does not happen for well-scaled
 /// symmetric matrices).
 pub fn jacobi_eigen(matrix: &Matrix, symmetry_tol: f64) -> Result<EigenDecomposition> {
     if !matrix.is_square() {
@@ -288,11 +288,7 @@ mod tests {
             vec![1.0, 0.5, 3.0],
         ]);
         let e = jacobi_eigen(&m, 1e-12).unwrap();
-        let vt_v = e
-            .eigenvectors
-            .transpose()
-            .matmul(&e.eigenvectors)
-            .unwrap();
+        let vt_v = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
         for i in 0..3 {
             for j in 0..3 {
                 let expected = if i == j { 1.0 } else { 0.0 };
@@ -340,7 +336,11 @@ mod tests {
     #[test]
     fn power_iteration_zero_matrix() {
         let m = Matrix::zeros(3, 3);
-        assert!(approx_eq(power_iteration_largest(&m, 10).unwrap(), 0.0, 1e-12));
+        assert!(approx_eq(
+            power_iteration_largest(&m, 10).unwrap(),
+            0.0,
+            1e-12
+        ));
     }
 
     #[test]

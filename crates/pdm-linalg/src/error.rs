@@ -31,7 +31,7 @@ pub enum LinalgError {
     },
     /// A matrix expected to be symmetric was not (beyond tolerance).
     NotSymmetric {
-        /// Maximum absolute asymmetry |A[i][j] - A[j][i]| observed.
+        /// Maximum absolute asymmetry `|A[i][j] - A[j][i]|` observed.
         max_asymmetry: f64,
     },
     /// A matrix expected to be positive definite was not.
@@ -79,7 +79,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is not square: {rows}x{cols}")
             }
             LinalgError::NotSymmetric { max_asymmetry } => {
-                write!(f, "matrix is not symmetric (max asymmetry {max_asymmetry:e})")
+                write!(
+                    f,
+                    "matrix is not symmetric (max asymmetry {max_asymmetry:e})"
+                )
             }
             LinalgError::NotPositiveDefinite { pivot, value } => write!(
                 f,
@@ -88,7 +91,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} failed to converge after {iterations} iterations"
+            ),
             LinalgError::Infeasible => write!(f, "linear program is infeasible"),
             LinalgError::Unbounded => write!(f, "linear program is unbounded"),
             LinalgError::Empty { operation } => {

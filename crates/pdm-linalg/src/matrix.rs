@@ -379,9 +379,13 @@ impl Matrix {
         let mut perm: Vec<usize> = (0..n).collect();
         for col in 0..n {
             // Pivot selection.
-            let (pivot_row, pivot_val) = (col..n)
-                .map(|r| (r, a.get(r, col).abs()))
-                .fold((col, 0.0), |acc, item| if item.1 > acc.1 { item } else { acc });
+            let (pivot_row, pivot_val) =
+                (col..n)
+                    .map(|r| (r, a.get(r, col).abs()))
+                    .fold(
+                        (col, 0.0),
+                        |acc, item| if item.1 > acc.1 { item } else { acc },
+                    );
             if pivot_val < 1e-14 {
                 return Err(LinalgError::InvalidArgument {
                     message: format!("singular matrix at column {col}"),
@@ -565,7 +569,11 @@ mod tests {
 
     #[test]
     fn solve_recovers_known_solution() {
-        let a = Matrix::from_rows(&[vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 2.0]]);
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
         let x_true = Vector::from_slice(&[1.0, -2.0, 3.0]);
         let b = a.matvec(&x_true);
         let x = a.solve(&b).unwrap();

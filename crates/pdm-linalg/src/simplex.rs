@@ -263,11 +263,7 @@ impl LinearProgram {
 
     /// Runs simplex pivots until optimality (returns `Ok(true)`) or detects an
     /// unbounded direction (returns `Ok(false)`).
-    fn run_simplex(
-        tableau: &mut [Vec<f64>],
-        basis: &mut [usize],
-        rhs_col: usize,
-    ) -> Result<bool> {
+    fn run_simplex(tableau: &mut [Vec<f64>], basis: &mut [usize], rhs_col: usize) -> Result<bool> {
         let m = basis.len();
         for _ in 0..MAX_PIVOTS {
             // Entering column: Bland's rule — smallest index with positive

@@ -160,8 +160,7 @@ impl OnlineStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        let new_mean =
-            self.mean + delta * other.count as f64 / total as f64;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
         let new_m2 = self.m2
             + other.m2
             + delta * delta * self.count as f64 * other.count as f64 / total as f64;
@@ -225,7 +224,11 @@ mod tests {
 
         assert_eq!(sa.count(), all.count());
         assert!(approx_eq(sa.mean(), all.mean(), 1e-12));
-        assert!(approx_eq(sa.population_variance(), all.population_variance(), 1e-9));
+        assert!(approx_eq(
+            sa.population_variance(),
+            all.population_variance(),
+            1e-9
+        ));
         assert_eq!(sa.min(), all.min());
         assert_eq!(sa.max(), all.max());
     }

@@ -29,7 +29,10 @@ impl CompensationContract {
     #[must_use]
     pub fn new(base: f64, sensitivity: f64) -> Self {
         assert!(base > 0.0, "compensation base must be positive");
-        assert!(sensitivity > 0.0, "compensation sensitivity must be positive");
+        assert!(
+            sensitivity > 0.0,
+            "compensation sensitivity must be positive"
+        );
         Self { base, sensitivity }
     }
 
@@ -78,7 +81,10 @@ mod tests {
         let medium = c.compensation(1.0);
         let large = c.compensation(100.0);
         assert!(small < medium && medium < large);
-        assert!(large <= 2.0 + 1e-12, "compensation must saturate at the base");
+        assert!(
+            large <= 2.0 + 1e-12,
+            "compensation must saturate at the base"
+        );
         assert!((large - 2.0).abs() < 1e-6);
     }
 

@@ -41,7 +41,10 @@ impl ConsumerPool {
     /// Panics when the weight vector is empty.
     #[must_use]
     pub fn new(theta_star: Vector, noise: NoiseModel) -> Self {
-        assert!(!theta_star.is_empty(), "valuation weights must be non-empty");
+        assert!(
+            !theta_star.is_empty(),
+            "valuation weights must be non-empty"
+        );
         Self {
             theta_star,
             noise,

@@ -104,7 +104,10 @@ impl MarketEnvironment {
 
     /// Helper used by the overhead benchmark: generate a single priced query
     /// without consuming the horizon.
-    pub fn sample_priced_query<R: Rng + ?Sized>(&mut self, rng: &mut R) -> crate::broker::PricedQuery {
+    pub fn sample_priced_query<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> crate::broker::PricedQuery {
         let query = self.generator.next_query(rng);
         self.broker.prepare(&query)
     }
@@ -175,7 +178,10 @@ mod tests {
         assert_eq!(count, 25);
         assert!(env.next_round(&mut rng).is_none());
         // The Section V-A construction makes most rounds sellable.
-        assert!(sellable * 10 >= count * 8, "only {sellable}/{count} rounds sellable");
+        assert!(
+            sellable * 10 >= count * 8,
+            "only {sellable}/{count} rounds sellable"
+        );
     }
 
     #[test]

@@ -129,9 +129,7 @@ impl<P: PostedPriceMechanism> Market<P> {
         let consumer = self.consumers.next_consumer();
         let market_value = self.consumers.market_value(rng, &priced.features);
 
-        let quote = self
-            .mechanism
-            .quote(&priced.features, priced.reserve_price);
+        let quote = self.mechanism.quote(&priced.features, priced.reserve_price);
         let accepted = consumer.decide(quote.posted_price, market_value);
         self.mechanism.observe(&priced.features, &quote, accepted);
 
@@ -195,11 +193,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn market(
-        num_owners: usize,
-        dim: usize,
-        seed: u64,
-    ) -> Market<EllipsoidPricing<LinearModel>> {
+    fn market(num_owners: usize, dim: usize, seed: u64) -> Market<EllipsoidPricing<LinearModel>> {
         let mut rng = StdRng::seed_from_u64(seed);
         let owners: Vec<DataOwner> = (0..num_owners)
             .map(|i| DataOwner::new(i as u64, vec![1.0 + (i % 3) as f64], 4.0))
@@ -290,7 +284,8 @@ mod tests {
             consumers.clone(),
             EllipsoidPricing::new(LinearModel::new(dim), config),
         );
-        let mut risk_averse = Market::new(broker, generator, consumers, ReservePriceBaseline::new());
+        let mut risk_averse =
+            Market::new(broker, generator, consumers, ReservePriceBaseline::new());
 
         let mut rng_a = StdRng::seed_from_u64(7);
         let learning_report = learning.run(&mut rng_a, 2_000);

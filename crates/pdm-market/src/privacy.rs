@@ -108,7 +108,10 @@ mod tests {
         assert!(q.owner_leakage(2.0, 1.0, 1.0) > q.owner_leakage(1.0, 1.0, 1.0));
         assert!(q.owner_leakage(1.0, 1.0, 2.0) < q.owner_leakage(1.0, 1.0, 1.0));
         // Sign of the weight does not matter.
-        assert_eq!(q.owner_leakage(-3.0, 1.0, 1.0), q.owner_leakage(3.0, 1.0, 1.0));
+        assert_eq!(
+            q.owner_leakage(-3.0, 1.0, 1.0),
+            q.owner_leakage(3.0, 1.0, 1.0)
+        );
         // Degenerate noise scale is reported as unbounded leakage.
         assert!(q.owner_leakage(1.0, 1.0, 0.0).is_infinite());
     }
@@ -139,8 +142,13 @@ mod tests {
         // Each owner's record sum is 3, so the all-ones query has truth 12.
         let query = LinearQuery::new(0, vec![1.0; 4], 0.5);
         let mut rng = StdRng::seed_from_u64(9);
-        let mean: f64 =
-            (0..5000).map(|_| mechanism.answer(&mut rng, &query, &owners)).sum::<f64>() / 5000.0;
-        assert!((mean - 12.0).abs() < 0.1, "noisy answers must centre on the truth, got {mean}");
+        let mean: f64 = (0..5000)
+            .map(|_| mechanism.answer(&mut rng, &query, &owners))
+            .sum::<f64>()
+            / 5000.0;
+        assert!(
+            (mean - 12.0).abs() < 0.1,
+            "noisy answers must centre on the truth, got {mean}"
+        );
     }
 }

@@ -449,7 +449,11 @@ impl AdversarialLemma8Environment {
     /// smaller than 2.
     #[must_use]
     pub fn new(horizon: usize, theta_star: Vector) -> Self {
-        assert_eq!(theta_star.len(), 2, "the Lemma-8 adversary works in dimension 2");
+        assert_eq!(
+            theta_star.len(),
+            2,
+            "the Lemma-8 adversary works in dimension 2"
+        );
         assert!(horizon >= 2, "horizon must be at least 2");
         Self {
             horizon,
@@ -508,7 +512,9 @@ mod tests {
     #[test]
     fn linear_environment_matches_paper_normalisation() {
         let mut rng = StdRng::seed_from_u64(11);
-        let env = SyntheticLinearEnvironment::builder(20).rounds(50).build(&mut rng);
+        let env = SyntheticLinearEnvironment::builder(20)
+            .rounds(50)
+            .build(&mut rng);
         let n = 20.0_f64;
         assert!((env.theta_star().norm() - (2.0 * n).sqrt()).abs() < 1e-9);
         assert_eq!(env.input_dim(), 20);
@@ -520,7 +526,9 @@ mod tests {
     #[test]
     fn linear_environment_rounds_have_unit_norm_features_and_sum_reserve() {
         let mut rng = StdRng::seed_from_u64(12);
-        let mut env = SyntheticLinearEnvironment::builder(10).rounds(20).build(&mut rng);
+        let mut env = SyntheticLinearEnvironment::builder(10)
+            .rounds(20)
+            .build(&mut rng);
         let mut count = 0;
         while let Some(round) = env.next_round(&mut rng) {
             count += 1;
@@ -529,7 +537,10 @@ mod tests {
             assert!(round.market_value.is_finite());
         }
         assert_eq!(count, 20);
-        assert!(env.next_round(&mut rng).is_none(), "horizon must be enforced");
+        assert!(
+            env.next_round(&mut rng).is_none(),
+            "horizon must be enforced"
+        );
     }
 
     #[test]

@@ -70,8 +70,8 @@ pub mod prelude {
         PostedPriceMechanism, PricingConfig, Quote, QuoteKind, ReservePriceBaseline,
     };
     pub use crate::model::{
-        KernelizedModel, LinearModel, LogLinearModel, LogLogModel, LogisticModel,
-        MarketValueModel, MercerKernel,
+        KernelizedModel, LinearModel, LogLinearModel, LogLogModel, LogisticModel, MarketValueModel,
+        MercerKernel,
     };
     pub use crate::regret::{single_round_regret, RegretReport, RegretTracker};
     pub use crate::simulation::{Simulation, SimulationOutcome, TraceSample};

@@ -174,7 +174,9 @@ mod tests {
         let base = PricingConfig::new(1.0, 100);
         assert_eq!(base.with_reserve(false).version_name(), "pure version");
         assert_eq!(
-            base.with_reserve(false).with_uncertainty(0.1).version_name(),
+            base.with_reserve(false)
+                .with_uncertainty(0.1)
+                .version_name(),
             "with uncertainty"
         );
         assert_eq!(base.version_name(), "with reserve price");

@@ -198,8 +198,7 @@ impl<M: MarketValueModel, K: KnowledgeSet> PostedPriceMechanism for ContextualPr
         // on a rejection and p − δ on an acceptance, which keeps θ* inside the
         // knowledge set with probability ≥ 1 − 1/T.
         let outcome = if accepted {
-            self.knowledge
-                .cut_above(&mapped, quote.link_price - delta)
+            self.knowledge.cut_above(&mapped, quote.link_price - delta)
         } else {
             self.knowledge.cut_below(&mapped, quote.link_price + delta)
         };
@@ -377,10 +376,8 @@ mod tests {
         assert_eq!(mech.cuts_applied(), 1);
 
         // The correct mechanism (no ablation switch) refuses the same cut.
-        let mut correct = EllipsoidPricing::new(
-            LinearModel::new(2),
-            config.with_conservative_cuts(false),
-        );
+        let mut correct =
+            EllipsoidPricing::new(LinearModel::new(2), config.with_conservative_cuts(false));
         let quote = correct.quote(&x, 0.0);
         correct.observe(&x, &quote, true);
         assert_eq!(correct.cuts_applied(), 0);
@@ -395,7 +392,10 @@ mod tests {
 
         let qb = with_buffer.quote(&x, 0.0);
         let q0 = without.quote(&x, 0.0);
-        assert_eq!(qb.link_price, q0.link_price, "exploratory price is unchanged");
+        assert_eq!(
+            qb.link_price, q0.link_price,
+            "exploratory price is unchanged"
+        );
 
         with_buffer.observe(&x, &qb, false);
         without.observe(&x, &q0, false);
@@ -466,7 +466,10 @@ mod tests {
         assert!((quote.posted_price - 1.0).abs() < 1e-12);
         mech.observe(&x, &quote, true);
         let (lo, _) = mech.support_bounds(&x);
-        assert!(lo >= 1.0 - 1e-9, "acceptance at the reserve lifts the lower bound");
+        assert!(
+            lo >= 1.0 - 1e-9,
+            "acceptance at the reserve lifts the lower bound"
+        );
     }
 
     #[test]
@@ -494,11 +497,8 @@ mod tests {
     #[should_panic(expected = "dimension")]
     fn knowledge_dimension_mismatch_panics() {
         let config = PricingConfig::new(1.0, 10);
-        let _ = ContextualPricing::with_knowledge(
-            LinearModel::new(3),
-            Ellipsoid::ball(2, 1.0),
-            config,
-        );
+        let _ =
+            ContextualPricing::with_knowledge(LinearModel::new(3), Ellipsoid::ball(2, 1.0), config);
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl KernelizedModel {
     /// dimensions.
     #[must_use]
     pub fn new(anchors: Vec<Vector>, kernel: MercerKernel) -> Self {
-        assert!(!anchors.is_empty(), "kernelized model requires at least one anchor");
+        assert!(
+            !anchors.is_empty(),
+            "kernelized model requires at least one anchor"
+        );
         let input_dim = anchors[0].len();
         assert!(
             anchors.iter().all(|a| a.len() == input_dim),

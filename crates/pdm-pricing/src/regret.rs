@@ -280,7 +280,10 @@ mod tests {
         let mut p = q;
         while p <= v {
             let r = single_round_regret(p, v, q);
-            assert!(r <= last + 1e-12, "regret must decrease as p grows toward v");
+            assert!(
+                r <= last + 1e-12,
+                "regret must decrease as p grows toward v"
+            );
             last = r;
             p += 0.1;
         }

@@ -1,7 +1,8 @@
 //! The online trading loop (Fig. 2 of the paper, seller side).
 //!
 //! A [`Simulation`] repeatedly pulls a [`Round`](crate::environment::Round)
-//! from an [`Environment`], asks the mechanism for a [`Quote`], resolves
+//! from an [`Environment`], asks the mechanism for a
+//! [`Quote`](crate::mechanism::Quote), resolves
 //! acceptance against the hidden market value, feeds the decision back to the
 //! mechanism, and accumulates regret.  It also measures per-round wall-clock
 //! latency and the mechanism's knowledge-set memory footprint, which Section
@@ -136,10 +137,7 @@ impl<E: Environment, M: PostedPriceMechanism> Simulation<E, M> {
     /// Runs the simulation and additionally hands back the mechanism and the
     /// environment, so callers can inspect learned state (e.g. the final
     /// ellipsoid) or continue the run.
-    pub fn run_with_state<R: rand::Rng>(
-        mut self,
-        rng: &mut R,
-    ) -> (SimulationOutcome, M, E) {
+    pub fn run_with_state<R: rand::Rng>(mut self, rng: &mut R) -> (SimulationOutcome, M, E) {
         let horizon = self.environment.horizon();
         let checkpoints = log_spaced_checkpoints(horizon, self.options.trace_points);
         let mut next_checkpoint = 0usize;
@@ -149,9 +147,7 @@ impl<E: Environment, M: PostedPriceMechanism> Simulation<E, M> {
 
         while let Some(round) = self.environment.next_round(rng) {
             let start = Instant::now();
-            let quote = self
-                .mechanism
-                .quote(&round.features, round.reserve_price);
+            let quote = self.mechanism.quote(&round.features, round.reserve_price);
             let accepted = quote.posted_price <= round.market_value;
             self.mechanism.observe(&round.features, &quote, accepted);
             let elapsed = start.elapsed();
@@ -189,9 +185,7 @@ impl<E: Environment, M: PostedPriceMechanism> Simulation<E, M> {
 mod tests {
     use super::*;
     use crate::environment::{ReservePolicy, SyntheticLinearEnvironment};
-    use crate::mechanism::{
-        EllipsoidPricing, OraclePricing, PricingConfig, ReservePriceBaseline,
-    };
+    use crate::mechanism::{EllipsoidPricing, OraclePricing, PricingConfig, ReservePriceBaseline};
     use crate::model::LinearModel;
     use crate::uncertainty::NoiseModel;
     use pdm_ellipsoid::KnowledgeSet;

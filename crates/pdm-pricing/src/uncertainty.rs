@@ -185,7 +185,10 @@ mod tests {
         let violations = (0..horizon)
             .filter(|_| noise.sample(&mut rng).abs() > budget.delta)
             .count();
-        assert_eq!(violations, 0, "the δ buffer should cover all {horizon} draws");
+        assert_eq!(
+            violations, 0,
+            "the δ buffer should cover all {horizon} draws"
+        );
     }
 
     #[test]

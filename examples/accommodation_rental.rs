@@ -15,7 +15,9 @@ use rand::SeedableRng;
 
 fn main() {
     // 1. A seeded synthetic listing inventory (stand-in for the Kaggle data).
-    let listings = AirbnbGenerator::new(6_000, 0.4).with_prototypes(10).generate(3);
+    let listings = AirbnbGenerator::new(6_000, 0.4)
+        .with_prototypes(10)
+        .generate(3);
 
     // 2. A compact hedonic design: city code + core numeric fields + 1.
     let mut city_enc = CategoricalEncoder::new();
@@ -36,7 +38,11 @@ fn main() {
         .collect();
     let targets: Vec<f64> = listings.iter().map(|l| l.log_price).collect();
     let fit = LinearRegression::fit(&rows, &targets, false, 1e-6).expect("well-posed design");
-    println!("hedonic fit: MSE {:.3} on {} listings", fit.mse(&rows, &targets), rows.len());
+    println!(
+        "hedonic fit: MSE {:.3} on {} listings",
+        fit.mse(&rows, &targets),
+        rows.len()
+    );
 
     // 3. Replay the listings as booking requests priced under the log-linear
     //    model; the host's reserve is 70 % of the hedonic value in log space.

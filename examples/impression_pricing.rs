@@ -26,9 +26,11 @@ fn main() {
         ctr_model.update(&encoder.encode(&tokens), impression.clicked);
     }
     let theta = ctr_model.weights();
+    // The shared threshold separates the planted informative tokens from
+    // hash-collision noise on this synthetic log.
     println!(
         "FTRL-Proximal learnt {} significant weights out of {dim} hashed features",
-        ctr_model.num_significant_weights(0.05)
+        ctr_model.num_significant_weights(pdm_bench::avazu_pipeline::SIGNIFICANT_WEIGHT)
     );
 
     // 2. Price the remaining impressions: market value = predicted CTR.

@@ -39,9 +39,18 @@ fn main() {
     println!("personal data market after {} rounds:", report.rounds);
     println!("  sales                {}", report.sales);
     println!("  gross revenue        {:.1}", report.gross_revenue);
-    println!("  compensations paid   {:.1}", report.total_compensation_paid);
+    println!(
+        "  compensations paid   {:.1}",
+        report.total_compensation_paid
+    );
     println!("  net broker revenue   {:.1}", report.net_revenue);
     println!("  cumulative regret    {:.1}", report.cumulative_regret);
-    println!("  regret ratio         {:.2}%", report.regret_ratio() * 100.0);
-    assert!(report.net_revenue > 0.0, "the reserve constraint guarantees a non-negative margin");
+    println!(
+        "  regret ratio         {:.2}%",
+        report.regret_ratio() * 100.0
+    );
+    assert!(
+        report.net_revenue > 0.0,
+        "the reserve constraint guarantees a non-negative margin"
+    );
 }

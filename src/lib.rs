@@ -20,6 +20,36 @@
 //! See `examples/quickstart.rs` for a five-minute tour, and the `pdm-bench`
 //! crate for the binaries that regenerate every table and figure of the
 //! paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! Price a short stream of products on a synthetic linear market with
+//! reserve prices, using Algorithm 2 (ellipsoid knowledge set + reserve
+//! constraint + uncertainty buffer):
+//!
+//! ```
+//! use personal_data_pricing::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let rounds = 500;
+//! let env = SyntheticLinearEnvironment::builder(8)
+//!     .rounds(rounds)
+//!     .reserve_fraction(0.7)
+//!     .noise(NoiseModel::Gaussian { std_dev: 0.01 })
+//!     .build(&mut rng);
+//!
+//! let config = PricingConfig::for_environment(&env, rounds)
+//!     .with_reserve(true)
+//!     .with_uncertainty(0.01);
+//! let mechanism = EllipsoidPricing::new(LinearModel::new(8), config);
+//!
+//! let outcome = Simulation::new(env, mechanism).run(&mut rng);
+//! assert_eq!(outcome.report.rounds, rounds);
+//! assert!(outcome.cumulative_regret().is_finite());
+//! assert!(outcome.cumulative_regret() >= 0.0);
+//! ```
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]

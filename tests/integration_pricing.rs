@@ -1,9 +1,9 @@
 //! Cross-crate integration tests: the full pipeline from data owners to
 //! posted prices, plus the paper's qualitative claims.
 
-use personal_data_pricing::prelude::*;
 use pdm_market::query::QueryWeightDistribution;
 use pdm_pricing::environment::Environment;
+use personal_data_pricing::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,7 +31,10 @@ fn full_stack_market_run_matches_paper_shape() {
         let mechanism = EllipsoidPricing::new(LinearModel::new(dim), config);
         let mut rng = StdRng::seed_from_u64(5);
         let outcome = Simulation::new(env, mechanism).run(&mut rng);
-        assert_eq!(outcome.report.rounds, rounds, "{name} must complete all rounds");
+        assert_eq!(
+            outcome.report.rounds, rounds,
+            "{name} must complete all rounds"
+        );
         ratios.push((name, outcome.regret_ratio()));
     }
     // Every version must clearly beat "sell nothing" (ratio 1.0) and end
@@ -97,11 +100,15 @@ fn one_dimensional_regret_grows_sublinearly() {
     // Theorem 3: doubling the horizon must not double the regret.
     let regret_at = |rounds: usize| {
         let mut rng = StdRng::seed_from_u64(2);
-        let env = SyntheticLinearEnvironment::builder(1).rounds(rounds).build(&mut rng);
+        let env = SyntheticLinearEnvironment::builder(1)
+            .rounds(rounds)
+            .build(&mut rng);
         let config = PricingConfig::for_environment(&env, rounds).with_reserve(false);
         let mechanism = OneDimPricing::one_dimensional(config);
         let mut run_rng = StdRng::seed_from_u64(3);
-        Simulation::new(env, mechanism).run(&mut run_rng).cumulative_regret()
+        Simulation::new(env, mechanism)
+            .run(&mut run_rng)
+            .cumulative_regret()
     };
     let r1 = regret_at(2_000);
     let r2 = regret_at(8_000);
@@ -119,8 +126,7 @@ fn lemma8_ablation_blows_up_linearly() {
         let base = PricingConfig::new(1.0, horizon).with_reserve(true);
         let mut correct = EllipsoidPricing::new(LinearModel::new(2), base);
         let correct_regret = adversary.play(&mut correct).cumulative_regret();
-        let mut bad =
-            EllipsoidPricing::new(LinearModel::new(2), base.with_conservative_cuts(true));
+        let mut bad = EllipsoidPricing::new(LinearModel::new(2), base.with_conservative_cuts(true));
         let bad_regret = adversary.play(&mut bad).cumulative_regret();
         (correct_regret, bad_regret)
     };
@@ -147,6 +153,9 @@ fn market_environment_round_features_are_normalised_and_nonnegative() {
     while let Some(round) = env.next_round(&mut rng) {
         assert!((round.features.norm() - 1.0).abs() < 1e-9);
         assert!(round.features.iter().all(|x| *x >= 0.0));
-        assert!(round.reserve_price >= 1.0 - 1e-9, "reserve is the sum of a unit-norm non-negative vector");
+        assert!(
+            round.reserve_price >= 1.0 - 1e-9,
+            "reserve is the sum of a unit-norm non-negative vector"
+        );
     }
 }

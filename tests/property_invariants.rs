@@ -8,10 +8,9 @@ use proptest::prelude::*;
 
 /// Strategy: a feature direction with entries in [-1, 1], not all ~zero.
 fn direction(dim: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1.0f64..1.0, dim)
-        .prop_filter("direction must be non-degenerate", |v| {
-            v.iter().map(|x| x * x).sum::<f64>().sqrt() > 0.1
-        })
+    prop::collection::vec(-1.0f64..1.0, dim).prop_filter("direction must be non-degenerate", |v| {
+        v.iter().map(|x| x * x).sum::<f64>().sqrt() > 0.1
+    })
 }
 
 proptest! {

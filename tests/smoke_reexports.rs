@@ -1,0 +1,68 @@
+//! Smoke tests for the umbrella crate: every re-exported module resolves,
+//! and a tiny end-to-end simulation through the re-exports behaves sanely.
+
+use personal_data_pricing::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every workspace crate is reachable through its umbrella alias: name one
+/// type from each so a missing re-export fails to compile.
+#[test]
+fn umbrella_reexports_resolve() {
+    use personal_data_pricing::{datasets, ellipsoid, learners, linalg, market, pricing};
+
+    let rows = [
+        linalg::Vector::from_slice(&[1.0, 2.0]),
+        linalg::Vector::from_slice(&[3.0, 4.0]),
+    ];
+    let _: ellipsoid::Ellipsoid = ellipsoid::Ellipsoid::ball(2, 1.0);
+    let _: learners::StandardScaler =
+        learners::StandardScaler::fit(&rows).expect("well-formed rows must fit");
+    let _generator = datasets::MovieLensGenerator::new(10, 5, 3);
+    let _: pricing::PricingConfig = pricing::PricingConfig::new(1.0, 10);
+    let _: market::CompensationContract = market::CompensationContract::new(1.0, 1.0);
+}
+
+/// The flat prelude exposes the core types of both the pricing and the
+/// market layer under one import.
+#[test]
+fn prelude_covers_both_layers() {
+    let _config = PricingConfig::new(1.0, 10);
+    let _baseline = ReservePriceBaseline::new();
+    let _noise = NoiseModel::None;
+    let _contract = CompensationContract::new(1.0, 1.0);
+}
+
+/// A seeded 100-round simulation through the umbrella crate completes all
+/// rounds and produces finite, non-negative cumulative regret.
+#[test]
+fn seeded_simulation_produces_finite_nonnegative_regret() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let rounds = 100;
+    let env = SyntheticLinearEnvironment::builder(5)
+        .rounds(rounds)
+        .reserve_fraction(0.7)
+        .noise(NoiseModel::Gaussian { std_dev: 0.01 })
+        .build(&mut rng);
+
+    let config = PricingConfig::for_environment(&env, rounds)
+        .with_reserve(true)
+        .with_uncertainty(0.01);
+    let mechanism = EllipsoidPricing::new(LinearModel::new(5), config);
+
+    let outcome = Simulation::new(env, mechanism).run(&mut rng);
+    assert_eq!(outcome.report.rounds, rounds);
+    let regret = outcome.cumulative_regret();
+    assert!(
+        regret.is_finite(),
+        "cumulative regret must be finite: {regret}"
+    );
+    assert!(
+        regret >= 0.0,
+        "cumulative regret must be non-negative: {regret}"
+    );
+    assert!(
+        outcome.regret_ratio().is_finite() && outcome.regret_ratio() >= 0.0,
+        "regret ratio must be finite and non-negative"
+    );
+}

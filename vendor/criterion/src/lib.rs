@@ -1,0 +1,233 @@
+//! Offline stand-in for the [`criterion`](https://bheisler.github.io/criterion.rs/book/)
+//! benchmarking framework.
+//!
+//! Exposes the API shape the workspace's benches use — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — but measures with a
+//! plain calibrated wall-clock loop instead of criterion's statistical
+//! machinery. Each benchmark prints one line:
+//!
+//! ```text
+//! group/id ... <mean time per iteration> (<iterations> iters)
+//! ```
+//!
+//! Swap in the real criterion (same manifests, registry access required) when
+//! publication-grade numbers are needed; the bench sources need no changes.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time to spend measuring each benchmark.
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(400);
+
+/// Iterations used to calibrate how many fit in the measurement budget.
+const CALIBRATION_ITERS: u64 = 10;
+
+/// Entry point handed to benchmark functions; hands out groups.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut routine);
+    }
+}
+
+/// A named collection of benchmarks, mirroring criterion's grouping API.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Benchmarks `routine` against one `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(&label, &mut |b: &mut Bencher| routine(b, input));
+    }
+
+    /// Benchmarks a routine without an input parameter.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(&label, &mut routine);
+    }
+
+    /// Ends the group. (The real criterion emits summary reports here.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("benchmark"),
+        }
+    }
+}
+
+/// Passed to each benchmark routine; [`iter`](Bencher::iter) does the timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a calibrated number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: how long does one iteration take, roughly?
+        let calibration_start = Instant::now();
+        for _ in 0..CALIBRATION_ITERS {
+            black_box(routine());
+        }
+        let per_iter = calibration_start.elapsed() / CALIBRATION_ITERS as u32;
+
+        let target = MEASUREMENT_BUDGET.as_nanos();
+        let per_iter_nanos = per_iter.as_nanos().max(1);
+        let iterations = (target / per_iter_nanos).clamp(10, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+}
+
+fn run_one(label: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    routine(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{label} ... no measurement (b.iter was never called)");
+        return;
+    }
+    let mean = bencher.elapsed / bencher.iterations as u32;
+    println!(
+        "{label} ... {} ({} iters)",
+        format_duration(mean),
+        bencher.iterations
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions in order,
+/// mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given [`criterion_group!`]s, mirroring
+/// criterion's macro of the same name. Requires `harness = false` on the
+/// `[[bench]]` target, exactly like the real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut bencher = Bencher::default();
+        let mut acc = 0u64;
+        bencher.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(bencher.iterations >= 10);
+        assert!(bencher.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 7).label(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter(1024).label(), "1024");
+    }
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("group");
+        group.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, &x| b.iter(|| x + 1));
+        group.finish();
+    }
+
+    criterion_group!(test_group, trivial_bench);
+
+    #[test]
+    fn group_macro_produces_runnable_fn() {
+        test_group();
+    }
+}

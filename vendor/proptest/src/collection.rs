@@ -1,0 +1,113 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::{Strategy, TestRng};
+
+/// An inclusive-exclusive length range for [`vec()`], convertible from a fixed
+/// `usize` or a `usize` range like the real proptest `SizeRange`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi: exact + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(range: core::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range {range:?}");
+        SizeRange {
+            lo: range.start,
+            hi: range.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty size range {range:?}");
+        SizeRange {
+            lo: *range.start(),
+            hi: *range.end() + 1,
+        }
+    }
+}
+
+/// Strategy generating `Vec`s whose elements come from `element` and whose
+/// length is uniform over `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec()`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let len = if self.size.lo + 1 == self.size.hi {
+            self.size.lo
+        } else {
+            rng.next_usize(self.size.lo, self.size.hi)
+        };
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = TestRng::from_name("vec-lengths");
+        let exact = vec(0.0f64..1.0, 4usize);
+        assert_eq!(exact.new_value(&mut rng).unwrap().len(), 4);
+        let ranged = vec(0.0f64..1.0, 2..6);
+        for _ in 0..50 {
+            let len = ranged.new_value(&mut rng).unwrap().len();
+            assert!((2..6).contains(&len));
+        }
+    }
+
+    #[test]
+    fn rejected_element_rejects_the_whole_vec() {
+        let mut rng = TestRng::from_name("vec-reject");
+        let never = (0.0f64..1.0).prop_filter("impossible", |_| false);
+        assert!(vec(never, 3usize).new_value(&mut rng).is_none());
+    }
+
+    #[test]
+    fn nested_vec_of_filtered_vecs() {
+        let mut rng = TestRng::from_name("vec-nested");
+        let inner = vec(-1.0f64..1.0, 3usize).prop_filter("non-degenerate", |v| {
+            v.iter().map(|x| x * x).sum::<f64>() > 0.01
+        });
+        let outer = vec(inner, 1..5);
+        let mut produced = 0;
+        for _ in 0..100 {
+            if let Some(v) = outer.new_value(&mut rng) {
+                produced += 1;
+                assert!(!v.is_empty() && v.len() < 5);
+                for row in &v {
+                    assert_eq!(row.len(), 3);
+                }
+            }
+        }
+        assert!(produced > 50);
+    }
+}

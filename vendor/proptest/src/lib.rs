@@ -1,0 +1,378 @@
+//! Offline stand-in for the [`proptest`](https://proptest-rs.github.io/proptest/)
+//! property-testing framework.
+//!
+//! The build environment has no registry access, so this crate re-implements
+//! the subset of proptest's API that the workspace's property suites use:
+//!
+//! * the [`proptest!`] macro (including the `#![proptest_config(..)]` inner
+//!   attribute) generating one `#[test]` per property;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! * [`Strategy`] implemented for `f64`/integer ranges, with
+//!   [`Strategy::prop_filter`] and [`collection::vec`].
+//!
+//! Differences from the real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs but is not
+//!   minimised;
+//! * **deterministic generation** — each property derives its RNG seed from
+//!   its own function name, so failures reproduce exactly across runs;
+//! * rejection sampling (`prop_assume!` / `prop_filter`) aborts after
+//!   256 × `cases` rejected samples, like proptest's global reject limit.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! // In a test module each property would also carry `#[test]`; it is left
+//! // off here so this doc example can invoke the generated fn directly.
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(32))]
+//!     fn addition_commutes(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+//!         prop_assert!((a + b - (b + a)).abs() < 1e-12);
+//!     }
+//! }
+//! # addition_commutes();
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+///
+/// Public so the [`proptest!`] expansion can use it; not part of the emulated
+/// proptest API.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives a generator from a test name (FNV-1a hash of the bytes), so
+    /// each property gets its own reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Next raw 64-bit word (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`; panics when the range is empty.
+    pub fn next_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "cannot sample from empty range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// Why a single generated test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is violated.
+    Fail(String),
+    /// The case was rejected (`prop_assume!` filter); try another sample.
+    Reject(String),
+}
+
+/// Result type the [`proptest!`]-generated case closures return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-property configuration; only `cases` is emulated.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted samples each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating random values of an associated type.
+///
+/// Mirrors `proptest::strategy::Strategy` minus shrinking: generation is a
+/// single function from an RNG to `Option<Value>` (`None` meaning the sample
+/// was rejected by a filter).
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one sample; `None` when a filter rejected it.
+    fn new_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Keeps only samples for which `filter` returns `true`.
+    ///
+    /// `reason` is reported when rejection sampling exhausts its budget.
+    fn prop_filter<F>(self, reason: impl Into<String>, filter: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            filter,
+        }
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: String,
+    filter: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        let value = self.inner.new_value(rng)?;
+        (self.filter)(&value).then_some(value)
+    }
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(
+            self.start < self.end,
+            "cannot sample from empty range {self:?}"
+        );
+        Some(self.start + rng.next_f64() * (self.end - self.start))
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample from empty range {self:?}"
+                );
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                Some((self.start as i128 + draw as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Everything a property-test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+
+    /// Path alias so `prop::collection::vec(...)` resolves as it does with
+    /// the real proptest prelude.
+    pub use crate as prop;
+}
+
+/// Fails the current test case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current sample (without failing the property) unless `cond`
+/// holds; the runner draws a fresh sample instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `cases` accepted samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches one `fn` item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                assert!(
+                    rejected <= config.cases.saturating_mul(256),
+                    "proptest {}: too many rejected samples ({} accepted, {} rejected)",
+                    stringify!($name),
+                    accepted,
+                    rejected
+                );
+                $(
+                    let $arg = match $crate::Strategy::new_value(&($strategy), &mut rng) {
+                        ::core::option::Option::Some(value) => value,
+                        ::core::option::Option::None => {
+                            rejected += 1;
+                            continue;
+                        }
+                    };
+                )*
+                let case_inputs = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n",)*),
+                    $(&$arg,)*
+                );
+                let outcome: $crate::TestCaseResult =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                    }
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                        panic!(
+                            "proptest {} failed after {} passing cases: {}\ninputs:\n{}",
+                            stringify!($name),
+                            accepted,
+                            message,
+                            case_inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -3.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0.0f64..1.0) {
+            prop_assume!(x > 0.5);
+            prop_assert!(x > 0.5);
+        }
+
+        #[test]
+        fn filtered_vecs_obey_the_filter(
+            v in prop::collection::vec(0.0f64..1.0, 2..6)
+                .prop_filter("nonempty mass", |v| v.iter().sum::<f64>() > 0.1),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().sum::<f64>() > 0.1);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        // No inner #[test] attribute: this property is invoked by hand so we
+        // can catch its panic.
+        proptest! {
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x > 2.0, "x was {x}");
+            }
+        }
+        let err = std::panic::catch_unwind(always_fails).unwrap_err();
+        let message = err.downcast_ref::<String>().unwrap();
+        assert!(message.contains("always_fails"), "got: {message}");
+        assert!(message.contains("x ="), "got: {message}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("same");
+        let mut b = crate::TestRng::from_name("same");
+        let mut c = crate::TestRng::from_name("other");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,81 @@
+//! Concrete generators, mirroring `rand::rngs`.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seeded generator: xoshiro256++ with SplitMix64
+/// seed expansion.
+///
+/// The real `rand::rngs::StdRng` is a ChaCha block cipher; this stand-in
+/// trades that for ~20 lines of arithmetic with excellent statistical
+/// properties (Blackman & Vigna, 2018). Streams differ from the real
+/// `StdRng`, but every use in this workspace only needs *seeded
+/// determinism* — the same seed always yields the same experiment.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// SplitMix64 step, used to expand one 64-bit seed into the 256-bit state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let s = [
+            Self::splitmix64(&mut state),
+            Self::splitmix64(&mut state),
+            Self::splitmix64(&mut state),
+            Self::splitmix64(&mut state),
+        ];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ from the all-distinct small state
+        // {1, 2, 3, 4}, cross-checked against the reference C implementation.
+        let mut rng = StdRng { s: [1, 2, 3, 4] };
+        let first: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(first, vec![41943041, 58720359, 3588806011781223]);
+    }
+
+    #[test]
+    fn zero_seed_does_not_collapse() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let outputs: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(outputs.iter().any(|&x| x != 0));
+        let distinct: std::collections::HashSet<_> = outputs.iter().collect();
+        assert_eq!(distinct.len(), outputs.len());
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) facade.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` so that a real `serde` can be swapped
+//! in the moment the build environment has registry access. Until then this
+//! stand-in keeps those annotations compiling:
+//!
+//! * [`Serialize`] and [`Deserialize`] are marker traits with the same names
+//!   and namespaces as serde's;
+//! * the derive macros (re-exported from `serde_derive`) accept the same
+//!   syntax, including `#[serde(...)]` attributes, and expand to marker-trait
+//!   impls.
+//!
+//! No serialization *format* is provided — there is deliberately no
+//! `serde_json` stand-in — so nothing in the workspace can silently depend on
+//! behaviour the real serde would implement differently.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// Implemented via `#[derive(Serialize)]`, which the stand-in derive expands
+/// to a plain `impl Serialize for T {}`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+///
+/// The lifetime parameter mirrors the real trait so type-level usage
+/// (`T: Deserialize<'de>`) keeps the same shape.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

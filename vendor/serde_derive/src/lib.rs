@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses just enough of the item to recover its name, then emits marker-trait
+//! impls for the stand-in `serde` facade. Generic items get no impl (the
+//! workspace derives only on concrete types); `#[serde(...)]` attributes are
+//! accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Returns the item's type name, plus whether the item has generic parameters.
+fn item_name(input: TokenStream) -> Option<(String, bool)> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(keyword) = &tt {
+            let keyword = keyword.to_string();
+            if keyword == "struct" || keyword == "enum" || keyword == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let generic = matches!(
+                        iter.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Stand-in for `#[derive(serde::Serialize)]`: emits `impl Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match item_name(input) {
+        Some((name, false)) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        _ => TokenStream::new(),
+    }
+}
+
+/// Stand-in for `#[derive(serde::Deserialize)]`: emits
+/// `impl<'de> Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match item_name(input) {
+        Some((name, false)) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        _ => TokenStream::new(),
+    }
+}
