@@ -203,7 +203,7 @@ mod tests {
         assert_eq!(pipeline.dim, 128);
         // The paper reports ≈ 21–23 active weights and log-loss ≈ 0.41.
         let active = pipeline.num_active_weights();
-        assert!(active >= 5 && active <= 80, "active weights: {active}");
+        assert!((5..=80).contains(&active), "active weights: {active}");
         assert!(
             pipeline.train_log_loss < 0.65,
             "log loss was {}",

@@ -1,52 +1,9 @@
-//! Fig. 1 — the single-round regret of a posted-price mechanism with a
-//! reserve price constraint, as a function of the posted price.
+//! Fig. 1 — the asymmetric single-round regret shape.
 //!
-//! ```text
-//! cargo run -p pdm-bench --release --bin fig1
-//! ```
-
-use pdm_bench::table;
-use pdm_pricing::regret::single_round_regret;
+//! Thin shim over the shared `bench` front end: identical to
+//! `bench fig1` and accepts the same flags (`--full`, `--workers`,
+//! `--reps`, `--json`, `--check`).
 
 fn main() {
-    let market_value = 4.0;
-    let reserve_price = 1.0;
-    println!(
-        "Fig. 1 — single-round regret (market value = {market_value}, reserve = {reserve_price})"
-    );
-    println!();
-
-    let mut rows = Vec::new();
-    let mut posted = 0.0;
-    while posted <= 6.0 + 1e-9 {
-        let regret = single_round_regret(posted, market_value, reserve_price);
-        let note = if posted < reserve_price {
-            "below reserve (never posted)"
-        } else if posted <= market_value {
-            "sale: regret = value − price"
-        } else {
-            "no sale: regret = full value"
-        };
-        rows.push(vec![
-            table::fmt(posted, 2),
-            table::fmt(regret, 2),
-            note.to_owned(),
-        ]);
-        posted += 0.5;
-    }
-    println!(
-        "{}",
-        table::render(&["posted price", "regret", "regime"], &rows)
-    );
-    println!(
-        "The cliff at the market value ({market_value}) is the asymmetry that makes a slight \
-         overestimate far more costly than a slight underestimate."
-    );
-
-    // The zero-regret case when the reserve exceeds the value.
-    let regret = single_round_regret(5.0, 4.0, 4.5);
-    println!();
-    println!(
-        "With reserve 4.5 > value 4.0 the round is unsellable and the regret is {regret} for any posted price."
-    );
+    std::process::exit(pdm_bench::cli::shim("fig1"));
 }

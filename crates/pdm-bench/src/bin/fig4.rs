@@ -1,64 +1,9 @@
-//! Fig. 4(a)–(f) — cumulative regret of the four mechanism versions in the
-//! noisy-linear-query market, for feature dimensions n ∈ {1, 20, 40, 60, 80,
-//! 100}.
+//! Fig. 4(a)–(f) — cumulative regret of the four mechanism versions in the noisy-linear-query market.
 //!
-//! ```text
-//! cargo run -p pdm-bench --release --bin fig4            # quick scale
-//! cargo run -p pdm-bench --release --bin fig4 -- --full  # paper scale
-//! ```
-
-use pdm_bench::linear_market::{run_version, LinearMarketConfig, Version};
-use pdm_bench::{table, Scale};
+//! Thin shim over the shared `bench` front end: identical to
+//! `bench fig4` and accepts the same flags (`--full`, `--workers`,
+//! `--reps`, `--json`, `--check`).
 
 fn main() {
-    let scale = Scale::from_args();
-    println!(
-        "Fig. 4 — cumulative regret, noisy linear query ({})",
-        scale.label()
-    );
-    println!();
-
-    let dims: Vec<usize> = scale.pick(vec![1, 20, 40], vec![1, 20, 40, 60, 80, 100]);
-    for dim in dims {
-        let rounds = match scale {
-            Scale::Quick => LinearMarketConfig::paper_horizon(dim).min(5_000),
-            Scale::Full => LinearMarketConfig::paper_horizon(dim),
-        };
-        let config = LinearMarketConfig {
-            dim,
-            rounds,
-            num_owners: scale.pick(200, 1_000),
-            delta: 0.01,
-            seed: 42,
-        };
-        println!("--- n = {dim}, T = {rounds} ---");
-        let checkpoints = checkpoint_list(rounds);
-        let mut rows = Vec::new();
-        for version in Version::ALL {
-            let outcome = run_version(&config, version);
-            let mut row = vec![version.label().to_owned()];
-            for &cp in &checkpoints {
-                let regret = outcome
-                    .trace_at(cp)
-                    .map_or(f64::NAN, |s| s.cumulative_regret);
-                row.push(table::fmt(regret, 1));
-            }
-            rows.push(row);
-        }
-        let mut headers = vec!["version"];
-        let header_labels: Vec<String> = checkpoints.iter().map(|c| format!("t={c}")).collect();
-        headers.extend(header_labels.iter().map(String::as_str));
-        println!("{}", table::render(&headers, &rows));
-    }
-    println!(
-        "Expected shape: regret grows with n; the reserve-price versions sit below their \
-         no-reserve counterparts; the uncertainty buffer adds regret at large t."
-    );
-}
-
-fn checkpoint_list(rounds: usize) -> Vec<usize> {
-    let candidates = [rounds / 100, rounds / 10, rounds / 4, rounds / 2, rounds];
-    let mut list: Vec<usize> = candidates.iter().copied().filter(|&c| c >= 1).collect();
-    list.dedup();
-    list
+    std::process::exit(pdm_bench::cli::shim("fig4"));
 }

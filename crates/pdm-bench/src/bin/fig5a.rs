@@ -1,57 +1,9 @@
-//! Fig. 5(a) — regret ratios of the four mechanism versions and the
-//! risk-averse baseline in the noisy-linear-query market at n = 100.
+//! Fig. 5(a) — regret ratios of the four versions and the risk-averse baseline at n = 100.
 //!
-//! ```text
-//! cargo run -p pdm-bench --release --bin fig5a            # quick scale
-//! cargo run -p pdm-bench --release --bin fig5a -- --full  # paper scale (n = 100, T = 1e5)
-//! ```
-
-use pdm_bench::linear_market::{run_reserve_baseline, run_version, LinearMarketConfig, Version};
-use pdm_bench::{table, Scale};
+//! Thin shim over the shared `bench` front end: identical to
+//! `bench fig5a` and accepts the same flags (`--full`, `--workers`,
+//! `--reps`, `--json`, `--check`).
 
 fn main() {
-    let scale = Scale::from_args();
-    let config = LinearMarketConfig {
-        dim: scale.pick(40, 100),
-        rounds: scale.pick(20_000, 100_000),
-        num_owners: scale.pick(300, 1_000),
-        delta: 0.01,
-        seed: 42,
-    };
-    println!(
-        "Fig. 5(a) — regret ratios, noisy linear query, n = {}, T = {} ({})",
-        config.dim,
-        config.rounds,
-        scale.label()
-    );
-    println!();
-
-    let checkpoints = [10, 100, 1_000, config.rounds / 10, config.rounds];
-    let mut rows = Vec::new();
-    for version in Version::ALL {
-        let outcome = run_version(&config, version);
-        let mut row = vec![version.label().to_owned()];
-        for &cp in &checkpoints {
-            let ratio = outcome.trace_at(cp).map_or(f64::NAN, |s| s.regret_ratio);
-            row.push(table::pct(ratio));
-        }
-        rows.push(row);
-    }
-    let baseline = run_reserve_baseline(&config);
-    let mut row = vec!["risk-averse baseline (post reserve)".to_owned()];
-    for &cp in &checkpoints {
-        let ratio = baseline.trace_at(cp).map_or(f64::NAN, |s| s.regret_ratio);
-        row.push(table::pct(ratio));
-    }
-    rows.push(row);
-
-    let header_labels: Vec<String> = checkpoints.iter().map(|c| format!("t={c}")).collect();
-    let mut headers = vec!["mechanism"];
-    headers.extend(header_labels.iter().map(String::as_str));
-    println!("{}", table::render(&headers, &rows));
-    println!(
-        "Paper reference points at T = 1e5, n = 100: pure 8.48%, with uncertainty 11.19%, with \
-         reserve 7.77%, with reserve and uncertainty 9.87%, risk-averse baseline 18.16%. The \
-         reserve versions should show markedly lower ratios at small t (cold-start mitigation)."
-    );
+    std::process::exit(pdm_bench::cli::shim("fig5a"));
 }

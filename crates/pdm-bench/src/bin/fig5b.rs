@@ -1,72 +1,9 @@
-//! Fig. 5(b) — regret ratios for accommodation rental under the log-linear
-//! model, as the reserve's log-ratio `ln q / ln v` varies over
-//! {0.4, 0.6, 0.8}, plus the pure version and the risk-averse baseline.
+//! Fig. 5(b) — regret ratios for accommodation rental under the log-linear model.
 //!
-//! ```text
-//! cargo run -p pdm-bench --release --bin fig5b            # quick scale
-//! cargo run -p pdm-bench --release --bin fig5b -- --full  # paper scale (74,111 listings)
-//! ```
-
-use pdm_bench::airbnb_pipeline::default_pipeline;
-use pdm_bench::{table, Scale};
+//! Thin shim over the shared `bench` front end: identical to
+//! `bench fig5b` and accepts the same flags (`--full`, `--workers`,
+//! `--reps`, `--json`, `--check`).
 
 fn main() {
-    let scale = Scale::from_args();
-    let num_listings = scale.pick(8_000, 74_111);
-    println!(
-        "Fig. 5(b) — regret ratios, accommodation rental (log-linear model), {num_listings} listings ({})",
-        scale.label()
-    );
-    let pipeline = default_pipeline(num_listings, 42);
-    println!(
-        "pipeline: n = {}, held-out MSE = {:.3} (rescaled log scale), log-price scale = {:.3}",
-        pipeline.feature_dim, pipeline.test_mse, pipeline.log_price_scale
-    );
-    println!();
-
-    let horizon = pipeline.rows.len();
-    let checkpoints = [100, 1_000, horizon / 4, horizon];
-    let header_labels: Vec<String> = checkpoints.iter().map(|c| format!("t={c}")).collect();
-    let mut headers = vec!["series"];
-    headers.extend(header_labels.iter().map(String::as_str));
-
-    let mut rows = Vec::new();
-    // Pure version (no reserve).
-    let pure = pipeline.run_mechanism(None, 1);
-    rows.push(series_row("pure version", &pure, &checkpoints));
-    // Reserve versions at the three log-ratios, plus the baseline at each.
-    for ratio in [0.4, 0.6, 0.8] {
-        let ours = pipeline.run_mechanism(Some(ratio), 1);
-        rows.push(series_row(
-            &format!("with reserve, ln q/ln v = {ratio}"),
-            &ours,
-            &checkpoints,
-        ));
-        let baseline = pipeline.run_baseline(ratio, 1);
-        rows.push(series_row(
-            &format!("risk-averse baseline, ln q/ln v = {ratio}"),
-            &baseline,
-            &checkpoints,
-        ));
-    }
-    println!("{}", table::render(&headers, &rows));
-    println!(
-        "Paper reference points at T = 74,111: pure 4.57%, reserve ratios 0.4/0.6/0.8 give \
-         4.01%/3.83%/3.79%, the risk-averse baseline 23.40%/17.00%/9.33%. Expected shape: the \
-         closer the reserve is to the value, the stronger the cold-start mitigation, and the \
-         mechanism beats the baseline by a wide margin at every ratio."
-    );
-}
-
-fn series_row(
-    label: &str,
-    outcome: &pdm_pricing::simulation::SimulationOutcome,
-    checkpoints: &[usize],
-) -> Vec<String> {
-    let mut row = vec![label.to_owned()];
-    for &cp in checkpoints {
-        let ratio = outcome.trace_at(cp).map_or(f64::NAN, |s| s.regret_ratio);
-        row.push(table::pct(ratio));
-    }
-    row
+    std::process::exit(pdm_bench::cli::shim("fig5b"));
 }

@@ -1,61 +1,9 @@
-//! Fig. 5(c) — regret ratios for impression pricing under the logistic model,
-//! in the sparse and dense feature cases at hashing dimensions 128 and 1024.
+//! Fig. 5(c) — regret ratios for impression pricing under the logistic model.
 //!
-//! ```text
-//! cargo run -p pdm-bench --release --bin fig5c            # quick scale
-//! cargo run -p pdm-bench --release --bin fig5c -- --full  # paper scale (n = 1024, T = 1e5)
-//! ```
-
-use pdm_bench::avazu_pipeline::{default_pipeline, FeatureCase};
-use pdm_bench::{table, Scale};
+//! Thin shim over the shared `bench` front end: identical to
+//! `bench fig5c` and accepts the same flags (`--full`, `--workers`,
+//! `--reps`, `--json`, `--check`).
 
 fn main() {
-    let scale = Scale::from_args();
-    println!(
-        "Fig. 5(c) — regret ratios, impression pricing (logistic model) ({})",
-        scale.label()
-    );
-    println!();
-
-    let dims: Vec<usize> = scale.pick(vec![128], vec![128, 1024]);
-    let train_size = scale.pick(40_000, 200_000);
-    let pricing_rounds = scale.pick(8_000, 100_000);
-
-    for dim in dims {
-        let (pipeline, holdout) = default_pipeline(train_size + pricing_rounds, dim, 42);
-        println!(
-            "--- n = {dim}: FTRL log-loss {:.3}, {} significantly non-zero weights ---",
-            pipeline.train_log_loss,
-            pipeline.num_active_weights()
-        );
-        let stream: Vec<_> = holdout.into_iter().cycle().take(pricing_rounds).collect();
-        let checkpoints = [100, 1_000, pricing_rounds / 4, pricing_rounds];
-        let header_labels: Vec<String> = checkpoints.iter().map(|c| format!("t={c}")).collect();
-        let mut headers = vec!["case"];
-        headers.extend(header_labels.iter().map(String::as_str));
-
-        let mut rows = Vec::new();
-        for case in [FeatureCase::Sparse, FeatureCase::Dense] {
-            let outcome = pipeline.run_mechanism(&stream, case, 1);
-            let mut row = vec![format!(
-                "{} (d = {})",
-                case.label(),
-                match case {
-                    FeatureCase::Sparse => dim,
-                    FeatureCase::Dense => pipeline.num_active_weights(),
-                }
-            )];
-            for &cp in &checkpoints {
-                let ratio = outcome.trace_at(cp).map_or(f64::NAN, |s| s.regret_ratio);
-                row.push(table::pct(ratio));
-            }
-            rows.push(row);
-        }
-        println!("{}", table::render(&headers, &rows));
-    }
-    println!(
-        "Paper reference points at T = 1e5: sparse/dense regret ratios of 2.02%/0.41% at n = 128 \
-         and 8.04%/0.89% at n = 1024. Expected shape: the sparse case converges more slowly \
-         (early rounds are spent eliminating zero weights), and both keep falling with t."
-    );
+    std::process::exit(pdm_bench::cli::shim("fig5c"));
 }

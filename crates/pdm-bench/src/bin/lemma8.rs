@@ -1,66 +1,9 @@
-//! Lemma 8 / Fig. 6 ablation — if conservative posted prices are allowed to
-//! refine the knowledge set, an adversary that pins the reserve to the middle
-//! price in the first half of the horizon forces Ω(T) regret; the correct
-//! mechanism (which never cuts on conservative prices) stays logarithmic.
+//! Lemma 8 / Fig. 6 — the conservative-cut ablation.
 //!
-//! ```text
-//! cargo run -p pdm-bench --release --bin lemma8            # quick scale
-//! cargo run -p pdm-bench --release --bin lemma8 -- --full
-//! ```
-
-use pdm_bench::{table, Scale};
-use pdm_linalg::Vector;
-use pdm_pricing::prelude::*;
+//! Thin shim over the shared `bench` front end: identical to
+//! `bench lemma8` and accepts the same flags (`--full`, `--workers`,
+//! `--reps`, `--json`, `--check`).
 
 fn main() {
-    let scale = Scale::from_args();
-    println!(
-        "Lemma 8 ablation — conservative-price cuts under the adversarial sequence ({})",
-        scale.label()
-    );
-    println!();
-
-    let horizons: Vec<usize> = scale.pick(
-        vec![200, 400, 800, 1_600],
-        vec![500, 1_000, 2_000, 4_000, 8_000, 16_000],
-    );
-    let theta_star = Vector::from_slice(&[0.5, 0.5]);
-
-    let mut rows = Vec::new();
-    for &horizon in &horizons {
-        let adversary = AdversarialLemma8Environment::new(horizon, theta_star.clone());
-        let base = PricingConfig::new(1.0, horizon).with_reserve(true);
-
-        let mut correct = EllipsoidPricing::new(LinearModel::new(2), base);
-        let correct_regret = adversary.play(&mut correct).cumulative_regret();
-
-        let mut misbehaving =
-            EllipsoidPricing::new(LinearModel::new(2), base.with_conservative_cuts(true));
-        let misbehaving_regret = adversary.play(&mut misbehaving).cumulative_regret();
-
-        rows.push(vec![
-            horizon.to_string(),
-            table::fmt(correct_regret, 2),
-            table::fmt(misbehaving_regret, 2),
-            table::fmt(misbehaving_regret / correct_regret.max(1e-9), 1),
-        ]);
-    }
-    println!(
-        "{}",
-        table::render(
-            &[
-                "T",
-                "correct mechanism",
-                "cuts on conservative",
-                "blow-up factor"
-            ],
-            &rows
-        )
-    );
-    println!(
-        "Expected shape: the misbehaving variant pays a large constant-factor penalty at every \
-         horizon. (In exact arithmetic its regret is Ω(T); in f64 the orthogonal-axis expansion \
-         saturates once the repeatedly-cut axis reaches the numerical floor, which caps the \
-         penalty — see EXPERIMENTS.md, experiment E8.)"
-    );
+    std::process::exit(pdm_bench::cli::shim("lemma8"));
 }

@@ -1,144 +1,9 @@
-//! Section V-D — per-round online latency and memory overhead of the three
-//! applications, plus the exact-polytope (two LPs per round) ablation that
-//! motivates the ellipsoid relaxation.
+//! Section V-D — per-round latency and memory of the three applications.
 //!
-//! ```text
-//! cargo run -p pdm-bench --release --bin overhead            # quick scale
-//! cargo run -p pdm-bench --release --bin overhead -- --full  # paper scale
-//! ```
-
-use pdm_bench::airbnb_pipeline;
-use pdm_bench::avazu_pipeline::{self, FeatureCase};
-use pdm_bench::linear_market::{run_version, LinearMarketConfig, Version};
-use pdm_bench::{table, Scale};
-use pdm_pricing::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Thin shim over the shared `bench` front end: identical to
+//! `bench overhead` and accepts the same flags (`--full`, `--workers`,
+//! `--reps`, `--json`, `--check`).
 
 fn main() {
-    let scale = Scale::from_args();
-    println!(
-        "Section V-D — per-round latency and memory ({})",
-        scale.label()
-    );
-    println!();
-
-    let mut rows = Vec::new();
-
-    // Application 1: noisy linear query, n = 100 (paper: 0.115 ms, 151 MB).
-    let config = LinearMarketConfig {
-        dim: scale.pick(40, 100),
-        rounds: scale.pick(3_000, 20_000),
-        num_owners: scale.pick(200, 1_000),
-        delta: 0.0,
-        seed: 42,
-    };
-    let outcome = run_version(&config, Version::WithReserve);
-    rows.push(overhead_row(
-        &format!("noisy linear query (linear, n = {})", config.dim),
-        &outcome,
-    ));
-
-    // Application 2: accommodation rental, n = 55 (paper: 0.019 ms, 105 MB).
-    let pipeline = airbnb_pipeline::default_pipeline(scale.pick(4_000, 20_000), 42);
-    let outcome = pipeline.run_mechanism(Some(0.6), 1);
-    rows.push(overhead_row(
-        &format!(
-            "accommodation rental (log-linear, n = {})",
-            pipeline.feature_dim
-        ),
-        &outcome,
-    ));
-
-    // Application 3: impression pricing, sparse and dense
-    // (paper at n = 1024: 3.509 ms sparse, 0.024 ms dense).
-    let dim = scale.pick(128, 1024);
-    let (avazu, holdout) = avazu_pipeline::default_pipeline(scale.pick(20_000, 120_000), dim, 42);
-    let stream: Vec<_> = holdout
-        .into_iter()
-        .cycle()
-        .take(scale.pick(2_000, 20_000))
-        .collect();
-    for case in [FeatureCase::Sparse, FeatureCase::Dense] {
-        let outcome = avazu.run_mechanism(&stream, case, 1);
-        let effective_dim = match case {
-            FeatureCase::Sparse => dim,
-            FeatureCase::Dense => avazu.num_active_weights(),
-        };
-        rows.push(overhead_row(
-            &format!(
-                "impression (logistic, {} case, n = {effective_dim})",
-                case.label()
-            ),
-            &outcome,
-        ));
-    }
-
-    println!(
-        "{}",
-        table::render(
-            &[
-                "application",
-                "mean latency/round",
-                "max latency/round",
-                "knowledge-set memory",
-            ],
-            &rows
-        )
-    );
-
-    // Ablation: exact polytope pricing (two LPs per round) vs the ellipsoid.
-    println!();
-    println!("Ablation — ellipsoid vs exact polytope knowledge set (the paper's motivation):");
-    let dim = 10;
-    let rounds = scale.pick(150, 400);
-    let mut rng = StdRng::seed_from_u64(3);
-    let env = SyntheticLinearEnvironment::builder(dim)
-        .rounds(rounds)
-        .build(&mut rng);
-    let cfg = PricingConfig::for_environment(&env, rounds);
-    let mut rng_run = StdRng::seed_from_u64(4);
-    let ell = Simulation::new(
-        env.clone(),
-        EllipsoidPricing::new(LinearModel::new(dim), cfg),
-    )
-    .run(&mut rng_run);
-    let mut rng_run = StdRng::seed_from_u64(4);
-    let poly = Simulation::new(env, ExactPolytopePricing::exact(LinearModel::new(dim), cfg))
-        .run(&mut rng_run);
-    let rows = vec![
-        vec![
-            "ellipsoid (this paper)".to_owned(),
-            format!("{:.3} µs", ell.round_latency_micros.mean()),
-            table::pct(ell.regret_ratio()),
-        ],
-        vec![
-            "exact polytope (two LPs per round)".to_owned(),
-            format!("{:.3} µs", poly.round_latency_micros.mean()),
-            table::pct(poly.regret_ratio()),
-        ],
-    ];
-    println!(
-        "{}",
-        table::render(
-            &["knowledge set", "mean latency/round", "regret ratio"],
-            &rows
-        )
-    );
-    println!(
-        "The polytope's per-round cost grows with the number of accumulated constraints, while \
-         the ellipsoid stays O(n²) — the gap widens with the horizon."
-    );
-}
-
-fn overhead_row(label: &str, outcome: &SimulationOutcome) -> Vec<String> {
-    vec![
-        label.to_owned(),
-        format!("{:.3} ms", outcome.round_latency_micros.mean() / 1_000.0),
-        format!("{:.3} ms", outcome.round_latency_micros.max() / 1_000.0),
-        format!(
-            "{:.2} MB",
-            outcome.memory_footprint_bytes as f64 / (1024.0 * 1024.0)
-        ),
-    ]
+    std::process::exit(pdm_bench::cli::shim("overhead"));
 }

@@ -1,128 +1,9 @@
-//! Regret-scaling checks for Theorems 1 and 3, plus the exploration-threshold
-//! (ε) ablation.
+//! Theorems 1 & 3 — regret growth in T and n, plus the ε ablation.
 //!
-//! * Theorem 3: in the one-dimensional case the cumulative regret grows like
-//!   `O(log T)` — doubling T should add roughly a constant amount of regret.
-//! * Theorem 1: at a fixed horizon the regret grows roughly like `n² log T`
-//!   in the feature dimension.
-//! * ε ablation: the paper's schedule `ε = n²/T` balances exploration and
-//!   exploitation; much smaller or larger thresholds hurt.
-//!
-//! ```text
-//! cargo run -p pdm-bench --release --bin regret_scaling [-- --full]
-//! ```
-
-use pdm_bench::linear_market::{run_version, LinearMarketConfig, Version};
-use pdm_bench::{table, Scale};
-use pdm_pricing::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Thin shim over the shared `bench` front end: identical to
+//! `bench regret-scaling` and accepts the same flags (`--full`, `--workers`,
+//! `--reps`, `--json`, `--check`).
 
 fn main() {
-    let scale = Scale::from_args();
-    println!(
-        "Regret scaling (Theorems 1 and 3) and ε ablation ({})",
-        scale.label()
-    );
-    println!();
-
-    one_dimensional_scaling(scale);
-    dimension_scaling(scale);
-    epsilon_ablation(scale);
-}
-
-/// Theorem 3: O(log T) regret in the one-dimensional case.
-fn one_dimensional_scaling(scale: Scale) {
-    println!("-- one-dimensional case: cumulative regret vs T (expect ~constant increments per doubling) --");
-    let horizons: Vec<usize> = scale.pick(
-        vec![250, 500, 1_000, 2_000],
-        vec![1_000, 2_000, 4_000, 8_000, 16_000],
-    );
-    let mut rows = Vec::new();
-    for &t in &horizons {
-        let mut rng = StdRng::seed_from_u64(7);
-        let env = SyntheticLinearEnvironment::builder(1)
-            .rounds(t)
-            .build(&mut rng);
-        let config = PricingConfig::for_environment(&env, t).with_reserve(false);
-        let mechanism = OneDimPricing::one_dimensional(config);
-        let mut run_rng = StdRng::seed_from_u64(8);
-        let outcome = Simulation::new(env, mechanism).run(&mut run_rng);
-        rows.push(vec![
-            t.to_string(),
-            table::fmt(outcome.cumulative_regret(), 3),
-            table::pct(outcome.regret_ratio()),
-        ]);
-    }
-    println!(
-        "{}",
-        table::render(&["T", "cumulative regret", "regret ratio"], &rows)
-    );
-}
-
-/// Theorem 1: regret growth with the feature dimension at a fixed horizon.
-fn dimension_scaling(scale: Scale) {
-    println!("-- regret vs feature dimension at fixed T (expect roughly n² log growth) --");
-    let rounds = scale.pick(3_000, 20_000);
-    let dims: Vec<usize> = scale.pick(vec![5, 10, 20, 40], vec![10, 20, 40, 80]);
-    let mut rows = Vec::new();
-    for &dim in &dims {
-        let config = LinearMarketConfig {
-            dim,
-            rounds,
-            num_owners: scale.pick(200, 600),
-            delta: 0.0,
-            seed: 11,
-        };
-        let outcome = run_version(&config, Version::WithReserve);
-        rows.push(vec![
-            dim.to_string(),
-            table::fmt(outcome.cumulative_regret(), 1),
-            table::pct(outcome.regret_ratio()),
-        ]);
-    }
-    println!(
-        "{}",
-        table::render(&["n", "cumulative regret", "regret ratio"], &rows)
-    );
-}
-
-/// Design-choice ablation: the exploration threshold ε.
-fn epsilon_ablation(scale: Scale) {
-    println!("-- ε ablation at fixed n and T (the paper's schedule is ε = n²/T) --");
-    let dim = 10;
-    let rounds = scale.pick(4_000, 20_000);
-    let paper_epsilon = (dim * dim) as f64 / rounds as f64;
-    let multipliers = [0.01, 0.1, 1.0, 10.0, 100.0];
-    let mut rows = Vec::new();
-    for &m in &multipliers {
-        let epsilon = paper_epsilon * m;
-        let mut rng = StdRng::seed_from_u64(13);
-        let env = SyntheticLinearEnvironment::builder(dim)
-            .rounds(rounds)
-            .build(&mut rng);
-        let config = PricingConfig::for_environment(&env, rounds)
-            .with_reserve(true)
-            .with_epsilon(epsilon);
-        let mechanism = EllipsoidPricing::new(LinearModel::new(dim), config);
-        let mut run_rng = StdRng::seed_from_u64(14);
-        let outcome = Simulation::new(env, mechanism).run(&mut run_rng);
-        rows.push(vec![
-            format!("{m} × n²/T"),
-            format!("{epsilon:.5}"),
-            table::fmt(outcome.cumulative_regret(), 1),
-            table::pct(outcome.regret_ratio()),
-        ]);
-    }
-    println!(
-        "{}",
-        table::render(
-            &["ε multiplier", "ε", "cumulative regret", "regret ratio"],
-            &rows
-        )
-    );
-    println!(
-        "Expected shape: very small ε over-explores, very large ε stops learning too early; the \
-         paper's schedule sits near the minimum."
-    );
+    std::process::exit(pdm_bench::cli::shim("regret_scaling"));
 }

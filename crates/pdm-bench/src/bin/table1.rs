@@ -1,75 +1,9 @@
-//! Table I — per-round statistics (mean and standard deviation of market
-//! value, reserve price, posted price, and regret) of the version with
-//! reserve price, for each feature dimension of the noisy-linear-query
-//! experiment.
+//! Table I — per-round statistics of the version with reserve price.
 //!
-//! ```text
-//! cargo run -p pdm-bench --release --bin table1            # quick scale
-//! cargo run -p pdm-bench --release --bin table1 -- --full  # paper scale
-//! ```
-
-use pdm_bench::linear_market::{run_version, LinearMarketConfig, Version};
-use pdm_bench::{table, Scale};
+//! Thin shim over the shared `bench` front end: identical to
+//! `bench table1` and accepts the same flags (`--full`, `--workers`,
+//! `--reps`, `--json`, `--check`).
 
 fn main() {
-    let scale = Scale::from_args();
-    println!(
-        "Table I — statistics per round under the version with reserve price ({})",
-        scale.label()
-    );
-    println!();
-
-    let dims: Vec<usize> = scale.pick(vec![1, 20, 40], vec![1, 20, 40, 60, 80, 100]);
-    let mut rows = Vec::new();
-    for dim in dims {
-        let rounds = match scale {
-            Scale::Quick => LinearMarketConfig::paper_horizon(dim).min(5_000),
-            Scale::Full => LinearMarketConfig::paper_horizon(dim),
-        };
-        let config = LinearMarketConfig {
-            dim,
-            rounds,
-            num_owners: scale.pick(200, 1_000),
-            delta: 0.01,
-            seed: 42,
-        };
-        let outcome = run_version(&config, Version::WithReserve);
-        let report = &outcome.report;
-        let cell = |stats: &pdm_linalg::OnlineStats| {
-            format!(
-                "{} ({})",
-                table::fmt(stats.mean(), 3),
-                table::fmt(stats.population_std(), 3)
-            )
-        };
-        rows.push(vec![
-            dim.to_string(),
-            rounds.to_string(),
-            cell(&report.market_value_stats),
-            cell(&report.reserve_price_stats),
-            cell(&report.posted_price_stats),
-            cell(&report.regret_stats),
-            table::pct(report.regret_ratio()),
-        ]);
-    }
-    println!(
-        "{}",
-        table::render(
-            &[
-                "n",
-                "T",
-                "market value",
-                "reserve price",
-                "posted price",
-                "regret",
-                "regret ratio",
-            ],
-            &rows
-        )
-    );
-    println!("Entries are mean (population standard deviation), as in the paper's Table I.");
-    println!(
-        "Paper reference (their MovieLens compensations): e.g. n = 20: value 3.874 (1.278), \
-         reserve 3.388 (0.776), posted 3.685 (1.631), regret 0.166 (0.824)."
-    );
+    std::process::exit(pdm_bench::cli::shim("table1"));
 }

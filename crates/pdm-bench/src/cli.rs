@@ -1,0 +1,419 @@
+//! Command-line front end shared by the `bench` binary and the legacy
+//! per-figure shims.
+//!
+//! Parsing is **strict**: an unrecognised flag is an error with a usage
+//! message, never silently ignored (a typo like `--ful` used to run the
+//! wrong scale for minutes).  The same parser backs all ten binaries, so
+//! every experiment accepts `--full`, `--workers`, `--reps`, `--json`, and
+//! `--check` uniformly.
+
+use crate::experiments::{experiments_for, render_experiment, render_fig1};
+use crate::grid::expand_jobs;
+use crate::report::{build_experiment_reports, git_describe, BenchReport, SCHEMA_VERSION};
+use crate::runner::run_jobs;
+use crate::Scale;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The experiments the `bench` binary can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Fig. 1 — closed-form single-round regret shape.
+    Fig1,
+    /// Fig. 4(a)–(f) — cumulative regret, noisy linear query.
+    Fig4,
+    /// Fig. 5(a) — regret ratios vs the risk-averse baseline.
+    Fig5a,
+    /// Fig. 5(b) — accommodation rental, log-linear model.
+    Fig5b,
+    /// Fig. 5(c) — impression pricing, logistic model.
+    Fig5c,
+    /// Table I — per-round statistics under the reserve version.
+    Table1,
+    /// Theorems 1 & 3 — regret growth in T and n, ε ablation.
+    RegretScaling,
+    /// Section V-D — per-round latency and memory.
+    Overhead,
+    /// Lemma 8 / Fig. 6 — conservative-cut ablation.
+    Lemma8,
+    /// Every simulation experiment above in one grid.
+    All,
+}
+
+impl Command {
+    /// Every subcommand, in help order.
+    pub const ALL: [Command; 10] = [
+        Command::Fig1,
+        Command::Fig4,
+        Command::Fig5a,
+        Command::Fig5b,
+        Command::Fig5c,
+        Command::Table1,
+        Command::RegretScaling,
+        Command::Overhead,
+        Command::Lemma8,
+        Command::All,
+    ];
+
+    /// The subcommand's CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Command::Fig1 => "fig1",
+            Command::Fig4 => "fig4",
+            Command::Fig5a => "fig5a",
+            Command::Fig5b => "fig5b",
+            Command::Fig5c => "fig5c",
+            Command::Table1 => "table1",
+            Command::RegretScaling => "regret-scaling",
+            Command::Overhead => "overhead",
+            Command::Lemma8 => "lemma8",
+            Command::All => "all",
+        }
+    }
+
+    /// Parses a subcommand name (the legacy binary names with underscores
+    /// are accepted as aliases).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Command> {
+        let normalised = name.replace('_', "-");
+        Command::ALL.into_iter().find(|c| c.name() == normalised)
+    }
+}
+
+/// A fully parsed `bench` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// The experiment(s) to run.
+    pub command: Command,
+    /// Quick or paper scale.
+    pub scale: Scale,
+    /// Where to write the `BENCH_*.json` report, if anywhere.
+    pub json: Option<PathBuf>,
+    /// Worker threads for the grid.
+    pub workers: usize,
+    /// Repetitions per cell (different seeds, aggregated with CIs).
+    pub reps: u64,
+    /// Fail (exit 1) when any aggregate is NaN/negative or any regret ratio
+    /// exceeds 1 — the CI smoke gate.
+    pub check: bool,
+}
+
+/// The usage text printed on parse errors and `--help`.
+#[must_use]
+pub fn usage() -> String {
+    let commands: Vec<&str> = Command::ALL.iter().map(|c| c.name()).collect();
+    format!(
+        "usage: bench <command> [--full] [--workers N] [--reps N] [--json PATH] [--check]\n\
+         \n\
+         commands: {}\n\
+         \n\
+         options:\n\
+         \x20 --full        run at the paper's scale (default: quick scale)\n\
+         \x20 --workers N   worker threads for the experiment grid \
+         (default: available cores)\n\
+         \x20 --reps N      repetitions per cell, aggregated with 95% CIs (default: 1)\n\
+         \x20 --json PATH   write the versioned BENCH report (schema v{SCHEMA_VERSION}) to PATH\n\
+         \x20 --check       exit non-zero when any aggregate is NaN/negative or any\n\
+         \x20               regret ratio exceeds 1 (the CI smoke gate)\n\
+         \x20 -h, --help    show this message",
+        commands.join(", ")
+    )
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Parses arguments.  `preset` fixes the subcommand (the legacy shims);
+/// otherwise the first positional argument names it.  Unknown arguments are
+/// an error; `Ok(None)` means `--help` was requested.
+pub fn parse_args(preset: Option<Command>, args: &[String]) -> Result<Option<BenchArgs>, String> {
+    let mut command = preset;
+    let mut scale = Scale::Quick;
+    let mut json = None;
+    let mut workers = default_workers();
+    let mut reps = 1u64;
+    let mut check = false;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--full" => scale = Scale::Full,
+            "--check" => check = true,
+            "--json" => {
+                let path = iter
+                    .next()
+                    .ok_or_else(|| "--json needs a file path".to_owned())?;
+                json = Some(PathBuf::from(path));
+            }
+            "--workers" => {
+                let n = iter
+                    .next()
+                    .ok_or_else(|| "--workers needs a count".to_owned())?;
+                workers = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--workers needs a positive integer, got `{n}`"))?;
+            }
+            "--reps" => {
+                let n = iter
+                    .next()
+                    .ok_or_else(|| "--reps needs a count".to_owned())?;
+                reps = n
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--reps needs a positive integer, got `{n}`"))?;
+            }
+            positional if !positional.starts_with('-') && command.is_none() => {
+                command = Some(
+                    Command::parse(positional)
+                        .ok_or_else(|| format!("unknown command `{positional}`"))?,
+                );
+            }
+            unknown => return Err(format!("unrecognized argument `{unknown}`")),
+        }
+    }
+
+    let command = command.ok_or_else(|| "missing command".to_owned())?;
+    Ok(Some(BenchArgs {
+        command,
+        scale,
+        json,
+        workers,
+        reps,
+        check,
+    }))
+}
+
+/// Runs a parsed invocation end to end: execute the grid, print the tables,
+/// write the JSON report, apply the `--check` gate.
+///
+/// Returns the report on success and the failure message otherwise.
+pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
+    let start = Instant::now();
+    if args.command == Command::Fig1 {
+        print!("{}", render_fig1());
+    }
+
+    let experiments = experiments_for(args.command, args.scale);
+    let grids: Vec<Vec<crate::grid::CellSpec>> =
+        experiments.iter().map(|e| e.cells.clone()).collect();
+    let jobs = expand_jobs(&grids, args.reps);
+    // The effective pool size (run_jobs clamps the same way) — this, not the
+    // requested count, is what the banner, footer, and JSON report record.
+    let workers = args.workers.clamp(1, jobs.len().max(1));
+    if !jobs.is_empty() {
+        println!(
+            "bench {} — {} ({} jobs across {} worker{}, {} rep{} per cell)",
+            args.command.name(),
+            args.scale.label(),
+            jobs.len(),
+            workers,
+            if workers == 1 { "" } else { "s" },
+            args.reps,
+            if args.reps == 1 { "" } else { "s" },
+        );
+        println!();
+    }
+    let results = run_jobs(&jobs, workers);
+
+    let reports = build_experiment_reports(
+        experiments
+            .iter()
+            .map(|e| (e.name.as_str(), e.cells.as_slice())),
+        &jobs,
+        &results,
+    );
+    for (experiment, report) in experiments.iter().zip(&reports) {
+        println!("{}", render_experiment(experiment.kind, report));
+        if !experiment.note.is_empty() {
+            println!("{}", experiment.note);
+            println!();
+        }
+    }
+
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        name: args.command.name().to_owned(),
+        git_describe: git_describe(),
+        scale: args.scale.name().to_owned(),
+        workers,
+        reps: args.reps,
+        wall_clock_secs: start.elapsed().as_secs_f64(),
+        experiments: reports,
+    };
+
+    println!(
+        "completed in {:.2}s ({} jobs, {} worker{})",
+        report.wall_clock_secs,
+        jobs.len(),
+        workers,
+        if workers == 1 { "" } else { "s" },
+    );
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, report.to_json().render_pretty())
+            .map_err(|e| format!("failed to write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+
+    if args.check {
+        let violations = report.validate();
+        if violations.is_empty() {
+            println!(
+                "check passed: all aggregates finite and non-negative, ratios and \
+                 acceptance rates <= 1"
+            );
+        } else {
+            return Err(format!(
+                "check failed with {} violation(s):\n  {}",
+                violations.len(),
+                violations.join("\n  ")
+            ));
+        }
+    }
+
+    Ok(report)
+}
+
+/// Entry point shared by every binary: parse `raw_args` (with the shims'
+/// preset subcommand), run, and map the outcome to an exit code.
+#[must_use]
+pub fn main_with(preset: Option<Command>, raw_args: &[String]) -> i32 {
+    match parse_args(preset, raw_args) {
+        Ok(None) => {
+            println!("{}", usage());
+            0
+        }
+        Ok(Some(args)) => match execute(&args) {
+            Ok(_) => 0,
+            Err(message) => {
+                eprintln!("error: {message}");
+                1
+            }
+        },
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", usage());
+            2
+        }
+    }
+}
+
+/// The legacy per-figure binaries: `shim("fig4")` is `bench fig4` with the
+/// process arguments passed through.
+#[must_use]
+pub fn shim(name: &str) -> i32 {
+    let command = Command::parse(name).expect("shim names a known subcommand");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    main_with(Some(command), &args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let args = parse_args(
+            None,
+            &strings(&["fig4", "--full", "--workers", "4", "--reps", "3"]),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(args.command, Command::Fig4);
+        assert_eq!(args.scale, Scale::Full);
+        assert_eq!(args.workers, 4);
+        assert_eq!(args.reps, 3);
+        assert!(!args.check);
+        assert!(args.json.is_none());
+    }
+
+    #[test]
+    fn legacy_underscore_names_are_aliases() {
+        assert_eq!(
+            Command::parse("regret_scaling"),
+            Some(Command::RegretScaling)
+        );
+        assert_eq!(
+            Command::parse("regret-scaling"),
+            Some(Command::RegretScaling)
+        );
+        assert_eq!(Command::parse("nope"), None);
+    }
+
+    #[test]
+    fn unknown_flags_are_an_error_not_a_silent_noop() {
+        // The original bug: `--ful` silently ran the quick scale.
+        let err = parse_args(None, &strings(&["fig4", "--ful"])).unwrap_err();
+        assert!(err.contains("--ful"), "{err}");
+        let err = parse_args(Some(Command::All), &strings(&["--quick"])).unwrap_err();
+        assert!(err.contains("--quick"), "{err}");
+        let err = parse_args(None, &strings(&["figgy"])).unwrap_err();
+        assert!(err.contains("figgy"), "{err}");
+    }
+
+    #[test]
+    fn missing_command_and_flag_values_error() {
+        assert!(parse_args(None, &[])
+            .unwrap_err()
+            .contains("missing command"));
+        assert!(parse_args(Some(Command::All), &strings(&["--json"]))
+            .unwrap_err()
+            .contains("--json"));
+        assert!(
+            parse_args(Some(Command::All), &strings(&["--workers", "0"]))
+                .unwrap_err()
+                .contains("positive")
+        );
+        assert!(parse_args(Some(Command::All), &strings(&["--reps", "x"]))
+            .unwrap_err()
+            .contains("positive"));
+    }
+
+    #[test]
+    fn scale_parsing_stays_in_lockstep_with_scale_try_from_args() {
+        // `Scale::try_from_args` is the strict parser for flag-only callers;
+        // this parser handles `--full` itself because it accepts more flags.
+        // Pin the two together so they cannot drift.
+        let via_cli = |args: &[&str]| {
+            parse_args(Some(Command::Fig4), &strings(args))
+                .unwrap()
+                .unwrap()
+                .scale
+        };
+        assert_eq!(Ok(via_cli(&["--full"])), Scale::try_from_args(["--full"]));
+        assert_eq!(Ok(via_cli(&[])), Scale::try_from_args(Vec::<String>::new()));
+        // Both reject the classic typo.
+        assert!(Scale::try_from_args(["--ful"]).is_err());
+        assert!(parse_args(Some(Command::Fig4), &strings(&["--ful"])).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse_args(None, &strings(&["--help"])).unwrap(), None);
+        assert_eq!(
+            parse_args(Some(Command::Fig4), &strings(&["-h"])).unwrap(),
+            None
+        );
+        assert!(usage().contains("--workers"));
+        assert!(usage().contains("regret-scaling"));
+    }
+
+    #[test]
+    fn preset_plus_positional_keeps_the_preset() {
+        // A shim's preset wins; a stray positional is rejected as unknown
+        // only when it is not a valid command... it is treated as unknown
+        // because the command slot is taken.
+        let err = parse_args(Some(Command::Fig4), &strings(&["fig5a"])).unwrap_err();
+        assert!(err.contains("fig5a"), "{err}");
+    }
+}

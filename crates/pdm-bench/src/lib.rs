@@ -19,16 +19,34 @@
 //! | `lemma8` | Lemma 8 / Fig. 6 — conservative-cut ablation |
 //! | `regret_scaling` | Theorems 1 & 3 — regret growth in T and n, ε ablation |
 //!
-//! Every binary accepts `--full` to run at the paper's scale; the default is
+//! All of those are thin shims over the **`bench`** binary, which runs any
+//! subset of the grid in parallel:
+//!
+//! ```text
+//! cargo run -p pdm-bench --release --bin bench -- all --workers 8 --reps 5 \
+//!     --json BENCH_all.json
+//! ```
+//!
+//! Every binary accepts `--full` to run at the paper's scale (the default is
 //! a scaled-down configuration that finishes in seconds and preserves the
-//! qualitative shape.
+//! qualitative shape), `--workers`/`--reps` for the parallel runner, and
+//! `--json` to write the versioned machine-readable report documented in
+//! `docs/BENCHMARKS.md`.  The experiment grid lives in [`experiments`]; the
+//! worker pool and aggregation in [`runner`]; the `BENCH_*.json` schema in
+//! [`report`].
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod airbnb_pipeline;
 pub mod avazu_pipeline;
+pub mod cli;
+pub mod experiments;
+pub mod grid;
+pub mod json;
 pub mod linear_market;
+pub mod report;
+pub mod runner;
 pub mod scale;
 pub mod table;
 

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Configuration of one noisy-linear-query experiment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearMarketConfig {
     /// Feature dimension `n` (number of compensation partitions).
     pub dim: usize,

@@ -1,0 +1,666 @@
+//! The versioned `BENCH_*.json` report: schema, writer, parser, validation.
+//!
+//! A [`BenchReport`] is what `bench <subcommand> --json <path>` writes: run
+//! metadata (schema version, git describe, scale, worker count, wall clock)
+//! plus one [`ExperimentReport`] per experiment, each holding the
+//! [`CellAggregate`]s the runner produced.  CI archives these files per
+//! commit so the perf trajectory of the hot paths accumulates run-over-run.
+//!
+//! Two derived artifacts matter:
+//!
+//! * [`BenchReport::deterministic_fingerprint`] renders only the
+//!   schedule-independent half of the report (no wall clock, no latency, no
+//!   git metadata).  The determinism suite asserts this string is
+//!   byte-identical for `--workers 1` and `--workers 4`.
+//! * [`BenchReport::validate`] is the `--check` gate CI runs at quick scale:
+//!   any NaN or negative regret aggregate, or any regret ratio above 1,
+//!   fails the build.
+//!
+//! Schema changes must bump [`SCHEMA_VERSION`] and stay readable by
+//! [`BenchReport::from_json`]; the schema is documented in
+//! `docs/BENCHMARKS.md`.
+
+use crate::grid::{CellSpec, Job};
+use crate::json::Json;
+use crate::runner::{
+    aggregate_cell, AggStat, CellAggregate, CellPerf, CheckpointAggregate, JobResult, MeanStd,
+};
+use std::process::Command;
+
+/// Version of the `BENCH_*.json` schema this build writes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The aggregates of one experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// Experiment name (e.g. `fig4/n=20`, `overhead/applications`).
+    pub name: String,
+    /// One aggregate per grid cell.
+    pub cells: Vec<CellAggregate>,
+}
+
+/// The top-level report one `bench` invocation writes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`] for freshly written reports).
+    pub schema_version: u64,
+    /// The subcommand that produced the report (`all`, `fig4`, …).
+    pub name: String,
+    /// `git describe --always --dirty` of the tree, or `unknown`.
+    pub git_describe: String,
+    /// `quick` or `full`.
+    pub scale: String,
+    /// Worker threads the grid ran on.
+    pub workers: usize,
+    /// Repetitions per cell.
+    pub reps: u64,
+    /// End-to-end wall-clock seconds for the whole grid.
+    pub wall_clock_secs: f64,
+    /// Per-experiment aggregates.
+    pub experiments: Vec<ExperimentReport>,
+}
+
+/// Groups executed job results back into per-experiment aggregates.
+///
+/// `named_grids` pairs each experiment's name with its cells, in the same
+/// order the grids were passed to [`crate::grid::expand_jobs`]; `jobs` and
+/// `results` are the runner's aligned input and output.  This is the one
+/// aggregation path — the `bench` CLI and the determinism suite both call
+/// it, so the suite exercises exactly what ships.
+#[must_use]
+pub fn build_experiment_reports<'a, I>(
+    named_grids: I,
+    jobs: &[Job],
+    results: &[JobResult],
+) -> Vec<ExperimentReport>
+where
+    I: IntoIterator<Item = (&'a str, &'a [CellSpec])>,
+{
+    named_grids
+        .into_iter()
+        .enumerate()
+        .map(|(e, (name, cells))| ExperimentReport {
+            name: name.to_owned(),
+            cells: cells
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| {
+                    let reps: Vec<&JobResult> = jobs
+                        .iter()
+                        .zip(results)
+                        .filter(|(job, _)| job.experiment == e && job.cell == c)
+                        .map(|(_, result)| result)
+                        .collect();
+                    aggregate_cell(&cell.label, &cell.checkpoints, &reps)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// `git describe --always --dirty --tags` of the working tree, `unknown`
+/// when git is unavailable.
+#[must_use]
+pub fn git_describe() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn agg_stat_json(stat: &AggStat) -> Json {
+    Json::obj(vec![
+        ("mean", Json::Num(stat.mean)),
+        ("std", Json::Num(stat.std)),
+        ("ci95_half", Json::Num(stat.ci95_half)),
+        ("min", Json::Num(stat.min)),
+        ("max", Json::Num(stat.max)),
+    ])
+}
+
+fn agg_stat_from_json(value: &Json, context: &str) -> Result<AggStat, String> {
+    let field = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{context}: missing number `{key}`"))
+    };
+    Ok(AggStat {
+        mean: field("mean")?,
+        std: field("std")?,
+        ci95_half: field("ci95_half")?,
+        min: field("min")?,
+        max: field("max")?,
+    })
+}
+
+fn mean_std_json(value: &MeanStd) -> Json {
+    Json::obj(vec![
+        ("mean", Json::Num(value.mean)),
+        ("std", Json::Num(value.std)),
+    ])
+}
+
+fn mean_std_from_json(value: &Json, context: &str) -> Result<MeanStd, String> {
+    let field = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{context}: missing number `{key}`"))
+    };
+    Ok(MeanStd {
+        mean: field("mean")?,
+        std: field("std")?,
+    })
+}
+
+/// Serialises the schedule-independent part of a cell (everything except
+/// `perf`).
+fn cell_deterministic_json(cell: &CellAggregate) -> Json {
+    Json::obj(vec![
+        ("label", Json::str(&cell.label)),
+        ("mechanism", Json::str(&cell.mechanism_name)),
+        ("reps", Json::Num(cell.reps as f64)),
+        ("rounds", Json::Num(cell.rounds as f64)),
+        ("cumulative_regret", agg_stat_json(&cell.cumulative_regret)),
+        ("regret_ratio", agg_stat_json(&cell.regret_ratio)),
+        ("revenue", agg_stat_json(&cell.revenue)),
+        ("acceptance_rate", agg_stat_json(&cell.acceptance_rate)),
+        (
+            "market_value_per_round",
+            mean_std_json(&cell.market_value_per_round),
+        ),
+        (
+            "reserve_price_per_round",
+            mean_std_json(&cell.reserve_price_per_round),
+        ),
+        (
+            "posted_price_per_round",
+            mean_std_json(&cell.posted_price_per_round),
+        ),
+        ("regret_per_round", mean_std_json(&cell.regret_per_round)),
+        (
+            "checkpoints",
+            Json::Arr(
+                cell.checkpoints
+                    .iter()
+                    .map(|cp| {
+                        Json::obj(vec![
+                            ("round", Json::Num(cp.round as f64)),
+                            ("cumulative_regret", agg_stat_json(&cp.cumulative_regret)),
+                            ("regret_ratio", agg_stat_json(&cp.regret_ratio)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn cell_json(cell: &CellAggregate) -> Json {
+    let mut json = cell_deterministic_json(cell);
+    let perf = Json::obj(vec![
+        ("wall_clock_secs", Json::Num(cell.perf.wall_clock_secs)),
+        ("rounds_per_sec", Json::Num(cell.perf.rounds_per_sec)),
+        (
+            "latency_mean_micros",
+            Json::Num(cell.perf.latency_mean_micros),
+        ),
+        (
+            "latency_p50_micros",
+            Json::Num(cell.perf.latency_p50_micros),
+        ),
+        (
+            "latency_p99_micros",
+            Json::Num(cell.perf.latency_p99_micros),
+        ),
+        (
+            "latency_max_micros",
+            Json::Num(cell.perf.latency_max_micros),
+        ),
+        ("memory_bytes", Json::Num(cell.perf.memory_bytes as f64)),
+    ]);
+    if let Json::Obj(pairs) = &mut json {
+        pairs.push(("perf".to_owned(), perf));
+    }
+    json
+}
+
+fn cell_from_json(value: &Json) -> Result<CellAggregate, String> {
+    let label = value
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or("cell: missing `label`")?
+        .to_owned();
+    let context = format!("cell `{label}`");
+    let stat = |key: &str| {
+        value
+            .get(key)
+            .ok_or_else(|| format!("{context}: missing `{key}`"))
+            .and_then(|v| agg_stat_from_json(v, &context))
+    };
+    let per_round = |key: &str| {
+        value
+            .get(key)
+            .ok_or_else(|| format!("{context}: missing `{key}`"))
+            .and_then(|v| mean_std_from_json(v, &context))
+    };
+    let perf = value
+        .get("perf")
+        .ok_or_else(|| format!("{context}: missing `perf`"))?;
+    let perf_field = |key: &str| {
+        perf.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{context}: missing perf number `{key}`"))
+    };
+    let checkpoints = value
+        .get("checkpoints")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{context}: missing `checkpoints`"))?
+        .iter()
+        .map(|cp| {
+            Ok(CheckpointAggregate {
+                round: cp
+                    .get("round")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{context}: checkpoint missing `round`"))?
+                    as usize,
+                cumulative_regret: agg_stat_from_json(
+                    cp.get("cumulative_regret")
+                        .ok_or_else(|| format!("{context}: checkpoint missing regret"))?,
+                    &context,
+                )?,
+                regret_ratio: agg_stat_from_json(
+                    cp.get("regret_ratio")
+                        .ok_or_else(|| format!("{context}: checkpoint missing ratio"))?,
+                    &context,
+                )?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(CellAggregate {
+        mechanism_name: value
+            .get("mechanism")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{context}: missing `mechanism`"))?
+            .to_owned(),
+        reps: value
+            .get("reps")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{context}: missing `reps`"))?,
+        rounds: value
+            .get("rounds")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{context}: missing `rounds`"))? as usize,
+        cumulative_regret: stat("cumulative_regret")?,
+        regret_ratio: stat("regret_ratio")?,
+        revenue: stat("revenue")?,
+        acceptance_rate: stat("acceptance_rate")?,
+        market_value_per_round: per_round("market_value_per_round")?,
+        reserve_price_per_round: per_round("reserve_price_per_round")?,
+        posted_price_per_round: per_round("posted_price_per_round")?,
+        regret_per_round: per_round("regret_per_round")?,
+        checkpoints,
+        perf: CellPerf {
+            wall_clock_secs: perf_field("wall_clock_secs")?,
+            rounds_per_sec: perf_field("rounds_per_sec")?,
+            latency_mean_micros: perf_field("latency_mean_micros")?,
+            latency_p50_micros: perf_field("latency_p50_micros")?,
+            latency_p99_micros: perf_field("latency_p99_micros")?,
+            latency_max_micros: perf_field("latency_max_micros")?,
+            memory_bytes: perf_field("memory_bytes")? as usize,
+        },
+        label,
+    })
+}
+
+impl BenchReport {
+    /// Serialises the full report (metadata + aggregates + perf).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(self.schema_version as f64)),
+            ("name", Json::str(&self.name)),
+            ("git_describe", Json::str(&self.git_describe)),
+            ("scale", Json::str(&self.scale)),
+            ("workers", Json::Num(self.workers as f64)),
+            ("reps", Json::Num(self.reps as f64)),
+            ("wall_clock_secs", Json::Num(self.wall_clock_secs)),
+            (
+                "experiments",
+                Json::Arr(
+                    self.experiments
+                        .iter()
+                        .map(|exp| {
+                            Json::obj(vec![
+                                ("name", Json::str(&exp.name)),
+                                (
+                                    "cells",
+                                    Json::Arr(exp.cells.iter().map(cell_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a report previously produced by [`BenchReport::to_json`].
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let schema_version = value
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("report: missing `schema_version`")?;
+        if schema_version > SCHEMA_VERSION {
+            return Err(format!(
+                "report: schema version {schema_version} is newer than this build's \
+                 {SCHEMA_VERSION}"
+            ));
+        }
+        let text = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("report: missing `{key}`"))
+        };
+        let experiments = value
+            .get("experiments")
+            .and_then(Json::as_arr)
+            .ok_or("report: missing `experiments`")?
+            .iter()
+            .map(|exp| {
+                Ok(ExperimentReport {
+                    name: exp
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("experiment: missing `name`")?
+                        .to_owned(),
+                    cells: exp
+                        .get("cells")
+                        .and_then(Json::as_arr)
+                        .ok_or("experiment: missing `cells`")?
+                        .iter()
+                        .map(cell_from_json)
+                        .collect::<Result<Vec<_>, String>>()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            schema_version,
+            name: text("name")?,
+            git_describe: text("git_describe")?,
+            scale: text("scale")?,
+            workers: value
+                .get("workers")
+                .and_then(Json::as_u64)
+                .ok_or("report: missing `workers`")? as usize,
+            reps: value
+                .get("reps")
+                .and_then(Json::as_u64)
+                .ok_or("report: missing `reps`")?,
+            wall_clock_secs: value
+                .get("wall_clock_secs")
+                .and_then(Json::as_f64)
+                .ok_or("report: missing `wall_clock_secs`")?,
+            experiments,
+        })
+    }
+
+    /// Canonical rendering of the schedule-independent aggregates: the
+    /// experiments and their cells *without* `perf`, wall clock, worker
+    /// count, or git metadata.  Byte-identical across worker counts.
+    #[must_use]
+    pub fn deterministic_fingerprint(&self) -> String {
+        Json::obj(vec![
+            ("schema_version", Json::Num(self.schema_version as f64)),
+            ("name", Json::str(&self.name)),
+            ("scale", Json::str(&self.scale)),
+            ("reps", Json::Num(self.reps as f64)),
+            (
+                "experiments",
+                Json::Arr(
+                    self.experiments
+                        .iter()
+                        .map(|exp| {
+                            Json::obj(vec![
+                                ("name", Json::str(&exp.name)),
+                                (
+                                    "cells",
+                                    Json::Arr(
+                                        exp.cells.iter().map(cell_deterministic_json).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// The CI sanity gate: every deterministic aggregate must be finite and
+    /// non-negative, and the bounded ones (regret ratio, acceptance rate)
+    /// must not exceed 1.
+    ///
+    /// Returns the list of violations (empty means the report is healthy).
+    /// Perf figures are exempt — latency percentiles are legitimately NaN
+    /// for workloads that bypass the instrumented simulation loop.
+    #[must_use]
+    pub fn validate(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let tolerance = 1e-9;
+        for exp in &self.experiments {
+            for cell in &exp.cells {
+                let place = format!("{} / {}", exp.name, cell.label);
+                // (what, stat, upper bound) — regret and revenue are only
+                // bounded below; ratios and rates live in [0, 1].
+                let mut gates: Vec<(String, &AggStat, Option<f64>)> = vec![
+                    (
+                        "cumulative regret".to_owned(),
+                        &cell.cumulative_regret,
+                        None,
+                    ),
+                    ("revenue".to_owned(), &cell.revenue, None),
+                    ("regret ratio".to_owned(), &cell.regret_ratio, Some(1.0)),
+                    (
+                        "acceptance rate".to_owned(),
+                        &cell.acceptance_rate,
+                        Some(1.0),
+                    ),
+                ];
+                for cp in &cell.checkpoints {
+                    gates.push((
+                        format!("regret at t={}", cp.round),
+                        &cp.cumulative_regret,
+                        None,
+                    ));
+                    gates.push((
+                        format!("ratio at t={}", cp.round),
+                        &cp.regret_ratio,
+                        Some(1.0),
+                    ));
+                }
+                for (what, stat, upper) in gates {
+                    for (part, v) in [("mean", stat.mean), ("min", stat.min), ("max", stat.max)] {
+                        if !v.is_finite() {
+                            violations.push(format!("{place}: {what} {part} is not finite ({v})"));
+                        } else if v < -tolerance {
+                            violations.push(format!("{place}: {what} {part} is negative ({v})"));
+                        } else if upper.is_some_and(|bound| v > bound + tolerance) {
+                            violations.push(format!("{place}: {what} {part} exceeds 1 ({v})"));
+                        }
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stat(mean: f64) -> AggStat {
+        AggStat {
+            mean,
+            std: 0.1,
+            ci95_half: 0.05,
+            min: mean - 0.2,
+            max: mean + 0.2,
+        }
+    }
+
+    fn sample_cell(label: &str) -> CellAggregate {
+        CellAggregate {
+            label: label.to_owned(),
+            mechanism_name: "ellipsoid".to_owned(),
+            reps: 3,
+            rounds: 500,
+            cumulative_regret: sample_stat(12.5),
+            regret_ratio: sample_stat(0.4),
+            revenue: sample_stat(100.0),
+            acceptance_rate: sample_stat(0.8),
+            market_value_per_round: MeanStd {
+                mean: 3.8,
+                std: 1.2,
+            },
+            reserve_price_per_round: MeanStd {
+                mean: 3.3,
+                std: 0.7,
+            },
+            posted_price_per_round: MeanStd {
+                mean: 3.6,
+                std: 1.6,
+            },
+            regret_per_round: MeanStd {
+                mean: 0.16,
+                std: 0.8,
+            },
+            checkpoints: vec![CheckpointAggregate {
+                round: 100,
+                cumulative_regret: sample_stat(5.0),
+                regret_ratio: sample_stat(0.5),
+            }],
+            perf: CellPerf {
+                wall_clock_secs: 1.5,
+                rounds_per_sec: 1000.0,
+                latency_mean_micros: 12.0,
+                latency_p50_micros: 10.0,
+                latency_p99_micros: 40.0,
+                latency_max_micros: 90.0,
+                memory_bytes: 4096,
+            },
+        }
+    }
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            name: "all".to_owned(),
+            git_describe: "abc1234-dirty".to_owned(),
+            scale: "quick".to_owned(),
+            workers: 4,
+            reps: 3,
+            wall_clock_secs: 7.25,
+            experiments: vec![ExperimentReport {
+                name: "fig4/n=20".to_owned(),
+                cells: vec![sample_cell("pure version"), sample_cell("with reserve")],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
+        let rendered = report.to_json().render_pretty();
+        let reparsed =
+            BenchReport::from_json(&Json::parse(&rendered).expect("parse")).expect("from_json");
+        assert_eq!(reparsed, report);
+        // A second render is byte-identical (stable schema).
+        assert_eq!(reparsed.to_json().render_pretty(), rendered);
+    }
+
+    #[test]
+    fn fingerprint_ignores_perf_and_metadata() {
+        let mut a = sample_report();
+        let mut b = sample_report();
+        b.workers = 1;
+        b.wall_clock_secs = 99.0;
+        b.git_describe = "elsewhere".to_owned();
+        b.experiments[0].cells[0].perf.rounds_per_sec = 1.0;
+        assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+        // But it does see the aggregates.
+        a.experiments[0].cells[0].cumulative_regret.mean += 1.0;
+        assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn validate_flags_nan_negative_and_excess_ratio() {
+        let healthy = sample_report();
+        assert!(healthy.validate().is_empty());
+
+        let mut nan = sample_report();
+        nan.experiments[0].cells[0].cumulative_regret.mean = f64::NAN;
+        assert!(nan.validate().iter().any(|v| v.contains("not finite")));
+
+        let mut negative = sample_report();
+        negative.experiments[0].cells[1].checkpoints[0]
+            .cumulative_regret
+            .min = -3.0;
+        assert!(negative.validate().iter().any(|v| v.contains("negative")));
+
+        let mut excess = sample_report();
+        excess.experiments[0].cells[0].regret_ratio.max = 1.5;
+        assert!(excess.validate().iter().any(|v| v.contains("exceeds 1")));
+
+        // Revenue and acceptance rate are gated too (the success message
+        // claims *all* aggregates are checked).
+        let mut inf_revenue = sample_report();
+        inf_revenue.experiments[0].cells[0].revenue.mean = f64::INFINITY;
+        assert!(inf_revenue
+            .validate()
+            .iter()
+            .any(|v| v.contains("revenue") && v.contains("not finite")));
+
+        let mut bad_rate = sample_report();
+        bad_rate.experiments[0].cells[1].acceptance_rate.max = 1.2;
+        assert!(bad_rate
+            .validate()
+            .iter()
+            .any(|v| v.contains("acceptance rate") && v.contains("exceeds 1")));
+
+        // NaN perf latency (Lemma-8 cells) is fine.
+        let mut nan_perf = sample_report();
+        nan_perf.experiments[0].cells[0].perf.latency_p50_micros = f64::NAN;
+        assert!(nan_perf.validate().is_empty());
+    }
+
+    #[test]
+    fn from_json_rejects_newer_schemas_and_missing_fields() {
+        let mut newer = sample_report();
+        newer.schema_version = SCHEMA_VERSION + 1;
+        let rendered = newer.to_json().render();
+        assert!(BenchReport::from_json(&Json::parse(&rendered).unwrap())
+            .unwrap_err()
+            .contains("newer"));
+
+        assert!(BenchReport::from_json(&Json::parse("{}").unwrap()).is_err());
+        let no_cells = Json::parse(r#"{"schema_version":1,"name":"x"}"#).unwrap();
+        assert!(BenchReport::from_json(&no_cells).is_err());
+    }
+
+    #[test]
+    fn git_describe_returns_something() {
+        let describe = git_describe();
+        assert!(!describe.is_empty());
+    }
+}

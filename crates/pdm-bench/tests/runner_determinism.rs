@@ -1,0 +1,158 @@
+//! Determinism suite for the parallel runner, plus the `BENCH_*.json`
+//! schema round-trip.
+//!
+//! The acceptance bar for the runner is that the *aggregates* — everything
+//! except wall-clock derived perf figures — are **byte-identical** no matter
+//! how many workers execute the grid.  These tests run a small fixed grid
+//! with 1 and 4 workers and compare the canonical report fingerprints as
+//! strings.
+
+use pdm_bench::grid::{expand_jobs, CellSpec, Checkpoint, JobSpec, SyntheticMechanism};
+use pdm_bench::json::Json;
+use pdm_bench::linear_market::{LinearMarketConfig, Version};
+use pdm_bench::report::{build_experiment_reports, BenchReport, SCHEMA_VERSION};
+use pdm_bench::runner::run_jobs;
+
+/// A small heterogeneous grid: a market cell, a synthetic cell with
+/// checkpoints, and a deterministic Lemma-8 cell.
+fn fixed_grid() -> Vec<Vec<CellSpec>> {
+    let config = LinearMarketConfig {
+        dim: 4,
+        rounds: 200,
+        num_owners: 60,
+        delta: 0.01,
+        seed: 7,
+    };
+    vec![
+        vec![
+            CellSpec::new(
+                "market/with-reserve",
+                JobSpec::LinearMarket {
+                    config,
+                    version: Version::WithReserve,
+                },
+            )
+            .with_checkpoints(vec![Checkpoint::Round(50), Checkpoint::Fraction(1.0)]),
+            CellSpec::new("market/baseline", JobSpec::LinearBaseline { config }),
+        ],
+        vec![
+            CellSpec::new(
+                "synthetic/ellipsoid",
+                JobSpec::Synthetic {
+                    dim: 3,
+                    rounds: 150,
+                    env_seed: 11,
+                    run_seed: 12,
+                    reserve: Some(true),
+                    epsilon: None,
+                    mechanism: SyntheticMechanism::Ellipsoid,
+                },
+            )
+            .with_checkpoints(vec![Checkpoint::Round(10)]),
+            CellSpec::new(
+                "lemma8/correct",
+                JobSpec::Lemma8 {
+                    horizon: 80,
+                    conservative_cuts: false,
+                },
+            ),
+        ],
+    ]
+}
+
+/// Runs the fixed grid with the given worker count and builds the report
+/// through the same aggregation path the `bench` CLI uses.
+fn report_with_workers(workers: usize, reps: u64) -> BenchReport {
+    let grid = fixed_grid();
+    let jobs = expand_jobs(&grid, reps);
+    let results = run_jobs(&jobs, workers);
+    let names: Vec<String> = (0..grid.len()).map(|e| format!("experiment-{e}")).collect();
+    let experiments = build_experiment_reports(
+        names
+            .iter()
+            .map(String::as_str)
+            .zip(grid.iter().map(Vec::as_slice)),
+        &jobs,
+        &results,
+    );
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        name: "determinism-suite".to_owned(),
+        git_describe: "test".to_owned(),
+        scale: "quick".to_owned(),
+        workers,
+        reps,
+        wall_clock_secs: 0.0,
+        experiments,
+    }
+}
+
+#[test]
+fn aggregates_are_bit_identical_for_1_and_4_workers() {
+    let serial = report_with_workers(1, 2);
+    let parallel = report_with_workers(4, 2);
+    assert_eq!(
+        serial.deterministic_fingerprint(),
+        parallel.deterministic_fingerprint(),
+        "worker count must not affect any deterministic aggregate"
+    );
+}
+
+#[test]
+fn repetition_count_changes_aggregates_but_not_their_health() {
+    let single = report_with_workers(2, 1);
+    let triple = report_with_workers(2, 3);
+    assert_ne!(
+        single.deterministic_fingerprint(),
+        triple.deterministic_fingerprint(),
+        "extra reps draw new seeds, so the aggregates must move"
+    );
+    assert!(single.validate().is_empty());
+    assert!(triple.validate().is_empty());
+    // With 3 reps the market cells have real spread.
+    let market = &triple.experiments[0].cells[0];
+    assert_eq!(market.reps, 3);
+    assert!(market.cumulative_regret.std > 0.0);
+    assert!(market.cumulative_regret.ci95_half > 0.0);
+    // The Lemma-8 game is deterministic: zero spread by construction.
+    let lemma = &triple.experiments[1].cells[1];
+    assert_eq!(lemma.cumulative_regret.std, 0.0);
+}
+
+#[test]
+fn report_survives_a_full_json_round_trip() {
+    let report = report_with_workers(2, 2);
+    let rendered = report.to_json().render_pretty();
+    let parsed = Json::parse(&rendered).expect("the emitted JSON must parse");
+    let recovered = BenchReport::from_json(&parsed).expect("the schema must round-trip");
+    // Struct equality cannot be used here — real reports legitimately carry
+    // NaN perf fields (Lemma-8 cells have no latency trace) and NaN != NaN.
+    // The schema guarantee is canonical-render stability instead.
+    assert_eq!(recovered.to_json().render_pretty(), rendered);
+    assert_eq!(
+        recovered.deterministic_fingerprint(),
+        report.deterministic_fingerprint()
+    );
+    // Spot-check a non-NaN field recovered exactly.
+    assert_eq!(
+        recovered.experiments[0].cells[0].cumulative_regret.mean,
+        report.experiments[0].cells[0].cumulative_regret.mean
+    );
+    assert_eq!(recovered.workers, report.workers);
+}
+
+#[test]
+fn checkpoints_resolve_identically_across_worker_counts() {
+    let a = report_with_workers(1, 1);
+    let b = report_with_workers(3, 1);
+    let cell_a = &a.experiments[0].cells[0];
+    let cell_b = &b.experiments[0].cells[0];
+    assert_eq!(cell_a.checkpoints.len(), 2);
+    assert_eq!(cell_a.checkpoints[0].round, 50);
+    assert_eq!(cell_a.checkpoints[1].round, 200);
+    for (ca, cb) in cell_a.checkpoints.iter().zip(&cell_b.checkpoints) {
+        assert_eq!(ca.round, cb.round);
+        assert_eq!(ca.cumulative_regret.mean, cb.cumulative_regret.mean);
+        assert_eq!(ca.regret_ratio.mean, cb.regret_ratio.mean);
+    }
+}

@@ -351,7 +351,7 @@ pub fn ln_unit_ball_volume(n: usize) -> f64 {
 /// recurrences `Γ(k) = (k−1)!` and `Γ(k + ½) = (2k)! √π / (4ᵏ k!)`.
 fn ln_gamma_half(m: usize) -> f64 {
     assert!(m >= 1, "ln_gamma_half requires a positive argument");
-    if m % 2 == 0 {
+    if m.is_multiple_of(2) {
         // Γ(k) with k = m / 2.
         let k = m / 2;
         (1..k).map(|i| (i as f64).ln()).sum()

@@ -67,8 +67,8 @@ impl LinearRegression {
                     continue;
                 }
                 xty[i] += ri * y;
-                for j in 0..aug {
-                    xtx.add_to(i, j, ri * row_buffer[j]);
+                for (j, &rj) in row_buffer[..aug].iter().enumerate() {
+                    xtx.add_to(i, j, ri * rj);
                 }
             }
         }

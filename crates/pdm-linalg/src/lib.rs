@@ -44,7 +44,7 @@ pub use eigen::{jacobi_eigen, EigenDecomposition};
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
 pub use simplex::{LinearProgram, LpOutcome, LpSolution};
-pub use stats::{mean, population_std, sample_std, OnlineStats};
+pub use stats::{mean, population_std, quantile_sorted, quantiles, sample_std, OnlineStats};
 pub use vector::Vector;
 
 /// Numerical tolerance used across the crate for "is this effectively zero"

@@ -140,14 +140,8 @@ impl LinearProgram {
         // We first normalise every row so its RHS is non-negative; rows that
         // were flipped receive a surplus variable (-1) plus an artificial
         // variable, others receive a plain slack.
-        let mut needs_artificial = vec![false; m];
-        let mut num_artificial = 0usize;
-        for i in 0..m {
-            if self.rhs[i] < 0.0 {
-                needs_artificial[i] = true;
-                num_artificial += 1;
-            }
-        }
+        let needs_artificial: Vec<bool> = self.rhs.iter().map(|&b| b < 0.0).collect();
+        let num_artificial = needs_artificial.iter().filter(|&&flip| flip).count();
         let slack_offset = n;
         let art_offset = n + m;
         let total_cols = n + m + num_artificial + 1; // +1 for RHS
@@ -159,8 +153,8 @@ impl LinearProgram {
         let mut art_index = 0usize;
         for i in 0..m {
             let flip = if needs_artificial[i] { -1.0 } else { 1.0 };
-            for j in 0..n {
-                tableau[i][j] = flip * self.constraints[i][j];
+            for (dst, &src) in tableau[i][..n].iter_mut().zip(&self.constraints[i]) {
+                *dst = flip * src;
             }
             // Slack (or surplus after the flip) variable for this row.
             tableau[i][slack_offset + i] = flip;
@@ -178,17 +172,14 @@ impl LinearProgram {
         // -- Phase 1: minimise the sum of artificial variables ----------------
         if num_artificial > 0 {
             // Objective row: maximise -(sum of artificials).
-            for j in 0..total_cols {
-                tableau[m][j] = 0.0;
-            }
-            for j in 0..num_artificial {
-                tableau[m][art_offset + j] = -1.0;
-            }
+            tableau[m].fill(0.0);
+            tableau[m][art_offset..art_offset + num_artificial].fill(-1.0);
             // Price out the artificial basis columns.
-            for i in 0..m {
+            let (constraint_rows, objective_rows) = tableau.split_at_mut(m);
+            for (i, row) in constraint_rows.iter().enumerate() {
                 if basis[i] >= art_offset {
-                    for j in 0..total_cols {
-                        tableau[m][j] = tableau[m][j] + tableau[i][j];
+                    for (dst, &src) in objective_rows[0].iter_mut().zip(row) {
+                        *dst += src;
                     }
                 }
             }
@@ -204,13 +195,9 @@ impl LinearProgram {
             // zero out of it, if possible.
             for i in 0..m {
                 if basis[i] >= art_offset {
-                    let mut pivot_col = None;
-                    for j in 0..art_offset {
-                        if tableau[i][j].abs() > PIVOT_TOL {
-                            pivot_col = Some(j);
-                            break;
-                        }
-                    }
+                    let pivot_col = tableau[i][..art_offset]
+                        .iter()
+                        .position(|a| a.abs() > PIVOT_TOL);
                     if let Some(col) = pivot_col {
                         Self::pivot(&mut tableau, &mut basis, i, col);
                     }
@@ -219,24 +206,22 @@ impl LinearProgram {
         }
 
         // -- Phase 2: original objective --------------------------------------
-        for j in 0..total_cols {
-            tableau[m][j] = 0.0;
-        }
-        for j in 0..n {
-            tableau[m][j] = self.objective[j];
-        }
+        tableau[m].fill(0.0);
+        tableau[m][..n].copy_from_slice(&self.objective);
         // Zero out artificial columns so they can never re-enter.
-        for j in 0..num_artificial {
-            for row in tableau.iter_mut().take(m) {
-                row[art_offset + j] = 0.0;
-            }
+        for row in tableau.iter_mut().take(m) {
+            row[art_offset..art_offset + num_artificial].fill(0.0);
         }
         // Price out the current basis.
-        for i in 0..m {
-            let coeff = tableau[m][basis[i]];
-            if coeff.abs() > 0.0 {
-                for j in 0..total_cols {
-                    tableau[m][j] -= coeff * tableau[i][j];
+        {
+            let (constraint_rows, objective_rows) = tableau.split_at_mut(m);
+            let objective_row = &mut objective_rows[0];
+            for (i, row) in constraint_rows.iter().enumerate() {
+                let coeff = objective_row[basis[i]];
+                if coeff.abs() > 0.0 {
+                    for (dst, &src) in objective_row.iter_mut().zip(row) {
+                        *dst -= coeff * src;
+                    }
                 }
             }
         }
@@ -269,13 +254,7 @@ impl LinearProgram {
             // Entering column: Bland's rule — smallest index with positive
             // reduced cost (we maximise, and the objective row stores the
             // current reduced costs directly).
-            let mut entering = None;
-            for j in 0..rhs_col {
-                if tableau[m][j] > PIVOT_TOL {
-                    entering = Some(j);
-                    break;
-                }
-            }
+            let entering = tableau[m][..rhs_col].iter().position(|&c| c > PIVOT_TOL);
             let Some(col) = entering else {
                 return Ok(true);
             };
@@ -313,21 +292,22 @@ impl LinearProgram {
     /// Performs a single pivot on `(row, col)`.
     fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
         let pivot_val = tableau[row][col];
-        let width = tableau[row].len();
-        for j in 0..width {
-            tableau[row][j] /= pivot_val;
+        for v in &mut tableau[row] {
+            *v /= pivot_val;
         }
-        let nrows = tableau.len();
-        for i in 0..nrows {
+        // One O(width) copy per pivot keeps the elimination loop a clean
+        // two-slice zip (the update itself is O(rows × width)).
+        let pivot_row = tableau[row].clone();
+        for (i, other) in tableau.iter_mut().enumerate() {
             if i == row {
                 continue;
             }
-            let factor = tableau[i][col];
+            let factor = other[col];
             if factor.abs() <= 0.0 {
                 continue;
             }
-            for j in 0..width {
-                tableau[i][j] -= factor * tableau[row][j];
+            for (dst, &src) in other.iter_mut().zip(&pivot_row) {
+                *dst -= factor * src;
             }
         }
         basis[row] = col;

@@ -39,6 +39,35 @@ pub fn sample_std(values: &[f64]) -> f64 {
     (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
 }
 
+/// Linearly-interpolated quantile of an **ascending-sorted** slice, with `q`
+/// clamped to `[0, 1]` (`q = 0.5` is the median, `q = 0.99` the p99).
+///
+/// Returns `NaN` for an empty slice; a single element is every quantile of
+/// itself.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Sorts a copy of `values` and reads off one quantile per entry of `qs`.
+///
+/// Convenience wrapper over [`quantile_sorted`] for callers that hold an
+/// unsorted latency trace and want, say, the p50 and p99 in one pass.
+#[must_use]
+pub fn quantiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    qs.iter().map(|&q| quantile_sorted(&sorted, q)).collect()
+}
+
 /// Streaming mean / variance / min / max accumulator (Welford's algorithm).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct OnlineStats {
@@ -192,6 +221,31 @@ mod tests {
         assert_eq!(population_std(&[]), 0.0);
         assert_eq!(sample_std(&[]), 0.0);
         assert_eq!(sample_std(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_handle_edges() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(approx_eq(quantile_sorted(&sorted, 0.0), 1.0, 1e-12));
+        assert!(approx_eq(quantile_sorted(&sorted, 0.5), 3.0, 1e-12));
+        assert!(approx_eq(quantile_sorted(&sorted, 1.0), 5.0, 1e-12));
+        assert!(approx_eq(quantile_sorted(&sorted, 0.25), 2.0, 1e-12));
+        // Interpolation between ranks.
+        assert!(approx_eq(quantile_sorted(&[1.0, 2.0], 0.75), 1.75, 1e-12));
+        // Out-of-range q is clamped; single element is every quantile.
+        assert!(approx_eq(quantile_sorted(&[7.0], 0.99), 7.0, 1e-12));
+        assert!(approx_eq(quantile_sorted(&sorted, 2.0), 5.0, 1e-12));
+        assert!(quantile_sorted(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn quantiles_sorts_a_copy() {
+        let unsorted = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let qs = quantiles(&unsorted, &[0.5, 0.99]);
+        assert!(approx_eq(qs[0], 3.0, 1e-12));
+        assert!(approx_eq(qs[1], 4.96, 1e-12));
+        // The input slice is untouched.
+        assert_eq!(unsorted[0], 5.0);
     }
 
     #[test]

@@ -67,9 +67,9 @@ impl Vector {
 
     /// Builds a vector by evaluating `f(i)` for `i` in `0..len`.
     #[must_use]
-    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+    pub fn from_fn(len: usize, f: impl FnMut(usize) -> f64) -> Self {
         Self {
-            data: (0..len).map(|i| f(i)).collect(),
+            data: (0..len).map(f).collect(),
         }
     }
 

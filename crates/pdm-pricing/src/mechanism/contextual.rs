@@ -354,7 +354,7 @@ mod tests {
     impl IntoNarrow for EllipsoidPricing<LinearModel> {
         fn into_narrow(self) -> Self {
             let config = (*self.config()).with_epsilon(1e6);
-            EllipsoidPricing::new(self.model().clone(), config)
+            EllipsoidPricing::new(*self.model(), config)
         }
     }
 

@@ -61,11 +61,38 @@ pub struct SimulationOutcome {
     pub full_trace: Vec<RoundOutcome>,
     /// Distribution of per-round latency in microseconds (quote + observe).
     pub round_latency_micros: OnlineStats,
+    /// Median per-round latency in microseconds (`NaN` when no round ran or
+    /// the outcome was synthesised via [`SimulationOutcome::from_report`]).
+    pub round_latency_p50_micros: f64,
+    /// 99th-percentile per-round latency in microseconds (`NaN` when
+    /// unavailable, like the p50).
+    pub round_latency_p99_micros: f64,
     /// Approximate memory footprint of the mechanism's learned state.
     pub memory_footprint_bytes: usize,
 }
 
 impl SimulationOutcome {
+    /// Wraps a bare [`RegretReport`] in an outcome with no trace and no
+    /// latency measurements.
+    ///
+    /// Drivers that bypass [`Simulation`] (the Lemma-8 adversary plays the
+    /// mechanism directly) use this so downstream aggregation can treat every
+    /// experiment uniformly; the latency percentiles are `NaN` and the
+    /// memory footprint zero.
+    #[must_use]
+    pub fn from_report(mechanism_name: String, report: RegretReport) -> Self {
+        Self {
+            mechanism_name,
+            report,
+            trace: Vec::new(),
+            full_trace: Vec::new(),
+            round_latency_micros: OnlineStats::new(),
+            round_latency_p50_micros: f64::NAN,
+            round_latency_p99_micros: f64::NAN,
+            memory_footprint_bytes: 0,
+        }
+    }
+
     /// Cumulative regret at the end of the simulation.
     #[must_use]
     pub fn cumulative_regret(&self) -> f64 {
@@ -81,7 +108,7 @@ impl SimulationOutcome {
     /// The trace sample closest to (but not beyond) the given round.
     #[must_use]
     pub fn trace_at(&self, round: usize) -> Option<&TraceSample> {
-        self.trace.iter().filter(|s| s.round <= round).last()
+        self.trace.iter().rfind(|s| s.round <= round)
     }
 }
 
@@ -144,6 +171,7 @@ impl<E: Environment, M: PostedPriceMechanism> Simulation<E, M> {
         let mut tracker = RegretTracker::new(self.options.keep_full_trace);
         let mut trace = Vec::with_capacity(checkpoints.len());
         let mut latency = OnlineStats::new();
+        let mut latency_trace = Vec::with_capacity(horizon);
 
         while let Some(round) = self.environment.next_round(rng) {
             let start = Instant::now();
@@ -151,7 +179,9 @@ impl<E: Environment, M: PostedPriceMechanism> Simulation<E, M> {
             let accepted = quote.posted_price <= round.market_value;
             self.mechanism.observe(&round.features, &quote, accepted);
             let elapsed = start.elapsed();
-            latency.push(elapsed.as_secs_f64() * 1e6);
+            let micros = elapsed.as_secs_f64() * 1e6;
+            latency.push(micros);
+            latency_trace.push(micros);
 
             tracker.record(round.market_value, round.reserve_price, quote.posted_price);
 
@@ -169,12 +199,15 @@ impl<E: Environment, M: PostedPriceMechanism> Simulation<E, M> {
             }
         }
 
+        let percentiles = pdm_linalg::quantiles(&latency_trace, &[0.50, 0.99]);
         let outcome = SimulationOutcome {
             mechanism_name: self.mechanism.name(),
             report: tracker.report(),
             trace,
             full_trace: tracker.trace().to_vec(),
             round_latency_micros: latency,
+            round_latency_p50_micros: percentiles[0],
+            round_latency_p99_micros: percentiles[1],
             memory_footprint_bytes: self.mechanism.memory_footprint_bytes(),
         };
         (outcome, self.mechanism, self.environment)
@@ -287,6 +320,33 @@ mod tests {
         assert_eq!(outcome.full_trace.len(), 100);
         assert!(outcome.round_latency_micros.count() == 100);
         assert!(outcome.memory_footprint_bytes > 0);
+    }
+
+    #[test]
+    fn latency_percentiles_are_finite_and_ordered() {
+        let env = environment(3, 200, 6);
+        let config = PricingConfig::for_environment(&env, 200);
+        let mechanism = EllipsoidPricing::new(LinearModel::new(3), config);
+        let mut rng = StdRng::seed_from_u64(61);
+        let outcome = Simulation::new(env, mechanism).run(&mut rng);
+        assert!(outcome.round_latency_p50_micros.is_finite());
+        assert!(outcome.round_latency_p99_micros.is_finite());
+        assert!(outcome.round_latency_p50_micros >= 0.0);
+        assert!(outcome.round_latency_p99_micros >= outcome.round_latency_p50_micros);
+        assert!(outcome.round_latency_micros.max() >= outcome.round_latency_p99_micros);
+    }
+
+    #[test]
+    fn from_report_synthesises_an_aggregation_friendly_outcome() {
+        let mut tracker = RegretTracker::new(false);
+        tracker.record(4.0, 1.0, 3.0);
+        let outcome = SimulationOutcome::from_report("adversary".to_owned(), tracker.report());
+        assert_eq!(outcome.mechanism_name, "adversary");
+        assert_eq!(outcome.report.rounds, 1);
+        assert!(outcome.trace.is_empty());
+        assert!(outcome.round_latency_p50_micros.is_nan());
+        assert!(outcome.round_latency_p99_micros.is_nan());
+        assert_eq!(outcome.memory_footprint_bytes, 0);
     }
 
     #[test]

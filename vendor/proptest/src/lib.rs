@@ -212,13 +212,17 @@ macro_rules! prop_assert {
     ($cond:expr) => {
         $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
     };
-    ($cond:expr, $($fmt:tt)*) => {
-        if !($cond) {
+    ($cond:expr, $($fmt:tt)*) => {{
+        // Bind first so clippy's `neg_cmp_op_on_partial_ord` does not fire on
+        // caller comparisons expanded into `!(...)`; the braces keep the
+        // macro usable in expression position like the real proptest's.
+        let cond: bool = $cond;
+        if !cond {
             return ::core::result::Result::Err($crate::TestCaseError::Fail(
                 format!($($fmt)*),
             ));
         }
-    };
+    }};
 }
 
 /// Fails the current test case unless the two expressions compare equal.
@@ -242,13 +246,14 @@ macro_rules! prop_assert_eq {
 /// holds; the runner draws a fresh sample instead.
 #[macro_export]
 macro_rules! prop_assume {
-    ($cond:expr) => {
-        if !($cond) {
+    ($cond:expr) => {{
+        let cond: bool = $cond;
+        if !cond {
             return ::core::result::Result::Err($crate::TestCaseError::Reject(
                 concat!("assumption failed: ", stringify!($cond)).to_string(),
             ));
         }
-    };
+    }};
 }
 
 /// Declares property tests: each `fn name(arg in strategy, ..) { body }`
