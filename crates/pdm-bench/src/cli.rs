@@ -11,6 +11,7 @@ use crate::experiments::{experiments_for, render_experiment, render_fig1};
 use crate::grid::expand_jobs;
 use crate::report::{build_experiment_reports, git_describe, BenchReport, SCHEMA_VERSION};
 use crate::runner::run_jobs;
+use crate::serve::{render_serve, run_serve_grid, serve_grid};
 use crate::Scale;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -36,13 +37,16 @@ pub enum Command {
     Overhead,
     /// Lemma 8 / Fig. 6 — conservative-cut ablation.
     Lemma8,
+    /// The closed-loop serving workload over the sharded `pdm-service`
+    /// engine (tenant-count × arrival-mix grid, throughput + latency).
+    Serve,
     /// Every simulation experiment above in one grid.
     All,
 }
 
 impl Command {
     /// Every subcommand, in help order.
-    pub const ALL: [Command; 10] = [
+    pub const ALL: [Command; 11] = [
         Command::Fig1,
         Command::Fig4,
         Command::Fig5a,
@@ -52,6 +56,7 @@ impl Command {
         Command::RegretScaling,
         Command::Overhead,
         Command::Lemma8,
+        Command::Serve,
         Command::All,
     ];
 
@@ -68,6 +73,7 @@ impl Command {
             Command::RegretScaling => "regret-scaling",
             Command::Overhead => "overhead",
             Command::Lemma8 => "lemma8",
+            Command::Serve => "serve",
             Command::All => "all",
         }
     }
@@ -203,9 +209,21 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
     let grids: Vec<Vec<crate::grid::CellSpec>> =
         experiments.iter().map(|e| e.cells.clone()).collect();
     let jobs = expand_jobs(&grids, args.reps);
-    // The effective pool size (run_jobs clamps the same way) — this, not the
-    // requested count, is what the banner, footer, and JSON report record.
-    let workers = args.workers.clamp(1, jobs.len().max(1));
+    // The effective pool size — this, not the requested count, is what the
+    // banner, footer, and JSON report record.  For the simulation grid,
+    // `run_jobs` clamps to the job count; for the serve workload,
+    // `MarketService::drain` clamps to the shard count (uniform across the
+    // grid at a given scale), so the same clamp is applied here.
+    let workers = if args.command == Command::Serve {
+        let shards = serve_grid(args.scale)
+            .iter()
+            .map(|cell| cell.shards)
+            .max()
+            .unwrap_or(1);
+        args.workers.clamp(1, shards)
+    } else {
+        args.workers.clamp(1, jobs.len().max(1))
+    };
     if !jobs.is_empty() {
         println!(
             "bench {} — {} ({} jobs across {} worker{}, {} rep{} per cell)",
@@ -236,6 +254,30 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         }
     }
 
+    let serve = if args.command == Command::Serve {
+        let cells = serve_grid(args.scale);
+        println!(
+            "bench serve — {} ({} cells, {} drain worker{}, {} rep{} per cell)",
+            args.scale.label(),
+            cells.len(),
+            workers,
+            if workers == 1 { "" } else { "s" },
+            args.reps,
+            if args.reps == 1 { "" } else { "s" },
+        );
+        println!();
+        let rows = run_serve_grid(args.scale, workers, args.reps)?;
+        println!("{}", render_serve(&rows));
+        println!(
+            "every cell verified bit-for-bit against its serial per-tenant replay \
+             (posted prices, revenue, regret)"
+        );
+        println!();
+        rows
+    } else {
+        Vec::new()
+    };
+
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,
         name: args.command.name().to_owned(),
@@ -245,6 +287,7 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         reps: args.reps,
         wall_clock_secs: start.elapsed().as_secs_f64(),
         experiments: reports,
+        serve,
     };
 
     println!(
@@ -335,6 +378,18 @@ mod tests {
         assert_eq!(args.reps, 3);
         assert!(!args.check);
         assert!(args.json.is_none());
+    }
+
+    #[test]
+    fn serve_is_a_first_class_subcommand() {
+        assert_eq!(Command::parse("serve"), Some(Command::Serve));
+        let args = parse_args(None, &strings(&["serve", "--workers", "4", "--check"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.command, Command::Serve);
+        assert_eq!(args.workers, 4);
+        assert!(args.check);
+        assert!(usage().contains("serve"));
     }
 
     #[test]

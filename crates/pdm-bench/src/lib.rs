@@ -43,11 +43,19 @@ pub mod avazu_pipeline;
 pub mod cli;
 pub mod experiments;
 pub mod grid;
-pub mod json;
 pub mod linear_market;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod serve;
 pub mod table;
+
+/// The deterministic JSON tree the `BENCH_*.json` reports serialise through.
+///
+/// The implementation lives in [`pdm_linalg::json`] (the dependency-free
+/// root of the workspace) so that `pdm-service` snapshots can use it without
+/// depending on this bench crate; it is re-exported here because the report
+/// schema and its consumers historically spell it `pdm_bench::json`.
+pub use pdm_linalg::json;
 
 pub use scale::Scale;

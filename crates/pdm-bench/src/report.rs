@@ -25,10 +25,15 @@ use crate::json::Json;
 use crate::runner::{
     aggregate_cell, AggStat, CellAggregate, CellPerf, CheckpointAggregate, JobResult, MeanStd,
 };
+use crate::serve::{ServeCellReport, ServePerf};
 use std::process::Command;
 
 /// Version of the `BENCH_*.json` schema this build writes.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the additive `serve` section (the `bench serve` closed-loop
+/// workload: quotes/sec plus p50/p99 service latency per workload cell);
+/// v1 reports parse as v2 reports with no serve cells.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The aggregates of one experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +63,9 @@ pub struct BenchReport {
     pub wall_clock_secs: f64,
     /// Per-experiment aggregates.
     pub experiments: Vec<ExperimentReport>,
+    /// Serve-workload cells (schema v2; empty for simulation-only runs and
+    /// for reports read back from v1 files).
+    pub serve: Vec<ServeCellReport>,
 }
 
 /// Groups executed job results back into per-experiment aggregates.
@@ -231,6 +239,110 @@ fn cell_json(cell: &CellAggregate) -> Json {
     json
 }
 
+/// Serialises the schedule-independent part of a serve cell: everything
+/// except `perf` and the worker count (both legitimately differ between the
+/// runs the determinism suite compares).
+fn serve_cell_deterministic_json(cell: &ServeCellReport) -> Json {
+    Json::obj(vec![
+        ("label", Json::str(&cell.label)),
+        ("mix", Json::str(&cell.mix)),
+        ("tenants", Json::Num(cell.tenants as f64)),
+        ("shards", Json::Num(cell.shards as f64)),
+        ("waves", Json::Num(cell.waves as f64)),
+        ("reps", Json::Num(cell.reps as f64)),
+        ("quotes_served", Json::Num(cell.quotes_served as f64)),
+        ("observations", Json::Num(cell.observations as f64)),
+        ("sales", Json::Num(cell.sales as f64)),
+        ("shed", Json::Num(cell.shed as f64)),
+        ("rejected", Json::Num(cell.rejected as f64)),
+        ("revenue", agg_stat_json(&cell.revenue)),
+        ("regret", agg_stat_json(&cell.regret)),
+        ("accept_rate", agg_stat_json(&cell.accept_rate)),
+    ])
+}
+
+fn serve_cell_json(cell: &ServeCellReport) -> Json {
+    let mut json = serve_cell_deterministic_json(cell);
+    let perf = Json::obj(vec![
+        ("wall_clock_secs", Json::Num(cell.perf.wall_clock_secs)),
+        ("quotes_per_sec", Json::Num(cell.perf.quotes_per_sec)),
+        (
+            "latency_mean_micros",
+            Json::Num(cell.perf.latency_mean_micros),
+        ),
+        (
+            "latency_p50_micros",
+            Json::Num(cell.perf.latency_p50_micros),
+        ),
+        (
+            "latency_p99_micros",
+            Json::Num(cell.perf.latency_p99_micros),
+        ),
+    ]);
+    if let Json::Obj(pairs) = &mut json {
+        pairs.push(("workers".to_owned(), Json::Num(cell.workers as f64)));
+        pairs.push(("perf".to_owned(), perf));
+    }
+    json
+}
+
+fn serve_cell_from_json(value: &Json) -> Result<ServeCellReport, String> {
+    let label = value
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or("serve cell: missing `label`")?
+        .to_owned();
+    let context = format!("serve cell `{label}`");
+    let count = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{context}: missing count `{key}`"))
+    };
+    let stat = |key: &str| {
+        value
+            .get(key)
+            .ok_or_else(|| format!("{context}: missing `{key}`"))
+            .and_then(|v| agg_stat_from_json(v, &context))
+    };
+    let perf = value
+        .get("perf")
+        .ok_or_else(|| format!("{context}: missing `perf`"))?;
+    let perf_field = |key: &str| {
+        perf.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{context}: missing perf number `{key}`"))
+    };
+    Ok(ServeCellReport {
+        mix: value
+            .get("mix")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{context}: missing `mix`"))?
+            .to_owned(),
+        tenants: count("tenants")?,
+        shards: count("shards")?,
+        waves: count("waves")?,
+        reps: count("reps")?,
+        workers: count("workers")?,
+        quotes_served: count("quotes_served")?,
+        observations: count("observations")?,
+        sales: count("sales")?,
+        shed: count("shed")?,
+        rejected: count("rejected")?,
+        revenue: stat("revenue")?,
+        regret: stat("regret")?,
+        accept_rate: stat("accept_rate")?,
+        perf: ServePerf {
+            wall_clock_secs: perf_field("wall_clock_secs")?,
+            quotes_per_sec: perf_field("quotes_per_sec")?,
+            latency_mean_micros: perf_field("latency_mean_micros")?,
+            latency_p50_micros: perf_field("latency_p50_micros")?,
+            latency_p99_micros: perf_field("latency_p99_micros")?,
+        },
+        label,
+    })
+}
+
 fn cell_from_json(value: &Json) -> Result<CellAggregate, String> {
     let label = value
         .get("label")
@@ -348,6 +460,10 @@ impl BenchReport {
                         .collect(),
                 ),
             ),
+            (
+                "serve",
+                Json::Arr(self.serve.iter().map(serve_cell_json).collect()),
+            ),
         ])
     }
 
@@ -392,8 +508,20 @@ impl BenchReport {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        // `serve` arrived with schema v2; absent in v1 files means "no serve
+        // cells", not an error.
+        let serve = match value.get("serve") {
+            Some(section) => section
+                .as_arr()
+                .ok_or("report: `serve` must be an array")?
+                .iter()
+                .map(serve_cell_from_json)
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
         Ok(Self {
             schema_version,
+            serve,
             name: text("name")?,
             git_describe: text("git_describe")?,
             scale: text("scale")?,
@@ -439,6 +567,15 @@ impl BenchReport {
                                 ),
                             ])
                         })
+                        .collect(),
+                ),
+            ),
+            (
+                "serve",
+                Json::Arr(
+                    self.serve
+                        .iter()
+                        .map(serve_cell_deterministic_json)
                         .collect(),
                 ),
             ),
@@ -499,6 +636,40 @@ impl BenchReport {
                         }
                     }
                 }
+            }
+        }
+        for cell in &self.serve {
+            let place = format!("serve / {}", cell.label);
+            for (what, stat, upper) in [
+                ("revenue", &cell.revenue, None),
+                ("regret", &cell.regret, None),
+                ("acceptance rate", &cell.accept_rate, Some(1.0)),
+            ] {
+                for (part, v) in [("mean", stat.mean), ("min", stat.min), ("max", stat.max)] {
+                    if !v.is_finite() {
+                        violations.push(format!("{place}: {what} {part} is not finite ({v})"));
+                    } else if v < -tolerance {
+                        violations.push(format!("{place}: {what} {part} is negative ({v})"));
+                    } else if upper.is_some_and(|bound| v > bound + tolerance) {
+                        violations.push(format!("{place}: {what} {part} exceeds 1 ({v})"));
+                    }
+                }
+            }
+            // Throughput sanity: a cell that served anything must report a
+            // positive quotes/sec, and overload shedding must never starve
+            // the service completely.
+            let throughput = cell.perf.quotes_per_sec;
+            if cell.quotes_served > 0 && (!throughput.is_finite() || throughput <= 0.0) {
+                violations.push(format!(
+                    "{place}: quotes/sec is not positive ({throughput})"
+                ));
+            }
+            if cell.quotes_served == 0 {
+                violations.push(format!("{place}: served no quotes at all"));
+            }
+            let shed_rate = cell.shed_rate();
+            if !shed_rate.is_finite() || shed_rate >= 1.0 {
+                violations.push(format!("{place}: shed rate reached 100% ({shed_rate})"));
             }
         }
         violations
@@ -562,6 +733,33 @@ mod tests {
         }
     }
 
+    fn sample_serve_cell(label: &str) -> ServeCellReport {
+        ServeCellReport {
+            label: label.to_owned(),
+            mix: "uniform".to_owned(),
+            tenants: 16,
+            shards: 8,
+            waves: 24,
+            reps: 2,
+            workers: 4,
+            quotes_served: 768,
+            observations: 768,
+            sales: 600,
+            shed: 12,
+            rejected: 0,
+            revenue: sample_stat(420.0),
+            regret: sample_stat(9.5),
+            accept_rate: sample_stat(0.78),
+            perf: ServePerf {
+                wall_clock_secs: 0.8,
+                quotes_per_sec: 50_000.0,
+                latency_mean_micros: 4.0,
+                latency_p50_micros: 3.5,
+                latency_p99_micros: 11.0,
+            },
+        }
+    }
+
     fn sample_report() -> BenchReport {
         BenchReport {
             schema_version: SCHEMA_VERSION,
@@ -575,6 +773,7 @@ mod tests {
                 name: "fig4/n=20".to_owned(),
                 cells: vec![sample_cell("pure version"), sample_cell("with reserve")],
             }],
+            serve: vec![sample_serve_cell("tenants=16/mix=uniform")],
         }
     }
 
@@ -597,10 +796,78 @@ mod tests {
         b.wall_clock_secs = 99.0;
         b.git_describe = "elsewhere".to_owned();
         b.experiments[0].cells[0].perf.rounds_per_sec = 1.0;
+        // Serve throughput/latency and the drain worker count are
+        // wall-clock/schedule facts, not aggregates.
+        b.serve[0].workers = 1;
+        b.serve[0].perf.quotes_per_sec = 3.0;
+        b.serve[0].perf.latency_p99_micros = 9_999.0;
         assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
-        // But it does see the aggregates.
+        // But it does see the aggregates — simulation and serve alike.
         a.experiments[0].cells[0].cumulative_regret.mean += 1.0;
         assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+        let mut c = sample_report();
+        c.serve[0].revenue.mean += 1.0;
+        assert_ne!(c.deterministic_fingerprint(), b.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn v1_reports_without_a_serve_section_still_parse() {
+        let mut report = sample_report();
+        report.serve.clear();
+        let mut rendered = report.to_json();
+        // Simulate a v1 file: no `serve` key, version 1.
+        if let Json::Obj(pairs) = &mut rendered {
+            pairs.retain(|(key, _)| key != "serve");
+            pairs[0].1 = Json::Num(1.0);
+        }
+        let reparsed = BenchReport::from_json(&rendered).expect("v1 parses");
+        assert_eq!(reparsed.schema_version, 1);
+        assert!(reparsed.serve.is_empty());
+    }
+
+    #[test]
+    fn validate_gates_serve_throughput_and_shedding() {
+        let healthy = sample_report();
+        assert!(healthy.validate().is_empty());
+
+        // A cell that served traffic but reports zero throughput is broken
+        // instrumentation; a cell that served nothing is a broken workload.
+        let mut stalled = sample_report();
+        stalled.serve[0].perf.quotes_per_sec = 0.0;
+        assert!(stalled.validate().iter().any(|v| v.contains("quotes/sec")));
+        let mut starved = sample_report();
+        starved.serve[0].quotes_served = 0;
+        starved.serve[0].observations = 0;
+        starved.serve[0].sales = 0;
+        assert!(starved
+            .validate()
+            .iter()
+            .any(|v| v.contains("served no quotes")));
+
+        // Total shed (100%) fails; partial shed passes.
+        let mut drowned = sample_report();
+        drowned.serve[0].quotes_served = 0;
+        drowned.serve[0].observations = 0;
+        drowned.serve[0].rejected = 0;
+        drowned.serve[0].shed = 500;
+        assert!(drowned
+            .validate()
+            .iter()
+            .any(|v| v.contains("shed rate reached 100%")));
+
+        // The usual aggregate gates cover serve cells too.
+        let mut nan_revenue = sample_report();
+        nan_revenue.serve[0].revenue.mean = f64::NAN;
+        assert!(nan_revenue
+            .validate()
+            .iter()
+            .any(|v| v.contains("serve /") && v.contains("not finite")));
+        let mut excess_rate = sample_report();
+        excess_rate.serve[0].accept_rate.max = 1.3;
+        assert!(excess_rate
+            .validate()
+            .iter()
+            .any(|v| v.contains("serve /") && v.contains("exceeds 1")));
     }
 
     #[test]

@@ -12,6 +12,8 @@ use pdm_bench::json::Json;
 use pdm_bench::linear_market::{LinearMarketConfig, Version};
 use pdm_bench::report::{build_experiment_reports, BenchReport, SCHEMA_VERSION};
 use pdm_bench::runner::run_jobs;
+use pdm_bench::serve::run_serve_grid;
+use pdm_bench::Scale;
 
 /// A small heterogeneous grid: a market cell, a synthetic cell with
 /// checkpoints, and a deterministic Lemma-8 cell.
@@ -84,6 +86,23 @@ fn report_with_workers(workers: usize, reps: u64) -> BenchReport {
         reps,
         wall_clock_secs: 0.0,
         experiments,
+        serve: Vec::new(),
+    }
+}
+
+/// Runs the full quick-scale serve grid with the given drain worker count
+/// and wraps it in a report, the way `bench serve --workers N` does.
+fn serve_report_with_workers(workers: usize) -> BenchReport {
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        name: "serve".to_owned(),
+        git_describe: "test".to_owned(),
+        scale: "quick".to_owned(),
+        workers,
+        reps: 1,
+        wall_clock_secs: 0.0,
+        experiments: Vec::new(),
+        serve: run_serve_grid(Scale::Quick, workers, 1).expect("the serve grid must run"),
     }
 }
 
@@ -96,6 +115,35 @@ fn aggregates_are_bit_identical_for_1_and_4_workers() {
         parallel.deterministic_fingerprint(),
         "worker count must not affect any deterministic aggregate"
     );
+}
+
+#[test]
+fn serve_aggregates_are_byte_identical_for_1_and_4_workers() {
+    // The acceptance bar of the serving engine: the whole quick serve grid —
+    // every tenant count × arrival mix cell, including the shedding bursty
+    // cells — must produce byte-identical revenue/regret aggregates no
+    // matter how many workers drain the shards.  (Each run additionally
+    // verified itself against a serial per-tenant replay inside
+    // `run_serve_grid`.)
+    let serial = serve_report_with_workers(1);
+    let parallel = serve_report_with_workers(4);
+    assert!(!serial.serve.is_empty());
+    assert_eq!(
+        serial.deterministic_fingerprint(),
+        parallel.deterministic_fingerprint(),
+        "drain worker count must not affect any serve aggregate"
+    );
+    // The v2 report carries the throughput figures the fingerprint ignores.
+    for cell in &parallel.serve {
+        assert!(cell.perf.quotes_per_sec > 0.0, "{}", cell.label);
+        assert!(
+            cell.perf.latency_p99_micros >= cell.perf.latency_p50_micros,
+            "{}",
+            cell.label
+        );
+    }
+    assert!(serial.validate().is_empty());
+    assert!(parallel.validate().is_empty());
 }
 
 #[test]

@@ -1,9 +1,12 @@
 //! A minimal JSON tree with a deterministic writer and a strict parser.
 //!
 //! The vendored `serde` stand-in deliberately ships no `serde_json` (see
-//! `vendor/README.md`), so the `BENCH_*.json` reports serialise through this
-//! hand-rolled module instead.  Two properties matter for the benchmark
-//! pipeline and are covered by tests:
+//! `vendor/README.md`), so every machine-readable artifact in the workspace —
+//! the `BENCH_*.json` reports of `pdm-bench` and the tenant-state snapshots
+//! of `pdm-service` — serialises through this hand-rolled module instead.  It
+//! lives here because `pdm-linalg` is the dependency-free root of the crate
+//! DAG, so both producers can share one implementation.  Two properties
+//! matter for those pipelines and are covered by tests:
 //!
 //! * **Determinism** — object keys keep insertion order and numbers render
 //!   through `f64`'s shortest-round-trip `Display`, so the same report always
@@ -11,7 +14,9 @@
 //!   with different worker counts byte-for-byte).
 //! * **Round-trip** — `parse(render(v))` reproduces `v` for every value this
 //!   module can emit.  Non-finite numbers are written as `null` (JSON has no
-//!   NaN/inf) and read back as NaN.
+//!   NaN/inf) and read back as NaN.  Finite numbers round-trip *exactly*:
+//!   Rust's `Display` for `f64` prints the shortest decimal that parses back
+//!   to the same bits, which is what makes JSON snapshots bit-faithful.
 
 use std::fmt::Write as _;
 

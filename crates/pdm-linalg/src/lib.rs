@@ -12,6 +12,11 @@
 //! used in tests to cross-check ellipsoid bounds against the exact polytope
 //! knowledge set.
 //!
+//! Because this crate is the dependency-free root of the workspace DAG it
+//! also hosts two shared, non-numeric utilities: the deterministic [`json`]
+//! tree (bench reports, service snapshots) and the streaming statistics of
+//! [`stats`].
+//!
 //! Everything is `f64`, row-major, and written for clarity first; the matrix
 //! dimensions in the paper (n ≤ 1024) are small enough that straightforward
 //! O(n³) algorithms are more than fast enough.
@@ -33,6 +38,7 @@
 pub mod cholesky;
 pub mod eigen;
 pub mod error;
+pub mod json;
 pub mod matrix;
 pub mod sampling;
 pub mod simplex;
@@ -42,9 +48,12 @@ pub mod vector;
 pub use cholesky::Cholesky;
 pub use eigen::{jacobi_eigen, EigenDecomposition};
 pub use error::{LinalgError, Result};
+pub use json::Json;
 pub use matrix::Matrix;
 pub use simplex::{LinearProgram, LpOutcome, LpSolution};
-pub use stats::{mean, population_std, quantile_sorted, quantiles, sample_std, OnlineStats};
+pub use stats::{
+    mean, population_std, quantile_sorted, quantiles, sample_std, OnlineStats, SampleWindow,
+};
 pub use vector::Vector;
 
 /// Numerical tolerance used across the crate for "is this effectively zero"

@@ -5,6 +5,7 @@
 //! accumulates those quantities in one pass (Welford's algorithm) without
 //! storing the whole trace, which matters for the 10⁵-round sweeps.
 
+use crate::error::{LinalgError, Result};
 use serde::{Deserialize, Serialize};
 
 /// Arithmetic mean of a slice; zero for an empty slice.
@@ -42,30 +43,123 @@ pub fn sample_std(values: &[f64]) -> f64 {
 /// Linearly-interpolated quantile of an **ascending-sorted** slice, with `q`
 /// clamped to `[0, 1]` (`q = 0.5` is the median, `q = 0.99` the p99).
 ///
-/// Returns `NaN` for an empty slice; a single element is every quantile of
-/// itself.
-#[must_use]
-pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+/// A single element is every quantile of itself.
+///
+/// # Errors
+/// Returns [`LinalgError::Empty`] for an empty slice — a quantile of nothing
+/// is undefined, and silently producing `NaN` used to poison downstream
+/// aggregates.  Callers that want a sentinel instead opt in explicitly with
+/// `.unwrap_or(f64::NAN)`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Result<f64> {
     if sorted.is_empty() {
-        return f64::NAN;
+        return Err(LinalgError::Empty {
+            operation: "quantile_sorted",
+        });
     }
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
 
 /// Sorts a copy of `values` and reads off one quantile per entry of `qs`.
 ///
 /// Convenience wrapper over [`quantile_sorted`] for callers that hold an
 /// unsorted latency trace and want, say, the p50 and p99 in one pass.
-#[must_use]
-pub fn quantiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
+///
+/// # Errors
+/// Returns [`LinalgError::Empty`] when `values` is empty (see
+/// [`quantile_sorted`]).
+pub fn quantiles(values: &[f64], qs: &[f64]) -> Result<Vec<f64>> {
+    if values.is_empty() {
+        return Err(LinalgError::Empty {
+            operation: "quantiles",
+        });
+    }
     let mut sorted = values.to_vec();
     sorted.sort_by(f64::total_cmp);
     qs.iter().map(|&q| quantile_sorted(&sorted, q)).collect()
+}
+
+/// A bounded sliding window of the most recent samples, for quantile
+/// estimation over unbounded streams.
+///
+/// Long-lived processes (serving engines, open-ended pricing sessions)
+/// record one latency sample per request forever; retaining them all would
+/// grow memory without bound.  `SampleWindow` keeps the most recent
+/// `capacity` samples in a ring buffer — pair it with [`OnlineStats`] for
+/// exact all-time mean/min/max alongside windowed percentiles.
+#[derive(Debug, Clone)]
+pub struct SampleWindow {
+    samples: Vec<f64>,
+    capacity: usize,
+    cursor: usize,
+}
+
+impl SampleWindow {
+    /// An empty window retaining at most `capacity` samples (clamped to at
+    /// least 1).  No memory is reserved up front; the buffer grows with the
+    /// stream until it reaches capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            capacity: capacity.max(1),
+            cursor: 0,
+        }
+    }
+
+    /// Pushes one sample, evicting the oldest once the window is full.
+    pub fn push(&mut self, sample: f64) {
+        if self.samples.len() < self.capacity {
+            self.samples.push(sample);
+        } else {
+            self.samples[self.cursor] = sample;
+            self.cursor = (self.cursor + 1) % self.capacity;
+        }
+    }
+
+    /// Number of samples currently retained (`<= capacity`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been retained yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The configured retention capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained samples in storage (not arrival) order — sufficient for
+    /// order-insensitive consumers like [`quantiles`].
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The retained samples in oldest-to-newest order (once the ring has
+    /// wrapped, storage indices `0..cursor` hold the newest samples).
+    pub fn iter_chronological(&self) -> impl Iterator<Item = f64> + '_ {
+        let (newest, oldest) = self.samples.split_at(self.cursor);
+        oldest.iter().chain(newest.iter()).copied()
+    }
+
+    /// Quantiles over the retained window (e.g. `&[0.5, 0.99]`).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::Empty`] when the window holds no samples yet.
+    pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>> {
+        quantiles(&self.samples, qs)
+    }
 }
 
 /// Streaming mean / variance / min / max accumulator (Welford's algorithm).
@@ -110,6 +204,33 @@ impl OnlineStats {
         for &v in values {
             self.push(v);
         }
+    }
+
+    /// Rebuilds an accumulator from previously captured raw state — the
+    /// persistence path (e.g. `pdm-service` snapshots).  `m2` is the raw
+    /// second central moment as returned by [`OnlineStats::m2`]; a restored
+    /// accumulator continues bit-identically to the original.
+    #[must_use]
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, sum: f64, min: f64, max: f64) -> Self {
+        if count == 0 {
+            return Self::new();
+        }
+        Self {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+            sum,
+        }
+    }
+
+    /// The raw aggregated second central moment `Σ (x − mean)²` (Welford's
+    /// `M2`), exposed so persistence layers can round-trip the accumulator
+    /// exactly; everyday callers want the variance accessors instead.
+    #[must_use]
+    pub fn m2(&self) -> f64 {
+        self.m2
     }
 
     /// Number of observations.
@@ -226,22 +347,63 @@ mod tests {
     #[test]
     fn quantiles_interpolate_and_handle_edges() {
         let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
-        assert!(approx_eq(quantile_sorted(&sorted, 0.0), 1.0, 1e-12));
-        assert!(approx_eq(quantile_sorted(&sorted, 0.5), 3.0, 1e-12));
-        assert!(approx_eq(quantile_sorted(&sorted, 1.0), 5.0, 1e-12));
-        assert!(approx_eq(quantile_sorted(&sorted, 0.25), 2.0, 1e-12));
+        let q = |s: &[f64], q: f64| quantile_sorted(s, q).unwrap();
+        assert!(approx_eq(q(&sorted, 0.0), 1.0, 1e-12));
+        assert!(approx_eq(q(&sorted, 0.5), 3.0, 1e-12));
+        assert!(approx_eq(q(&sorted, 1.0), 5.0, 1e-12));
+        assert!(approx_eq(q(&sorted, 0.25), 2.0, 1e-12));
         // Interpolation between ranks.
-        assert!(approx_eq(quantile_sorted(&[1.0, 2.0], 0.75), 1.75, 1e-12));
+        assert!(approx_eq(q(&[1.0, 2.0], 0.75), 1.75, 1e-12));
         // Out-of-range q is clamped; single element is every quantile.
-        assert!(approx_eq(quantile_sorted(&[7.0], 0.99), 7.0, 1e-12));
-        assert!(approx_eq(quantile_sorted(&sorted, 2.0), 5.0, 1e-12));
-        assert!(quantile_sorted(&[], 0.5).is_nan());
+        assert!(approx_eq(q(&[7.0], 0.99), 7.0, 1e-12));
+        assert!(approx_eq(q(&sorted, 2.0), 5.0, 1e-12));
+    }
+
+    #[test]
+    fn empty_input_is_a_documented_error_not_nan() {
+        assert_eq!(
+            quantile_sorted(&[], 0.5),
+            Err(LinalgError::Empty {
+                operation: "quantile_sorted"
+            })
+        );
+        assert_eq!(
+            quantiles(&[], &[0.5, 0.99]),
+            Err(LinalgError::Empty {
+                operation: "quantiles"
+            })
+        );
+        // The error message names the operation for actionable diagnostics.
+        let message = quantiles(&[], &[0.5]).unwrap_err().to_string();
+        assert!(message.contains("quantiles"), "{message}");
+    }
+
+    #[test]
+    fn sample_window_evicts_oldest_and_iterates_chronologically() {
+        let mut window = SampleWindow::new(4);
+        assert!(window.is_empty());
+        assert!(window.quantiles(&[0.5]).is_err());
+        for i in 0..6 {
+            window.push(i as f64);
+        }
+        // Capacity 4 retains the newest samples 2..=5.
+        assert_eq!(window.len(), 4);
+        assert_eq!(window.capacity(), 4);
+        let chronological: Vec<f64> = window.iter_chronological().collect();
+        assert_eq!(chronological, vec![2.0, 3.0, 4.0, 5.0]);
+        let qs = window.quantiles(&[0.0, 1.0]).unwrap();
+        assert_eq!(qs, vec![2.0, 5.0]);
+        // Degenerate capacity is clamped to one sample.
+        let mut tiny = SampleWindow::new(0);
+        tiny.push(1.0);
+        tiny.push(2.0);
+        assert_eq!(tiny.as_slice(), &[2.0]);
     }
 
     #[test]
     fn quantiles_sorts_a_copy() {
         let unsorted = [5.0, 1.0, 3.0, 2.0, 4.0];
-        let qs = quantiles(&unsorted, &[0.5, 0.99]);
+        let qs = quantiles(&unsorted, &[0.5, 0.99]).unwrap();
         assert!(approx_eq(qs[0], 3.0, 1e-12));
         assert!(approx_eq(qs[1], 4.96, 1e-12));
         // The input slice is untouched.

@@ -96,6 +96,17 @@ impl Vector {
         &mut self.data
     }
 
+    /// Overwrites `self` with the contents of `src`, reusing the existing
+    /// allocation whenever its capacity suffices.
+    ///
+    /// This is the scratch-buffer primitive of the pricing hot loop: a
+    /// session copies each round's features into a long-lived buffer instead
+    /// of cloning a fresh `Vec` per round.
+    pub fn copy_from(&mut self, src: &Vector) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Consumes the vector and returns the underlying storage.
     #[must_use]
     pub fn into_vec(self) -> Vec<f64> {
@@ -518,6 +529,21 @@ mod tests {
         assert!(Vector::from_slice(&[1.0, 2.0]).is_finite());
         assert!(!Vector::from_slice(&[1.0, f64::NAN]).is_finite());
         assert!(!Vector::from_slice(&[f64::INFINITY]).is_finite());
+    }
+
+    #[test]
+    fn copy_from_reuses_capacity() {
+        let mut buffer = Vector::zeros(4);
+        let capacity_probe = buffer.data.capacity();
+        let src = Vector::from_slice(&[1.0, 2.0]);
+        buffer.copy_from(&src);
+        assert_eq!(buffer.as_slice(), &[1.0, 2.0]);
+        // Shrinking stays within the original allocation.
+        assert_eq!(buffer.data.capacity(), capacity_probe);
+        // Growing past capacity still produces the right contents.
+        let big = Vector::from_fn(16, |i| i as f64);
+        buffer.copy_from(&big);
+        assert_eq!(buffer, big);
     }
 
     #[test]

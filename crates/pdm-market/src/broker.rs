@@ -33,6 +33,18 @@ pub struct PricedQuery {
     pub reserve_price: f64,
 }
 
+impl PricedQuery {
+    /// The `(features, reserve)` pair a posted-price engine consumes.
+    ///
+    /// This is the hand-off point between the privacy-accounting substrate
+    /// and the pricing layer: the serving engine (`pdm-service`) builds its
+    /// quote requests from exactly these two quantities.
+    #[must_use]
+    pub fn pricing_inputs(&self) -> (&Vector, f64) {
+        (&self.features, self.reserve_price)
+    }
+}
+
 /// The data broker of Fig. 2.
 #[derive(Debug, Clone)]
 pub struct DataBroker {
@@ -153,6 +165,15 @@ mod tests {
         for value in priced.features.iter() {
             assert!((value - expected).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn pricing_inputs_expose_the_serving_hand_off() {
+        let broker = broker(12, 4);
+        let priced = broker.prepare(&LinearQuery::new(0, vec![0.3; 12], 1.0));
+        let (features, reserve) = priced.pricing_inputs();
+        assert_eq!(features, &priced.features);
+        assert_eq!(reserve, priced.reserve_price);
     }
 
     #[test]

@@ -22,9 +22,12 @@
 //!   δ buffer of Algorithm 2.
 //! * [`environment`] — round generators (synthetic linear/non-linear markets,
 //!   plus the Lemma-8 adversarial sequence).
+//! * [`session`] — the re-entrant `step`/`observe` loop body: one mechanism
+//!   driven one query at a time, the unit the `pdm-service` serving engine
+//!   shards across tenants.
 //! * [`simulation`] — the online trading loop tying an environment to a
-//!   mechanism and recording regret traces, Table-I statistics, and per-round
-//!   latency.
+//!   mechanism; a thin client of [`session`] that records regret traces,
+//!   Table-I statistics, and per-round latency.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@ pub mod environment;
 pub mod mechanism;
 pub mod model;
 pub mod regret;
+pub mod session;
 pub mod simulation;
 pub mod uncertainty;
 
@@ -74,7 +78,8 @@ pub mod prelude {
         MercerKernel,
     };
     pub use crate::regret::{single_round_regret, RegretReport, RegretTracker};
-    pub use crate::simulation::{Simulation, SimulationOutcome, TraceSample};
+    pub use crate::session::{ObservedRound, PricingSession, StepOutcome};
+    pub use crate::simulation::{Simulation, SimulationOptions, SimulationOutcome, TraceSample};
     pub use crate::uncertainty::{NoiseModel, UncertaintyBudget};
 }
 

@@ -30,6 +30,12 @@ pub struct ContextualPricing<M, K> {
     conservative_rounds: usize,
     certain_no_sale_rounds: usize,
     cuts_applied: usize,
+    // Scratch buffers for the quote/observe hot path: φ(x) of the most
+    // recent quote plus the raw features it was computed from, so the
+    // feedback cut reuses the mapping instead of re-allocating it.
+    mapped_scratch: Vector,
+    raw_scratch: Vector,
+    scratch_valid: bool,
 }
 
 /// The paper's mechanism: contextual pricing over a Löwner–John ellipsoid.
@@ -53,6 +59,7 @@ impl<M: MarketValueModel, K: KnowledgeSet> ContextualPricing<M, K> {
             "knowledge-set dimension must equal the model's mapped feature dimension"
         );
         let epsilon = config.effective_epsilon(model.mapped_dim());
+        let mapped_dim = model.mapped_dim();
         Self {
             model,
             knowledge,
@@ -62,7 +69,22 @@ impl<M: MarketValueModel, K: KnowledgeSet> ContextualPricing<M, K> {
             conservative_rounds: 0,
             certain_no_sale_rounds: 0,
             cuts_applied: 0,
+            mapped_scratch: Vector::zeros(mapped_dim),
+            raw_scratch: Vector::zeros(0),
+            scratch_valid: false,
         }
+    }
+
+    /// Ensures the scratch buffers hold `φ(features)`; reuses the cached
+    /// mapping when `features` are bit-identical to the previous call's.
+    fn refresh_scratch(&mut self, features: &Vector) {
+        if self.scratch_valid && self.raw_scratch == *features {
+            return;
+        }
+        self.model
+            .map_features_into(features, &mut self.mapped_scratch);
+        self.raw_scratch.copy_from(features);
+        self.scratch_valid = true;
     }
 
     /// The market value model in use.
@@ -139,8 +161,8 @@ impl<M: MarketValueModel, K: KnowledgeSet> PostedPriceMechanism for ContextualPr
     }
 
     fn quote(&mut self, features: &Vector, reserve_price: f64) -> Quote {
-        let mapped = self.model.map_features(features);
-        let (lower, upper) = self.knowledge.support_bounds(&mapped);
+        self.refresh_scratch(features);
+        let (lower, upper) = self.knowledge.support_bounds(&self.mapped_scratch);
         let reserve_link = self.reserve_link(reserve_price);
         let delta = self.config.delta;
 
@@ -192,15 +214,19 @@ impl<M: MarketValueModel, K: KnowledgeSet> PostedPriceMechanism for ContextualPr
         if !refine {
             return;
         }
-        let mapped = self.model.map_features(features);
+        // Reuses the mapping computed by the matching `quote` call; only a
+        // caller that observes with *different* features pays for a remap.
+        self.refresh_scratch(features);
         let delta = self.config.delta;
         // The effective posted price of Algorithm 2: pretend we posted p + δ
         // on a rejection and p − δ on an acceptance, which keeps θ* inside the
         // knowledge set with probability ≥ 1 − 1/T.
         let outcome = if accepted {
-            self.knowledge.cut_above(&mapped, quote.link_price - delta)
+            self.knowledge
+                .cut_above(&self.mapped_scratch, quote.link_price - delta)
         } else {
-            self.knowledge.cut_below(&mapped, quote.link_price + delta)
+            self.knowledge
+                .cut_below(&self.mapped_scratch, quote.link_price + delta)
         };
         if outcome.is_updated() {
             self.cuts_applied += 1;

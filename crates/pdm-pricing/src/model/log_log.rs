@@ -49,6 +49,13 @@ impl MarketValueModel for LogLogModel {
         features.map(|x| x.max(MIN_FEATURE).ln())
     }
 
+    fn map_features_into(&self, features: &Vector, out: &mut Vector) {
+        out.copy_from(features);
+        for x in out.as_mut_slice() {
+            *x = x.max(MIN_FEATURE).ln();
+        }
+    }
+
     fn link(&self, z: f64) -> f64 {
         z.exp()
     }

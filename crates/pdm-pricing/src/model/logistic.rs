@@ -63,6 +63,10 @@ impl MarketValueModel for LogisticModel {
         features.clone()
     }
 
+    fn map_features_into(&self, features: &Vector, out: &mut Vector) {
+        out.copy_from(features);
+    }
+
     fn link(&self, z: f64) -> f64 {
         Self::sigmoid(z)
     }

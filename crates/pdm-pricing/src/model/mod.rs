@@ -56,6 +56,18 @@ pub trait MarketValueModel: Send + Sync {
     /// The feature map `φ`.
     fn map_features(&self, features: &Vector) -> Vector;
 
+    /// The feature map `φ`, written into a caller-provided buffer.
+    ///
+    /// The pricing hot loop maps the same round's features twice (once for
+    /// the quote, once for the feedback cut); this variant lets mechanisms
+    /// reuse a scratch buffer instead of allocating a fresh vector per call.
+    /// The default implementation simply delegates to
+    /// [`MarketValueModel::map_features`]; models whose map is elementwise
+    /// override it to be allocation-free.
+    fn map_features_into(&self, features: &Vector, out: &mut Vector) {
+        *out = self.map_features(features);
+    }
+
     /// The link function `g` (non-decreasing, continuous).
     fn link(&self, z: f64) -> f64;
 

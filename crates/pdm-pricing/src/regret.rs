@@ -104,6 +104,33 @@ impl RegretReport {
             self.sales as f64 / self.rounds as f64
         }
     }
+
+    /// An empty report (zero rounds), the identity of [`RegretReport::merge`].
+    #[must_use]
+    pub fn empty() -> Self {
+        RegretTracker::new(false).report()
+    }
+
+    /// Accumulates another report into this one: counters and cumulative
+    /// sums add, the per-round distributions merge via the parallel Welford
+    /// combination.
+    ///
+    /// This is how multi-tenant aggregates are formed: the serving engine
+    /// folds every tenant's report together **in tenant order**, which keeps
+    /// the floating-point sums deterministic and lets `bench serve` compare
+    /// a sharded run against its serial reference bit for bit.
+    pub fn merge(&mut self, other: &RegretReport) {
+        self.rounds += other.rounds;
+        self.cumulative_regret += other.cumulative_regret;
+        self.cumulative_market_value += other.cumulative_market_value;
+        self.cumulative_revenue += other.cumulative_revenue;
+        self.sales += other.sales;
+        self.unsellable_rounds += other.unsellable_rounds;
+        self.market_value_stats.merge(&other.market_value_stats);
+        self.reserve_price_stats.merge(&other.reserve_price_stats);
+        self.posted_price_stats.merge(&other.posted_price_stats);
+        self.regret_stats.merge(&other.regret_stats);
+    }
 }
 
 /// Accumulates per-round outcomes into cumulative regret, revenue, and the
@@ -131,6 +158,29 @@ impl Default for RegretTracker {
 }
 
 impl RegretTracker {
+    /// Rebuilds a tracker from a previously captured [`RegretReport`] — the
+    /// persistence path (`pdm-service` snapshots).  The restored tracker
+    /// continues accumulating bit-identically to the original; the full
+    /// per-round trace is not part of a report, so a restored tracker never
+    /// traces.
+    #[must_use]
+    pub fn from_report(report: &RegretReport) -> Self {
+        Self {
+            rounds: report.rounds,
+            cumulative_regret: report.cumulative_regret,
+            cumulative_market_value: report.cumulative_market_value,
+            cumulative_revenue: report.cumulative_revenue,
+            sales: report.sales,
+            unsellable_rounds: report.unsellable_rounds,
+            market_value_stats: report.market_value_stats.clone(),
+            reserve_price_stats: report.reserve_price_stats.clone(),
+            posted_price_stats: report.posted_price_stats.clone(),
+            regret_stats: report.regret_stats.clone(),
+            keep_trace: false,
+            trace: Vec::new(),
+        }
+    }
+
     /// Creates a tracker; set `keep_trace` to retain every [`RoundOutcome`].
     #[must_use]
     pub fn new(keep_trace: bool) -> Self {
@@ -323,6 +373,42 @@ mod tests {
         let report = RegretTracker::new(false).report();
         assert_eq!(report.regret_ratio(), 0.0);
         assert_eq!(report.acceptance_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_order_deterministic_and_matches_one_tracker() {
+        let mut a = RegretTracker::new(false);
+        a.record(10.0, 1.0, 8.0);
+        a.record(4.0, 1.0, 5.0);
+        let mut b = RegretTracker::new(false);
+        b.record(6.0, 2.0, 3.0);
+
+        let mut merged = RegretReport::empty();
+        merged.merge(&a.report());
+        merged.merge(&b.report());
+
+        let mut single = RegretTracker::new(false);
+        single.record(10.0, 1.0, 8.0);
+        single.record(4.0, 1.0, 5.0);
+        single.record(6.0, 2.0, 3.0);
+        let single = single.report();
+
+        assert_eq!(merged.rounds, single.rounds);
+        assert_eq!(merged.cumulative_regret, single.cumulative_regret);
+        assert_eq!(merged.cumulative_revenue, single.cumulative_revenue);
+        assert_eq!(merged.sales, single.sales);
+        assert_eq!(
+            merged.market_value_stats.count(),
+            single.market_value_stats.count()
+        );
+        assert!(
+            (merged.regret_stats.mean() - single.regret_stats.mean()).abs() < 1e-12,
+            "welford merge must agree with the single-pass tracker"
+        );
+        // Identity element.
+        let before = merged.cumulative_regret;
+        merged.merge(&RegretReport::empty());
+        assert_eq!(merged.cumulative_regret, before);
     }
 
     #[test]

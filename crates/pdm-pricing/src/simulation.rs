@@ -10,10 +10,10 @@
 
 use crate::environment::Environment;
 use crate::mechanism::PostedPriceMechanism;
-use crate::regret::{RegretReport, RegretTracker, RoundOutcome};
+use crate::regret::{RegretReport, RoundOutcome};
+use crate::session::{PricingSession, StepOutcome};
 use pdm_linalg::OnlineStats;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Options controlling what a simulation records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -113,7 +113,7 @@ impl SimulationOutcome {
 }
 
 /// Generates roughly `points` log-spaced checkpoints in `[1, horizon]`.
-fn log_spaced_checkpoints(horizon: usize, points: usize) -> Vec<usize> {
+pub(crate) fn log_spaced_checkpoints(horizon: usize, points: usize) -> Vec<usize> {
     if horizon == 0 || points == 0 {
         return Vec::new();
     }
@@ -164,53 +164,23 @@ impl<E: Environment, M: PostedPriceMechanism> Simulation<E, M> {
     /// Runs the simulation and additionally hands back the mechanism and the
     /// environment, so callers can inspect learned state (e.g. the final
     /// ellipsoid) or continue the run.
+    ///
+    /// The loop body lives in [`PricingSession`] — this method is a thin
+    /// client that pulls rounds from the environment, resolves acceptance
+    /// against the hidden market value, and feeds the outcome back.  The
+    /// sharded serving engine drives the *same* session type one query at a
+    /// time, which is what makes service aggregates bit-comparable to serial
+    /// simulations.
     pub fn run_with_state<R: rand::Rng>(mut self, rng: &mut R) -> (SimulationOutcome, M, E) {
         let horizon = self.environment.horizon();
-        let checkpoints = log_spaced_checkpoints(horizon, self.options.trace_points);
-        let mut next_checkpoint = 0usize;
-        let mut tracker = RegretTracker::new(self.options.keep_full_trace);
-        let mut trace = Vec::with_capacity(checkpoints.len());
-        let mut latency = OnlineStats::new();
-        let mut latency_trace = Vec::with_capacity(horizon);
-
+        let mut session = PricingSession::new(self.mechanism, horizon, self.options);
         while let Some(round) = self.environment.next_round(rng) {
-            let start = Instant::now();
-            let quote = self.mechanism.quote(&round.features, round.reserve_price);
+            let quote = session.step(&round.features, round.reserve_price);
             let accepted = quote.posted_price <= round.market_value;
-            self.mechanism.observe(&round.features, &quote, accepted);
-            let elapsed = start.elapsed();
-            let micros = elapsed.as_secs_f64() * 1e6;
-            latency.push(micros);
-            latency_trace.push(micros);
-
-            tracker.record(round.market_value, round.reserve_price, quote.posted_price);
-
-            let t = tracker.rounds();
-            while next_checkpoint < checkpoints.len() && checkpoints[next_checkpoint] <= t {
-                if checkpoints[next_checkpoint] == t {
-                    trace.push(TraceSample {
-                        round: t,
-                        cumulative_regret: tracker.cumulative_regret(),
-                        cumulative_market_value: tracker.cumulative_market_value(),
-                        regret_ratio: tracker.regret_ratio(),
-                    });
-                }
-                next_checkpoint += 1;
-            }
+            session.observe(StepOutcome::with_value(accepted, round.market_value));
         }
-
-        let percentiles = pdm_linalg::quantiles(&latency_trace, &[0.50, 0.99]);
-        let outcome = SimulationOutcome {
-            mechanism_name: self.mechanism.name(),
-            report: tracker.report(),
-            trace,
-            full_trace: tracker.trace().to_vec(),
-            round_latency_micros: latency,
-            round_latency_p50_micros: percentiles[0],
-            round_latency_p99_micros: percentiles[1],
-            memory_footprint_bytes: self.mechanism.memory_footprint_bytes(),
-        };
-        (outcome, self.mechanism, self.environment)
+        let (outcome, mechanism) = session.finish();
+        (outcome, mechanism, self.environment)
     }
 }
 
@@ -220,6 +190,7 @@ mod tests {
     use crate::environment::{ReservePolicy, SyntheticLinearEnvironment};
     use crate::mechanism::{EllipsoidPricing, OraclePricing, PricingConfig, ReservePriceBaseline};
     use crate::model::LinearModel;
+    use crate::regret::RegretTracker;
     use crate::uncertainty::NoiseModel;
     use pdm_ellipsoid::KnowledgeSet;
     use rand::rngs::StdRng;

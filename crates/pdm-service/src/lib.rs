@@ -1,0 +1,87 @@
+//! # pdm-service
+//!
+//! A sharded, concurrent market-serving engine for the personal-data
+//! pricing mechanism of Niu et al. (ICDE 2020).
+//!
+//! The paper's mechanism is an *online* posted-price loop: a broker quotes
+//! a price per arriving query and refines its uncertainty set from the
+//! binary accept/reject signal.  The rest of the workspace runs that loop
+//! inside offline, single-tenant simulations; this crate is the serving
+//! layer that runs **many** such loops — one independent pricing session per
+//! data owner or survey — behind a production-shaped API:
+//!
+//! * **Stable sharding** — tenants are routed to one of `N` shards by a
+//!   seedless hash ([`routing::shard_of`]), so routing survives restarts
+//!   and snapshot/restore cycles.
+//! * **Submit/drain** — [`MarketService::submit`] admits a request into its
+//!   tenant's shard queue; [`MarketService::drain`] serves every queued
+//!   request on a `std::thread::scope` worker pool, one shard per worker at
+//!   a time, with **no global lock**.  Per-shard FIFO processing makes every
+//!   computed value independent of the worker count — `bench serve` in
+//!   `pdm-bench` verifies service aggregates against a serial simulation
+//!   bit for bit.
+//! * **Bounded admission** — shard queues have a hard capacity; overload is
+//!   shed with [`ServiceError::QueueFull`] and counted, instead of growing
+//!   memory without bound.
+//! * **Per-shard metrics** — quotes served, accept rate, revenue, exact
+//!   regret (when ground truth is supplied) plus an uncertainty-width
+//!   regret proxy, shed/rejected counts, and p50/p99 service latency
+//!   ([`ShardMetrics`]).
+//! * **Snapshots** — the whole service state serialises to deterministic
+//!   JSON ([`MarketService::snapshot`]) and restores to a service that
+//!   quotes bit-identically ([`MarketService::restore`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pdm_linalg::Vector;
+//! use pdm_service::{MarketService, OutcomeReport, QueryRequest, ServiceConfig, TenantConfig, TenantId};
+//!
+//! let mut service = MarketService::new(ServiceConfig { shards: 4, queue_capacity: 64 });
+//! service.register_tenant(TenantId::from_name("survey-7"), TenantConfig::standard(3, 1_000))?;
+//! service.submit_quote(QueryRequest {
+//!     tenant: TenantId::from_name("survey-7"),
+//!     features: Vector::from_slice(&[0.2, 0.3, 0.5]),
+//!     reserve_price: 0.4,
+//! })?;
+//! let quote = *service.drain(4)[0].quote().expect("a quote response");
+//! service.submit_outcome(OutcomeReport {
+//!     tenant: TenantId::from_name("survey-7"),
+//!     accepted: true,
+//!     market_value: None, // production feedback: only the accept bit
+//! })?;
+//! service.drain(4);
+//! assert!(quote.posted_price >= 0.4); // the reserve price is honoured
+//! assert_eq!(service.metrics().sales, 1);
+//! # Ok::<(), pdm_service::ServiceError>(())
+//! ```
+//!
+//! ## Where this sits in the workspace
+//!
+//! `pdm-pricing` owns the mechanism and its re-entrant
+//! [`PricingSession`](pdm_pricing::session::PricingSession) interface; this
+//! crate owns tenancy, routing, queues, concurrency, metrics, and
+//! persistence.  The `bench serve` subcommand of `pdm-bench` drives this
+//! service with a closed-loop traffic generator and reports throughput and
+//! latency into the versioned BENCH report.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod metrics;
+pub mod routing;
+mod shard;
+pub mod snapshot;
+pub mod tenant;
+
+mod service;
+
+pub use api::{
+    OutcomeReport, Payload, QueryRequest, Request, RequestError, Response, ServiceError, Ticket,
+};
+pub use metrics::ShardMetrics;
+pub use routing::{shard_of, TenantId};
+pub use service::{MarketService, ServiceConfig};
+pub use snapshot::SNAPSHOT_SCHEMA_VERSION;
+pub use tenant::{TenantConfig, TenantMechanism, TenantState};

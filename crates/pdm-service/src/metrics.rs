@@ -1,0 +1,271 @@
+//! Per-shard serving metrics.
+//!
+//! Each shard counts what it served (quotes, observations, sales), what it
+//! earned (revenue), how much it may have left on the table (exact regret
+//! when the workload supplies ground truth, the uncertainty-width *proxy*
+//! always), what it refused (shed and rejected requests), and how fast it
+//! was (per-request service latency, summarised through the error-checked
+//! quantile helpers of `pdm-linalg`).
+//!
+//! Everything except the latency figures is **deterministic**: counts and
+//! monetary sums depend only on the request stream, never on thread timing,
+//! which is what lets `bench serve` compare worker counts byte for byte.
+//! Latency samples are wall-clock and live strictly apart.
+
+use pdm_linalg::{OnlineStats, Result as LinalgResult, SampleWindow};
+use std::time::Duration;
+
+/// Maximum latency samples a ledger retains for quantile estimation.
+///
+/// A long-lived service serves requests forever; keeping every sample would
+/// grow memory without bound — the same failure mode the bounded admission
+/// queue exists to prevent.  The quantiles therefore cover a sliding window
+/// of the most recent [`LATENCY_WINDOW`] samples (which is what a latency
+/// dashboard wants anyway), while the streaming
+/// [`ShardMetrics::latency_stats`] summary keeps exact all-time
+/// mean/min/max.
+pub const LATENCY_WINDOW: usize = 65_536;
+
+/// Counters and latency samples of one shard (or of a whole service, after
+/// [`ShardMetrics::merge`]).
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    /// Price quotes served.
+    pub quotes_served: u64,
+    /// Outcome reports applied.
+    pub observations: u64,
+    /// Accepted quotes (sales).
+    pub sales: u64,
+    /// Cumulative revenue from accepted quotes.
+    pub revenue: f64,
+    /// Exact cumulative regret, accumulated only from outcomes that carried
+    /// a ground-truth market value.
+    pub regret: f64,
+    /// Cumulative quote uncertainty width — the regret proxy that needs no
+    /// ground truth (it shrinks as each tenant's knowledge set converges).
+    pub regret_proxy: f64,
+    /// Requests shed at admission because the shard queue was full.
+    pub shed: u64,
+    /// Requests that reached the shard but could not be served (e.g. an
+    /// observe with no open round).
+    pub rejected: u64,
+    /// Sliding window of the most recent [`LATENCY_WINDOW`] per-request
+    /// service latency samples, in microseconds (wall-clock; excluded from
+    /// all determinism comparisons).
+    latency_window: SampleWindow,
+    /// Streaming all-time summary of every sample ever recorded.
+    latency_stats: OnlineStats,
+}
+
+impl Default for ShardMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardMetrics {
+    /// An empty metrics ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            quotes_served: 0,
+            observations: 0,
+            sales: 0,
+            revenue: 0.0,
+            regret: 0.0,
+            regret_proxy: 0.0,
+            shed: 0,
+            rejected: 0,
+            latency_window: SampleWindow::new(LATENCY_WINDOW),
+            latency_stats: OnlineStats::new(),
+        }
+    }
+
+    /// Fraction of observed rounds that ended in a sale (zero before any
+    /// observation).
+    #[must_use]
+    pub fn accept_rate(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.sales as f64 / self.observations as f64
+        }
+    }
+
+    /// Fraction of admission attempts that were shed (zero before any
+    /// traffic).
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        let attempts = self.quotes_served + self.observations + self.rejected + self.shed;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.shed as f64 / attempts as f64
+        }
+    }
+
+    /// Records one request's service time.
+    pub fn record_latency(&mut self, elapsed: Duration) {
+        let micros = elapsed.as_secs_f64() * 1e6;
+        self.latency_window.push(micros);
+        self.latency_stats.push(micros);
+    }
+
+    /// Number of latency samples currently retained in the quantile window
+    /// (all-time counts live in [`ShardMetrics::latency_stats`]).
+    #[must_use]
+    pub fn latency_samples(&self) -> usize {
+        self.latency_window.len()
+    }
+
+    /// Read access to the retained latency window, in microseconds
+    /// (storage order).  Consumers that need exact percentiles over *many*
+    /// ledgers — e.g. `bench serve` pooling every shard of every repetition
+    /// — collect these slices themselves instead of going through
+    /// [`ShardMetrics::merge`], whose merged window evicts the
+    /// earliest-merged ledgers' samples once the union exceeds
+    /// [`LATENCY_WINDOW`].
+    #[must_use]
+    pub fn latency_window(&self) -> &[f64] {
+        self.latency_window.as_slice()
+    }
+
+    /// Streaming all-time mean/min/max summary of the service latency.
+    #[must_use]
+    pub fn latency_stats(&self) -> &OnlineStats {
+        &self.latency_stats
+    }
+
+    /// Service-latency quantiles in microseconds (e.g. `&[0.5, 0.99]` for
+    /// p50/p99), over the most recent [`LATENCY_WINDOW`] samples.
+    ///
+    /// # Errors
+    /// Propagates [`pdm_linalg::LinalgError::Empty`] when the shard has not
+    /// served anything yet — the documented error path of the quantile
+    /// helpers, surfaced instead of a silent `NaN`.
+    pub fn latency_quantiles(&self, qs: &[f64]) -> LinalgResult<Vec<f64>> {
+        self.latency_window.quantiles(qs)
+    }
+
+    /// The p50/p99 pair most dashboards want, as `(p50, p99)`.
+    ///
+    /// # Errors
+    /// Same as [`ShardMetrics::latency_quantiles`].
+    pub fn latency_p50_p99(&self) -> LinalgResult<(f64, f64)> {
+        let qs = self.latency_quantiles(&[0.50, 0.99])?;
+        Ok((qs[0], qs[1]))
+    }
+
+    /// Accumulates another ledger into this one (used to roll shards up
+    /// into service-level totals).
+    pub fn merge(&mut self, other: &ShardMetrics) {
+        self.quotes_served += other.quotes_served;
+        self.observations += other.observations;
+        self.sales += other.sales;
+        self.revenue += other.revenue;
+        self.regret += other.regret;
+        self.regret_proxy += other.regret_proxy;
+        self.shed += other.shed;
+        self.rejected += other.rejected;
+        // Replay the other window oldest-first so the merged ring keeps the
+        // most recent samples; the all-time summaries merge exactly (not
+        // per-sample, which would double-count against the Welford merge).
+        for micros in other.latency_window.iter_chronological() {
+            self.latency_window.push(micros);
+        }
+        self.latency_stats.merge(&other.latency_stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_linalg::LinalgError;
+
+    #[test]
+    fn empty_metrics_error_on_quantiles_instead_of_nan() {
+        let metrics = ShardMetrics::new();
+        assert!(matches!(
+            metrics.latency_p50_p99(),
+            Err(LinalgError::Empty { .. })
+        ));
+        assert_eq!(metrics.accept_rate(), 0.0);
+        assert_eq!(metrics.shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn latency_quantiles_come_from_the_recorded_samples() {
+        let mut metrics = ShardMetrics::new();
+        for millis in [1, 2, 3, 4, 100] {
+            metrics.record_latency(Duration::from_millis(millis));
+        }
+        let (p50, p99) = metrics.latency_p50_p99().unwrap();
+        assert!((p50 - 3_000.0).abs() < 1e-6);
+        assert!(p99 > p50);
+        assert_eq!(metrics.latency_samples(), 5);
+        assert!(metrics.latency_stats().max() >= p99);
+    }
+
+    /// Feeds `micros` straight into the window + summary, bypassing the
+    /// `Duration` round-trip so the test values stay exact.
+    fn push_micros(metrics: &mut ShardMetrics, micros: f64) {
+        metrics.latency_window.push(micros);
+        metrics.latency_stats.push(micros);
+    }
+
+    #[test]
+    fn latency_window_is_bounded_and_keeps_the_most_recent_samples() {
+        let mut metrics = ShardMetrics::new();
+        // Overfill the window: samples 0..LATENCY_WINDOW+100, each i µs.
+        for i in 0..LATENCY_WINDOW + 100 {
+            push_micros(&mut metrics, i as f64);
+        }
+        assert_eq!(metrics.latency_samples(), LATENCY_WINDOW);
+        assert_eq!(metrics.latency_window().len(), LATENCY_WINDOW);
+        // The window holds the most recent samples, so its minimum is the
+        // first surviving index, i.e. exactly 100.
+        let window_min = metrics.latency_quantiles(&[0.0]).unwrap()[0];
+        assert_eq!(window_min, 100.0);
+        // The all-time summary still saw everything.
+        assert_eq!(
+            metrics.latency_stats().count(),
+            (LATENCY_WINDOW + 100) as u64
+        );
+        assert_eq!(metrics.latency_stats().min(), 0.0);
+
+        // Merging two full windows stays bounded and keeps the newest
+        // (largest, here) samples.
+        let mut other = ShardMetrics::new();
+        for i in 0..LATENCY_WINDOW {
+            push_micros(&mut other, 1e9 + i as f64);
+        }
+        metrics.merge(&other);
+        assert_eq!(metrics.latency_samples(), LATENCY_WINDOW);
+        assert_eq!(metrics.latency_quantiles(&[0.0]).unwrap()[0], 1e9);
+    }
+
+    #[test]
+    fn rates_and_merge() {
+        let mut a = ShardMetrics::new();
+        a.quotes_served = 10;
+        a.observations = 10;
+        a.sales = 7;
+        a.revenue = 70.0;
+        a.shed = 5;
+        let mut b = ShardMetrics::new();
+        b.quotes_served = 2;
+        b.observations = 2;
+        b.sales = 1;
+        b.revenue = 8.0;
+        b.record_latency(Duration::from_micros(50));
+
+        assert!((a.accept_rate() - 0.7).abs() < 1e-12);
+        assert!((a.shed_rate() - 5.0 / 25.0).abs() < 1e-12);
+
+        a.merge(&b);
+        assert_eq!(a.quotes_served, 12);
+        assert_eq!(a.sales, 8);
+        assert!((a.revenue - 78.0).abs() < 1e-12);
+        assert_eq!(a.latency_samples(), 1);
+    }
+}

@@ -1,0 +1,413 @@
+//! The multi-tenant market-serving engine.
+//!
+//! [`MarketService`] owns `N` shards, each holding the pricing sessions of
+//! the tenants routed to it by the stable hash of [`crate::routing`].  The
+//! API is submit/drain:
+//!
+//! * [`MarketService::submit`] admits a request into its tenant's shard
+//!   queue (bounded — overload is **shed** with
+//!   [`ServiceError::QueueFull`], never buffered without limit) and returns
+//!   a [`Ticket`];
+//! * [`MarketService::drain`] serves every queued request on a
+//!   `std::thread::scope` worker pool, one worker per shard at a time, and
+//!   returns the batched [`Response`]s in deterministic (shard, submission)
+//!   order.
+//!
+//! Because every shard processes its queue strictly FIFO and shards share
+//! no mutable state, the *values* the engine computes are identical for any
+//! worker count — the property the `bench serve` workload verifies against
+//! a serial simulation bit for bit.
+
+use crate::api::{OutcomeReport, QueryRequest, Request, Response, ServiceError, Ticket};
+use crate::metrics::ShardMetrics;
+use crate::routing::{shard_of, TenantId};
+use crate::shard::Shard;
+use crate::tenant::{TenantConfig, TenantState};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Sizing of a [`MarketService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of shards (units of concurrency); clamped to at least 1.
+    pub shards: usize,
+    /// Bounded per-shard queue capacity; requests beyond it are shed.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// The sharded serving engine.
+#[derive(Debug)]
+pub struct MarketService {
+    config: ServiceConfig,
+    shards: Vec<Mutex<Shard>>,
+    next_seq: u64,
+}
+
+impl MarketService {
+    /// Creates an empty service with the given sizing.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        let config = ServiceConfig {
+            shards: config.shards.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+        };
+        let shards = (0..config.shards)
+            .map(|index| Mutex::new(Shard::new(index, config.queue_capacity)))
+            .collect();
+        Self {
+            config,
+            shards,
+            next_seq: 0,
+        }
+    }
+
+    /// The sizing the service was built with.
+    #[must_use]
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard the given tenant is (or would be) routed to.
+    #[must_use]
+    pub fn shard_of(&self, tenant: TenantId) -> usize {
+        shard_of(tenant, self.shards.len())
+    }
+
+    /// Total number of registered tenants.
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").tenant_count())
+            .sum()
+    }
+
+    /// Registers a new tenant, returning the shard it was routed to.
+    ///
+    /// # Errors
+    /// [`ServiceError::DuplicateTenant`] when the id is already registered.
+    pub fn register_tenant(
+        &mut self,
+        id: TenantId,
+        config: TenantConfig,
+    ) -> Result<usize, ServiceError> {
+        self.register_state(TenantState::new(id, config))
+    }
+
+    /// Registers a pre-built tenant state (the snapshot-restore path).
+    pub(crate) fn register_state(&mut self, state: TenantState) -> Result<usize, ServiceError> {
+        let index = self.shard_of(state.id);
+        let shard = self.shards[index].get_mut().expect("shard poisoned");
+        if shard.contains(state.id) {
+            return Err(ServiceError::DuplicateTenant(state.id));
+        }
+        shard.register(state);
+        Ok(index)
+    }
+
+    /// Admits one request into its tenant's shard queue.
+    ///
+    /// # Errors
+    /// * [`ServiceError::UnknownTenant`] — the tenant was never registered.
+    /// * [`ServiceError::QueueFull`] — the shard queue is at capacity; the
+    ///   request is shed (counted in the shard's metrics) instead of
+    ///   growing the queue without bound.
+    pub fn submit(&mut self, request: Request) -> Result<Ticket, ServiceError> {
+        let tenant = request.tenant();
+        let index = self.shard_of(tenant);
+        let shard = self.shards[index].get_mut().expect("shard poisoned");
+        if !shard.contains(tenant) {
+            return Err(ServiceError::UnknownTenant(tenant));
+        }
+        let seq = self.next_seq;
+        if !shard.enqueue(seq, request) {
+            return Err(ServiceError::QueueFull {
+                shard: index,
+                capacity: self.config.queue_capacity,
+            });
+        }
+        self.next_seq += 1;
+        Ok(Ticket {
+            seq,
+            tenant,
+            shard: index,
+        })
+    }
+
+    /// Convenience wrapper: submit a price-quote request.
+    ///
+    /// # Errors
+    /// Same as [`MarketService::submit`].
+    pub fn submit_quote(&mut self, query: QueryRequest) -> Result<Ticket, ServiceError> {
+        self.submit(Request::Quote(query))
+    }
+
+    /// Convenience wrapper: submit an outcome report.
+    ///
+    /// # Errors
+    /// Same as [`MarketService::submit`].
+    pub fn submit_outcome(&mut self, outcome: OutcomeReport) -> Result<Ticket, ServiceError> {
+        self.submit(Request::Observe(outcome))
+    }
+
+    /// Total requests currently queued across all shards.
+    #[must_use]
+    pub fn queued_requests(&mut self) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|s| s.get_mut().expect("shard poisoned").queue_len())
+            .sum()
+    }
+
+    /// Serves every queued request and returns the responses in
+    /// deterministic (shard, submission) order.
+    ///
+    /// `workers` scoped threads pull shard indices from an atomic counter;
+    /// each shard is processed serially by whichever worker claims it, so
+    /// per-shard state needs no lock contention and the computed values are
+    /// independent of the worker count.  `workers` is clamped to
+    /// `[1, shard_count]`; with one worker the pool is skipped entirely.
+    pub fn drain(&mut self, workers: usize) -> Vec<Response> {
+        let shard_count = self.shards.len();
+        let workers = workers.clamp(1, shard_count);
+
+        // An idle drain (e.g. the silent waves of a bursty workload) must
+        // not pay for thread spawns or per-shard locking.
+        if self.queued_requests() == 0 {
+            return Vec::new();
+        }
+
+        if workers == 1 {
+            let mut responses = Vec::new();
+            for shard in &mut self.shards {
+                responses.append(&mut shard.get_mut().expect("shard poisoned").process_all());
+            }
+            return responses;
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Vec<Response>>> =
+            (0..shard_count).map(|_| Mutex::new(Vec::new())).collect();
+        let shards = &self.shards;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= shard_count {
+                        break;
+                    }
+                    let responses = shards[index].lock().expect("shard poisoned").process_all();
+                    *slots[index].lock().expect("slot poisoned") = responses;
+                });
+            }
+        });
+
+        let mut responses = Vec::new();
+        for slot in slots {
+            responses.append(&mut slot.into_inner().expect("slot poisoned"));
+        }
+        responses
+    }
+
+    /// The regret ledger one tenant accumulated from outcomes that carried
+    /// ground-truth market values, or `None` for an unregistered tenant.
+    ///
+    /// Benchmark drivers fold these together **in tenant order** (see
+    /// [`pdm_pricing::regret::RegretReport::merge`]) to compare a sharded
+    /// run against a serial simulation bit for bit.
+    #[must_use]
+    pub fn tenant_report(&self, tenant: TenantId) -> Option<pdm_pricing::prelude::RegretReport> {
+        self.shards[self.shard_of(tenant)]
+            .lock()
+            .expect("shard poisoned")
+            .tenant_report(tenant)
+    }
+
+    /// A clone of each shard's metrics ledger, in shard order.
+    #[must_use]
+    pub fn shard_metrics(&self) -> Vec<ShardMetrics> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").metrics.clone())
+            .collect()
+    }
+
+    /// All shard ledgers rolled up into one service-level ledger.
+    #[must_use]
+    pub fn metrics(&self) -> ShardMetrics {
+        let mut total = ShardMetrics::new();
+        for shard in self.shard_metrics() {
+            total.merge(&shard);
+        }
+        total
+    }
+
+    /// Read access to the shards, for the snapshot writer.
+    pub(crate) fn shards(&self) -> &[Mutex<Shard>] {
+        &self.shards
+    }
+
+    /// Mutable access to the shards, for the snapshot restorer.
+    pub(crate) fn shards_mut(&mut self) -> &mut [Mutex<Shard>] {
+        &mut self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Payload;
+    use pdm_linalg::Vector;
+
+    fn query(tenant: u64, features: &[f64]) -> QueryRequest {
+        QueryRequest {
+            tenant: TenantId(tenant),
+            features: Vector::from_slice(features),
+            reserve_price: 0.1,
+        }
+    }
+
+    fn service_with_tenants(shards: usize, tenants: u64) -> MarketService {
+        let mut service = MarketService::new(ServiceConfig {
+            shards,
+            queue_capacity: 64,
+        });
+        for id in 0..tenants {
+            service
+                .register_tenant(TenantId(id), TenantConfig::standard(2, 100))
+                .expect("fresh id");
+        }
+        service
+    }
+
+    #[test]
+    fn register_routes_by_stable_hash_and_rejects_duplicates() {
+        let mut service = service_with_tenants(4, 10);
+        assert_eq!(service.tenant_count(), 10);
+        for id in 0..10 {
+            assert_eq!(
+                service.shard_of(TenantId(id)),
+                crate::routing::shard_of(TenantId(id), 4)
+            );
+        }
+        assert_eq!(
+            service.register_tenant(TenantId(3), TenantConfig::standard(2, 100)),
+            Err(ServiceError::DuplicateTenant(TenantId(3)))
+        );
+    }
+
+    #[test]
+    fn submit_rejects_unknown_tenants() {
+        let mut service = service_with_tenants(2, 1);
+        let err = service.submit_quote(query(99, &[1.0, 0.0])).unwrap_err();
+        assert_eq!(err, ServiceError::UnknownTenant(TenantId(99)));
+    }
+
+    #[test]
+    fn submit_drain_round_trip_preserves_order_and_tickets() {
+        let mut service = service_with_tenants(3, 6);
+        let mut tickets = Vec::new();
+        for id in 0..6 {
+            tickets.push(service.submit_quote(query(id, &[0.6, 0.8])).unwrap());
+        }
+        let responses = service.drain(3);
+        assert_eq!(responses.len(), 6);
+        // Responses come back in (shard, submission) order and carry the
+        // submitted sequence numbers.
+        let mut last = (0usize, 0u64);
+        for response in &responses {
+            assert!(matches!(response.payload, Payload::Quoted(_)));
+            let key = (response.shard, response.seq);
+            assert!(key >= last, "responses must be shard/submission ordered");
+            last = key;
+            let ticket = tickets.iter().find(|t| t.seq == response.seq).unwrap();
+            assert_eq!(ticket.tenant, response.tenant);
+            assert_eq!(ticket.shard, response.shard);
+        }
+        assert_eq!(service.metrics().quotes_served, 6);
+    }
+
+    #[test]
+    fn overload_is_shed_with_an_error_and_counted() {
+        let mut service = MarketService::new(ServiceConfig {
+            shards: 1,
+            queue_capacity: 2,
+        });
+        service
+            .register_tenant(TenantId(0), TenantConfig::standard(2, 100))
+            .unwrap();
+        assert!(service.submit_quote(query(0, &[1.0, 0.0])).is_ok());
+        assert!(service.submit_quote(query(0, &[1.0, 0.0])).is_ok());
+        let err = service.submit_quote(query(0, &[1.0, 0.0])).unwrap_err();
+        assert!(matches!(err, ServiceError::QueueFull { shard: 0, .. }));
+        assert_eq!(service.metrics().shed, 1);
+        assert!(service.metrics().shed_rate() > 0.0);
+        // Draining frees capacity again.
+        assert_eq!(service.drain(1).len(), 2);
+        assert!(service.submit_quote(query(0, &[1.0, 0.0])).is_ok());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_served_values() {
+        let run = |workers: usize| {
+            let mut service = service_with_tenants(4, 12);
+            let mut posted = Vec::new();
+            for wave in 0..5 {
+                for id in 0..12 {
+                    let x = Vector::from_slice(&[0.5 + 0.01 * wave as f64, 0.5]);
+                    service
+                        .submit(Request::Quote(QueryRequest {
+                            tenant: TenantId(id),
+                            features: x,
+                            reserve_price: 0.2,
+                        }))
+                        .unwrap();
+                }
+                let responses = service.drain(workers);
+                for response in &responses {
+                    let quote = response.quote().unwrap();
+                    posted.push((response.tenant, quote.posted_price));
+                    service
+                        .submit_outcome(OutcomeReport {
+                            tenant: response.tenant,
+                            accepted: quote.posted_price <= 1.0,
+                            market_value: Some(1.0),
+                        })
+                        .unwrap();
+                }
+                service.drain(workers);
+            }
+            (posted, service.metrics().revenue, service.metrics().regret)
+        };
+        let (posted_1, revenue_1, regret_1) = run(1);
+        let (posted_4, revenue_4, regret_4) = run(4);
+        assert_eq!(posted_1, posted_4);
+        assert_eq!(revenue_1.to_bits(), revenue_4.to_bits());
+        assert_eq!(regret_1.to_bits(), regret_4.to_bits());
+    }
+
+    #[test]
+    fn degenerate_configs_are_clamped() {
+        let service = MarketService::new(ServiceConfig {
+            shards: 0,
+            queue_capacity: 0,
+        });
+        assert_eq!(service.shard_count(), 1);
+        assert_eq!(service.config().queue_capacity, 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! One shard: a bounded request queue plus the tenant states routed to it.
+//!
+//! A shard is the unit of concurrency.  All state behind it — the tenant
+//! sessions, the queue, the metrics — is owned by the shard and mutated by
+//! exactly one worker at a time, so there is no global lock and no
+//! fine-grained locking inside the hot path.  Requests are processed
+//! strictly in submission (FIFO) order, which is what makes the whole
+//! engine's arithmetic independent of how many workers drain it.
+
+use crate::api::{OutcomeReport, Payload, QueryRequest, Request, RequestError, Response};
+use crate::metrics::ShardMetrics;
+use crate::routing::TenantId;
+use crate::tenant::TenantState;
+use pdm_pricing::prelude::StepOutcome;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// A shard: tenants, queue, metrics.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    index: usize,
+    capacity: usize,
+    tenants: HashMap<TenantId, TenantState>,
+    queue: VecDeque<(u64, Request)>,
+    pub(crate) metrics: ShardMetrics,
+}
+
+impl Shard {
+    pub(crate) fn new(index: usize, capacity: usize) -> Self {
+        Self {
+            index,
+            capacity: capacity.max(1),
+            tenants: HashMap::new(),
+            queue: VecDeque::new(),
+            metrics: ShardMetrics::new(),
+        }
+    }
+
+    pub(crate) fn contains(&self, tenant: TenantId) -> bool {
+        self.tenants.contains_key(&tenant)
+    }
+
+    pub(crate) fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Tenant states in ascending id order (the deterministic order
+    /// snapshots serialise in).
+    pub(crate) fn tenants_sorted(&self) -> Vec<&TenantState> {
+        let mut tenants: Vec<&TenantState> = self.tenants.values().collect();
+        tenants.sort_by_key(|t| t.id);
+        tenants
+    }
+
+    /// Registers a tenant state on this shard.  The caller (the service)
+    /// has already checked for duplicates.
+    pub(crate) fn register(&mut self, state: TenantState) {
+        self.tenants.insert(state.id, state);
+    }
+
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The regret ledger of one tenant on this shard.
+    pub(crate) fn tenant_report(
+        &self,
+        tenant: TenantId,
+    ) -> Option<pdm_pricing::prelude::RegretReport> {
+        self.tenants
+            .get(&tenant)
+            .map(|state| state.session.tracker().report())
+    }
+
+    /// Number of tenants with a quoted-but-unobserved round.
+    pub(crate) fn open_rounds(&self) -> usize {
+        self.tenants
+            .values()
+            .filter(|t| t.session.has_pending())
+            .count()
+    }
+
+    /// Admits a request into the bounded queue; `false` means the queue was
+    /// full and the request was shed (the shed counter is updated here).
+    pub(crate) fn enqueue(&mut self, seq: u64, request: Request) -> bool {
+        if self.queue.len() >= self.capacity {
+            self.metrics.shed += 1;
+            return false;
+        }
+        self.queue.push_back((seq, request));
+        true
+    }
+
+    /// Serves every queued request in FIFO order, producing one response
+    /// per request.
+    pub(crate) fn process_all(&mut self) -> Vec<Response> {
+        let mut responses = Vec::with_capacity(self.queue.len());
+        while let Some((seq, request)) = self.queue.pop_front() {
+            let tenant = request.tenant();
+            let started = Instant::now();
+            let payload = match request {
+                Request::Quote(query) => self.serve_quote(&query),
+                Request::Observe(outcome) => self.serve_observe(&outcome),
+            };
+            self.metrics.record_latency(started.elapsed());
+            responses.push(Response {
+                seq,
+                tenant,
+                shard: self.index,
+                payload,
+            });
+        }
+        responses
+    }
+
+    fn serve_quote(&mut self, query: &QueryRequest) -> Payload {
+        let state = self
+            .tenants
+            .get_mut(&query.tenant)
+            .expect("submit admits only registered tenants");
+        let quote = state.session.step(&query.features, query.reserve_price);
+        self.metrics.quotes_served += 1;
+        Payload::Quoted(quote)
+    }
+
+    fn serve_observe(&mut self, outcome: &OutcomeReport) -> Payload {
+        let state = self
+            .tenants
+            .get_mut(&outcome.tenant)
+            .expect("submit admits only registered tenants");
+        let step_outcome = StepOutcome {
+            accepted: outcome.accepted,
+            market_value: outcome.market_value,
+        };
+        match state.session.observe(step_outcome) {
+            Some(record) => {
+                self.metrics.observations += 1;
+                if record.accepted {
+                    self.metrics.sales += 1;
+                }
+                self.metrics.revenue += record.revenue;
+                if let Some(regret) = record.regret {
+                    self.metrics.regret += regret;
+                }
+                self.metrics.regret_proxy += record.uncertainty_width;
+                Payload::Observed(record)
+            }
+            None => {
+                self.metrics.rejected += 1;
+                Payload::Failed(RequestError::NoOpenRound)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantConfig;
+    use pdm_linalg::Vector;
+
+    fn shard_with_tenant(capacity: usize) -> Shard {
+        let mut shard = Shard::new(0, capacity);
+        shard.register(TenantState::new(
+            TenantId(1),
+            TenantConfig::standard(2, 100),
+        ));
+        shard
+    }
+
+    fn quote_request() -> Request {
+        Request::Quote(QueryRequest {
+            tenant: TenantId(1),
+            features: Vector::from_slice(&[0.6, 0.8]),
+            reserve_price: 0.1,
+        })
+    }
+
+    #[test]
+    fn fifo_quote_then_observe_round_trip() {
+        let mut shard = shard_with_tenant(16);
+        assert!(shard.enqueue(0, quote_request()));
+        let responses = shard.process_all();
+        assert_eq!(responses.len(), 1);
+        let quote = responses[0].quote().expect("a quote response");
+        assert!(quote.posted_price.is_finite());
+
+        assert!(shard.enqueue(
+            1,
+            Request::Observe(OutcomeReport {
+                tenant: TenantId(1),
+                accepted: true,
+                market_value: Some(1.0),
+            })
+        ));
+        let responses = shard.process_all();
+        assert!(matches!(responses[0].payload, Payload::Observed(_)));
+        assert_eq!(shard.metrics.quotes_served, 1);
+        assert_eq!(shard.metrics.observations, 1);
+        assert_eq!(shard.metrics.sales, 1);
+        assert!(shard.metrics.regret >= 0.0);
+        assert_eq!(shard.metrics.latency_samples(), 2);
+        assert_eq!(shard.open_rounds(), 0);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_overload() {
+        let mut shard = shard_with_tenant(2);
+        assert!(shard.enqueue(0, quote_request()));
+        assert!(shard.enqueue(1, quote_request()));
+        // Third request overflows the capacity-2 queue: shed, not queued.
+        assert!(!shard.enqueue(2, quote_request()));
+        assert_eq!(shard.metrics.shed, 1);
+        assert_eq!(shard.queue_len(), 2);
+        // The queued work still drains fine.
+        assert_eq!(shard.process_all().len(), 2);
+    }
+
+    #[test]
+    fn observe_without_quote_is_rejected_not_panicking() {
+        let mut shard = shard_with_tenant(4);
+        shard.enqueue(
+            0,
+            Request::Observe(OutcomeReport {
+                tenant: TenantId(1),
+                accepted: false,
+                market_value: None,
+            }),
+        );
+        let responses = shard.process_all();
+        assert_eq!(
+            responses[0].payload,
+            Payload::Failed(RequestError::NoOpenRound)
+        );
+        assert_eq!(shard.metrics.rejected, 1);
+        assert_eq!(shard.metrics.observations, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Per-tenant pricing state.
+//!
+//! A tenant is one independent instance of the paper's mechanism: its own
+//! ellipsoidal knowledge set, its own reserve-price handling, its own
+//! learning trajectory.  The service holds one [`TenantState`] per tenant,
+//! sharded by [`crate::routing::shard_of`], and drives each through the
+//! re-entrant [`PricingSession`] interface of `pdm-pricing`.
+
+use crate::routing::TenantId;
+use pdm_pricing::prelude::{
+    EllipsoidPricing, LinearModel, PricingConfig, PricingSession, SimulationOptions,
+};
+
+/// Configuration a tenant is registered with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantConfig {
+    /// Feature dimension of the tenant's queries.
+    pub dim: usize,
+    /// Mechanism configuration (knowledge-set radius, horizon, reserve and
+    /// uncertainty switches).
+    pub pricing: PricingConfig,
+}
+
+impl TenantConfig {
+    /// A tenant with the paper's defaults: reserve enabled, no uncertainty
+    /// buffer, knowledge-set radius `2√n` (the broker prior of Section V-A).
+    #[must_use]
+    pub fn standard(dim: usize, horizon: usize) -> Self {
+        let dim = dim.max(1);
+        Self {
+            dim,
+            pricing: PricingConfig::new(2.0 * (dim as f64).sqrt(), horizon),
+        }
+    }
+}
+
+/// The mechanism type every tenant session drives: the paper's ellipsoid
+/// engine over the linear market-value model.
+pub type TenantMechanism = EllipsoidPricing<LinearModel>;
+
+/// The live state of one tenant: its pricing session plus the registration
+/// config (kept for snapshots).
+#[derive(Debug, Clone)]
+pub struct TenantState {
+    /// The tenant's id.
+    pub id: TenantId,
+    /// The registration config (needed to rebuild the tenant on restore).
+    pub config: TenantConfig,
+    /// The drivable mechanism session.
+    pub session: PricingSession<TenantMechanism>,
+}
+
+impl TenantState {
+    /// Builds a fresh tenant from its registration config.
+    #[must_use]
+    pub fn new(id: TenantId, config: TenantConfig) -> Self {
+        let mechanism = EllipsoidPricing::new(LinearModel::new(config.dim), config.pricing);
+        Self::with_mechanism(id, config, mechanism)
+    }
+
+    /// Builds a tenant around an explicit mechanism (the restore path, where
+    /// the knowledge set comes from a snapshot instead of the initial ball).
+    #[must_use]
+    pub fn with_mechanism(id: TenantId, config: TenantConfig, mechanism: TenantMechanism) -> Self {
+        // Serving sessions keep no regret trace (the horizon is open-ended
+        // and per-tenant memory must stay O(n²) for the knowledge set, not
+        // O(T)) and no latency trace (the step→observe gap would measure
+        // the client's round trip; shards time their own processing).
+        let options = SimulationOptions {
+            trace_points: 0,
+            keep_full_trace: false,
+        };
+        let session = PricingSession::new(mechanism, config.pricing.horizon, options)
+            .without_latency_tracking();
+        Self {
+            id,
+            config,
+            session,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_linalg::Vector;
+    use pdm_pricing::prelude::StepOutcome;
+
+    #[test]
+    fn standard_config_uses_the_paper_prior() {
+        let config = TenantConfig::standard(9, 1_000);
+        assert_eq!(config.dim, 9);
+        assert!((config.pricing.initial_radius - 6.0).abs() < 1e-12);
+        assert!(config.pricing.use_reserve);
+        // Degenerate dimension is clamped.
+        assert_eq!(TenantConfig::standard(0, 10).dim, 1);
+    }
+
+    #[test]
+    fn fresh_tenant_serves_a_round() {
+        let mut tenant = TenantState::new(TenantId(1), TenantConfig::standard(3, 100));
+        let x = Vector::from_slice(&[0.5, 0.5, 0.5]);
+        let quote = tenant.session.step(&x, 0.2);
+        assert!(quote.posted_price.is_finite());
+        let record = tenant.session.observe(StepOutcome::accept_only(true));
+        assert!(record.is_some());
+        assert_eq!(tenant.session.rounds_closed(), 1);
+    }
+}

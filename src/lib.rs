@@ -10,6 +10,9 @@
 //!   market value models, regret accounting, and the simulation loop.
 //! * [`market`] — the personal-data-market substrate (owners, queries,
 //!   privacy leakage, tanh compensations, broker, consumers).
+//! * [`service`] — the sharded, concurrent multi-tenant serving engine
+//!   (stable tenant→shard routing, submit/drain, bounded admission,
+//!   snapshots, per-shard metrics).
 //! * [`ellipsoid`] — the knowledge-set machinery (Löwner–John ellipsoid,
 //!   exact polytope, interval).
 //! * [`datasets`] — seeded synthetic stand-ins for MovieLens, Airbnb, Avazu,
@@ -60,6 +63,7 @@ pub use pdm_learners as learners;
 pub use pdm_linalg as linalg;
 pub use pdm_market as market;
 pub use pdm_pricing as pricing;
+pub use pdm_service as service;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
@@ -68,6 +72,9 @@ pub mod prelude {
         QueryGenerator,
     };
     pub use pdm_pricing::prelude::*;
+    pub use pdm_service::{
+        MarketService, OutcomeReport, QueryRequest, ServiceConfig, TenantConfig, TenantId,
+    };
 }
 
 #[cfg(test)]
