@@ -1,0 +1,198 @@
+//! Eager second-price clearing with a personalized reserve.
+//!
+//! One call to [`clear_second_price`] settles one round: the highest bidder
+//! wins if and only if their bid meets the reserve, and pays the larger of
+//! the second-highest bid and the reserve (the "eager" rule of the
+//! personalized-reserve literature — the reserve filters *and* prices, it
+//! never re-ranks).  The function is the hot path of the auction layer, so
+//! it is deliberately allocation-free and **sort-free**: a single pass
+//! tracks the top two bids, which is all second-price settlement needs.
+//!
+//! Degenerate inputs settle, they do not panic:
+//!
+//! * no bidders — a no-sale;
+//! * a single bidder — the auction degenerates to a posted price at the
+//!   reserve (the winner pays exactly the reserve when they clear it);
+//! * a reserve above every bid — a no-sale with zero revenue.
+
+/// The settlement of one auction round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuctionResult {
+    /// Index (into the bid slice) of the winning bidder; `None` on a
+    /// no-sale.  Ties go to the earliest index, deterministically.
+    pub winner: Option<usize>,
+    /// What the winner pays: `max(second bid, reserve)` on a sale, `0.0`
+    /// otherwise.
+    pub price: f64,
+    /// The highest submitted bid (`-inf` when there were no bidders).
+    pub top_bid: f64,
+    /// The second-highest submitted bid (`-inf` with fewer than two
+    /// bidders).
+    pub second_bid: f64,
+    /// Whether the reserve set the price, i.e. the sale cleared with the
+    /// second bid below the reserve.  The mean of this flag over sold
+    /// rounds is the **reserve hit-rate** the service reports per shard.
+    pub reserve_hit: bool,
+}
+
+impl AuctionResult {
+    /// Whether the round sold.
+    #[must_use]
+    pub fn sold(&self) -> bool {
+        self.winner.is_some()
+    }
+
+    /// Revenue of the round: the clearing price on a sale, zero otherwise.
+    #[must_use]
+    pub fn revenue(&self) -> f64 {
+        if self.sold() {
+            self.price
+        } else {
+            0.0
+        }
+    }
+
+    /// Allocative welfare of the round: the winner's bid (their valuation,
+    /// under truthful second-price bidding) on a sale, zero otherwise.
+    /// Always at least [`AuctionResult::revenue`].
+    #[must_use]
+    pub fn welfare(&self) -> f64 {
+        if self.sold() {
+            self.top_bid
+        } else {
+            0.0
+        }
+    }
+
+    /// The top bid when at least one bid was submitted.
+    #[must_use]
+    pub fn top_bid_opt(&self) -> Option<f64> {
+        self.top_bid.is_finite().then_some(self.top_bid)
+    }
+
+    /// The second bid when at least two bids were submitted.
+    #[must_use]
+    pub fn second_bid_opt(&self) -> Option<f64> {
+        self.second_bid.is_finite().then_some(self.second_bid)
+    }
+}
+
+/// Settles an eager second-price auction with the given reserve.
+///
+/// Single allocation-free pass; ties on the top bid resolve to the earliest
+/// index so settlement is deterministic for any bid ordering the caller
+/// fixes.  Non-finite bids are treated as absent (a NaN bid can never win
+/// or set the price).
+#[must_use]
+pub fn clear_second_price(bids: &[f64], reserve: f64) -> AuctionResult {
+    let mut top = f64::NEG_INFINITY;
+    let mut second = f64::NEG_INFINITY;
+    let mut winner: Option<usize> = None;
+    for (index, &bid) in bids.iter().enumerate() {
+        if !bid.is_finite() {
+            continue;
+        }
+        if bid > top {
+            second = top;
+            top = bid;
+            winner = Some(index);
+        } else if bid > second {
+            second = bid;
+        }
+    }
+    let sold = winner.is_some() && top >= reserve;
+    if !sold {
+        return AuctionResult {
+            winner: None,
+            price: 0.0,
+            top_bid: top,
+            second_bid: second,
+            reserve_hit: false,
+        };
+    }
+    let reserve_hit = second < reserve;
+    AuctionResult {
+        winner,
+        price: if reserve_hit { reserve } else { second },
+        top_bid: top,
+        second_bid: second,
+        reserve_hit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_bid_prices_when_above_the_reserve() {
+        let result = clear_second_price(&[0.4, 1.0, 0.7], 0.5);
+        assert_eq!(result.winner, Some(1));
+        assert_eq!(result.price, 0.7);
+        assert!(!result.reserve_hit);
+        assert_eq!(result.top_bid, 1.0);
+        assert_eq!(result.second_bid, 0.7);
+        assert_eq!(result.revenue(), 0.7);
+        assert_eq!(result.welfare(), 1.0);
+    }
+
+    #[test]
+    fn reserve_prices_when_it_exceeds_the_second_bid() {
+        let result = clear_second_price(&[0.2, 1.0, 0.3], 0.6);
+        assert_eq!(result.winner, Some(1));
+        assert_eq!(result.price, 0.6);
+        assert!(result.reserve_hit);
+    }
+
+    #[test]
+    fn reserve_above_every_bid_is_a_no_sale() {
+        let result = clear_second_price(&[0.2, 1.0, 0.3], 1.5);
+        assert_eq!(result.winner, None);
+        assert!(!result.sold());
+        assert_eq!(result.revenue(), 0.0);
+        assert_eq!(result.welfare(), 0.0);
+        // The bids were still observed (they feed the empirical setter).
+        assert_eq!(result.top_bid_opt(), Some(1.0));
+        assert_eq!(result.second_bid_opt(), Some(0.3));
+    }
+
+    #[test]
+    fn single_bidder_degenerates_to_a_posted_price_at_the_reserve() {
+        let sold = clear_second_price(&[0.8], 0.5);
+        assert_eq!(sold.winner, Some(0));
+        assert_eq!(sold.price, 0.5, "one bidder pays exactly the reserve");
+        assert!(sold.reserve_hit);
+        assert_eq!(sold.second_bid_opt(), None);
+
+        let unsold = clear_second_price(&[0.4], 0.5);
+        assert!(!unsold.sold());
+    }
+
+    #[test]
+    fn no_bidders_is_a_no_sale() {
+        let result = clear_second_price(&[], 0.0);
+        assert!(!result.sold());
+        assert_eq!(result.top_bid_opt(), None);
+    }
+
+    #[test]
+    fn ties_resolve_to_the_earliest_index() {
+        let result = clear_second_price(&[0.9, 0.9, 0.9], 0.1);
+        assert_eq!(result.winner, Some(0));
+        assert_eq!(result.price, 0.9);
+    }
+
+    #[test]
+    fn non_finite_bids_are_ignored() {
+        let result = clear_second_price(&[f64::NAN, 0.7, f64::INFINITY, 0.4], 0.1);
+        assert_eq!(result.winner, Some(1));
+        assert_eq!(result.price, 0.4);
+    }
+
+    #[test]
+    fn exact_reserve_tie_still_sells() {
+        let result = clear_second_price(&[0.5], 0.5);
+        assert!(result.sold());
+        assert_eq!(result.price, 0.5);
+    }
+}

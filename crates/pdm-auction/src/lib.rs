@@ -1,0 +1,60 @@
+//! # pdm-auction
+//!
+//! A multi-bidder **auction market** with learned personalized reserves,
+//! built on the pricing mechanism of Niu et al. (ICDE 2020).
+//!
+//! The paper prices data with a posted price under a reserve-price
+//! constraint; the reserve-price literature itself lives in the auction
+//! setting — eager second-price auctions where the seller's lever is a
+//! **personalized reserve** per item (Paes Leme–Pál–Vassilvitskii, *A Field
+//! Guide to Personalized Reserve Prices*; Derakhshan–Golrezaei–Paes Leme,
+//! *Data-Driven Optimization of Personalized Reserve Prices*).  This crate
+//! opens that scenario axis for the workspace:
+//!
+//! * [`auction`] — the clearing rule: eager second-price settlement with a
+//!   reserve, sort-free and allocation-free (the hot path of the serving
+//!   engine's auction tenants).
+//! * [`bidders`] — seeded bidder populations over configurable valuation
+//!   distributions (uniform band, lognormal, hot-cold segments).
+//! * [`reserve`] — the non-session reserve policies: a static floor markup
+//!   and the empirical data-driven grid search over historical bids.  The
+//!   [`ReserveSetter`] trait itself, and the bridge that turns a
+//!   `pdm_pricing::session::PricingSession` into a *learned* policy fed by
+//!   censored win/lose-at-reserve feedback, live in `pdm_pricing::reserve`
+//!   (re-exported here) so the crate DAG stays acyclic.
+//! * [`market`] — the deterministic round generator and
+//!   [`run_auction_round`], the single quote→clear→observe path shared by
+//!   the serial market loop, the `pdm-service` auction tenants, and the
+//!   `bench auction` serial-replay verifier.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pdm_auction::{clear_second_price, ReserveSetter, StaticReserve};
+//! use pdm_linalg::Vector;
+//!
+//! // Three bidders, a reserve at the privacy-compensation floor.
+//! let mut policy = StaticReserve::at_floor();
+//! let reserve = policy.reserve(&Vector::from_slice(&[0.2, 0.3, 0.5]), 0.45);
+//! let result = clear_second_price(&[0.9, 0.4, 0.6], reserve);
+//! assert_eq!(result.winner, Some(0));
+//! assert_eq!(result.price, 0.6); // the second bid clears the 0.45 reserve
+//! assert!(result.welfare() >= result.revenue());
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod bidders;
+pub mod market;
+pub mod reserve;
+
+pub use auction::{clear_second_price, AuctionResult};
+pub use bidders::ValuationDistribution;
+pub use market::{
+    run_auction_round, AuctionLedger, AuctionMarket, AuctionMarketConfig, AuctionRound,
+    ClearedRound,
+};
+pub use pdm_pricing::reserve::{ReserveFeedback, ReserveSetter};
+pub use reserve::{EmpiricalConfig, EmpiricalReserve, StaticReserve};

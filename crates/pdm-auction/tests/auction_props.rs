@@ -1,0 +1,95 @@
+//! Property tests for the clearing rule under degenerate inputs.
+//!
+//! The load-bearing invariants: a single-bidder auction degenerates to a
+//! posted price at the reserve, a reserve above every bid is always a
+//! no-sale with zero revenue, and on any sale the price is sandwiched by
+//! `max(second bid, reserve) = price ≤ top bid` so welfare dominates
+//! revenue.
+
+use pdm_auction::{clear_second_price, run_auction_round, ReserveSetter, StaticReserve};
+use pdm_linalg::Vector;
+use proptest::prelude::*;
+
+fn finite_bid() -> impl Strategy<Value = f64> {
+    0.0..1e6
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// One bidder: the auction is exactly a posted price at the reserve —
+    /// the bidder buys iff their bid clears it, and pays the reserve
+    /// itself, never their bid.
+    #[test]
+    fn single_bidder_degenerates_to_posted_price(
+        bid in finite_bid(),
+        reserve in finite_bid(),
+    ) {
+        let result = clear_second_price(&[bid], reserve);
+        if bid >= reserve {
+            prop_assert_eq!(result.winner, Some(0));
+            prop_assert_eq!(result.price, reserve);
+            prop_assert!(result.reserve_hit);
+        } else {
+            prop_assert!(!result.sold());
+            prop_assert_eq!(result.revenue(), 0.0);
+        }
+    }
+
+    /// A reserve strictly above every bid never sells, earns nothing, and
+    /// allocates nothing — for any bidder count.
+    #[test]
+    fn reserve_above_all_bids_is_a_no_sale(
+        bids in prop::collection::vec(finite_bid(), 0..12),
+    ) {
+        let top = bids.iter().copied().fold(0.0_f64, f64::max);
+        let result = clear_second_price(&bids, top + 1.0);
+        prop_assert!(!result.sold());
+        prop_assert_eq!(result.winner, None);
+        prop_assert_eq!(result.revenue(), 0.0);
+        prop_assert_eq!(result.welfare(), 0.0);
+    }
+
+    /// On any sale: the winner really holds the top bid, the price is
+    /// `max(second, reserve)`, and revenue never exceeds welfare.
+    #[test]
+    fn sale_prices_are_sandwiched(
+        bids in prop::collection::vec(finite_bid(), 1..12),
+        reserve in finite_bid(),
+    ) {
+        let result = clear_second_price(&bids, reserve);
+        if let Some(winner) = result.winner {
+            prop_assert_eq!(result.top_bid, bids[winner]);
+            prop_assert!(bids.iter().all(|&b| b <= result.top_bid));
+            prop_assert!(result.price <= result.top_bid);
+            prop_assert!(result.price >= reserve.min(result.top_bid));
+            let expected = if result.second_bid > reserve {
+                result.second_bid
+            } else {
+                reserve
+            };
+            prop_assert_eq!(result.price, expected);
+            prop_assert!(result.welfare() >= result.revenue());
+        } else {
+            prop_assert!(result.top_bid < reserve || bids.is_empty());
+        }
+    }
+
+    /// The shared round path clamps every policy at the floor: whatever a
+    /// setter answers, the cleared reserve honours the constraint.
+    #[test]
+    fn round_path_clamps_the_reserve_at_the_floor(
+        floor in finite_bid(),
+        markup in 0.0..10.0_f64,
+        bids in prop::collection::vec(finite_bid(), 1..6),
+    ) {
+        let mut policy = StaticReserve::new(markup);
+        let features = Vector::from_slice(&[1.0]);
+        let cleared = run_auction_round(&mut policy, &features, floor, &bids);
+        prop_assert!(cleared.reserve >= floor);
+        prop_assert_eq!(cleared.reserve, policy.reserve(&features, floor).max(floor));
+        if cleared.result.sold() {
+            prop_assert!(cleared.result.price >= floor);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks for the auction-clearing hot path.
+//!
+//! [`clear_second_price`] is the inner loop of every auction tenant: one
+//! sort-free pass tracking the top two bids, no allocation.  The benches
+//! pin that shape — clearing must stay O(bidders) with a flat per-round
+//! cost, and the full round path (reserve quote → clear → policy feedback)
+//! must stay allocation-free when driven over reused scratch buffers, like
+//! the quote path of the serving engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdm_auction::{
+    clear_second_price, run_auction_round, AuctionMarket, AuctionMarketConfig, EmpiricalConfig,
+    EmpiricalReserve, StaticReserve, ValuationDistribution,
+};
+use pdm_linalg::sampling;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic bid panels: `count` rounds of `bidders` bids each.
+fn bid_panels(bidders: usize, count: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(17);
+    (0..count)
+        .map(|_| {
+            (0..bidders)
+                .map(|_| sampling::uniform(&mut rng, 0.05, 1.95))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_clear_second_price(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auction_clear_second_price");
+    for &bidders in &[2usize, 8, 64, 512] {
+        let panels = bid_panels(bidders, 64);
+        group.bench_with_input(BenchmarkId::from_parameter(bidders), &bidders, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let bids = &panels[i % panels.len()];
+                i += 1;
+                clear_second_price(bids, 0.9)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_round_static(c: &mut Criterion) {
+    // The whole round against the stateless policy: quote, clear, observe.
+    // Round generation reuses one scratch round, so the measured loop is
+    // allocation-free end to end.
+    let mut group = c.benchmark_group("auction_round_static_reserve");
+    for &bidders in &[2usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(bidders), &bidders, |b, _| {
+            let mut market = AuctionMarket::new(AuctionMarketConfig {
+                bidders,
+                dim: 8,
+                distribution: ValuationDistribution::Uniform { spread: 0.95 },
+                floor_fraction: 0.3,
+                seed: 5,
+            });
+            let mut policy = StaticReserve::at_floor();
+            let mut round = market.next_round();
+            b.iter(|| {
+                market.next_round_into(&mut round);
+                run_auction_round(&mut policy, &round.features, round.floor, &round.bids)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_round_empirical(c: &mut Criterion) {
+    // The empirical setter adds the O(window²) refit on top of clearing.
+    let mut group = c.benchmark_group("auction_round_empirical_reserve");
+    for &window in &[16usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, _| {
+            let mut market = AuctionMarket::new(AuctionMarketConfig {
+                bidders: 4,
+                dim: 8,
+                distribution: ValuationDistribution::LogNormal { sigma: 1.2 },
+                floor_fraction: 0.3,
+                seed: 11,
+            });
+            let mut policy = EmpiricalReserve::new(EmpiricalConfig {
+                window,
+                welfare_weight: 0.0,
+            });
+            let mut round = market.next_round();
+            b.iter(|| {
+                market.next_round_into(&mut round);
+                run_auction_round(&mut policy, &round.features, round.floor, &round.bids)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_clear_second_price,
+    bench_full_round_static,
+    bench_full_round_empirical
+);
+criterion_main!(benches);

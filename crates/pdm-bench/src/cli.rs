@@ -7,11 +7,12 @@
 //! every experiment accepts `--full`, `--workers`, `--reps`, `--json`, and
 //! `--check` uniformly.
 
+use crate::auction::{auction_grid, render_auction, run_auction_cells};
 use crate::experiments::{experiments_for, render_experiment, render_fig1};
 use crate::grid::expand_jobs;
 use crate::report::{build_experiment_reports, git_describe, BenchReport, SCHEMA_VERSION};
 use crate::runner::run_jobs;
-use crate::serve::{render_serve, run_serve_grid, serve_grid};
+use crate::serve::{render_serve, render_serve_summary, run_serve_cells, serve_grid};
 use crate::Scale;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -40,13 +41,16 @@ pub enum Command {
     /// The closed-loop serving workload over the sharded `pdm-service`
     /// engine (tenant-count × arrival-mix grid, throughput + latency).
     Serve,
+    /// The multi-bidder auction workload (bidder-count × distribution ×
+    /// reserve-policy grid with serial-replay verification).
+    Auction,
     /// Every simulation experiment above in one grid.
     All,
 }
 
 impl Command {
     /// Every subcommand, in help order.
-    pub const ALL: [Command; 11] = [
+    pub const ALL: [Command; 12] = [
         Command::Fig1,
         Command::Fig4,
         Command::Fig5a,
@@ -57,6 +61,7 @@ impl Command {
         Command::Overhead,
         Command::Lemma8,
         Command::Serve,
+        Command::Auction,
         Command::All,
     ];
 
@@ -74,6 +79,7 @@ impl Command {
             Command::Overhead => "overhead",
             Command::Lemma8 => "lemma8",
             Command::Serve => "serve",
+            Command::Auction => "auction",
             Command::All => "all",
         }
     }
@@ -103,6 +109,9 @@ pub struct BenchArgs {
     /// Fail (exit 1) when any aggregate is NaN/negative or any regret ratio
     /// exceeds 1 — the CI smoke gate.
     pub check: bool,
+    /// Restrict every grid (experiments, serve, auction) to the cells whose
+    /// job key contains this substring.
+    pub filter: Option<String>,
 }
 
 /// The usage text printed on parse errors and `--help`.
@@ -111,6 +120,7 @@ pub fn usage() -> String {
     let commands: Vec<&str> = Command::ALL.iter().map(|c| c.name()).collect();
     format!(
         "usage: bench <command> [--full] [--workers N] [--reps N] [--json PATH] [--check]\n\
+         \x20            [--filter SUBSTRING]\n\
          \n\
          commands: {}\n\
          \n\
@@ -122,6 +132,9 @@ pub fn usage() -> String {
          \x20 --json PATH   write the versioned BENCH report (schema v{SCHEMA_VERSION}) to PATH\n\
          \x20 --check       exit non-zero when any aggregate is NaN/negative or any\n\
          \x20               regret ratio exceeds 1 (the CI smoke gate)\n\
+         \x20 --filter S    run only the grid cells whose job key (experiment/cell\n\
+         \x20               label) contains the substring S; it is an error when\n\
+         \x20               nothing matches\n\
          \x20 -h, --help    show this message",
         commands.join(", ")
     )
@@ -141,6 +154,7 @@ pub fn parse_args(preset: Option<Command>, args: &[String]) -> Result<Option<Ben
     let mut workers = default_workers();
     let mut reps = 1u64;
     let mut check = false;
+    let mut filter = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -148,6 +162,13 @@ pub fn parse_args(preset: Option<Command>, args: &[String]) -> Result<Option<Ben
             "-h" | "--help" => return Ok(None),
             "--full" => scale = Scale::Full,
             "--check" => check = true,
+            "--filter" => {
+                let needle = iter
+                    .next()
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| "--filter needs a non-empty substring".to_owned())?;
+                filter = Some(needle.clone());
+            }
             "--json" => {
                 let path = iter
                     .next()
@@ -192,7 +213,54 @@ pub fn parse_args(preset: Option<Command>, args: &[String]) -> Result<Option<Ben
         workers,
         reps,
         check,
+        filter,
     }))
+}
+
+/// Applies the `--filter` substring to a list of cells via each cell's job
+/// key.  Returns the retained cells; `None` filter keeps everything.
+fn filter_cells<T>(cells: Vec<T>, filter: Option<&str>, key: impl Fn(&T) -> String) -> Vec<T> {
+    match filter {
+        None => cells,
+        Some(needle) => cells
+            .into_iter()
+            .filter(|cell| key(cell).contains(needle))
+            .collect(),
+    }
+}
+
+/// Runs one closed-loop service workload (serve or auction): banner, cells,
+/// tables, and the serial-replay verification footer.  Empty cell lists
+/// (the subcommand does not cover the workload) run nothing.
+fn run_closed_loop_workload<C, R>(
+    name: &str,
+    args: &BenchArgs,
+    workers: usize,
+    cells: &[C],
+    run: impl Fn(&[C], usize, u64) -> Result<Vec<R>, String>,
+    render: impl Fn(&[R]) -> Vec<String>,
+    verified: &str,
+) -> Result<Vec<R>, String> {
+    if cells.is_empty() {
+        return Ok(Vec::new());
+    }
+    println!(
+        "bench {name} — {} ({} cells, {} drain worker{}, {} rep{} per cell)",
+        args.scale.label(),
+        cells.len(),
+        workers,
+        if workers == 1 { "" } else { "s" },
+        args.reps,
+        if args.reps == 1 { "" } else { "s" },
+    );
+    println!();
+    let rows = run(cells, workers, args.reps)?;
+    for table in render(&rows) {
+        println!("{table}");
+    }
+    println!("every cell verified bit-for-bit against its serial per-tenant replay ({verified})");
+    println!();
+    Ok(rows)
 }
 
 /// Runs a parsed invocation end to end: execute the grid, print the tables,
@@ -204,25 +272,55 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
     if args.command == Command::Fig1 {
         print!("{}", render_fig1());
     }
+    let filter = args.filter.as_deref();
 
-    let experiments = experiments_for(args.command, args.scale);
+    // Assemble every grid the subcommand covers, then apply `--filter` to
+    // the job keys (experiment name / cell label) uniformly.
+    let mut experiments = experiments_for(args.command, args.scale);
+    if filter.is_some() {
+        for experiment in &mut experiments {
+            let name = experiment.name.clone();
+            experiment.cells = filter_cells(std::mem::take(&mut experiment.cells), filter, |c| {
+                format!("{name}/{}", c.label)
+            });
+        }
+        experiments.retain(|e| !e.cells.is_empty());
+    }
+    let serve_cells = if args.command == Command::Serve {
+        filter_cells(serve_grid(args.scale), filter, |c| c.label.clone())
+    } else {
+        Vec::new()
+    };
+    let auction_cells = if args.command == Command::Auction {
+        filter_cells(auction_grid(args.scale), filter, |c| c.label.clone())
+    } else {
+        Vec::new()
+    };
+    if let Some(needle) = filter {
+        if experiments.is_empty() && serve_cells.is_empty() && auction_cells.is_empty() {
+            return Err(format!(
+                "--filter `{needle}` matched no cells of `bench {}`",
+                args.command.name()
+            ));
+        }
+    }
+
     let grids: Vec<Vec<crate::grid::CellSpec>> =
         experiments.iter().map(|e| e.cells.clone()).collect();
     let jobs = expand_jobs(&grids, args.reps);
     // The effective pool size — this, not the requested count, is what the
     // banner, footer, and JSON report record.  For the simulation grid,
-    // `run_jobs` clamps to the job count; for the serve workload,
-    // `MarketService::drain` clamps to the shard count (uniform across the
-    // grid at a given scale), so the same clamp is applied here.
-    let workers = if args.command == Command::Serve {
-        let shards = serve_grid(args.scale)
-            .iter()
-            .map(|cell| cell.shards)
-            .max()
-            .unwrap_or(1);
-        args.workers.clamp(1, shards)
-    } else {
-        args.workers.clamp(1, jobs.len().max(1))
+    // `run_jobs` clamps to the job count; for the serve and auction
+    // workloads, `MarketService::drain` clamps to the shard count (uniform
+    // across the grid at a given scale), so the same clamp is applied here.
+    let shard_cap = serve_cells
+        .iter()
+        .map(|cell| cell.shards)
+        .chain(auction_cells.iter().map(|cell| cell.shards))
+        .max();
+    let workers = match shard_cap {
+        Some(shards) => args.workers.clamp(1, shards),
+        None => args.workers.clamp(1, jobs.len().max(1)),
     };
     if !jobs.is_empty() {
         println!(
@@ -254,29 +352,24 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         }
     }
 
-    let serve = if args.command == Command::Serve {
-        let cells = serve_grid(args.scale);
-        println!(
-            "bench serve — {} ({} cells, {} drain worker{}, {} rep{} per cell)",
-            args.scale.label(),
-            cells.len(),
-            workers,
-            if workers == 1 { "" } else { "s" },
-            args.reps,
-            if args.reps == 1 { "" } else { "s" },
-        );
-        println!();
-        let rows = run_serve_grid(args.scale, workers, args.reps)?;
-        println!("{}", render_serve(&rows));
-        println!(
-            "every cell verified bit-for-bit against its serial per-tenant replay \
-             (posted prices, revenue, regret)"
-        );
-        println!();
-        rows
-    } else {
-        Vec::new()
-    };
+    let serve = run_closed_loop_workload(
+        "serve",
+        args,
+        workers,
+        &serve_cells,
+        run_serve_cells,
+        |rows| vec![render_serve(rows), render_serve_summary(rows)],
+        "posted prices, revenue, regret",
+    )?;
+    let auction = run_closed_loop_workload(
+        "auction",
+        args,
+        workers,
+        &auction_cells,
+        run_auction_cells,
+        |rows| vec![render_auction(rows)],
+        "reserves, clearing prices, ledger counters",
+    )?;
 
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -288,6 +381,7 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         wall_clock_secs: start.elapsed().as_secs_f64(),
         experiments: reports,
         serve,
+        auction,
     };
 
     println!(
@@ -390,6 +484,87 @@ mod tests {
         assert_eq!(args.workers, 4);
         assert!(args.check);
         assert!(usage().contains("serve"));
+    }
+
+    #[test]
+    fn auction_is_a_first_class_subcommand() {
+        assert_eq!(Command::parse("auction"), Some(Command::Auction));
+        let args = parse_args(None, &strings(&["auction", "--workers", "2", "--check"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.command, Command::Auction);
+        assert!(args.check);
+        assert!(usage().contains("auction"));
+    }
+
+    #[test]
+    fn filter_flag_parses_strictly() {
+        let args = parse_args(None, &strings(&["serve", "--filter", "bursty"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.filter.as_deref(), Some("bursty"));
+        // Missing or empty values are an error, not a silent no-op.
+        assert!(parse_args(None, &strings(&["serve", "--filter"]))
+            .unwrap_err()
+            .contains("--filter"));
+        assert!(parse_args(None, &strings(&["serve", "--filter", ""]))
+            .unwrap_err()
+            .contains("--filter"));
+        // No filter by default.
+        assert_eq!(
+            parse_args(None, &strings(&["serve"]))
+                .unwrap()
+                .unwrap()
+                .filter,
+            None
+        );
+    }
+
+    #[test]
+    fn filter_restricts_the_auction_grid_and_rejects_no_matches() {
+        let mut args = parse_args(
+            None,
+            &strings(&[
+                "auction",
+                "--filter",
+                "bidders=1/dist=uniform/policy=static",
+            ]),
+        )
+        .unwrap()
+        .unwrap();
+        args.workers = 2;
+        let report = execute(&args).expect("filtered auction run");
+        assert_eq!(report.auction.len(), 1);
+        assert_eq!(
+            report.auction[0].label,
+            "bidders=1/dist=uniform/policy=static"
+        );
+        assert!(report.experiments.is_empty());
+
+        args.filter = Some("no-such-cell".to_owned());
+        let err = execute(&args).unwrap_err();
+        assert!(err.contains("no-such-cell"), "{err}");
+        assert!(err.contains("matched no cells"), "{err}");
+    }
+
+    #[test]
+    fn filter_restricts_simulation_grids_by_job_key() {
+        let mut args = parse_args(None, &strings(&["fig4", "--filter", "with reserve"]))
+            .unwrap()
+            .unwrap();
+        args.workers = 2;
+        let report = execute(&args).expect("filtered fig4 run");
+        assert!(!report.experiments.is_empty());
+        for experiment in &report.experiments {
+            for cell in &experiment.cells {
+                assert!(
+                    format!("{}/{}", experiment.name, cell.label).contains("with reserve"),
+                    "{} / {} escaped the filter",
+                    experiment.name,
+                    cell.label
+                );
+            }
+        }
     }
 
     #[test]

@@ -65,9 +65,10 @@ pub fn experiments_for(command: Command, scale: Scale) -> Vec<Experiment> {
         Command::RegretScaling => regret_scaling(scale),
         Command::Overhead => overhead(scale),
         Command::Lemma8 => vec![lemma8(scale)],
-        // The serve workload drives the sharded service engine through its
-        // own closed loop (crate::serve), not the simulation job runner.
-        Command::Serve => Vec::new(),
+        // The serve and auction workloads drive the sharded service engine
+        // through their own closed loops (crate::serve / crate::auction),
+        // not the simulation job runner.
+        Command::Serve | Command::Auction => Vec::new(),
         Command::All => {
             let mut all = fig4(scale);
             all.push(fig5a(scale));
@@ -741,9 +742,11 @@ mod tests {
     fn every_subcommand_resolves_to_a_grid() {
         for command in Command::ALL {
             let experiments = experiments_for(command, Scale::Quick);
-            // Fig. 1 is closed-form (no simulation) and the serve workload
-            // runs through crate::serve, not the simulation job runner.
-            if command == Command::Fig1 || command == Command::Serve {
+            // Fig. 1 is closed-form (no simulation) and the serve/auction
+            // workloads run through crate::serve / crate::auction, not the
+            // simulation job runner.
+            if command == Command::Fig1 || command == Command::Serve || command == Command::Auction
+            {
                 assert!(experiments.is_empty());
             } else {
                 assert!(!experiments.is_empty(), "{command:?} has no experiments");

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod airbnb_pipeline;
+pub mod auction;
 pub mod avazu_pipeline;
 pub mod cli;
 pub mod experiments;

@@ -20,6 +20,7 @@
 //! [`BenchReport::from_json`]; the schema is documented in
 //! `docs/BENCHMARKS.md`.
 
+use crate::auction::{AuctionCellReport, AuctionPerf};
 use crate::grid::{CellSpec, Job};
 use crate::json::Json;
 use crate::runner::{
@@ -30,10 +31,13 @@ use std::process::Command;
 
 /// Version of the `BENCH_*.json` schema this build writes.
 ///
+/// v3 added the additive `auction` section (the `bench auction` workload:
+/// the bidder-count × distribution × reserve-policy grid with clearing
+/// revenue, the no-reserve baseline, welfare, and reserve hit-rates);
 /// v2 added the additive `serve` section (the `bench serve` closed-loop
 /// workload: quotes/sec plus p50/p99 service latency per workload cell);
-/// v1 reports parse as v2 reports with no serve cells.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v1/v2 reports parse as v3 reports with the missing sections empty.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The aggregates of one experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +70,9 @@ pub struct BenchReport {
     /// Serve-workload cells (schema v2; empty for simulation-only runs and
     /// for reports read back from v1 files).
     pub serve: Vec<ServeCellReport>,
+    /// Auction-workload cells (schema v3; empty for other runs and for
+    /// reports read back from v1/v2 files).
+    pub auction: Vec<AuctionCellReport>,
 }
 
 /// Groups executed job results back into per-experiment aggregates.
@@ -343,6 +350,109 @@ fn serve_cell_from_json(value: &Json) -> Result<ServeCellReport, String> {
     })
 }
 
+/// Serialises the schedule-independent part of an auction cell: everything
+/// except `perf` and the worker count.
+fn auction_cell_deterministic_json(cell: &AuctionCellReport) -> Json {
+    Json::obj(vec![
+        ("label", Json::str(&cell.label)),
+        ("distribution", Json::str(&cell.distribution)),
+        ("policy", Json::str(&cell.policy)),
+        ("tenants", Json::Num(cell.tenants as f64)),
+        ("bidders", Json::Num(cell.bidders as f64)),
+        ("shards", Json::Num(cell.shards as f64)),
+        ("waves", Json::Num(cell.waves as f64)),
+        ("reps", Json::Num(cell.reps as f64)),
+        ("auctions", Json::Num(cell.auctions as f64)),
+        ("sales", Json::Num(cell.sales as f64)),
+        ("reserve_hits", Json::Num(cell.reserve_hits as f64)),
+        ("revenue", agg_stat_json(&cell.revenue)),
+        ("baseline_revenue", agg_stat_json(&cell.baseline_revenue)),
+        ("welfare", agg_stat_json(&cell.welfare)),
+        ("hit_rate", agg_stat_json(&cell.hit_rate)),
+    ])
+}
+
+fn auction_cell_json(cell: &AuctionCellReport) -> Json {
+    let mut json = auction_cell_deterministic_json(cell);
+    let perf = Json::obj(vec![
+        ("wall_clock_secs", Json::Num(cell.perf.wall_clock_secs)),
+        ("rounds_per_sec", Json::Num(cell.perf.rounds_per_sec)),
+        (
+            "latency_p50_micros",
+            Json::Num(cell.perf.latency_p50_micros),
+        ),
+        (
+            "latency_p99_micros",
+            Json::Num(cell.perf.latency_p99_micros),
+        ),
+    ]);
+    if let Json::Obj(pairs) = &mut json {
+        pairs.push(("workers".to_owned(), Json::Num(cell.workers as f64)));
+        pairs.push(("perf".to_owned(), perf));
+    }
+    json
+}
+
+fn auction_cell_from_json(value: &Json) -> Result<AuctionCellReport, String> {
+    let label = value
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or("auction cell: missing `label`")?
+        .to_owned();
+    let context = format!("auction cell `{label}`");
+    let text = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("{context}: missing `{key}`"))
+    };
+    let count = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{context}: missing count `{key}`"))
+    };
+    let stat = |key: &str| {
+        value
+            .get(key)
+            .ok_or_else(|| format!("{context}: missing `{key}`"))
+            .and_then(|v| agg_stat_from_json(v, &context))
+    };
+    let perf = value
+        .get("perf")
+        .ok_or_else(|| format!("{context}: missing `perf`"))?;
+    let perf_field = |key: &str| {
+        perf.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{context}: missing perf number `{key}`"))
+    };
+    Ok(AuctionCellReport {
+        distribution: text("distribution")?,
+        policy: text("policy")?,
+        tenants: count("tenants")?,
+        bidders: count("bidders")?,
+        shards: count("shards")?,
+        waves: count("waves")?,
+        reps: count("reps")?,
+        workers: count("workers")?,
+        auctions: count("auctions")?,
+        sales: count("sales")?,
+        reserve_hits: count("reserve_hits")?,
+        revenue: stat("revenue")?,
+        baseline_revenue: stat("baseline_revenue")?,
+        welfare: stat("welfare")?,
+        hit_rate: stat("hit_rate")?,
+        perf: AuctionPerf {
+            wall_clock_secs: perf_field("wall_clock_secs")?,
+            rounds_per_sec: perf_field("rounds_per_sec")?,
+            latency_p50_micros: perf_field("latency_p50_micros")?,
+            latency_p99_micros: perf_field("latency_p99_micros")?,
+        },
+        label,
+    })
+}
+
 fn cell_from_json(value: &Json) -> Result<CellAggregate, String> {
     let label = value
         .get("label")
@@ -464,6 +574,10 @@ impl BenchReport {
                 "serve",
                 Json::Arr(self.serve.iter().map(serve_cell_json).collect()),
             ),
+            (
+                "auction",
+                Json::Arr(self.auction.iter().map(auction_cell_json).collect()),
+            ),
         ])
     }
 
@@ -508,8 +622,8 @@ impl BenchReport {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
-        // `serve` arrived with schema v2; absent in v1 files means "no serve
-        // cells", not an error.
+        // `serve` arrived with schema v2 and `auction` with v3; absent
+        // sections in older files mean "no such cells", not an error.
         let serve = match value.get("serve") {
             Some(section) => section
                 .as_arr()
@@ -519,9 +633,19 @@ impl BenchReport {
                 .collect::<Result<Vec<_>, String>>()?,
             None => Vec::new(),
         };
+        let auction = match value.get("auction") {
+            Some(section) => section
+                .as_arr()
+                .ok_or("report: `auction` must be an array")?
+                .iter()
+                .map(auction_cell_from_json)
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
         Ok(Self {
             schema_version,
             serve,
+            auction,
             name: text("name")?,
             git_describe: text("git_describe")?,
             scale: text("scale")?,
@@ -576,6 +700,15 @@ impl BenchReport {
                     self.serve
                         .iter()
                         .map(serve_cell_deterministic_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "auction",
+                Json::Arr(
+                    self.auction
+                        .iter()
+                        .map(auction_cell_deterministic_json)
                         .collect(),
                 ),
             ),
@@ -672,6 +805,64 @@ impl BenchReport {
                 violations.push(format!("{place}: shed rate reached 100% ({shed_rate})"));
             }
         }
+        for cell in &self.auction {
+            let place = format!("auction / {}", cell.label);
+            for (what, stat, upper) in [
+                ("revenue", &cell.revenue, None),
+                ("baseline revenue", &cell.baseline_revenue, None),
+                ("welfare", &cell.welfare, None),
+                ("reserve hit rate", &cell.hit_rate, Some(1.0)),
+            ] {
+                for (part, v) in [("mean", stat.mean), ("min", stat.min), ("max", stat.max)] {
+                    if !v.is_finite() {
+                        violations.push(format!("{place}: {what} {part} is not finite ({v})"));
+                    } else if v < -tolerance {
+                        violations.push(format!("{place}: {what} {part} is negative ({v})"));
+                    } else if upper.is_some_and(|bound| v > bound + tolerance) {
+                        violations.push(format!("{place}: {what} {part} exceeds 1 ({v})"));
+                    }
+                }
+            }
+            if cell.auctions == 0 {
+                violations.push(format!("{place}: settled no auction rounds at all"));
+            }
+            if cell.sales == 0 {
+                violations.push(format!("{place}: sold nothing in any round"));
+            }
+            // A sale never prices above the winning bid, so welfare
+            // dominates revenue identically per round and in every sum.
+            if cell.welfare.mean + tolerance < cell.revenue.mean {
+                violations.push(format!(
+                    "{place}: welfare {} fell below revenue {}",
+                    cell.welfare.mean, cell.revenue.mean
+                ));
+            }
+            let throughput = cell.perf.rounds_per_sec;
+            if cell.auctions > 0 && (!throughput.is_finite() || throughput <= 0.0) {
+                violations.push(format!(
+                    "{place}: rounds/sec is not positive ({throughput})"
+                ));
+            }
+            // The reserve-uplift gate of the auction workload: at full
+            // scale, every *learned* reserve policy must earn at least the
+            // second-price-no-reserve baseline in the thin-competition
+            // cells (≤ 2 bidders) — the regime personalized reserves exist
+            // for.  With thicker competition the second bid already
+            // extracts the surplus and the optimal reserve is non-binding,
+            // so those cells are gated only on the invariants above.
+            // Quick-scale horizons are too short for the learners to
+            // converge, so the gate is a full-scale contract.
+            if self.scale == "full" && cell.is_learned_policy() && cell.bidders <= 2 {
+                let baseline = cell.baseline_revenue.mean;
+                if cell.revenue.mean + tolerance < baseline {
+                    violations.push(format!(
+                        "{place}: learned-reserve revenue {} fell below the no-reserve \
+                         second-price baseline {}",
+                        cell.revenue.mean, baseline
+                    ));
+                }
+            }
+        }
         violations
     }
 }
@@ -760,6 +951,33 @@ mod tests {
         }
     }
 
+    fn sample_auction_cell(label: &str) -> AuctionCellReport {
+        AuctionCellReport {
+            label: label.to_owned(),
+            distribution: "uniform".to_owned(),
+            policy: "session".to_owned(),
+            tenants: 4,
+            bidders: 2,
+            shards: 4,
+            waves: 48,
+            reps: 2,
+            workers: 4,
+            auctions: 384,
+            sales: 300,
+            reserve_hits: 120,
+            revenue: sample_stat(210.0),
+            baseline_revenue: sample_stat(180.0),
+            welfare: sample_stat(260.0),
+            hit_rate: sample_stat(0.4),
+            perf: AuctionPerf {
+                wall_clock_secs: 0.4,
+                rounds_per_sec: 80_000.0,
+                latency_p50_micros: 3.0,
+                latency_p99_micros: 9.0,
+            },
+        }
+    }
+
     fn sample_report() -> BenchReport {
         BenchReport {
             schema_version: SCHEMA_VERSION,
@@ -774,6 +992,7 @@ mod tests {
                 cells: vec![sample_cell("pure version"), sample_cell("with reserve")],
             }],
             serve: vec![sample_serve_cell("tenants=16/mix=uniform")],
+            auction: vec![sample_auction_cell("bidders=2/dist=uniform/policy=session")],
         }
     }
 
@@ -796,33 +1015,103 @@ mod tests {
         b.wall_clock_secs = 99.0;
         b.git_describe = "elsewhere".to_owned();
         b.experiments[0].cells[0].perf.rounds_per_sec = 1.0;
-        // Serve throughput/latency and the drain worker count are
+        // Serve/auction throughput, latency, and the drain worker count are
         // wall-clock/schedule facts, not aggregates.
         b.serve[0].workers = 1;
         b.serve[0].perf.quotes_per_sec = 3.0;
         b.serve[0].perf.latency_p99_micros = 9_999.0;
+        b.auction[0].workers = 1;
+        b.auction[0].perf.rounds_per_sec = 5.0;
         assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
-        // But it does see the aggregates — simulation and serve alike.
+        // But it does see the aggregates — simulation, serve, and auction
+        // alike.
         a.experiments[0].cells[0].cumulative_regret.mean += 1.0;
         assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
         let mut c = sample_report();
         c.serve[0].revenue.mean += 1.0;
         assert_ne!(c.deterministic_fingerprint(), b.deterministic_fingerprint());
+        let mut d = sample_report();
+        d.auction[0].reserve_hits += 1;
+        assert_ne!(d.deterministic_fingerprint(), b.deterministic_fingerprint());
     }
 
     #[test]
-    fn v1_reports_without_a_serve_section_still_parse() {
+    fn v1_and_v2_reports_without_newer_sections_still_parse() {
         let mut report = sample_report();
         report.serve.clear();
+        report.auction.clear();
         let mut rendered = report.to_json();
-        // Simulate a v1 file: no `serve` key, version 1.
+        // Simulate a v1 file: no `serve`/`auction` keys, version 1.
         if let Json::Obj(pairs) = &mut rendered {
-            pairs.retain(|(key, _)| key != "serve");
+            pairs.retain(|(key, _)| key != "serve" && key != "auction");
             pairs[0].1 = Json::Num(1.0);
         }
         let reparsed = BenchReport::from_json(&rendered).expect("v1 parses");
         assert_eq!(reparsed.schema_version, 1);
         assert!(reparsed.serve.is_empty());
+        assert!(reparsed.auction.is_empty());
+
+        // Simulate a v2 file: a `serve` section but no `auction`.
+        let mut v2 = sample_report();
+        v2.auction.clear();
+        let mut rendered = v2.to_json();
+        if let Json::Obj(pairs) = &mut rendered {
+            pairs.retain(|(key, _)| key != "auction");
+            pairs[0].1 = Json::Num(2.0);
+        }
+        let reparsed = BenchReport::from_json(&rendered).expect("v2 parses");
+        assert_eq!(reparsed.schema_version, 2);
+        assert_eq!(reparsed.serve.len(), 1);
+        assert!(reparsed.auction.is_empty());
+    }
+
+    #[test]
+    fn validate_gates_auction_invariants_and_the_full_scale_uplift() {
+        assert!(sample_report().validate().is_empty());
+
+        // Welfare below revenue is impossible arithmetic.
+        let mut inverted = sample_report();
+        inverted.auction[0].welfare = sample_stat(100.0);
+        assert!(inverted
+            .validate()
+            .iter()
+            .any(|v| v.contains("welfare") && v.contains("fell below revenue")));
+
+        // A dead cell fails.
+        let mut dead = sample_report();
+        dead.auction[0].auctions = 0;
+        dead.auction[0].sales = 0;
+        assert!(dead
+            .validate()
+            .iter()
+            .any(|v| v.contains("settled no auction rounds")));
+
+        // Hit rates live in [0, 1].
+        let mut excess = sample_report();
+        excess.auction[0].hit_rate.max = 1.4;
+        assert!(excess
+            .validate()
+            .iter()
+            .any(|v| v.contains("reserve hit rate") && v.contains("exceeds 1")));
+
+        // The learned-reserve uplift gate binds at full scale only, only
+        // for learned policies, only under thin competition.
+        let mut below = sample_report();
+        below.auction[0].revenue = sample_stat(150.0); // below the 180 baseline
+        assert!(below.validate().is_empty(), "quick scale is not gated");
+        below.scale = "full".to_owned();
+        assert!(below
+            .validate()
+            .iter()
+            .any(|v| v.contains("fell below the no-reserve")));
+        below.auction[0].policy = "static".to_owned();
+        assert!(below.validate().is_empty(), "static cells are not gated");
+        below.auction[0].policy = "empirical".to_owned();
+        below.auction[0].bidders = 4;
+        assert!(
+            below.validate().is_empty(),
+            "thick-competition cells are not gated"
+        );
     }
 
     #[test]

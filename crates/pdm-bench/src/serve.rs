@@ -403,7 +403,7 @@ fn run_rep(spec: &ServeCellSpec, workers: usize, rep: u64) -> Result<RepOutcome,
         revenue: merged.cumulative_revenue,
         regret: merged.cumulative_regret,
         accept_rate: merged.acceptance_rate(),
-        metrics: service.metrics(),
+        metrics: service.aggregate_metrics(),
         latency_pool,
         drain_time,
     })
@@ -471,16 +471,25 @@ pub fn run_serve_cell(
     })
 }
 
+/// Runs a set of serve cells (the whole grid, or a `--filter` subset).
+pub fn run_serve_cells(
+    cells: &[ServeCellSpec],
+    workers: usize,
+    reps: u64,
+) -> Result<Vec<ServeCellReport>, String> {
+    cells
+        .iter()
+        .map(|spec| run_serve_cell(spec, workers, reps))
+        .collect()
+}
+
 /// Runs the whole serve grid at the given scale.
 pub fn run_serve_grid(
     scale: Scale,
     workers: usize,
     reps: u64,
 ) -> Result<Vec<ServeCellReport>, String> {
-    serve_grid(scale)
-        .iter()
-        .map(|spec| run_serve_cell(spec, workers, reps))
-        .collect()
+    run_serve_cells(&serve_grid(scale), workers, reps)
 }
 
 /// Renders the serve cells as the console table `bench serve` prints.
@@ -507,6 +516,49 @@ pub fn render_serve(cells: &[ServeCellReport]) -> String {
         &[
             "cell", "quotes", "sales", "accept", "shed", "revenue", "regret", "quotes/s", "p50 µs",
             "p99 µs",
+        ],
+        &rows,
+    )
+}
+
+/// Renders the grid-wide summary line `bench serve` prints under the
+/// per-cell table: every cell's service-level aggregate (the
+/// [`MarketService::aggregate_metrics`] fold each repetition produced)
+/// summed across the grid.
+///
+/// [`MarketService::aggregate_metrics`]: pdm_service::MarketService::aggregate_metrics
+#[must_use]
+pub fn render_serve_summary(cells: &[ServeCellReport]) -> String {
+    let mut totals = ShardMetrics::new();
+    let mut revenue = 0.0;
+    let mut regret = 0.0;
+    for cell in cells {
+        totals.quotes_served += cell.quotes_served;
+        totals.observations += cell.observations;
+        totals.sales += cell.sales;
+        totals.shed += cell.shed;
+        totals.rejected += cell.rejected;
+        revenue += cell.revenue.mean;
+        regret += cell.regret.mean;
+    }
+    let rows = vec![vec![
+        format!("{} cells", cells.len()),
+        totals.quotes_served.to_string(),
+        totals.sales.to_string(),
+        table::pct(totals.accept_rate()),
+        table::pct(totals.shed_rate()),
+        table::fmt(revenue, 2),
+        table::fmt(regret, 2),
+    ]];
+    table::render(
+        &[
+            "grid total",
+            "quotes",
+            "sales",
+            "accept",
+            "shed",
+            "revenue/rep",
+            "regret/rep",
         ],
         &rows,
     )
@@ -632,5 +684,15 @@ mod tests {
         assert!(table.contains("tenants=12/mix=uniform"));
         assert!(table.contains("quotes/s"));
         assert!(table.contains("p99"));
+    }
+
+    #[test]
+    fn summary_folds_the_grid_totals() {
+        let a = run_serve_cell(&tiny_cell(ArrivalMix::Uniform), 1, 1).unwrap();
+        let b = run_serve_cell(&tiny_cell(ArrivalMix::HotCold), 1, 1).unwrap();
+        let summary = render_serve_summary(&[a.clone(), b.clone()]);
+        assert!(summary.contains("2 cells"));
+        assert!(summary.contains(&(a.quotes_served + b.quotes_served).to_string()));
+        assert!(summary.contains("revenue/rep"));
     }
 }

@@ -7,6 +7,7 @@
 //! with 1 and 4 workers and compare the canonical report fingerprints as
 //! strings.
 
+use pdm_bench::auction::{auction_grid, run_auction_cells};
 use pdm_bench::grid::{expand_jobs, CellSpec, Checkpoint, JobSpec, SyntheticMechanism};
 use pdm_bench::json::Json;
 use pdm_bench::linear_market::{LinearMarketConfig, Version};
@@ -87,6 +88,7 @@ fn report_with_workers(workers: usize, reps: u64) -> BenchReport {
         wall_clock_secs: 0.0,
         experiments,
         serve: Vec::new(),
+        auction: Vec::new(),
     }
 }
 
@@ -103,7 +105,49 @@ fn serve_report_with_workers(workers: usize) -> BenchReport {
         wall_clock_secs: 0.0,
         experiments: Vec::new(),
         serve: run_serve_grid(Scale::Quick, workers, 1).expect("the serve grid must run"),
+        auction: Vec::new(),
     }
+}
+
+/// Runs the full quick-scale auction grid with the given drain worker count
+/// and wraps it in a report, the way `bench auction --workers N` does.
+fn auction_report_with_workers(workers: usize) -> BenchReport {
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        name: "auction".to_owned(),
+        git_describe: "test".to_owned(),
+        scale: "quick".to_owned(),
+        workers,
+        reps: 1,
+        wall_clock_secs: 0.0,
+        experiments: Vec::new(),
+        serve: Vec::new(),
+        auction: run_auction_cells(&auction_grid(Scale::Quick), workers, 1)
+            .expect("the auction grid must run"),
+    }
+}
+
+#[test]
+fn auction_aggregates_are_byte_identical_for_1_and_4_workers() {
+    // The acceptance bar of the auction layer: the whole quick grid —
+    // every bidder count × distribution × reserve policy — must produce
+    // byte-identical revenue/welfare/hit aggregates no matter how many
+    // workers drain the shards.  (Each run additionally verified every
+    // reserve and clearing price against a serial per-tenant replay inside
+    // `run_auction_cells`.)
+    let serial = auction_report_with_workers(1);
+    let parallel = auction_report_with_workers(4);
+    assert!(!serial.auction.is_empty());
+    assert_eq!(
+        serial.deterministic_fingerprint(),
+        parallel.deterministic_fingerprint(),
+        "drain worker count must not affect any auction aggregate"
+    );
+    for cell in &parallel.auction {
+        assert!(cell.perf.rounds_per_sec > 0.0, "{}", cell.label);
+    }
+    assert!(serial.validate().is_empty());
+    assert!(parallel.validate().is_empty());
 }
 
 #[test]

@@ -1,0 +1,144 @@
+//! Property tests for the knowledge-set primitives under **degenerate**
+//! inputs: (near-)zero-volume sets, thresholds outside the support range,
+//! and reserve-style clamps far beyond the interval — the states a
+//! long-lived serving tenant ends up in after thousands of cuts, where a
+//! panic or a NaN would take a whole shard down.
+
+use pdm_ellipsoid::{CutOutcome, Ellipsoid, Interval, KnowledgeSet};
+use pdm_linalg::{sampling, Vector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shrinks a ball toward zero volume with repeated central cuts along
+/// seeded directions.
+fn nearly_flat_ellipsoid(dim: usize, radius: f64, cuts: usize, seed: u64) -> Ellipsoid {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ellipsoid = Ellipsoid::ball(dim, radius);
+    for _ in 0..cuts {
+        let direction = sampling::unit_sphere(&mut rng, dim);
+        let (lo, hi) = ellipsoid.support_bounds(&direction);
+        let _ = ellipsoid.cut_below(&direction, 0.5 * (lo + hi));
+    }
+    ellipsoid
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cutting a knowledge set that has already collapsed to (numerically)
+    /// zero volume never panics, never produces a non-finite centre, and
+    /// never increases the volume — for any direction and threshold,
+    /// including thresholds far outside the support range.
+    #[test]
+    fn zero_volume_ellipsoids_survive_any_cut(
+        dim in 2usize..6,
+        seed in 0u64..1_000,
+        threshold in -100.0..100.0_f64,
+        from_above in 0u64..2,
+    ) {
+        let from_above = from_above == 1;
+        // 120 central cuts shrink the log-volume far below f64 granularity
+        // along most directions — the degenerate regime.
+        let mut ellipsoid = nearly_flat_ellipsoid(dim, 2.0, 120, seed);
+        let volume_before = ellipsoid.log_volume();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let direction = sampling::unit_sphere(&mut rng, dim);
+
+        let outcome = if from_above {
+            ellipsoid.cut_above(&direction, threshold)
+        } else {
+            ellipsoid.cut_below(&direction, threshold)
+        };
+
+        // Whatever the outcome, the set is still a usable ellipsoid.
+        prop_assert!(ellipsoid.center().iter().all(|c| c.is_finite()));
+        let (lo, hi) = ellipsoid.support_bounds(&direction);
+        prop_assert!(lo.is_finite() && hi.is_finite());
+        prop_assert!(lo <= hi + 1e-9);
+        if outcome.is_updated() {
+            prop_assert!(ellipsoid.log_volume() <= volume_before + 1e-9);
+        }
+    }
+
+    /// A deep cut entirely outside the support range is reported as
+    /// out-of-range/would-be-empty and leaves the set untouched, even on a
+    /// degenerate ellipsoid.
+    #[test]
+    fn cuts_beyond_the_support_range_do_not_mutate(
+        dim in 2usize..5,
+        seed in 0u64..500,
+        margin in 1.0..50.0_f64,
+    ) {
+        let mut ellipsoid = nearly_flat_ellipsoid(dim, 1.5, 40, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+        let direction = sampling::unit_sphere(&mut rng, dim);
+        let (lo, hi) = ellipsoid.support_bounds(&direction);
+        let center_before = ellipsoid.center().clone();
+
+        // Keep everything: the halfspace contains the whole set.
+        let keep_all = ellipsoid.cut_below(&direction, hi + margin);
+        prop_assert!(!keep_all.is_updated());
+        // Keep nothing: the halfspace misses the whole set.
+        let keep_none = ellipsoid.cut_below(&direction, lo - margin);
+        let refused_as_empty = matches!(keep_none, CutOutcome::WouldBeEmpty { alpha: _ });
+        prop_assert!(refused_as_empty, "expected WouldBeEmpty, got {:?}", keep_none);
+        prop_assert_eq!(ellipsoid.center(), &center_before);
+    }
+
+    /// The interval (one-dimensional knowledge set) under reserve-style
+    /// clamps: a threshold above the whole interval keeps it intact, a
+    /// threshold below it is refused as would-be-empty, and a legitimate
+    /// clamp never inverts the endpoints — including on a zero-width
+    /// (point) interval.
+    #[test]
+    fn interval_reserve_clamp_handles_degenerate_inputs(
+        point in -10.0..10.0_f64,
+        width in 0.0..5.0_f64,
+        clamp in -100.0..100.0_f64,
+        feature in -3.0..3.0_f64,
+    ) {
+        let mut interval = Interval::new(point, point + width);
+        let x = Vector::from_slice(&[feature]);
+        let before = interval;
+
+        let outcome = interval.cut_below(&x, clamp);
+        prop_assert!(interval.lo() <= interval.hi());
+        prop_assert!(interval.lo().is_finite() && interval.hi().is_finite());
+        match outcome {
+            CutOutcome::Updated(_) => {
+                // A real cut only ever shrinks the interval.
+                prop_assert!(interval.lo() >= before.lo() - 1e-12);
+                prop_assert!(interval.hi() <= before.hi() + 1e-12);
+                prop_assert!(interval.width() <= before.width() + 1e-12);
+            }
+            CutOutcome::OutOfRange { .. }
+            | CutOutcome::WouldBeEmpty { .. }
+            | CutOutcome::DegenerateDirection => {
+                // Refused cuts leave the interval untouched.
+                prop_assert_eq!(interval, before);
+            }
+        }
+
+        // The support bounds stay ordered whatever happened.
+        let (lo, hi) = interval.support_bounds(&x);
+        prop_assert!(lo <= hi);
+    }
+
+    /// A zero-width (point) interval behaves like the posted-price-at-
+    /// reserve degenerate case: it either survives a cut unchanged or
+    /// refuses it; it can never be emptied silently.
+    #[test]
+    fn point_intervals_are_never_silently_emptied(
+        point in -10.0..10.0_f64,
+        clamp in -20.0..20.0_f64,
+    ) {
+        let mut interval = Interval::new(point, point);
+        let x = Vector::from_slice(&[1.0]);
+        let _ = interval.cut_below(&x, clamp);
+        let _ = interval.cut_above(&x, clamp);
+        prop_assert_eq!(interval.lo(), point);
+        prop_assert_eq!(interval.hi(), point);
+        prop_assert!(interval.contains(&Vector::from_slice(&[point])));
+    }
+}

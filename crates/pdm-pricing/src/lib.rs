@@ -25,6 +25,10 @@
 //! * [`session`] — the re-entrant `step`/`observe` loop body: one mechanism
 //!   driven one query at a time, the unit the `pdm-service` serving engine
 //!   shards across tenants.
+//! * [`reserve`] — the auction bridge: the [`reserve::ReserveSetter`] trait
+//!   a second-price auction market drives, with the blanket implementation
+//!   that turns any [`session::PricingSession`] into a learned personalized
+//!   reserve policy (censored win/lose-at-reserve feedback).
 //! * [`simulation`] — the online trading loop tying an environment to a
 //!   mechanism; a thin client of [`session`] that records regret traces,
 //!   Table-I statistics, and per-round latency.
@@ -59,6 +63,7 @@ pub mod environment;
 pub mod mechanism;
 pub mod model;
 pub mod regret;
+pub mod reserve;
 pub mod session;
 pub mod simulation;
 pub mod uncertainty;
@@ -78,6 +83,7 @@ pub mod prelude {
         MercerKernel,
     };
     pub use crate::regret::{single_round_regret, RegretReport, RegretTracker};
+    pub use crate::reserve::{ReserveFeedback, ReserveSetter};
     pub use crate::session::{ObservedRound, PricingSession, StepOutcome};
     pub use crate::simulation::{Simulation, SimulationOptions, SimulationOutcome, TraceSample};
     pub use crate::uncertainty::{NoiseModel, UncertaintyBudget};

@@ -1,0 +1,200 @@
+//! The reserve-setter bridge: driving the paper's mechanism from an
+//! **auction** market instead of a posted-price market.
+//!
+//! The personalized-reserve literature (Paes Leme–Pál–Vassilvitskii's field
+//! guide; Derakhshan–Golrezaei–Paes Leme's data-driven optimisation) prices
+//! the *reserve* of an eager second-price auction per item, instead of
+//! posting a take-it-or-leave-it price.  The learning signal there is
+//! **censored**: the seller observes whether the item cleared at the quoted
+//! reserve — win/lose at reserve — which is exactly the accept/reject bit
+//! the paper's posted-price mechanism learns from.  [`ReserveSetter`] is the
+//! minimal trait an auction market needs from a reserve policy, and the
+//! blanket implementation for [`PricingSession`] is the bridge: a session's
+//! [`step`](PricingSession::step) *is* a personalized reserve quote, and the
+//! auction's clearing outcome folds back through
+//! [`observe`](PricingSession::observe) as a [`StepOutcome`] — no fork of
+//! the mechanism arithmetic, so the same knowledge-set updates (and the same
+//! snapshot/restore bit-identity) apply verbatim.
+//!
+//! `pdm-auction` supplies the other two policies of the grid — a static
+//! reserve and the empirical data-driven setter — and the auction market
+//! itself; this module only owns the trait and the session bridge, keeping
+//! the crate DAG acyclic.
+
+use crate::mechanism::PostedPriceMechanism;
+use crate::session::{ObservedRound, PricingSession, StepOutcome};
+use pdm_linalg::Vector;
+
+/// What an auction round reports back to its reserve policy.
+///
+/// The only field a *censored* market guarantees is [`sold`](Self::sold) —
+/// whether the top bid met the quoted reserve.  Drivers that see the bids
+/// (benchmarks, the serving engine, replay workloads) also reveal the top
+/// and second bids so richer policies (the empirical setter) can refit; a
+/// production exchange that hides losing bids simply leaves them `None`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReserveFeedback {
+    /// Whether the auction cleared, i.e. the top bid met the reserve.
+    pub sold: bool,
+    /// The reserve that was quoted for the round (after the floor clamp).
+    pub reserve: f64,
+    /// The winning (top) bid, when the driver reveals it.
+    pub top_bid: Option<f64>,
+    /// The second-highest bid, when the driver reveals it.
+    pub second_bid: Option<f64>,
+}
+
+impl ReserveFeedback {
+    /// Censored feedback: only the win/lose-at-reserve bit.
+    #[must_use]
+    pub fn censored(sold: bool, reserve: f64) -> Self {
+        Self {
+            sold,
+            reserve,
+            top_bid: None,
+            second_bid: None,
+        }
+    }
+}
+
+/// A personalized reserve-price policy for an eager second-price auction.
+///
+/// Each round, the market asks for a reserve given the item's raw features
+/// and the round's **floor** — the paper's reserve-price constraint, i.e.
+/// the total privacy compensation the sale must cover.  Implementations
+/// must return a value `>= floor`; after clearing, the market reports the
+/// outcome through [`ReserveSetter::observe`].
+pub trait ReserveSetter {
+    /// Human-readable policy name used in reports and tables.
+    fn name(&self) -> String;
+
+    /// Quotes the reserve for one auction round.  The returned value must
+    /// be at least `floor`.
+    fn reserve(&mut self, features: &Vector, floor: f64) -> f64;
+
+    /// Receives the clearing outcome of the round most recently quoted by
+    /// [`ReserveSetter::reserve`].
+    fn observe(&mut self, feedback: ReserveFeedback);
+}
+
+/// The bridge: a pricing session sets personalized reserves by quoting its
+/// posted price, and learns from the auction's censored feedback.
+///
+/// * `reserve` runs [`PricingSession::step`] with the floor as the round's
+///   reserve price, so the quoted reserve honours the constraint exactly
+///   like a posted price would (the certain-no-sale branch included).
+/// * `observe` folds the clearing outcome into
+///   [`PricingSession::observe`]: `sold` is the accept bit (the top bid
+///   "accepted" the reserve), and the top bid — when revealed — is the
+///   round's market value, so regret is accounted against the price the
+///   strongest bidder was willing to pay.
+///
+/// The session's revenue ledger therefore records the *reserve* on each
+/// sale, which is the posted-price-equivalent floor revenue; the auction
+/// market's own metrics track the actual clearing revenue
+/// `max(second bid, reserve)`.
+impl<M: PostedPriceMechanism> ReserveSetter for PricingSession<M> {
+    fn name(&self) -> String {
+        format!("session reserve ({})", self.mechanism().name())
+    }
+
+    fn reserve(&mut self, features: &Vector, floor: f64) -> f64 {
+        // `max` also normalises the -0.0/NaN-free floor case: the mechanism
+        // already posts >= floor, in which case this is the identity.
+        self.step(features, floor).posted_price.max(floor)
+    }
+
+    fn observe(&mut self, feedback: ReserveFeedback) {
+        let _: Option<ObservedRound> = PricingSession::observe(
+            self,
+            StepOutcome {
+                accepted: feedback.sold,
+                market_value: feedback.top_bid,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{EllipsoidPricing, PricingConfig};
+    use crate::model::LinearModel;
+    use crate::simulation::SimulationOptions;
+
+    fn session(dim: usize) -> PricingSession<EllipsoidPricing<LinearModel>> {
+        let config = PricingConfig::new(2.0 * (dim as f64).sqrt(), 100).with_reserve(true);
+        PricingSession::new(
+            EllipsoidPricing::new(LinearModel::new(dim), config),
+            100,
+            SimulationOptions::default(),
+        )
+        .without_latency_tracking()
+    }
+
+    #[test]
+    fn session_reserve_honours_the_floor() {
+        let mut s = session(3);
+        let x = Vector::from_slice(&[0.5, 0.5, 0.5]);
+        // A floor above the knowledge set's reach forces the certain-no-sale
+        // branch, whose quote is the floor itself.
+        let r = ReserveSetter::reserve(&mut s, &x, 50.0);
+        assert!(r >= 50.0);
+        ReserveSetter::observe(&mut s, ReserveFeedback::censored(false, r));
+        // An ordinary floor is honoured too.
+        let r = ReserveSetter::reserve(&mut s, &x, 0.25);
+        assert!(r >= 0.25);
+        ReserveSetter::observe(&mut s, ReserveFeedback::censored(false, r));
+        assert_eq!(s.rounds_closed(), 2);
+    }
+
+    #[test]
+    fn bridge_reuses_step_observe_bit_for_bit() {
+        // Driving the session through the trait must be indistinguishable
+        // from driving it by hand — the bridge forks no arithmetic.
+        let x = Vector::from_slice(&[0.6, 0.8]);
+        let mut by_trait = session(2);
+        let mut by_hand = session(2);
+        for round in 0..50 {
+            let floor = 0.1 + 0.01 * f64::from(round);
+            let r = ReserveSetter::reserve(&mut by_trait, &x, floor);
+            let sold = r <= 1.0;
+            ReserveSetter::observe(
+                &mut by_trait,
+                ReserveFeedback {
+                    sold,
+                    reserve: r,
+                    top_bid: Some(1.0),
+                    second_bid: Some(0.5),
+                },
+            );
+
+            let quote = by_hand.step(&x, floor);
+            assert_eq!(quote.posted_price.max(floor).to_bits(), r.to_bits());
+            by_hand.observe(StepOutcome::with_value(quote.posted_price <= 1.0, 1.0));
+        }
+        assert_eq!(
+            by_trait.revenue().to_bits(),
+            by_hand.revenue().to_bits(),
+            "bridge and hand-driven ledgers must match exactly"
+        );
+        assert_eq!(
+            by_trait.tracker().cumulative_regret().to_bits(),
+            by_hand.tracker().cumulative_regret().to_bits()
+        );
+    }
+
+    #[test]
+    fn censored_feedback_skips_regret_but_counts_revenue() {
+        let mut s = session(2);
+        let x = Vector::from_slice(&[1.0, 0.0]);
+        // A fresh origin-centred ball quotes the midpoint 0 at floor 0, so a
+        // positive floor makes the sale's ledger revenue visible.
+        let r = ReserveSetter::reserve(&mut s, &x, 0.2);
+        ReserveSetter::observe(&mut s, ReserveFeedback::censored(true, r));
+        assert_eq!(s.tracker().rounds(), 0, "no ground truth, no regret row");
+        assert_eq!(s.sales(), 1);
+        assert!(s.revenue() >= 0.2);
+        assert!(s.name().contains("session reserve"));
+    }
+}

@@ -9,6 +9,7 @@
 //! [`Response`] carrying the same ticket sequence number.
 
 use crate::routing::TenantId;
+use pdm_auction::ClearedRound;
 use pdm_linalg::Vector;
 use pdm_market::PricedQuery;
 use pdm_pricing::prelude::{ObservedRound, Quote};
@@ -52,6 +53,28 @@ pub struct OutcomeReport {
     pub market_value: Option<f64>,
 }
 
+/// One self-contained auction round for an auction tenant: the item, the
+/// floor, and the sealed bids.
+///
+/// Unlike the posted-price quote/outcome pair, an auction round needs no
+/// second message: the service quotes the tenant's personalized reserve,
+/// clears the eager second-price auction against the submitted bids, feeds
+/// the outcome back to the reserve policy, and answers with the settled
+/// [`ClearedRound`] — all inside one FIFO slot, so there is never an open
+/// auction round to abandon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuctionRequest {
+    /// The auction tenant whose reserve policy prices this round.
+    pub tenant: TenantId,
+    /// Raw feature vector `x_t` of the auctioned item.
+    pub features: Vector,
+    /// The round's floor `q_t` (the total privacy compensation owed) —
+    /// the reserve never drops below it.
+    pub floor: f64,
+    /// Sealed bids, in bidder order (ties resolve to the earliest index).
+    pub bids: Vec<f64>,
+}
+
 /// One message submitted to the service.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -59,6 +82,8 @@ pub enum Request {
     Quote(QueryRequest),
     /// Close the open quote with the buyer's decision.
     Observe(OutcomeReport),
+    /// Settle one auction round (auction tenants only).
+    Auction(AuctionRequest),
 }
 
 impl Request {
@@ -68,6 +93,7 @@ impl Request {
         match self {
             Request::Quote(q) => q.tenant,
             Request::Observe(o) => o.tenant,
+            Request::Auction(a) => a.tenant,
         }
     }
 }
@@ -90,6 +116,8 @@ pub enum Payload {
     Quoted(Quote),
     /// The closed round for a [`Request::Observe`].
     Observed(ObservedRound),
+    /// The settled round for a [`Request::Auction`].
+    Cleared(ClearedRound),
     /// The request could not be served (e.g. an observe with no open round).
     Failed(RequestError),
 }
@@ -117,6 +145,16 @@ impl Response {
             _ => None,
         }
     }
+
+    /// The settled round, when this response answered a
+    /// [`Request::Auction`].
+    #[must_use]
+    pub fn cleared(&self) -> Option<&ClearedRound> {
+        match &self.payload {
+            Payload::Cleared(cleared) => Some(cleared),
+            _ => None,
+        }
+    }
 }
 
 /// A request that reached its shard but could not be served.
@@ -124,12 +162,19 @@ impl Response {
 pub enum RequestError {
     /// An [`OutcomeReport`] arrived while the tenant had no open quote.
     NoOpenRound,
+    /// The request kind does not match the tenant's market: an auction
+    /// round addressed a posted-price tenant, or a quote/outcome addressed
+    /// an auction tenant.
+    MarketMismatch,
 }
 
 impl fmt::Display for RequestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RequestError::NoOpenRound => write!(f, "no open round to observe"),
+            RequestError::MarketMismatch => {
+                write!(f, "request kind does not match the tenant's market")
+            }
         }
     }
 }

@@ -23,10 +23,20 @@
 //! * **Bounded admission** — shard queues have a hard capacity; overload is
 //!   shed with [`ServiceError::QueueFull`] and counted, instead of growing
 //!   memory without bound.
+//! * **Mixed markets** — a tenant is either a posted-price session (the
+//!   paper's loop) or an **auction tenant**: one request carries an item,
+//!   a floor, and sealed bids; the tenant's [`AuctionPolicy`] (static /
+//!   session-learned / empirical) quotes a personalized reserve, the eager
+//!   second-price auction clears, and the policy learns from the outcome —
+//!   all in one FIFO slot.  Both kinds share shards, snapshots, and
+//!   metrics.
 //! * **Per-shard metrics** — quotes served, accept rate, revenue, exact
 //!   regret (when ground truth is supplied) plus an uncertainty-width
-//!   regret proxy, shed/rejected counts, and p50/p99 service latency
-//!   ([`ShardMetrics`]).
+//!   regret proxy, shed/rejected counts, p50/p99 service latency, and the
+//!   auction ledger (settled rounds, reserve hit-rate, clearing revenue,
+//!   welfare, no-reserve baseline) ([`ShardMetrics`]); shard ledgers fold
+//!   into one service-wide aggregate via
+//!   [`MarketService::aggregate_metrics`].
 //! * **Snapshots** — the whole service state serialises to deterministic
 //!   JSON ([`MarketService::snapshot`]) and restores to a service that
 //!   quotes bit-identically ([`MarketService::restore`]).
@@ -78,10 +88,13 @@ pub mod tenant;
 mod service;
 
 pub use api::{
-    OutcomeReport, Payload, QueryRequest, Request, RequestError, Response, ServiceError, Ticket,
+    AuctionRequest, OutcomeReport, Payload, QueryRequest, Request, RequestError, Response,
+    ServiceError, Ticket,
 };
 pub use metrics::ShardMetrics;
 pub use routing::{shard_of, TenantId};
 pub use service::{MarketService, ServiceConfig};
 pub use snapshot::SNAPSHOT_SCHEMA_VERSION;
-pub use tenant::{TenantConfig, TenantMechanism, TenantState};
+pub use tenant::{
+    AuctionPolicy, MarketKind, TenantConfig, TenantMechanism, TenantState, AUCTION_SESSION_DELTA,
+};

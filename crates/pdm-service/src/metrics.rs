@@ -7,11 +7,18 @@
 //! was (per-request service latency, summarised through the error-checked
 //! quantile helpers of `pdm-linalg`).
 //!
+//! Auction tenants report through the same ledger: the nested
+//! [`AuctionLedger`] counts settled rounds, sales, reserve hits, clearing
+//! revenue, allocative welfare, and the second-price-no-reserve baseline —
+//! the figures the `bench auction` workload and the reserve-uplift
+//! dashboards read per shard.
+//!
 //! Everything except the latency figures is **deterministic**: counts and
 //! monetary sums depend only on the request stream, never on thread timing,
 //! which is what lets `bench serve` compare worker counts byte for byte.
 //! Latency samples are wall-clock and live strictly apart.
 
+use pdm_auction::AuctionLedger;
 use pdm_linalg::{OnlineStats, Result as LinalgResult, SampleWindow};
 use std::time::Duration;
 
@@ -47,8 +54,13 @@ pub struct ShardMetrics {
     /// Requests shed at admission because the shard queue was full.
     pub shed: u64,
     /// Requests that reached the shard but could not be served (e.g. an
-    /// observe with no open round).
+    /// observe with no open round, or a request whose kind does not match
+    /// the tenant's market).
     pub rejected: u64,
+    /// The auction side of the shard: settled rounds, sales, reserve hits,
+    /// clearing revenue, welfare, and the no-reserve baseline.  All zero on
+    /// a shard serving only posted-price tenants.
+    pub auction: AuctionLedger,
     /// Sliding window of the most recent [`LATENCY_WINDOW`] per-request
     /// service latency samples, in microseconds (wall-clock; excluded from
     /// all determinism comparisons).
@@ -76,9 +88,18 @@ impl ShardMetrics {
             regret_proxy: 0.0,
             shed: 0,
             rejected: 0,
+            auction: AuctionLedger::default(),
             latency_window: SampleWindow::new(LATENCY_WINDOW),
             latency_stats: OnlineStats::new(),
         }
+    }
+
+    /// Fraction of sold auction rounds whose price was set by the reserve
+    /// rather than the second bid (zero before any auction sale) — the
+    /// per-shard **reserve hit-rate**.
+    #[must_use]
+    pub fn reserve_hit_rate(&self) -> f64 {
+        self.auction.reserve_hit_rate()
     }
 
     /// Fraction of observed rounds that ended in a sale (zero before any
@@ -96,7 +117,11 @@ impl ShardMetrics {
     /// traffic).
     #[must_use]
     pub fn shed_rate(&self) -> f64 {
-        let attempts = self.quotes_served + self.observations + self.rejected + self.shed;
+        let attempts = self.quotes_served
+            + self.observations
+            + self.auction.auctions
+            + self.rejected
+            + self.shed;
         if attempts == 0 {
             0.0
         } else {
@@ -167,6 +192,7 @@ impl ShardMetrics {
         self.regret_proxy += other.regret_proxy;
         self.shed += other.shed;
         self.rejected += other.rejected;
+        self.auction.merge(&other.auction);
         // Replay the other window oldest-first so the merged ring keeps the
         // most recent samples; the all-time summaries merge exactly (not
         // per-sample, which would double-count against the Welford merge).
@@ -267,5 +293,31 @@ mod tests {
         assert_eq!(a.sales, 8);
         assert!((a.revenue - 78.0).abs() < 1e-12);
         assert_eq!(a.latency_samples(), 1);
+    }
+
+    #[test]
+    fn auction_ledger_merges_and_reports_the_hit_rate() {
+        let mut a = ShardMetrics::new();
+        a.auction.auctions = 10;
+        a.auction.sales = 8;
+        a.auction.reserve_hits = 2;
+        a.auction.revenue = 16.0;
+        a.auction.welfare = 20.0;
+        a.auction.baseline_revenue = 12.0;
+        assert!((a.reserve_hit_rate() - 0.25).abs() < 1e-12);
+        // Auction rounds count as admission attempts in the shed rate.
+        a.shed = 10;
+        assert!((a.shed_rate() - 0.5).abs() < 1e-12);
+
+        let mut b = ShardMetrics::new();
+        b.auction.auctions = 5;
+        b.auction.sales = 4;
+        b.auction.reserve_hits = 4;
+        a.merge(&b);
+        assert_eq!(a.auction.auctions, 15);
+        assert_eq!(a.auction.sales, 12);
+        assert_eq!(a.auction.reserve_hits, 6);
+        assert!((a.reserve_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(ShardMetrics::new().reserve_hit_rate(), 0.0);
     }
 }

@@ -18,7 +18,9 @@
 //! worker count — the property the `bench serve` workload verifies against
 //! a serial simulation bit for bit.
 
-use crate::api::{OutcomeReport, QueryRequest, Request, Response, ServiceError, Ticket};
+use crate::api::{
+    AuctionRequest, OutcomeReport, QueryRequest, Request, Response, ServiceError, Ticket,
+};
 use crate::metrics::ShardMetrics;
 use crate::routing::{shard_of, TenantId};
 use crate::shard::Shard;
@@ -165,6 +167,14 @@ impl MarketService {
         self.submit(Request::Observe(outcome))
     }
 
+    /// Convenience wrapper: submit a self-contained auction round.
+    ///
+    /// # Errors
+    /// Same as [`MarketService::submit`].
+    pub fn submit_auction(&mut self, auction: AuctionRequest) -> Result<Ticket, ServiceError> {
+        self.submit(Request::Auction(auction))
+    }
+
     /// Total requests currently queued across all shards.
     #[must_use]
     pub fn queued_requests(&mut self) -> usize {
@@ -247,14 +257,24 @@ impl MarketService {
             .collect()
     }
 
-    /// All shard ledgers rolled up into one service-level ledger.
+    /// All shard ledgers folded ([`ShardMetrics::merge`]) into one
+    /// service-wide aggregate, in shard-index order — deterministic for a
+    /// given request stream, independent of worker count.  This is the
+    /// figure `bench serve`'s summary table and the dashboards read.
     #[must_use]
-    pub fn metrics(&self) -> ShardMetrics {
+    pub fn aggregate_metrics(&self) -> ShardMetrics {
         let mut total = ShardMetrics::new();
         for shard in self.shard_metrics() {
             total.merge(&shard);
         }
         total
+    }
+
+    /// Alias of [`MarketService::aggregate_metrics`], kept for callers that
+    /// predate the explicit name.
+    #[must_use]
+    pub fn metrics(&self) -> ShardMetrics {
+        self.aggregate_metrics()
     }
 
     /// Read access to the shards, for the snapshot writer.

@@ -7,7 +7,9 @@
 //! strictly in submission (FIFO) order, which is what makes the whole
 //! engine's arithmetic independent of how many workers drain it.
 
-use crate::api::{OutcomeReport, Payload, QueryRequest, Request, RequestError, Response};
+use crate::api::{
+    AuctionRequest, OutcomeReport, Payload, QueryRequest, Request, RequestError, Response,
+};
 use crate::metrics::ShardMetrics;
 use crate::routing::TenantId;
 use crate::tenant::TenantState;
@@ -101,6 +103,7 @@ impl Shard {
             let payload = match request {
                 Request::Quote(query) => self.serve_quote(&query),
                 Request::Observe(outcome) => self.serve_observe(&outcome),
+                Request::Auction(auction) => self.serve_auction(&auction),
             };
             self.metrics.record_latency(started.elapsed());
             responses.push(Response {
@@ -118,9 +121,33 @@ impl Shard {
             .tenants
             .get_mut(&query.tenant)
             .expect("submit admits only registered tenants");
+        if !state.config.market.is_posted() {
+            self.metrics.rejected += 1;
+            return Payload::Failed(RequestError::MarketMismatch);
+        }
         let quote = state.session.step(&query.features, query.reserve_price);
         self.metrics.quotes_served += 1;
         Payload::Quoted(quote)
+    }
+
+    /// Settles one self-contained auction round: reserve quote, eager
+    /// second-price clearing, policy feedback — all through the shared
+    /// [`pdm_auction::run_auction_round`] path.
+    fn serve_auction(&mut self, auction: &AuctionRequest) -> Payload {
+        let state = self
+            .tenants
+            .get_mut(&auction.tenant)
+            .expect("submit admits only registered tenants");
+        match state.serve_auction(&auction.features, auction.floor, &auction.bids) {
+            Some(cleared) => {
+                self.metrics.auction.record(&cleared);
+                Payload::Cleared(cleared)
+            }
+            None => {
+                self.metrics.rejected += 1;
+                Payload::Failed(RequestError::MarketMismatch)
+            }
+        }
     }
 
     fn serve_observe(&mut self, outcome: &OutcomeReport) -> Payload {
@@ -128,6 +155,10 @@ impl Shard {
             .tenants
             .get_mut(&outcome.tenant)
             .expect("submit admits only registered tenants");
+        if !state.config.market.is_posted() {
+            self.metrics.rejected += 1;
+            return Payload::Failed(RequestError::MarketMismatch);
+        }
         let step_outcome = StepOutcome {
             accepted: outcome.accepted,
             market_value: outcome.market_value,
@@ -214,6 +245,75 @@ mod tests {
         assert_eq!(shard.queue_len(), 2);
         // The queued work still drains fine.
         assert_eq!(shard.process_all().len(), 2);
+    }
+
+    #[test]
+    fn auction_rounds_settle_in_one_fifo_slot_and_feed_the_ledger() {
+        let mut shard = Shard::new(0, 8);
+        shard.register(TenantState::new(
+            TenantId(2),
+            crate::tenant::TenantConfig::auction(
+                2,
+                100,
+                crate::tenant::AuctionPolicy::Static { markup: 0.0 },
+            ),
+        ));
+        shard.enqueue(
+            0,
+            Request::Auction(AuctionRequest {
+                tenant: TenantId(2),
+                features: Vector::from_slice(&[0.6, 0.8]),
+                floor: 0.3,
+                bids: vec![0.9, 0.5],
+            }),
+        );
+        let responses = shard.process_all();
+        let cleared = responses[0].cleared().expect("a cleared response");
+        assert_eq!(cleared.reserve, 0.3);
+        assert_eq!(cleared.result.price, 0.5);
+        assert_eq!(shard.metrics.auction.auctions, 1);
+        assert_eq!(shard.metrics.auction.sales, 1);
+        assert!((shard.metrics.auction.revenue - 0.5).abs() < 1e-12);
+        assert!((shard.metrics.auction.welfare - 0.9).abs() < 1e-12);
+        assert_eq!(shard.open_rounds(), 0, "auction rounds never stay open");
+    }
+
+    #[test]
+    fn market_mismatch_is_rejected_both_ways() {
+        let mut shard = shard_with_tenant(8);
+        shard.register(TenantState::new(
+            TenantId(2),
+            crate::tenant::TenantConfig::auction(2, 100, crate::tenant::AuctionPolicy::Session),
+        ));
+        // An auction round addressed to the posted-price tenant…
+        shard.enqueue(
+            0,
+            Request::Auction(AuctionRequest {
+                tenant: TenantId(1),
+                features: Vector::from_slice(&[0.6, 0.8]),
+                floor: 0.1,
+                bids: vec![1.0],
+            }),
+        );
+        // …and a posted-price quote addressed to the auction tenant.
+        shard.enqueue(
+            1,
+            Request::Quote(QueryRequest {
+                tenant: TenantId(2),
+                features: Vector::from_slice(&[0.6, 0.8]),
+                reserve_price: 0.1,
+            }),
+        );
+        let responses = shard.process_all();
+        for response in &responses {
+            assert_eq!(
+                response.payload,
+                Payload::Failed(RequestError::MarketMismatch)
+            );
+        }
+        assert_eq!(shard.metrics.rejected, 2);
+        assert_eq!(shard.metrics.quotes_served, 0);
+        assert_eq!(shard.metrics.auction.auctions, 0);
     }
 
     #[test]

@@ -25,13 +25,20 @@ use crate::api::ServiceError;
 use crate::metrics::ShardMetrics;
 use crate::routing::TenantId;
 use crate::service::{MarketService, ServiceConfig};
-use crate::tenant::{TenantConfig, TenantState};
+use crate::tenant::{AuctionPolicy, MarketKind, TenantConfig, TenantState};
+use pdm_auction::{EmpiricalConfig, EmpiricalReserve};
 use pdm_ellipsoid::Ellipsoid;
 use pdm_linalg::{Json, Matrix, OnlineStats, Vector};
 use pdm_pricing::prelude::{EllipsoidPricing, LinearModel, PricingConfig, RegretReport};
 
 /// Version of the snapshot schema this build writes.
-pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the auction layer: a `market` object per tenant (posted vs
+/// auction, the reserve policy, and the empirical setter's learned bid
+/// history) and the auction counters of the per-shard metric ledgers.
+/// v1 documents restore as posted-price tenants with empty auction
+/// counters.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 2;
 
 fn vector_json(v: &Vector) -> Json {
     Json::Arr(v.iter().map(|&x| Json::Num(x)).collect())
@@ -112,6 +119,23 @@ fn metrics_json(metrics: &ShardMetrics) -> Json {
         ("regret_proxy", Json::Num(metrics.regret_proxy)),
         ("shed", Json::Num(metrics.shed as f64)),
         ("rejected", Json::Num(metrics.rejected as f64)),
+        (
+            "auction",
+            Json::obj(vec![
+                ("auctions", Json::Num(metrics.auction.auctions as f64)),
+                ("sales", Json::Num(metrics.auction.sales as f64)),
+                (
+                    "reserve_hits",
+                    Json::Num(metrics.auction.reserve_hits as f64),
+                ),
+                ("revenue", Json::Num(metrics.auction.revenue)),
+                ("welfare", Json::Num(metrics.auction.welfare)),
+                (
+                    "baseline_revenue",
+                    Json::Num(metrics.auction.baseline_revenue),
+                ),
+            ]),
+        ),
     ])
 }
 
@@ -135,7 +159,148 @@ fn metrics_from_json(value: &Json, context: &str) -> Result<ShardMetrics, Servic
     metrics.regret_proxy = number("regret_proxy")?;
     metrics.shed = count("shed")?;
     metrics.rejected = count("rejected")?;
+    // The auction ledger arrived with schema v2; a v1 document simply has
+    // no auction traffic to restore.
+    if let Some(auction) = value.get("auction") {
+        let acontext = format!("{context} auction");
+        let acount = |key: &str| {
+            auction.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                ServiceError::MalformedSnapshot(format!("{acontext}: missing count `{key}`"))
+            })
+        };
+        let anumber = |key: &str| {
+            auction.get(key).and_then(Json::as_f64).ok_or_else(|| {
+                ServiceError::MalformedSnapshot(format!("{acontext}: missing number `{key}`"))
+            })
+        };
+        metrics.auction.auctions = acount("auctions")?;
+        metrics.auction.sales = acount("sales")?;
+        metrics.auction.reserve_hits = acount("reserve_hits")?;
+        metrics.auction.revenue = anumber("revenue")?;
+        metrics.auction.welfare = anumber("welfare")?;
+        metrics.auction.baseline_revenue = anumber("baseline_revenue")?;
+    }
     Ok(metrics)
+}
+
+fn market_json(state: &TenantState) -> Json {
+    match state.config.market {
+        MarketKind::PostedPrice => Json::obj(vec![("kind", Json::str("posted"))]),
+        MarketKind::Auction(policy) => {
+            let mut pairs = vec![
+                ("kind", Json::str("auction")),
+                ("policy", Json::str(policy.name())),
+            ];
+            match policy {
+                AuctionPolicy::Session => {}
+                AuctionPolicy::Static { markup } => pairs.push(("markup", Json::Num(markup))),
+                AuctionPolicy::Empirical {
+                    window,
+                    welfare_weight,
+                } => {
+                    pairs.push(("window", Json::Num(window as f64)));
+                    pairs.push(("welfare_weight", Json::Num(welfare_weight)));
+                    let history: Vec<Json> = state
+                        .empirical
+                        .as_ref()
+                        .map(|setter| {
+                            setter
+                                .history()
+                                .map(|(top, second)| {
+                                    Json::Arr(vec![Json::Num(top), Json::Num(second)])
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    pairs.push(("history", Json::Arr(history)));
+                }
+            }
+            Json::obj(pairs)
+        }
+    }
+}
+
+/// Parses a tenant's `market` object; also returns the empirical setter's
+/// persisted bid history (applied after the tenant state is built).
+#[allow(clippy::type_complexity)]
+fn market_from_json(
+    value: &Json,
+    context: &str,
+) -> Result<(MarketKind, Option<Vec<(f64, f64)>>), ServiceError> {
+    let malformed = |message: String| -> ServiceError { ServiceError::MalformedSnapshot(message) };
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed(format!("{context}: market missing `kind`")))?;
+    match kind {
+        "posted" => Ok((MarketKind::PostedPrice, None)),
+        "auction" => {
+            let policy = value
+                .get("policy")
+                .and_then(Json::as_str)
+                .ok_or_else(|| malformed(format!("{context}: auction missing `policy`")))?;
+            match policy {
+                "session" => Ok((MarketKind::Auction(AuctionPolicy::Session), None)),
+                "static" => {
+                    let markup = value.get("markup").and_then(Json::as_f64).ok_or_else(|| {
+                        malformed(format!("{context}: static policy missing `markup`"))
+                    })?;
+                    Ok((MarketKind::Auction(AuctionPolicy::Static { markup }), None))
+                }
+                "empirical" => {
+                    // A zero window is accepted here (and clamped to 1 by
+                    // the tenant state, exactly like at registration time):
+                    // a document the service wrote must always restore.
+                    let window = value.get("window").and_then(Json::as_u64).ok_or_else(|| {
+                        malformed(format!("{context}: empirical policy missing `window`"))
+                    })? as usize;
+                    let welfare_weight = value
+                        .get("welfare_weight")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| {
+                            malformed(format!(
+                                "{context}: empirical policy missing `welfare_weight`"
+                            ))
+                        })?;
+                    let history = value
+                        .get("history")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| {
+                            malformed(format!("{context}: empirical policy missing `history`"))
+                        })?
+                        .iter()
+                        .map(|pair| {
+                            let items = pair.as_arr().filter(|items| items.len() == 2);
+                            match items {
+                                Some(items) => match (items[0].as_f64(), items[1].as_f64()) {
+                                    (Some(top), Some(second)) => Ok((top, second)),
+                                    _ => Err(malformed(format!(
+                                        "{context}: history entries must be number pairs"
+                                    ))),
+                                },
+                                None => Err(malformed(format!(
+                                    "{context}: history entries must be `[top, second]` pairs"
+                                ))),
+                            }
+                        })
+                        .collect::<Result<Vec<(f64, f64)>, ServiceError>>()?;
+                    Ok((
+                        MarketKind::Auction(AuctionPolicy::Empirical {
+                            window,
+                            welfare_weight,
+                        }),
+                        Some(history),
+                    ))
+                }
+                other => Err(malformed(format!(
+                    "{context}: unknown auction policy `{other}`"
+                ))),
+            }
+        }
+        other => Err(malformed(format!(
+            "{context}: unknown market kind `{other}`"
+        ))),
+    }
 }
 
 fn stats_json(stats: &OnlineStats) -> Json {
@@ -232,6 +397,7 @@ fn tenant_json(state: &TenantState) -> Json {
         ("id", Json::Str(state.id.0.to_string())),
         ("dim", Json::Num(state.config.dim as f64)),
         ("pricing", pricing_json(&state.config.pricing)),
+        ("market", market_json(state)),
         (
             "knowledge",
             Json::obj(vec![
@@ -314,9 +480,36 @@ fn tenant_from_json(value: &Json) -> Result<TenantState, ServiceError> {
     let ellipsoid = Ellipsoid::new(center, shape).map_err(|e| {
         ServiceError::MalformedSnapshot(format!("{context}: degenerate knowledge set: {e}"))
     })?;
-    let config = TenantConfig { dim, pricing };
+    // The market kind arrived with schema v2; a v1 tenant is posted-price.
+    let (market, empirical_history) = match value.get("market") {
+        Some(market) => market_from_json(market, &context)?,
+        None => (MarketKind::PostedPrice, None),
+    };
+    let config = TenantConfig {
+        dim,
+        pricing,
+        market,
+    };
     let mechanism = EllipsoidPricing::with_knowledge(LinearModel::new(dim), ellipsoid, pricing);
     let mut state = TenantState::with_mechanism(id, config, mechanism);
+    if let (
+        Some(history),
+        MarketKind::Auction(AuctionPolicy::Empirical {
+            window,
+            welfare_weight,
+        }),
+    ) = (empirical_history, market)
+    {
+        // `from_history` re-derives the fitted level from the persisted
+        // window, so a restored policy always agrees with its own refit.
+        state.empirical = Some(EmpiricalReserve::from_history(
+            EmpiricalConfig {
+                window: window.max(1),
+                welfare_weight,
+            },
+            &history,
+        ));
+    }
     // The regret/revenue ledger keeps `tenant_report` consistent with the
     // restored shard metrics.  Optional so hand-written minimal snapshots
     // (and any pre-ledger documents) restore with a fresh ledger.

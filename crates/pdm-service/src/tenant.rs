@@ -5,11 +5,95 @@
 //! learning trajectory.  The service holds one [`TenantState`] per tenant,
 //! sharded by [`crate::routing::shard_of`], and drives each through the
 //! re-entrant [`PricingSession`] interface of `pdm-pricing`.
+//!
+//! Tenants come in two **market kinds**, and one service serves both side
+//! by side:
+//!
+//! * [`MarketKind::PostedPrice`] — the paper's posted-price loop: a quote
+//!   request opens a round, an outcome report closes it.
+//! * [`MarketKind::Auction`] — an eager second-price auction with a
+//!   personalized reserve: one self-contained request carries the item and
+//!   the bids, the tenant's [`AuctionPolicy`] quotes the reserve, the round
+//!   clears and feeds back immediately (no open round to abandon).
 
 use crate::routing::TenantId;
+use pdm_auction::{
+    run_auction_round, ClearedRound, EmpiricalConfig, EmpiricalReserve, StaticReserve,
+};
+use pdm_linalg::Vector;
 use pdm_pricing::prelude::{
     EllipsoidPricing, LinearModel, PricingConfig, PricingSession, SimulationOptions,
 };
+
+/// The δ uncertainty buffer auction tenants run the paper's mechanism with.
+///
+/// Under auction feedback the "market value" the session observes is the
+/// **top bid**, which scatters around the item's base value by the bidder
+/// valuation noise — a noise-free configuration (δ = 0) would let wrong
+/// cuts slice the true weights out of the knowledge set.  0.1 is the buffer
+/// validated against the bench grid's valuation distributions.
+pub const AUCTION_SESSION_DELTA: f64 = 0.1;
+
+/// How an auction tenant sets its personalized reserve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AuctionPolicy {
+    /// The paper's online mechanism: the tenant's [`PricingSession`] quotes
+    /// the reserve and learns from censored win/lose-at-reserve feedback
+    /// (the `pdm_pricing::reserve` bridge).
+    Session,
+    /// A fixed mark-up over the round's floor; zero mark-up is the pure
+    /// reserve-constraint auction.
+    Static {
+        /// Mark-up added to every floor.
+        markup: f64,
+    },
+    /// The empirical data-driven setter: a grid search over a sliding
+    /// window of historical bids.
+    Empirical {
+        /// Window of retained `(top, second)` pairs.
+        window: usize,
+        /// Welfare weight of the empirical objective (0 = pure revenue).
+        welfare_weight: f64,
+    },
+}
+
+impl AuctionPolicy {
+    /// Machine-readable policy name used in labels and the snapshot schema.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AuctionPolicy::Session => "session",
+            AuctionPolicy::Static { .. } => "static",
+            AuctionPolicy::Empirical { .. } => "empirical",
+        }
+    }
+}
+
+/// Which market a tenant trades in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MarketKind {
+    /// The paper's posted-price loop (quote → outcome).
+    PostedPrice,
+    /// Eager second-price auction with a personalized reserve.
+    Auction(AuctionPolicy),
+}
+
+impl MarketKind {
+    /// Whether this kind serves posted-price (quote/observe) requests.
+    #[must_use]
+    pub fn is_posted(self) -> bool {
+        matches!(self, MarketKind::PostedPrice)
+    }
+
+    /// The auction policy, when this is an auction tenant.
+    #[must_use]
+    pub fn auction_policy(self) -> Option<AuctionPolicy> {
+        match self {
+            MarketKind::PostedPrice => None,
+            MarketKind::Auction(policy) => Some(policy),
+        }
+    }
+}
 
 /// Configuration a tenant is registered with.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,18 +103,33 @@ pub struct TenantConfig {
     /// Mechanism configuration (knowledge-set radius, horizon, reserve and
     /// uncertainty switches).
     pub pricing: PricingConfig,
+    /// The market this tenant trades in.
+    pub market: MarketKind,
 }
 
 impl TenantConfig {
-    /// A tenant with the paper's defaults: reserve enabled, no uncertainty
-    /// buffer, knowledge-set radius `2√n` (the broker prior of Section V-A).
+    /// A posted-price tenant with the paper's defaults: reserve enabled, no
+    /// uncertainty buffer, knowledge-set radius `2√n` (the broker prior of
+    /// Section V-A).
     #[must_use]
     pub fn standard(dim: usize, horizon: usize) -> Self {
         let dim = dim.max(1);
         Self {
             dim,
             pricing: PricingConfig::new(2.0 * (dim as f64).sqrt(), horizon),
+            market: MarketKind::PostedPrice,
         }
+    }
+
+    /// An auction tenant under the given reserve policy.  The session runs
+    /// with the [`AUCTION_SESSION_DELTA`] uncertainty buffer — bid noise is
+    /// part of the auction market model, not an option.
+    #[must_use]
+    pub fn auction(dim: usize, horizon: usize, policy: AuctionPolicy) -> Self {
+        let mut config = Self::standard(dim, horizon);
+        config.pricing = config.pricing.with_uncertainty(AUCTION_SESSION_DELTA);
+        config.market = MarketKind::Auction(policy);
+        config
     }
 }
 
@@ -39,15 +138,20 @@ impl TenantConfig {
 pub type TenantMechanism = EllipsoidPricing<LinearModel>;
 
 /// The live state of one tenant: its pricing session plus the registration
-/// config (kept for snapshots).
+/// config (kept for snapshots), plus the learned state of a non-session
+/// auction policy.
 #[derive(Debug, Clone)]
 pub struct TenantState {
     /// The tenant's id.
     pub id: TenantId,
     /// The registration config (needed to rebuild the tenant on restore).
     pub config: TenantConfig,
-    /// The drivable mechanism session.
+    /// The drivable mechanism session.  Auction tenants under the
+    /// [`AuctionPolicy::Session`] policy learn through it; static/empirical
+    /// auction tenants keep it untouched at its prior.
     pub session: PricingSession<TenantMechanism>,
+    /// The learned state of an [`AuctionPolicy::Empirical`] tenant.
+    pub empirical: Option<EmpiricalReserve>,
 }
 
 impl TenantState {
@@ -72,11 +176,52 @@ impl TenantState {
         };
         let session = PricingSession::new(mechanism, config.pricing.horizon, options)
             .without_latency_tracking();
+        let empirical = match config.market {
+            MarketKind::Auction(AuctionPolicy::Empirical {
+                window,
+                welfare_weight,
+            }) => Some(EmpiricalReserve::new(EmpiricalConfig {
+                window: window.max(1),
+                welfare_weight,
+            })),
+            _ => None,
+        };
         Self {
             id,
             config,
             session,
+            empirical,
         }
+    }
+
+    /// Settles one auction round through the tenant's reserve policy —
+    /// quote, clear, feed back — via the shared
+    /// [`pdm_auction::run_auction_round`] path, so the sharded service and
+    /// a serial replay execute bit-identical arithmetic.
+    ///
+    /// Returns `None` when the tenant is not an auction tenant.
+    pub fn serve_auction(
+        &mut self,
+        features: &Vector,
+        floor: f64,
+        bids: &[f64],
+    ) -> Option<ClearedRound> {
+        let policy = self.config.market.auction_policy()?;
+        Some(match policy {
+            AuctionPolicy::Session => run_auction_round(&mut self.session, features, floor, bids),
+            AuctionPolicy::Static { markup } => {
+                // The policy is stateless: rebuilding it per round is free
+                // and keeps the tenant's persistent state minimal.
+                run_auction_round(&mut StaticReserve::new(markup), features, floor, bids)
+            }
+            AuctionPolicy::Empirical { .. } => {
+                let setter = self
+                    .empirical
+                    .as_mut()
+                    .expect("empirical tenants carry their setter state");
+                run_auction_round(setter, features, floor, bids)
+            }
+        })
     }
 }
 
@@ -92,8 +237,20 @@ mod tests {
         assert_eq!(config.dim, 9);
         assert!((config.pricing.initial_radius - 6.0).abs() < 1e-12);
         assert!(config.pricing.use_reserve);
+        assert_eq!(config.market, MarketKind::PostedPrice);
+        assert!(config.market.is_posted());
         // Degenerate dimension is clamped.
         assert_eq!(TenantConfig::standard(0, 10).dim, 1);
+    }
+
+    #[test]
+    fn auction_config_applies_the_delta_buffer() {
+        let config = TenantConfig::auction(4, 500, AuctionPolicy::Session);
+        assert_eq!(config.pricing.delta, AUCTION_SESSION_DELTA);
+        assert_eq!(config.market.auction_policy(), Some(AuctionPolicy::Session));
+        assert!(!config.market.is_posted());
+        assert_eq!(AuctionPolicy::Session.name(), "session");
+        assert_eq!(AuctionPolicy::Static { markup: 0.0 }.name(), "static");
     }
 
     #[test]
@@ -105,5 +262,58 @@ mod tests {
         let record = tenant.session.observe(StepOutcome::accept_only(true));
         assert!(record.is_some());
         assert_eq!(tenant.session.rounds_closed(), 1);
+        // A posted-price tenant has no auction path.
+        assert!(tenant.serve_auction(&x, 0.2, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn auction_tenants_settle_rounds_per_policy() {
+        let x = Vector::from_slice(&[0.5, 0.5, 0.5]);
+        let bids = [0.9, 0.4];
+
+        let mut fixed = TenantState::new(
+            TenantId(2),
+            TenantConfig::auction(3, 100, AuctionPolicy::Static { markup: 0.0 }),
+        );
+        let cleared = fixed.serve_auction(&x, 0.3, &bids).expect("auction tenant");
+        assert_eq!(cleared.reserve, 0.3);
+        assert!(cleared.result.sold());
+        assert_eq!(cleared.result.price, 0.4);
+        assert_eq!(
+            fixed.session.rounds_closed(),
+            0,
+            "static policy never steps"
+        );
+
+        let mut learned = TenantState::new(
+            TenantId(3),
+            TenantConfig::auction(3, 100, AuctionPolicy::Session),
+        );
+        let cleared = learned
+            .serve_auction(&x, 0.3, &bids)
+            .expect("auction tenant");
+        assert!(cleared.reserve >= 0.3);
+        assert_eq!(learned.session.rounds_closed(), 1, "session policy learns");
+
+        let mut empirical = TenantState::new(
+            TenantId(4),
+            TenantConfig::auction(
+                3,
+                100,
+                AuctionPolicy::Empirical {
+                    window: 8,
+                    welfare_weight: 0.0,
+                },
+            ),
+        );
+        let cleared = empirical
+            .serve_auction(&x, 0.3, &bids)
+            .expect("auction tenant");
+        assert_eq!(cleared.reserve, 0.3, "unfitted empirical quotes the floor");
+        assert_eq!(
+            empirical.empirical.as_ref().unwrap().history().count(),
+            1,
+            "uncensored feedback feeds the window"
+        );
     }
 }

@@ -1,0 +1,293 @@
+//! Mixed-market integration: one service serving posted-price tenants and
+//! auction tenants (all three reserve policies) side by side.
+//!
+//! The load-bearing contracts, each pinned bit-for-bit:
+//!
+//! * mixed traffic computes the same values for any drain worker count;
+//! * a snapshot of a mixed service restores to a service that continues
+//!   **bit-identically** — including the session-learned knowledge sets
+//!   *and* the empirical setter's bid-history window;
+//! * the service's auction arithmetic equals a serial replay through the
+//!   same [`TenantState::serve_auction`] path.
+
+use pdm_auction::{AuctionMarket, AuctionMarketConfig, ValuationDistribution};
+use pdm_linalg::{sampling, Json, Vector};
+use pdm_service::{
+    AuctionPolicy, AuctionRequest, MarketService, OutcomeReport, QueryRequest, ServiceConfig,
+    TenantConfig, TenantId, TenantState,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 3;
+const HORIZON: usize = 400;
+
+/// Tenant ids 0..2 are posted-price; 3..5 are auction tenants, one per
+/// policy.
+fn mixed_service(shards: usize) -> MarketService {
+    let mut service = MarketService::new(ServiceConfig {
+        shards,
+        queue_capacity: 64,
+    });
+    for id in 0..3u64 {
+        service
+            .register_tenant(TenantId(id), TenantConfig::standard(DIM, HORIZON))
+            .unwrap();
+    }
+    let policies = [
+        AuctionPolicy::Static { markup: 0.05 },
+        AuctionPolicy::Session,
+        AuctionPolicy::Empirical {
+            window: 16,
+            welfare_weight: 0.0,
+        },
+    ];
+    for (offset, policy) in policies.into_iter().enumerate() {
+        service
+            .register_tenant(
+                TenantId(3 + offset as u64),
+                TenantConfig::auction(DIM, HORIZON, policy),
+            )
+            .unwrap();
+    }
+    service
+}
+
+/// One deterministic auction-round generator per auction tenant.
+fn markets(seed: u64) -> Vec<AuctionMarket> {
+    (0..3u64)
+        .map(|offset| {
+            AuctionMarket::new(AuctionMarketConfig {
+                bidders: 2,
+                dim: DIM,
+                distribution: ValuationDistribution::Uniform { spread: 0.95 },
+                floor_fraction: 0.3,
+                seed: seed.wrapping_add(offset),
+            })
+        })
+        .collect()
+}
+
+/// Pumps `waves` mixed waves (one posted quote per posted tenant, one
+/// auction round per auction tenant) and returns every deterministic value
+/// the service produced, in response order.
+fn pump(
+    service: &mut MarketService,
+    markets: &mut [AuctionMarket],
+    waves: usize,
+    workers: usize,
+    seed: u64,
+) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut produced = Vec::new();
+    for _ in 0..waves {
+        for id in 0..3u64 {
+            let features = sampling::standard_normal_vector(&mut rng, DIM)
+                .map(f64::abs)
+                .normalized();
+            let reserve = 0.4 * features.sum();
+            service
+                .submit_quote(QueryRequest {
+                    tenant: TenantId(id),
+                    features,
+                    reserve_price: reserve,
+                })
+                .unwrap();
+        }
+        for (offset, market) in markets.iter_mut().enumerate() {
+            let round = market.next_round();
+            service
+                .submit_auction(AuctionRequest {
+                    tenant: TenantId(3 + offset as u64),
+                    features: round.features,
+                    floor: round.floor,
+                    bids: round.bids,
+                })
+                .unwrap();
+        }
+        let responses = service.drain(workers);
+        assert_eq!(responses.len(), 6);
+        for response in &responses {
+            if let Some(quote) = response.quote() {
+                produced.push((response.tenant.0, quote.posted_price.to_bits()));
+                service
+                    .submit_outcome(OutcomeReport {
+                        tenant: response.tenant,
+                        accepted: quote.posted_price <= 1.0,
+                        market_value: Some(1.0),
+                    })
+                    .unwrap();
+            } else {
+                let cleared = response.cleared().expect("mixed waves only quote or clear");
+                produced.push((response.tenant.0, cleared.reserve.to_bits()));
+                produced.push((response.tenant.0, cleared.result.price.to_bits()));
+            }
+        }
+        service.drain(workers);
+    }
+    produced
+}
+
+#[test]
+fn mixed_traffic_is_worker_count_independent() {
+    let run = |workers: usize| {
+        let mut service = mixed_service(4);
+        let mut generators = markets(7);
+        let produced = pump(&mut service, &mut generators, 12, workers, 99);
+        let metrics = service.aggregate_metrics();
+        (
+            produced,
+            metrics.revenue.to_bits(),
+            metrics.auction.revenue.to_bits(),
+            metrics.auction.welfare.to_bits(),
+            metrics.auction.reserve_hits,
+        )
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn mixed_snapshot_restores_bit_identically() {
+    // Uninterrupted: warm-up + continuation.
+    let mut uninterrupted = mixed_service(3);
+    let mut generators = markets(21);
+    pump(&mut uninterrupted, &mut generators, 10, 2, 5);
+    let expected = pump(&mut uninterrupted, &mut generators, 10, 2, 6);
+
+    // Interrupted: warm-up, snapshot, restore, continuation.  The market
+    // generators continue across the snapshot (the outside world does not
+    // restart when the service does).
+    let mut original = mixed_service(3);
+    let mut generators = markets(21);
+    pump(&mut original, &mut generators, 10, 2, 5);
+    let snapshot = original.snapshot().expect("quiescent service");
+    let rendered = snapshot.render_pretty();
+    let mut restored = MarketService::restore(&Json::parse(&rendered).unwrap()).unwrap();
+    let continued = pump(&mut restored, &mut generators, 10, 2, 6);
+
+    assert_eq!(
+        expected, continued,
+        "every posted price, reserve, and clearing price must continue \
+         bit-identically across the snapshot"
+    );
+
+    // The snapshot itself is stable: snapshot → restore → snapshot is the
+    // identity on the rendering (empirical history and auction counters
+    // round-trip exactly).
+    let restored_again = MarketService::restore(&Json::parse(&rendered).unwrap()).unwrap();
+    assert_eq!(restored_again.snapshot().unwrap().render_pretty(), rendered);
+
+    // The document really carries the auction layer.
+    assert!(
+        rendered.contains("\"kind\": \"auction\"") || rendered.contains("\"kind\":\"auction\"")
+    );
+    assert!(rendered.contains("empirical"));
+    assert!(rendered.contains("history"));
+}
+
+#[test]
+fn zero_window_empirical_tenants_snapshot_and_restore() {
+    // A degenerate registration: the live setter clamps the window to 1,
+    // and the snapshot the service writes must always restore — including
+    // the `window: 0` it faithfully records.
+    let mut service = MarketService::new(ServiceConfig {
+        shards: 1,
+        queue_capacity: 8,
+    });
+    service
+        .register_tenant(
+            TenantId(1),
+            TenantConfig::auction(
+                DIM,
+                HORIZON,
+                AuctionPolicy::Empirical {
+                    window: 0,
+                    welfare_weight: 0.0,
+                },
+            ),
+        )
+        .unwrap();
+    service
+        .submit_auction(AuctionRequest {
+            tenant: TenantId(1),
+            features: Vector::from_slice(&[0.5, 0.5, 0.5]),
+            floor: 0.2,
+            bids: vec![0.9, 0.4],
+        })
+        .unwrap();
+    service.drain(1);
+    let rendered = service.snapshot().unwrap().render_pretty();
+    let restored = MarketService::restore(&Json::parse(&rendered).unwrap())
+        .expect("a snapshot the service wrote must restore");
+    assert_eq!(restored.snapshot().unwrap().render_pretty(), rendered);
+}
+
+/// One recorded auction round: inputs plus the service's settled bits.
+struct Recorded {
+    features: Vector,
+    floor: f64,
+    bids: Vec<f64>,
+    reserve_bits: u64,
+    price_bits: u64,
+}
+
+#[test]
+fn service_auction_arithmetic_equals_serial_replay() {
+    let mut service = mixed_service(2);
+    let mut generators = markets(33);
+    // Record every auction round the service serves.
+    let mut recorded: Vec<Vec<Recorded>> = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut rng_waves = 0..20usize;
+    for _ in &mut rng_waves {
+        for (offset, market) in generators.iter_mut().enumerate() {
+            let round = market.next_round();
+            service
+                .submit_auction(AuctionRequest {
+                    tenant: TenantId(3 + offset as u64),
+                    features: round.features.clone(),
+                    floor: round.floor,
+                    bids: round.bids.clone(),
+                })
+                .unwrap();
+            let response = service.drain(2);
+            let cleared = response
+                .last()
+                .and_then(|r| r.cleared())
+                .expect("a cleared response");
+            recorded[offset].push(Recorded {
+                features: round.features,
+                floor: round.floor,
+                bids: round.bids,
+                reserve_bits: cleared.reserve.to_bits(),
+                price_bits: cleared.result.price.to_bits(),
+            });
+        }
+    }
+    // Serial replay through fresh tenant states — same code path, no
+    // service, must reproduce every reserve and price bit for bit.
+    let policies = [
+        AuctionPolicy::Static { markup: 0.05 },
+        AuctionPolicy::Session,
+        AuctionPolicy::Empirical {
+            window: 16,
+            welfare_weight: 0.0,
+        },
+    ];
+    for (offset, policy) in policies.into_iter().enumerate() {
+        let mut tenant = TenantState::new(
+            TenantId(3 + offset as u64),
+            TenantConfig::auction(DIM, HORIZON, policy),
+        );
+        for round in &recorded[offset] {
+            let cleared = tenant
+                .serve_auction(&round.features, round.floor, &round.bids)
+                .expect("auction tenant");
+            assert_eq!(cleared.reserve.to_bits(), round.reserve_bits, "{policy:?}");
+            assert_eq!(
+                cleared.result.price.to_bits(),
+                round.price_bits,
+                "{policy:?}"
+            );
+        }
+    }
+}

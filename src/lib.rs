@@ -10,9 +10,12 @@
 //!   market value models, regret accounting, and the simulation loop.
 //! * [`market`] — the personal-data-market substrate (owners, queries,
 //!   privacy leakage, tanh compensations, broker, consumers).
+//! * [`auction`] — the multi-bidder auction market: eager second-price
+//!   clearing with personalized reserves (static, session-learned, or
+//!   empirical data-driven), seeded bidder populations.
 //! * [`service`] — the sharded, concurrent multi-tenant serving engine
 //!   (stable tenant→shard routing, submit/drain, bounded admission,
-//!   snapshots, per-shard metrics).
+//!   snapshots, per-shard metrics, mixed posted-price + auction tenants).
 //! * [`ellipsoid`] — the knowledge-set machinery (Löwner–John ellipsoid,
 //!   exact polytope, interval).
 //! * [`datasets`] — seeded synthetic stand-ins for MovieLens, Airbnb, Avazu,
@@ -57,6 +60,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use pdm_auction as auction;
 pub use pdm_datasets as datasets;
 pub use pdm_ellipsoid as ellipsoid;
 pub use pdm_learners as learners;
@@ -67,13 +71,18 @@ pub use pdm_service as service;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use pdm_auction::{
+        clear_second_price, AuctionLedger, AuctionMarket, AuctionMarketConfig, AuctionResult,
+        EmpiricalReserve, ReserveSetter, StaticReserve, ValuationDistribution,
+    };
     pub use pdm_market::{
         CompensationContract, ConsumerPool, DataBroker, DataOwner, Market, MarketEnvironment,
         QueryGenerator,
     };
     pub use pdm_pricing::prelude::*;
     pub use pdm_service::{
-        MarketService, OutcomeReport, QueryRequest, ServiceConfig, TenantConfig, TenantId,
+        AuctionPolicy, AuctionRequest, MarketKind, MarketService, OutcomeReport, QueryRequest,
+        ServiceConfig, TenantConfig, TenantId,
     };
 }
 
