@@ -56,5 +56,6 @@ pub use market::{
     run_auction_round, AuctionLedger, AuctionMarket, AuctionMarketConfig, AuctionRound,
     ClearedRound,
 };
+pub use pdm_pricing::drift::{DriftKind, DriftSchedule};
 pub use pdm_pricing::reserve::{ReserveFeedback, ReserveSetter};
 pub use reserve::{EmpiricalConfig, EmpiricalReserve, StaticReserve};

@@ -17,6 +17,7 @@
 use crate::auction::{clear_second_price, AuctionResult};
 use crate::bidders::ValuationDistribution;
 use pdm_linalg::{sampling, Vector};
+use pdm_pricing::drift::{DriftProcess, DriftSchedule};
 use pdm_pricing::reserve::{ReserveFeedback, ReserveSetter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -136,6 +137,40 @@ pub struct AuctionMarketConfig {
     pub floor_fraction: f64,
     /// Seed of the item stream, the hidden weights, and the bidder draws.
     pub seed: u64,
+    /// Optional drift schedule for the hidden value direction `θ`: when
+    /// set, bidder valuations move over rounds (piecewise jumps, slow
+    /// rotation, or a one-shot adversarial reversal), the regime learned
+    /// reserves must be stress-tested under.  `None` reproduces the
+    /// stationary market bit for bit.
+    pub drift: Option<DriftSchedule>,
+}
+
+impl AuctionMarketConfig {
+    /// A stationary market (no drift) — the historical construction.
+    #[must_use]
+    pub fn stationary(
+        bidders: usize,
+        dim: usize,
+        distribution: ValuationDistribution,
+        floor_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            bidders,
+            dim,
+            distribution,
+            floor_fraction,
+            seed,
+            drift: None,
+        }
+    }
+
+    /// Attaches a drift schedule to the market's hidden value direction.
+    #[must_use]
+    pub fn with_drift(mut self, schedule: DriftSchedule) -> Self {
+        self.drift = Some(schedule);
+        self
+    }
 }
 
 /// One generated (not yet settled) auction round.
@@ -157,6 +192,12 @@ pub struct AuctionMarket {
     config: AuctionMarketConfig,
     rng: StdRng,
     theta: Vector,
+    /// The drift process moving `theta`, when the config carries a
+    /// schedule.  Its RNG stream is private (seeded by the schedule), so
+    /// attaching drift never perturbs the item/bidder streams — the same
+    /// seed produces the same features and the same relative bid noise,
+    /// only the hidden value direction moves.
+    drift: Option<DriftProcess>,
 }
 
 impl AuctionMarket {
@@ -168,13 +209,35 @@ impl AuctionMarket {
         let theta = sampling::unit_sphere(&mut rng, config.dim)
             .map(f64::abs)
             .normalized();
-        Self { config, rng, theta }
+        let drift = config
+            .drift
+            .map(|schedule| DriftProcess::with_raw(schedule, theta.clone()));
+        Self {
+            config,
+            rng,
+            theta,
+            drift,
+        }
     }
 
     /// The configuration the market was built with.
     #[must_use]
     pub fn config(&self) -> AuctionMarketConfig {
         self.config
+    }
+
+    /// The current hidden value direction (unit norm; it moves between
+    /// rounds when a drift schedule is attached).
+    #[must_use]
+    pub fn theta(&self) -> &Vector {
+        &self.theta
+    }
+
+    /// Discrete drift shifts applied so far (always zero without a
+    /// schedule).
+    #[must_use]
+    pub fn drift_shifts(&self) -> u64 {
+        self.drift.as_ref().map_or(0, DriftProcess::shifts)
     }
 
     /// An empty round shaped for this market, ready for
@@ -194,6 +257,10 @@ impl AuctionMarket {
     /// `standard_normal_vector(..).map(f64::abs).normalized()` without the
     /// temporaries.
     pub fn next_round_into(&mut self, round: &mut AuctionRound) {
+        if let Some(drift) = self.drift.as_mut() {
+            drift.advance();
+            self.theta = drift.raw().normalized();
+        }
         if round.features.len() != self.config.dim {
             round.features = Vector::zeros(self.config.dim);
         }
@@ -266,6 +333,7 @@ mod tests {
             distribution: ValuationDistribution::Uniform { spread: 0.95 },
             floor_fraction: 0.3,
             seed,
+            drift: None,
         }
     }
 
@@ -378,6 +446,76 @@ mod tests {
         assert_eq!(merged.sales, a.sales + b.sales);
         assert!((merged.revenue - (a.revenue + b.revenue)).abs() < 1e-12);
         assert!((merged.welfare - (a.welfare + b.welfare)).abs() < 1e-12);
+    }
+
+    fn drifting(seed: u64, kind: pdm_pricing::drift::DriftKind) -> AuctionMarketConfig {
+        config(2, seed).with_drift(DriftSchedule { kind, seed: 99 })
+    }
+
+    #[test]
+    fn drift_moves_valuations_but_not_the_item_stream() {
+        use pdm_pricing::drift::DriftKind;
+        let kind = DriftKind::PiecewiseJumps {
+            period: 10,
+            magnitude: 1.0,
+        };
+        let mut stationary = AuctionMarket::new(config(2, 9));
+        let mut drifting = AuctionMarket::new(drifting(9, kind));
+        let mut diverged = false;
+        for t in 0..30 {
+            let a = stationary.next_round();
+            let b = drifting.next_round();
+            // The drift stream is private: items are identical forever.
+            assert_eq!(a.features, b.features, "round {t}");
+            if (a.base_value - b.base_value).abs() > 1e-9 {
+                diverged = true;
+                assert!(t >= 10, "values must not move before the first jump");
+            }
+        }
+        assert!(diverged, "a full-magnitude jump must move the base values");
+        assert_eq!(drifting.drift_shifts(), 2);
+        assert_eq!(stationary.drift_shifts(), 0);
+        // The drifting value direction stays a unit vector.
+        assert!((drifting.theta().norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drifting_markets_are_deterministic_in_their_seeds() {
+        use pdm_pricing::drift::DriftKind;
+        let kind = DriftKind::Rotation { rate: 0.05 };
+        let mut a = AuctionMarket::new(drifting(13, kind));
+        let mut b = AuctionMarket::new(drifting(13, kind));
+        for _ in 0..25 {
+            assert_eq!(a.next_round(), b.next_round());
+        }
+    }
+
+    #[test]
+    fn learned_reserves_survive_an_adversarial_valuation_shift() {
+        use pdm_pricing::drift::DriftKind;
+        // The hidden value direction reverses halfway: the stress test the
+        // drift layer exists for.  The session policy must keep clearing
+        // rounds (no panic, no permanent no-sale lock-up) and its ledger
+        // must stay consistent.
+        let rounds = 600;
+        let kind = DriftKind::AdversarialShift {
+            at_round: 300,
+            magnitude: 1.0,
+        };
+        let mut market = AuctionMarket::new(drifting(33, kind));
+        let mut policy = session(3, rounds);
+        let ledger = market.run(&mut policy, rounds);
+        assert_eq!(ledger.auctions, rounds as u64);
+        assert_eq!(market.drift_shifts(), 1);
+        assert!(ledger.sales > 0);
+        assert!(ledger.welfare >= ledger.revenue);
+        assert_eq!(policy.rounds_closed(), rounds as u64);
+        // Post-shift rounds still sell: run 100 more and require sales.
+        let tail = market.run(&mut policy, 100);
+        assert!(
+            tail.sales > 0,
+            "the learned reserve must keep selling after the reversal"
+        );
     }
 
     #[test]

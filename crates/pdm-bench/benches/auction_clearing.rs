@@ -57,6 +57,7 @@ fn bench_full_round_static(c: &mut Criterion) {
                 distribution: ValuationDistribution::Uniform { spread: 0.95 },
                 floor_fraction: 0.3,
                 seed: 5,
+                drift: None,
             });
             let mut policy = StaticReserve::at_floor();
             let mut round = market.next_round();
@@ -80,6 +81,7 @@ fn bench_full_round_empirical(c: &mut Criterion) {
                 distribution: ValuationDistribution::LogNormal { sigma: 1.2 },
                 floor_fraction: 0.3,
                 seed: 11,
+                drift: None,
             });
             let mut policy = EmpiricalReserve::new(EmpiricalConfig {
                 window,

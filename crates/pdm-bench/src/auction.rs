@@ -218,7 +218,8 @@ fn run_rep(spec: &AuctionCellSpec, workers: usize, rep: u64) -> Result<RepOutcom
     let mut service = MarketService::new(ServiceConfig {
         shards: spec.shards,
         queue_capacity: spec.tenants.max(4),
-    });
+    })
+    .expect("valid service config");
     let mut markets: Vec<AuctionMarket> = Vec::with_capacity(spec.tenants);
     for id in 0..spec.tenants as u64 {
         service
@@ -230,6 +231,7 @@ fn run_rep(spec: &AuctionCellSpec, workers: usize, rep: u64) -> Result<RepOutcom
             distribution: spec.distribution,
             floor_fraction: FLOOR_FRACTION,
             seed: derive_seed(traffic_seed, id.wrapping_add(1)),
+            drift: None,
         }));
     }
 

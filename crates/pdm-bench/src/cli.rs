@@ -8,6 +8,7 @@
 //! `--check` uniformly.
 
 use crate::auction::{auction_grid, render_auction, run_auction_cells};
+use crate::drift::{drift_grid, render_drift, run_drift_cells};
 use crate::experiments::{experiments_for, render_experiment, render_fig1};
 use crate::grid::expand_jobs;
 use crate::report::{build_experiment_reports, git_describe, BenchReport, SCHEMA_VERSION};
@@ -44,13 +45,16 @@ pub enum Command {
     /// The multi-bidder auction workload (bidder-count × distribution ×
     /// reserve-policy grid with serial-replay verification).
     Auction,
+    /// The drifting-market workload (drift-kind × magnitude × policy grid
+    /// with post-shift regret and serial-replay verification).
+    Drift,
     /// Every simulation experiment above in one grid.
     All,
 }
 
 impl Command {
     /// Every subcommand, in help order.
-    pub const ALL: [Command; 12] = [
+    pub const ALL: [Command; 13] = [
         Command::Fig1,
         Command::Fig4,
         Command::Fig5a,
@@ -62,6 +66,7 @@ impl Command {
         Command::Lemma8,
         Command::Serve,
         Command::Auction,
+        Command::Drift,
         Command::All,
     ];
 
@@ -80,6 +85,7 @@ impl Command {
             Command::Lemma8 => "lemma8",
             Command::Serve => "serve",
             Command::Auction => "auction",
+            Command::Drift => "drift",
             Command::All => "all",
         }
     }
@@ -296,8 +302,17 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
     } else {
         Vec::new()
     };
+    let drift_cells = if args.command == Command::Drift {
+        filter_cells(drift_grid(args.scale), filter, |c| c.label.clone())
+    } else {
+        Vec::new()
+    };
     if let Some(needle) = filter {
-        if experiments.is_empty() && serve_cells.is_empty() && auction_cells.is_empty() {
+        if experiments.is_empty()
+            && serve_cells.is_empty()
+            && auction_cells.is_empty()
+            && drift_cells.is_empty()
+        {
             return Err(format!(
                 "--filter `{needle}` matched no cells of `bench {}`",
                 args.command.name()
@@ -317,6 +332,7 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         .iter()
         .map(|cell| cell.shards)
         .chain(auction_cells.iter().map(|cell| cell.shards))
+        .chain(drift_cells.iter().map(|cell| cell.shards))
         .max();
     let workers = match shard_cap {
         Some(shards) => args.workers.clamp(1, shards),
@@ -370,6 +386,15 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         |rows| vec![render_auction(rows)],
         "reserves, clearing prices, ledger counters",
     )?;
+    let drift = run_closed_loop_workload(
+        "drift",
+        args,
+        workers,
+        &drift_cells,
+        run_drift_cells,
+        |rows| vec![render_drift(rows)],
+        "posted prices, detector firings, restarts",
+    )?;
 
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -382,6 +407,7 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         experiments: reports,
         serve,
         auction,
+        drift,
     };
 
     println!(
@@ -495,6 +521,40 @@ mod tests {
         assert_eq!(args.command, Command::Auction);
         assert!(args.check);
         assert!(usage().contains("auction"));
+    }
+
+    #[test]
+    fn drift_is_a_first_class_subcommand() {
+        assert_eq!(Command::parse("drift"), Some(Command::Drift));
+        let args = parse_args(None, &strings(&["drift", "--workers", "2", "--check"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.command, Command::Drift);
+        assert!(args.check);
+        assert!(usage().contains("drift"));
+    }
+
+    #[test]
+    fn filter_restricts_the_drift_grid() {
+        let mut args = parse_args(
+            None,
+            &strings(&[
+                "drift",
+                "--filter",
+                "kind=adversarial/mag=1.0/policy=static",
+            ]),
+        )
+        .unwrap()
+        .unwrap();
+        args.workers = 2;
+        let report = execute(&args).expect("filtered drift run");
+        assert_eq!(report.drift.len(), 1);
+        assert_eq!(
+            report.drift[0].label,
+            "kind=adversarial/mag=1.0/policy=static"
+        );
+        assert!(report.experiments.is_empty());
+        assert!(report.validate().is_empty());
     }
 
     #[test]

@@ -65,10 +65,10 @@ pub fn experiments_for(command: Command, scale: Scale) -> Vec<Experiment> {
         Command::RegretScaling => regret_scaling(scale),
         Command::Overhead => overhead(scale),
         Command::Lemma8 => vec![lemma8(scale)],
-        // The serve and auction workloads drive the sharded service engine
-        // through their own closed loops (crate::serve / crate::auction),
-        // not the simulation job runner.
-        Command::Serve | Command::Auction => Vec::new(),
+        // The serve, auction, and drift workloads drive the sharded service
+        // engine through their own closed loops (crate::serve /
+        // crate::auction / crate::drift), not the simulation job runner.
+        Command::Serve | Command::Auction | Command::Drift => Vec::new(),
         Command::All => {
             let mut all = fig4(scale);
             all.push(fig5a(scale));
@@ -742,11 +742,13 @@ mod tests {
     fn every_subcommand_resolves_to_a_grid() {
         for command in Command::ALL {
             let experiments = experiments_for(command, Scale::Quick);
-            // Fig. 1 is closed-form (no simulation) and the serve/auction
-            // workloads run through crate::serve / crate::auction, not the
-            // simulation job runner.
-            if command == Command::Fig1 || command == Command::Serve || command == Command::Auction
-            {
+            // Fig. 1 is closed-form (no simulation) and the serve, auction,
+            // and drift workloads run through their own closed loops, not
+            // the simulation job runner.
+            if matches!(
+                command,
+                Command::Fig1 | Command::Serve | Command::Auction | Command::Drift
+            ) {
                 assert!(experiments.is_empty());
             } else {
                 assert!(!experiments.is_empty(), "{command:?} has no experiments");

@@ -42,6 +42,7 @@ pub mod airbnb_pipeline;
 pub mod auction;
 pub mod avazu_pipeline;
 pub mod cli;
+pub mod drift;
 pub mod experiments;
 pub mod grid;
 pub mod linear_market;

@@ -21,6 +21,7 @@
 //! `docs/BENCHMARKS.md`.
 
 use crate::auction::{AuctionCellReport, AuctionPerf};
+use crate::drift::{DriftCellReport, DriftPerf};
 use crate::grid::{CellSpec, Job};
 use crate::json::Json;
 use crate::runner::{
@@ -31,13 +32,17 @@ use std::process::Command;
 
 /// Version of the `BENCH_*.json` schema this build writes.
 ///
+/// v4 added the additive `drift` section (the `bench drift` workload: the
+/// drift-kind × magnitude × policy grid with post-shift regret, detector
+/// firings, and restarts) and made the `validate()` tolerances
+/// scale-relative;
 /// v3 added the additive `auction` section (the `bench auction` workload:
 /// the bidder-count × distribution × reserve-policy grid with clearing
 /// revenue, the no-reserve baseline, welfare, and reserve hit-rates);
 /// v2 added the additive `serve` section (the `bench serve` closed-loop
 /// workload: quotes/sec plus p50/p99 service latency per workload cell);
-/// v1/v2 reports parse as v3 reports with the missing sections empty.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v1–v3 reports parse as v4 reports with the missing sections empty.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The aggregates of one experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +78,9 @@ pub struct BenchReport {
     /// Auction-workload cells (schema v3; empty for other runs and for
     /// reports read back from v1/v2 files).
     pub auction: Vec<AuctionCellReport>,
+    /// Drift-workload cells (schema v4; empty for other runs and for
+    /// reports read back from v1–v3 files).
+    pub drift: Vec<DriftCellReport>,
 }
 
 /// Groups executed job results back into per-experiment aggregates.
@@ -453,6 +461,114 @@ fn auction_cell_from_json(value: &Json) -> Result<AuctionCellReport, String> {
     })
 }
 
+/// Serialises the schedule-independent part of a drift cell: everything
+/// except `perf` and the worker count.
+fn drift_cell_deterministic_json(cell: &DriftCellReport) -> Json {
+    Json::obj(vec![
+        ("label", Json::str(&cell.label)),
+        ("kind", Json::str(&cell.kind)),
+        ("magnitude", Json::Num(cell.magnitude)),
+        ("policy", Json::str(&cell.policy)),
+        ("tenants", Json::Num(cell.tenants as f64)),
+        ("shards", Json::Num(cell.shards as f64)),
+        ("waves", Json::Num(cell.waves as f64)),
+        ("reps", Json::Num(cell.reps as f64)),
+        ("rounds", Json::Num(cell.rounds as f64)),
+        ("sales", Json::Num(cell.sales as f64)),
+        ("drift_fires", Json::Num(cell.drift_fires as f64)),
+        ("drift_restarts", Json::Num(cell.drift_restarts as f64)),
+        ("revenue", agg_stat_json(&cell.revenue)),
+        ("regret", agg_stat_json(&cell.regret)),
+        ("post_shift_regret", agg_stat_json(&cell.post_shift_regret)),
+        ("accept_rate", agg_stat_json(&cell.accept_rate)),
+    ])
+}
+
+fn drift_cell_json(cell: &DriftCellReport) -> Json {
+    let mut json = drift_cell_deterministic_json(cell);
+    let perf = Json::obj(vec![
+        ("wall_clock_secs", Json::Num(cell.perf.wall_clock_secs)),
+        ("quotes_per_sec", Json::Num(cell.perf.quotes_per_sec)),
+        (
+            "latency_p50_micros",
+            Json::Num(cell.perf.latency_p50_micros),
+        ),
+        (
+            "latency_p99_micros",
+            Json::Num(cell.perf.latency_p99_micros),
+        ),
+    ]);
+    if let Json::Obj(pairs) = &mut json {
+        pairs.push(("workers".to_owned(), Json::Num(cell.workers as f64)));
+        pairs.push(("perf".to_owned(), perf));
+    }
+    json
+}
+
+fn drift_cell_from_json(value: &Json) -> Result<DriftCellReport, String> {
+    let label = value
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or("drift cell: missing `label`")?
+        .to_owned();
+    let context = format!("drift cell `{label}`");
+    let text = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("{context}: missing `{key}`"))
+    };
+    let count = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{context}: missing count `{key}`"))
+    };
+    let stat = |key: &str| {
+        value
+            .get(key)
+            .ok_or_else(|| format!("{context}: missing `{key}`"))
+            .and_then(|v| agg_stat_from_json(v, &context))
+    };
+    let perf = value
+        .get("perf")
+        .ok_or_else(|| format!("{context}: missing `perf`"))?;
+    let perf_field = |key: &str| {
+        perf.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{context}: missing perf number `{key}`"))
+    };
+    Ok(DriftCellReport {
+        kind: text("kind")?,
+        magnitude: value
+            .get("magnitude")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{context}: missing `magnitude`"))?,
+        policy: text("policy")?,
+        tenants: count("tenants")?,
+        shards: count("shards")?,
+        waves: count("waves")?,
+        reps: count("reps")?,
+        workers: count("workers")?,
+        rounds: count("rounds")?,
+        sales: count("sales")?,
+        drift_fires: count("drift_fires")?,
+        drift_restarts: count("drift_restarts")?,
+        revenue: stat("revenue")?,
+        regret: stat("regret")?,
+        post_shift_regret: stat("post_shift_regret")?,
+        accept_rate: stat("accept_rate")?,
+        perf: DriftPerf {
+            wall_clock_secs: perf_field("wall_clock_secs")?,
+            quotes_per_sec: perf_field("quotes_per_sec")?,
+            latency_p50_micros: perf_field("latency_p50_micros")?,
+            latency_p99_micros: perf_field("latency_p99_micros")?,
+        },
+        label,
+    })
+}
+
 fn cell_from_json(value: &Json) -> Result<CellAggregate, String> {
     let label = value
         .get("label")
@@ -578,6 +694,10 @@ impl BenchReport {
                 "auction",
                 Json::Arr(self.auction.iter().map(auction_cell_json).collect()),
             ),
+            (
+                "drift",
+                Json::Arr(self.drift.iter().map(drift_cell_json).collect()),
+            ),
         ])
     }
 
@@ -622,8 +742,9 @@ impl BenchReport {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
-        // `serve` arrived with schema v2 and `auction` with v3; absent
-        // sections in older files mean "no such cells", not an error.
+        // `serve` arrived with schema v2, `auction` with v3, and `drift`
+        // with v4; absent sections in older files mean "no such cells",
+        // not an error.
         let serve = match value.get("serve") {
             Some(section) => section
                 .as_arr()
@@ -642,10 +763,20 @@ impl BenchReport {
                 .collect::<Result<Vec<_>, String>>()?,
             None => Vec::new(),
         };
+        let drift = match value.get("drift") {
+            Some(section) => section
+                .as_arr()
+                .ok_or("report: `drift` must be an array")?
+                .iter()
+                .map(drift_cell_from_json)
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
         Ok(Self {
             schema_version,
             serve,
             auction,
+            drift,
             name: text("name")?,
             git_describe: text("git_describe")?,
             scale: text("scale")?,
@@ -712,6 +843,15 @@ impl BenchReport {
                         .collect(),
                 ),
             ),
+            (
+                "drift",
+                Json::Arr(
+                    self.drift
+                        .iter()
+                        .map(drift_cell_deterministic_json)
+                        .collect(),
+                ),
+            ),
         ])
         .render()
     }
@@ -723,10 +863,31 @@ impl BenchReport {
     /// Returns the list of violations (empty means the report is healthy).
     /// Perf figures are exempt — latency percentiles are legitimately NaN
     /// for workloads that bypass the instrumented simulation loop.
+    ///
+    /// Tolerances are **scale-relative** (`gate_tolerance`): a lower
+    /// bound is breached only when the value is negative beyond
+    /// `1e-9 · max(1, |stat|)`, so full-scale revenue/welfare sums in the
+    /// thousands cannot false-positive on f64 accumulation noise, while
+    /// unit-scale rates keep the old absolute `1e-9` bar.
     #[must_use]
     pub fn validate(&self) -> Vec<String> {
         let mut violations = Vec::new();
-        let tolerance = 1e-9;
+        let check_stat = |violations: &mut Vec<String>,
+                          place: &str,
+                          what: &str,
+                          stat: &AggStat,
+                          upper: Option<f64>| {
+            let tolerance = gate_tolerance(stat_scale(stat));
+            for (part, v) in [("mean", stat.mean), ("min", stat.min), ("max", stat.max)] {
+                if !v.is_finite() {
+                    violations.push(format!("{place}: {what} {part} is not finite ({v})"));
+                } else if v < -tolerance {
+                    violations.push(format!("{place}: {what} {part} is negative ({v})"));
+                } else if upper.is_some_and(|bound| v > bound + tolerance) {
+                    violations.push(format!("{place}: {what} {part} exceeds 1 ({v})"));
+                }
+            }
+        };
         for exp in &self.experiments {
             for cell in &exp.cells {
                 let place = format!("{} / {}", exp.name, cell.label);
@@ -759,15 +920,7 @@ impl BenchReport {
                     ));
                 }
                 for (what, stat, upper) in gates {
-                    for (part, v) in [("mean", stat.mean), ("min", stat.min), ("max", stat.max)] {
-                        if !v.is_finite() {
-                            violations.push(format!("{place}: {what} {part} is not finite ({v})"));
-                        } else if v < -tolerance {
-                            violations.push(format!("{place}: {what} {part} is negative ({v})"));
-                        } else if upper.is_some_and(|bound| v > bound + tolerance) {
-                            violations.push(format!("{place}: {what} {part} exceeds 1 ({v})"));
-                        }
-                    }
+                    check_stat(&mut violations, &place, &what, stat, upper);
                 }
             }
         }
@@ -778,15 +931,7 @@ impl BenchReport {
                 ("regret", &cell.regret, None),
                 ("acceptance rate", &cell.accept_rate, Some(1.0)),
             ] {
-                for (part, v) in [("mean", stat.mean), ("min", stat.min), ("max", stat.max)] {
-                    if !v.is_finite() {
-                        violations.push(format!("{place}: {what} {part} is not finite ({v})"));
-                    } else if v < -tolerance {
-                        violations.push(format!("{place}: {what} {part} is negative ({v})"));
-                    } else if upper.is_some_and(|bound| v > bound + tolerance) {
-                        violations.push(format!("{place}: {what} {part} exceeds 1 ({v})"));
-                    }
-                }
+                check_stat(&mut violations, &place, what, stat, upper);
             }
             // Throughput sanity: a cell that served anything must report a
             // positive quotes/sec, and overload shedding must never starve
@@ -813,15 +958,7 @@ impl BenchReport {
                 ("welfare", &cell.welfare, None),
                 ("reserve hit rate", &cell.hit_rate, Some(1.0)),
             ] {
-                for (part, v) in [("mean", stat.mean), ("min", stat.min), ("max", stat.max)] {
-                    if !v.is_finite() {
-                        violations.push(format!("{place}: {what} {part} is not finite ({v})"));
-                    } else if v < -tolerance {
-                        violations.push(format!("{place}: {what} {part} is negative ({v})"));
-                    } else if upper.is_some_and(|bound| v > bound + tolerance) {
-                        violations.push(format!("{place}: {what} {part} exceeds 1 ({v})"));
-                    }
-                }
+                check_stat(&mut violations, &place, what, stat, upper);
             }
             if cell.auctions == 0 {
                 violations.push(format!("{place}: settled no auction rounds at all"));
@@ -831,6 +968,8 @@ impl BenchReport {
             }
             // A sale never prices above the winning bid, so welfare
             // dominates revenue identically per round and in every sum.
+            // The comparison tolerance scales with the pair's magnitude.
+            let tolerance = gate_tolerance(cell.welfare.mean.abs().max(cell.revenue.mean.abs()));
             if cell.welfare.mean + tolerance < cell.revenue.mean {
                 violations.push(format!(
                     "{place}: welfare {} fell below revenue {}",
@@ -854,6 +993,7 @@ impl BenchReport {
             // converge, so the gate is a full-scale contract.
             if self.scale == "full" && cell.is_learned_policy() && cell.bidders <= 2 {
                 let baseline = cell.baseline_revenue.mean;
+                let tolerance = gate_tolerance(baseline.abs().max(cell.revenue.mean.abs()));
                 if cell.revenue.mean + tolerance < baseline {
                     violations.push(format!(
                         "{place}: learned-reserve revenue {} fell below the no-reserve \
@@ -863,8 +1003,74 @@ impl BenchReport {
                 }
             }
         }
+        for cell in &self.drift {
+            let place = format!("drift / {}", cell.label);
+            for (what, stat, upper) in [
+                ("revenue", &cell.revenue, None),
+                ("regret", &cell.regret, None),
+                ("post-shift regret", &cell.post_shift_regret, None),
+                ("acceptance rate", &cell.accept_rate, Some(1.0)),
+            ] {
+                check_stat(&mut violations, &place, what, stat, upper);
+            }
+            if cell.rounds == 0 {
+                violations.push(format!("{place}: served no rounds at all"));
+            }
+            if cell.sales == 0 {
+                violations.push(format!("{place}: sold nothing in any round"));
+            }
+            let throughput = cell.perf.quotes_per_sec;
+            if cell.rounds > 0 && (!throughput.is_finite() || throughput <= 0.0) {
+                violations.push(format!(
+                    "{place}: quotes/sec is not positive ({throughput})"
+                ));
+            }
+            // The drift-adaptivity gate: at full scale, in every
+            // piecewise-stationary cell, the drift-aware policies must beat
+            // the static mechanism's post-shift regret (the static
+            // mechanism's knowledge set excludes the moved θ*, so its
+            // conservative prices go stale; restart and discounting exist
+            // to recover exactly this).  Environment seeds are shared
+            // across the row's policy columns, so the comparison is over
+            // identical markets.  Quick-scale phases are too short for the
+            // comparison to separate, so the gate is a full-scale contract.
+            if self.scale == "full" && cell.kind == "piecewise" && cell.policy != "static" {
+                let static_cell = self.drift.iter().find(|other| {
+                    other.kind == cell.kind
+                        && other.magnitude == cell.magnitude
+                        && other.policy == "static"
+                });
+                if let Some(static_cell) = static_cell {
+                    let aware = cell.post_shift_regret.mean;
+                    let stationary = static_cell.post_shift_regret.mean;
+                    if aware >= stationary {
+                        violations.push(format!(
+                            "{place}: post-shift regret {aware} did not beat the static \
+                             mechanism's {stationary}"
+                        ));
+                    }
+                }
+            }
+        }
         violations
     }
+}
+
+/// The magnitude scale a gated aggregate lives at (at least 1, so
+/// unit-scale rates keep the absolute bar).
+fn stat_scale(stat: &AggStat) -> f64 {
+    let finite_abs = |v: f64| if v.is_finite() { v.abs() } else { 0.0 };
+    finite_abs(stat.mean)
+        .max(finite_abs(stat.min))
+        .max(finite_abs(stat.max))
+}
+
+/// Scale-relative validation tolerance: `1e-9 · max(1, scale)`.  A sum in
+/// the thousands accumulates f64 rounding noise far above an absolute
+/// `1e-9`, so lower-bound gates scale with the magnitude of the statistic
+/// they guard; unit-scale figures (ratios, rates) keep the old bar.
+fn gate_tolerance(scale: f64) -> f64 {
+    1e-9 * scale.abs().max(1.0)
 }
 
 #[cfg(test)]
@@ -978,6 +1184,34 @@ mod tests {
         }
     }
 
+    fn sample_drift_cell(policy: &str, post_shift_mean: f64) -> DriftCellReport {
+        DriftCellReport {
+            label: format!("kind=piecewise/mag=1.0/policy={policy}"),
+            kind: "piecewise".to_owned(),
+            magnitude: 1.0,
+            policy: policy.to_owned(),
+            tenants: 4,
+            shards: 4,
+            waves: 90,
+            reps: 2,
+            workers: 4,
+            rounds: 720,
+            sales: 500,
+            drift_fires: if policy == "restart" { 8 } else { 0 },
+            drift_restarts: if policy == "restart" { 8 } else { 0 },
+            revenue: sample_stat(300.0),
+            regret: sample_stat(40.0),
+            post_shift_regret: sample_stat(post_shift_mean),
+            accept_rate: sample_stat(0.7),
+            perf: DriftPerf {
+                wall_clock_secs: 0.3,
+                quotes_per_sec: 60_000.0,
+                latency_p50_micros: 3.0,
+                latency_p99_micros: 8.0,
+            },
+        }
+    }
+
     fn sample_report() -> BenchReport {
         BenchReport {
             schema_version: SCHEMA_VERSION,
@@ -993,6 +1227,11 @@ mod tests {
             }],
             serve: vec![sample_serve_cell("tenants=16/mix=uniform")],
             auction: vec![sample_auction_cell("bidders=2/dist=uniform/policy=session")],
+            drift: vec![
+                sample_drift_cell("static", 30.0),
+                sample_drift_cell("restart", 10.0),
+                sample_drift_cell("discounted", 12.0),
+            ],
         }
     }
 
@@ -1022,6 +1261,8 @@ mod tests {
         b.serve[0].perf.latency_p99_micros = 9_999.0;
         b.auction[0].workers = 1;
         b.auction[0].perf.rounds_per_sec = 5.0;
+        b.drift[0].workers = 1;
+        b.drift[0].perf.quotes_per_sec = 7.0;
         assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
         // But it does see the aggregates — simulation, serve, and auction
         // alike.
@@ -1033,36 +1274,141 @@ mod tests {
         let mut d = sample_report();
         d.auction[0].reserve_hits += 1;
         assert_ne!(d.deterministic_fingerprint(), b.deterministic_fingerprint());
+        let mut e = sample_report();
+        e.drift[0].post_shift_regret.mean += 1.0;
+        assert_ne!(e.deterministic_fingerprint(), b.deterministic_fingerprint());
     }
 
     #[test]
-    fn v1_and_v2_reports_without_newer_sections_still_parse() {
+    fn v1_through_v3_reports_without_newer_sections_still_parse() {
         let mut report = sample_report();
         report.serve.clear();
         report.auction.clear();
+        report.drift.clear();
         let mut rendered = report.to_json();
-        // Simulate a v1 file: no `serve`/`auction` keys, version 1.
+        // Simulate a v1 file: no `serve`/`auction`/`drift` keys, version 1.
         if let Json::Obj(pairs) = &mut rendered {
-            pairs.retain(|(key, _)| key != "serve" && key != "auction");
+            pairs.retain(|(key, _)| key != "serve" && key != "auction" && key != "drift");
             pairs[0].1 = Json::Num(1.0);
         }
         let reparsed = BenchReport::from_json(&rendered).expect("v1 parses");
         assert_eq!(reparsed.schema_version, 1);
         assert!(reparsed.serve.is_empty());
         assert!(reparsed.auction.is_empty());
+        assert!(reparsed.drift.is_empty());
 
-        // Simulate a v2 file: a `serve` section but no `auction`.
+        // Simulate a v2 file: a `serve` section but no `auction`/`drift`.
         let mut v2 = sample_report();
         v2.auction.clear();
+        v2.drift.clear();
         let mut rendered = v2.to_json();
         if let Json::Obj(pairs) = &mut rendered {
-            pairs.retain(|(key, _)| key != "auction");
+            pairs.retain(|(key, _)| key != "auction" && key != "drift");
             pairs[0].1 = Json::Num(2.0);
         }
         let reparsed = BenchReport::from_json(&rendered).expect("v2 parses");
         assert_eq!(reparsed.schema_version, 2);
         assert_eq!(reparsed.serve.len(), 1);
         assert!(reparsed.auction.is_empty());
+        assert!(reparsed.drift.is_empty());
+
+        // Simulate a v3 file: serve + auction but no `drift`.
+        let mut v3 = sample_report();
+        v3.drift.clear();
+        let mut rendered = v3.to_json();
+        if let Json::Obj(pairs) = &mut rendered {
+            pairs.retain(|(key, _)| key != "drift");
+            pairs[0].1 = Json::Num(3.0);
+        }
+        let reparsed = BenchReport::from_json(&rendered).expect("v3 parses");
+        assert_eq!(reparsed.schema_version, 3);
+        assert_eq!(reparsed.auction.len(), 1);
+        assert!(reparsed.drift.is_empty());
+    }
+
+    #[test]
+    fn validate_gates_drift_liveness_and_the_full_scale_post_shift_contract() {
+        assert!(sample_report().validate().is_empty());
+
+        // A dead drift cell fails.
+        let mut dead = sample_report();
+        dead.drift[0].rounds = 0;
+        dead.drift[0].sales = 0;
+        assert!(dead
+            .validate()
+            .iter()
+            .any(|v| v.contains("drift /") && v.contains("served no rounds")));
+
+        // The post-shift gate binds at full scale only, only in
+        // piecewise-stationary cells, against the matching static column.
+        let mut worse = sample_report();
+        worse.drift[1].post_shift_regret = sample_stat(35.0); // above static's 30.0
+        assert!(worse.validate().is_empty(), "quick scale is not gated");
+        worse.scale = "full".to_owned();
+        assert!(worse
+            .validate()
+            .iter()
+            .any(|v| v.contains("did not beat the static")));
+        // Rotation cells are not gated (no discrete shift to split at).
+        worse.drift[1].kind = "rotation".to_owned();
+        assert!(worse.validate().is_empty());
+    }
+
+    #[test]
+    fn validation_tolerance_is_scale_relative() {
+        // Unit scale: a negative 1e-8 is a genuine violation (the old
+        // absolute bar).
+        let mut small = sample_report();
+        small.serve[0].accept_rate.min = -1e-8;
+        assert!(small
+            .validate()
+            .iter()
+            .any(|v| v.contains("acceptance rate") && v.contains("negative")));
+
+        // Full scale: a revenue aggregate summing to thousands may carry
+        // f64 accumulation noise far above 1e-9; a -1e-6 min against a
+        // 10⁴-scale mean must NOT false-positive…
+        let mut large = sample_report();
+        large.serve[0].revenue = AggStat {
+            mean: 12_500.0,
+            std: 3.0,
+            ci95_half: 1.5,
+            min: -1e-6,
+            max: 12_900.0,
+        };
+        assert!(
+            large.validate().is_empty(),
+            "scale-relative tolerance must absorb accumulation noise: {:?}",
+            large.validate()
+        );
+
+        // …but the same -1e-6 at unit scale is still flagged.
+        let mut unit = sample_report();
+        unit.serve[0].revenue = AggStat {
+            mean: 0.5,
+            std: 0.1,
+            ci95_half: 0.05,
+            min: -1e-6,
+            max: 0.9,
+        };
+        assert!(unit
+            .validate()
+            .iter()
+            .any(|v| v.contains("revenue") && v.contains("negative")));
+
+        // A genuinely negative full-scale aggregate still fails.
+        let mut broken = sample_report();
+        broken.serve[0].revenue = AggStat {
+            mean: 12_500.0,
+            std: 3.0,
+            ci95_half: 1.5,
+            min: -1.0,
+            max: 12_900.0,
+        };
+        assert!(broken
+            .validate()
+            .iter()
+            .any(|v| v.contains("revenue") && v.contains("negative")));
     }
 
     #[test]

@@ -255,7 +255,8 @@ fn run_rep(spec: &ServeCellSpec, workers: usize, rep: u64) -> Result<RepOutcome,
     let mut service = MarketService::new(ServiceConfig {
         shards: spec.shards,
         queue_capacity: spec.mix.queue_capacity(spec.tenants, spec.shards),
-    });
+    })
+    .expect("valid service config");
     // Per-tenant hidden market model and query stream, all seeded from the
     // cell's traffic seed so repetitions are independent but reproducible.
     let mut streams: Vec<StdRng> = Vec::with_capacity(spec.tenants);

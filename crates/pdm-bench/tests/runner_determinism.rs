@@ -8,6 +8,7 @@
 //! strings.
 
 use pdm_bench::auction::{auction_grid, run_auction_cells};
+use pdm_bench::drift::{drift_grid, run_drift_cells};
 use pdm_bench::grid::{expand_jobs, CellSpec, Checkpoint, JobSpec, SyntheticMechanism};
 use pdm_bench::json::Json;
 use pdm_bench::linear_market::{LinearMarketConfig, Version};
@@ -89,6 +90,7 @@ fn report_with_workers(workers: usize, reps: u64) -> BenchReport {
         experiments,
         serve: Vec::new(),
         auction: Vec::new(),
+        drift: Vec::new(),
     }
 }
 
@@ -106,6 +108,7 @@ fn serve_report_with_workers(workers: usize) -> BenchReport {
         experiments: Vec::new(),
         serve: run_serve_grid(Scale::Quick, workers, 1).expect("the serve grid must run"),
         auction: Vec::new(),
+        drift: Vec::new(),
     }
 }
 
@@ -124,7 +127,50 @@ fn auction_report_with_workers(workers: usize) -> BenchReport {
         serve: Vec::new(),
         auction: run_auction_cells(&auction_grid(Scale::Quick), workers, 1)
             .expect("the auction grid must run"),
+        drift: Vec::new(),
     }
+}
+
+/// Runs the full quick-scale drift grid with the given drain worker count
+/// and wraps it in a report, the way `bench drift --workers N` does.
+fn drift_report_with_workers(workers: usize) -> BenchReport {
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        name: "drift".to_owned(),
+        git_describe: "test".to_owned(),
+        scale: "quick".to_owned(),
+        workers,
+        reps: 1,
+        wall_clock_secs: 0.0,
+        experiments: Vec::new(),
+        serve: Vec::new(),
+        auction: Vec::new(),
+        drift: run_drift_cells(&drift_grid(Scale::Quick), workers, 1)
+            .expect("the drift grid must run"),
+    }
+}
+
+#[test]
+fn drift_aggregates_are_byte_identical_for_1_and_4_workers() {
+    // The acceptance bar of the drift layer: the whole quick grid — every
+    // drift kind × magnitude × policy — must produce byte-identical
+    // revenue/regret/post-shift/detector aggregates no matter how many
+    // workers drain the shards.  (Each run additionally verified every
+    // posted price and drift counter against a serial per-tenant replay
+    // inside `run_drift_cells`.)
+    let serial = drift_report_with_workers(1);
+    let parallel = drift_report_with_workers(4);
+    assert!(!serial.drift.is_empty());
+    assert_eq!(
+        serial.deterministic_fingerprint(),
+        parallel.deterministic_fingerprint(),
+        "drain worker count must not affect any drift aggregate"
+    );
+    for cell in &parallel.drift {
+        assert!(cell.perf.quotes_per_sec > 0.0, "{}", cell.label);
+    }
+    assert!(serial.validate().is_empty());
+    assert!(parallel.validate().is_empty());
 }
 
 #[test]

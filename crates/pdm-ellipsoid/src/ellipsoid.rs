@@ -193,6 +193,30 @@ impl Ellipsoid {
         eig.smallest()
     }
 
+    /// Uniformly inflates the ellipsoid: every semi-axis grows by `factor`
+    /// (the shape matrix is scaled by `factor²`).
+    ///
+    /// This is the *forgetting* primitive of the discounted knowledge set:
+    /// applying a factor slightly above 1 after every round makes old cuts
+    /// decay geometrically, so a drifting `θ*` that has left the set is
+    /// eventually re-admitted.  Growth is **relative**, so a converged
+    /// (narrow) direction re-opens gently — it takes `ln(1.5)/ln(factor)`
+    /// rounds to regain 50% width — and it is **self-limiting along
+    /// queried directions**: once a width crosses the exploration
+    /// threshold, the mechanism explores and the resulting cut shrinks it
+    /// again.  Unqueried directions grow unchecked, exactly as the
+    /// Löwner–John cut update itself already widens them (the relaxation's
+    /// standard behaviour); callers that query no direction also observe
+    /// no rounds, so a discounting driver never inflates in a vacuum.
+    /// A `factor ≤ 1` or a non-finite input is a no-op.
+    pub fn inflate(&mut self, factor: f64) {
+        // NaN fails the comparison too, so non-finite inputs are no-ops.
+        if factor <= 1.0 || !factor.is_finite() {
+            return;
+        }
+        self.shape.scale_mut(factor * factor);
+    }
+
     /// Shared implementation of the Löwner–John update for the halfspace
     /// `{θ : direction^T θ ≤ threshold}`.
     ///
@@ -621,5 +645,34 @@ mod tests {
         let e = Ellipsoid::ball(3, 1.0);
         assert!(!e.contains(&Vector::zeros(2)));
         assert!(e.contains(&Vector::zeros(3)));
+    }
+
+    #[test]
+    fn inflate_grows_axes_geometrically() {
+        let x = Vector::from_slice(&[1.0, 0.0]);
+        let mut e = Ellipsoid::ball(2, 1.0);
+        // Shrink along x first so there is something to forget.
+        e.cut_below(&x, 0.2);
+        e.cut_below(&x, 0.1);
+        let width_before = e.width_along(&x);
+        e.inflate(1.1);
+        let width_after = e.width_along(&x);
+        assert!(
+            (width_after - 1.1 * width_before).abs() < 1e-9,
+            "inflation must widen the set by exactly the factor \
+             ({width_after} vs {width_before})"
+        );
+        // Inflation followed by a fresh cut keeps the set valid: the
+        // re-opened direction can immediately be re-cut.
+        e.cut_below(&x, 0.05);
+        assert!(e.shape().is_finite());
+        assert!(e.width_along(&x) < width_after);
+
+        // Degenerate factors are no-ops.
+        let frozen = e.clone();
+        e.inflate(1.0);
+        e.inflate(0.5);
+        e.inflate(f64::NAN);
+        assert_eq!(e, frozen);
     }
 }

@@ -22,6 +22,10 @@
 //!   δ buffer of Algorithm 2.
 //! * [`environment`] — round generators (synthetic linear/non-linear markets,
 //!   plus the Lemma-8 adversarial sequence).
+//! * [`drift`] — the non-stationarity layer: drifting-θ* markets
+//!   (piecewise jumps, slow rotation, a one-shot adversarial reversal) and
+//!   the drift-aware mechanism wrapper (restart on a windowed surprisal
+//!   detector, or a discounted/forgetting knowledge set).
 //! * [`session`] — the re-entrant `step`/`observe` loop body: one mechanism
 //!   driven one query at a time, the unit the `pdm-service` serving engine
 //!   shards across tenants.
@@ -59,6 +63,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod environment;
 pub mod mechanism;
 pub mod model;
@@ -70,6 +75,10 @@ pub mod uncertainty;
 
 /// Convenient re-exports of the types most applications need.
 pub mod prelude {
+    pub use crate::drift::{
+        DriftAwarePricing, DriftDetectorConfig, DriftKind, DriftPolicy, DriftProcess,
+        DriftSchedule, DriftingLinearEnvironment, SurprisalDriftDetector,
+    };
     pub use crate::environment::{
         AdversarialLemma8Environment, Environment, ReplayEnvironment, Round,
         SyntheticLinearEnvironment, SyntheticModelEnvironment,

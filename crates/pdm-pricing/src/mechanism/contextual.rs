@@ -99,6 +99,33 @@ impl<M: MarketValueModel, K: KnowledgeSet> ContextualPricing<M, K> {
         &self.knowledge
     }
 
+    /// Mutable access to the knowledge set.
+    ///
+    /// Advanced: the drift-aware wrappers of [`crate::drift`] use this to
+    /// inflate (discount) the set between rounds; ordinary drivers never
+    /// mutate the set outside [`PostedPriceMechanism::observe`].
+    pub fn knowledge_mut(&mut self) -> &mut K {
+        &mut self.knowledge
+    }
+
+    /// Replaces the knowledge set wholesale — the *restart* primitive of the
+    /// drift-aware mechanisms: on a detected distribution shift the learned
+    /// set is discarded and the broker falls back to her prior.
+    ///
+    /// Diagnostic counters (cut/exploration tallies) are deliberately kept:
+    /// they describe the mechanism's lifetime, not one knowledge set.
+    ///
+    /// # Panics
+    /// Panics when the new set's dimension does not match the model.
+    pub fn replace_knowledge(&mut self, knowledge: K) {
+        assert_eq!(
+            knowledge.dim(),
+            self.model.mapped_dim(),
+            "knowledge-set dimension must equal the model's mapped feature dimension"
+        );
+        self.knowledge = knowledge;
+    }
+
     /// The configuration the mechanism was built with.
     #[must_use]
     pub fn config(&self) -> &PricingConfig {

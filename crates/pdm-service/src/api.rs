@@ -182,6 +182,11 @@ impl fmt::Display for RequestError {
 /// Errors of the service control plane (registration, admission, snapshot).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
+    /// The service sizing is unusable (zero shards or a zero queue
+    /// capacity).  Rejected at construction — a zero capacity would
+    /// otherwise shed *every* request, and silently clamping it hid
+    /// misconfigured deployments.
+    InvalidConfig(String),
     /// A tenant with this id is already registered.
     DuplicateTenant(TenantId),
     /// The request addressed a tenant the service does not know.
@@ -209,6 +214,9 @@ pub enum ServiceError {
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ServiceError::InvalidConfig(message) => {
+                write!(f, "invalid service config: {message}")
+            }
             ServiceError::DuplicateTenant(t) => write!(f, "{t} is already registered"),
             ServiceError::UnknownTenant(t) => write!(f, "{t} is not registered"),
             ServiceError::QueueFull { shard, capacity } => {

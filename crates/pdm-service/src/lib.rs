@@ -30,6 +30,14 @@
 //!   second-price auction clears, and the policy learns from the outcome —
 //!   all in one FIFO slot.  Both kinds share shards, snapshots, and
 //!   metrics.
+//! * **Drift policies** — every tenant config carries a
+//!   [`DriftPolicy`]: `Static` runs the
+//!   paper's stationary mechanism unchanged, `Restart` re-initialises the
+//!   knowledge set when a windowed accept/reject surprisal detector fires,
+//!   and `Discounted` inflates the ellipsoid a little after every round
+//!   that taught it nothing, so old cuts decay and a moved `θ*` is
+//!   re-admitted.  Detector firings and restarts are counted per shard and
+//!   the detector state survives snapshots (schema v3).
 //! * **Per-shard metrics** — quotes served, accept rate, revenue, exact
 //!   regret (when ground truth is supplied) plus an uncertainty-width
 //!   regret proxy, shed/rejected counts, p50/p99 service latency, and the
@@ -47,7 +55,7 @@
 //! use pdm_linalg::Vector;
 //! use pdm_service::{MarketService, OutcomeReport, QueryRequest, ServiceConfig, TenantConfig, TenantId};
 //!
-//! let mut service = MarketService::new(ServiceConfig { shards: 4, queue_capacity: 64 });
+//! let mut service = MarketService::new(ServiceConfig { shards: 4, queue_capacity: 64 })?;
 //! service.register_tenant(TenantId::from_name("survey-7"), TenantConfig::standard(3, 1_000))?;
 //! service.submit_quote(QueryRequest {
 //!     tenant: TenantId::from_name("survey-7"),
@@ -92,6 +100,7 @@ pub use api::{
     ServiceError, Ticket,
 };
 pub use metrics::ShardMetrics;
+pub use pdm_pricing::drift::DriftPolicy;
 pub use routing::{shard_of, TenantId};
 pub use service::{MarketService, ServiceConfig};
 pub use snapshot::SNAPSHOT_SCHEMA_VERSION;

@@ -3,9 +3,11 @@
 //! Each shard counts what it served (quotes, observations, sales), what it
 //! earned (revenue), how much it may have left on the table (exact regret
 //! when the workload supplies ground truth, the uncertainty-width *proxy*
-//! always), what it refused (shed and rejected requests), and how fast it
-//! was (per-request service latency, summarised through the error-checked
-//! quantile helpers of `pdm-linalg`).
+//! always), what it refused (shed and rejected requests), how its
+//! drift-aware tenants reacted to a moving market (surprisal-detector
+//! firings and knowledge-set restarts), and how fast it was (per-request
+//! service latency, summarised through the error-checked quantile helpers
+//! of `pdm-linalg`).
 //!
 //! Auction tenants report through the same ledger: the nested
 //! [`AuctionLedger`] counts settled rounds, sales, reserve hits, clearing
@@ -61,6 +63,12 @@ pub struct ShardMetrics {
     /// clearing revenue, welfare, and the no-reserve baseline.  All zero on
     /// a shard serving only posted-price tenants.
     pub auction: AuctionLedger,
+    /// Drift-detector firings across the shard's tenants (restart-policy
+    /// tenants only; deterministic — the detector sees only the request
+    /// stream).
+    pub drift_fires: u64,
+    /// Knowledge-set restarts performed across the shard's tenants.
+    pub drift_restarts: u64,
     /// Sliding window of the most recent [`LATENCY_WINDOW`] per-request
     /// service latency samples, in microseconds (wall-clock; excluded from
     /// all determinism comparisons).
@@ -89,6 +97,8 @@ impl ShardMetrics {
             shed: 0,
             rejected: 0,
             auction: AuctionLedger::default(),
+            drift_fires: 0,
+            drift_restarts: 0,
             latency_window: SampleWindow::new(LATENCY_WINDOW),
             latency_stats: OnlineStats::new(),
         }
@@ -102,14 +112,21 @@ impl ShardMetrics {
         self.auction.reserve_hit_rate()
     }
 
-    /// Fraction of observed rounds that ended in a sale (zero before any
-    /// observation).
+    /// Fraction of settled rounds that ended in a sale (zero before any
+    /// round).
+    ///
+    /// Auction rounds settle in one request without touching
+    /// `observations`, so the denominator is `observations +
+    /// auction.auctions` and the numerator `sales + auction.sales` —
+    /// counting only posted-price rounds used to report a hard 0% on
+    /// auction-only shards no matter how much they sold.
     #[must_use]
     pub fn accept_rate(&self) -> f64 {
-        if self.observations == 0 {
+        let rounds = self.observations + self.auction.auctions;
+        if rounds == 0 {
             0.0
         } else {
-            self.sales as f64 / self.observations as f64
+            (self.sales + self.auction.sales) as f64 / rounds as f64
         }
     }
 
@@ -193,6 +210,8 @@ impl ShardMetrics {
         self.shed += other.shed;
         self.rejected += other.rejected;
         self.auction.merge(&other.auction);
+        self.drift_fires += other.drift_fires;
+        self.drift_restarts += other.drift_restarts;
         // Replay the other window oldest-first so the merged ring keeps the
         // most recent samples; the all-time summaries merge exactly (not
         // per-sample, which would double-count against the Welford merge).
@@ -293,6 +312,43 @@ mod tests {
         assert_eq!(a.sales, 8);
         assert!((a.revenue - 78.0).abs() < 1e-12);
         assert_eq!(a.latency_samples(), 1);
+    }
+
+    #[test]
+    fn accept_and_shed_rates_count_auction_rounds_as_settled_attempts() {
+        // Regression: auction rounds settle without touching
+        // `observations`, so a pure-auction shard used to report a 0%
+        // accept rate (and its shed rate was computed against an attempt
+        // count that ignored the settled rounds).
+        let mut m = ShardMetrics::new();
+        m.auction.auctions = 20;
+        m.auction.sales = 15;
+        assert!(
+            (m.accept_rate() - 0.75).abs() < 1e-12,
+            "pure-auction accept rate must be auction sales / auction rounds, got {}",
+            m.accept_rate()
+        );
+        m.shed = 20;
+        // Attempts = 20 settled auctions + 20 shed.
+        assert!((m.shed_rate() - 0.5).abs() < 1e-12);
+
+        // Mixed traffic folds both markets into one rate.
+        m.observations = 20;
+        m.sales = 5;
+        assert!((m.accept_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_counters_merge() {
+        let mut a = ShardMetrics::new();
+        a.drift_fires = 3;
+        a.drift_restarts = 2;
+        let mut b = ShardMetrics::new();
+        b.drift_fires = 1;
+        b.drift_restarts = 1;
+        a.merge(&b);
+        assert_eq!(a.drift_fires, 4);
+        assert_eq!(a.drift_restarts, 3);
     }
 
     #[test]

@@ -46,6 +46,29 @@ impl Default for ServiceConfig {
     }
 }
 
+impl ServiceConfig {
+    /// Checks the sizing is usable.
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidConfig`] when `shards == 0` (nowhere to route)
+    /// or `queue_capacity == 0` (every request would be shed).  These used
+    /// to be silently clamped to 1, which hid misconfigured deployments.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if self.shards == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "`shards` must be at least 1".to_owned(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "`queue_capacity` must be at least 1 (a zero-capacity queue sheds every request)"
+                    .to_owned(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The sharded serving engine.
 #[derive(Debug)]
 pub struct MarketService {
@@ -56,20 +79,22 @@ pub struct MarketService {
 
 impl MarketService {
     /// Creates an empty service with the given sizing.
-    #[must_use]
-    pub fn new(config: ServiceConfig) -> Self {
-        let config = ServiceConfig {
-            shards: config.shards.max(1),
-            queue_capacity: config.queue_capacity.max(1),
-        };
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidConfig`] when the sizing fails
+    /// [`ServiceConfig::validate`] — zero shards or a zero queue capacity
+    /// (which would shed every request) are rejected instead of silently
+    /// clamped.
+    pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
         let shards = (0..config.shards)
             .map(|index| Mutex::new(Shard::new(index, config.queue_capacity)))
             .collect();
-        Self {
+        Ok(Self {
             config,
             shards,
             next_seq: 0,
-        }
+        })
     }
 
     /// The sizing the service was built with.
@@ -306,7 +331,8 @@ mod tests {
         let mut service = MarketService::new(ServiceConfig {
             shards,
             queue_capacity: 64,
-        });
+        })
+        .expect("valid service config");
         for id in 0..tenants {
             service
                 .register_tenant(TenantId(id), TenantConfig::standard(2, 100))
@@ -367,7 +393,8 @@ mod tests {
         let mut service = MarketService::new(ServiceConfig {
             shards: 1,
             queue_capacity: 2,
-        });
+        })
+        .expect("valid service config");
         service
             .register_tenant(TenantId(0), TenantConfig::standard(2, 100))
             .unwrap();
@@ -422,11 +449,32 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_configs_are_clamped() {
-        let service = MarketService::new(ServiceConfig {
-            shards: 0,
+    fn degenerate_configs_are_rejected_not_clamped() {
+        // Regression: `queue_capacity: 0` used to be silently clamped to 1
+        // (by `Shard::new`), hiding a deployment that would otherwise shed
+        // every request.  It is now a construction-time config error.
+        let err = MarketService::new(ServiceConfig {
+            shards: 4,
             queue_capacity: 0,
-        });
+        })
+        .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidConfig(_)));
+        assert!(err.to_string().contains("queue_capacity"), "{err}");
+
+        let err = MarketService::new(ServiceConfig {
+            shards: 0,
+            queue_capacity: 16,
+        })
+        .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidConfig(_)));
+        assert!(err.to_string().contains("shards"), "{err}");
+
+        // The boundary sizing is valid.
+        let service = MarketService::new(ServiceConfig {
+            shards: 1,
+            queue_capacity: 1,
+        })
+        .expect("minimal sizing is valid");
         assert_eq!(service.shard_count(), 1);
         assert_eq!(service.config().queue_capacity, 1);
     }

@@ -28,10 +28,13 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
+    /// `capacity` is validated (non-zero) by [`crate::ServiceConfig`]
+    /// before any shard is built — no silent clamping here.
     pub(crate) fn new(index: usize, capacity: usize) -> Self {
+        debug_assert!(capacity >= 1, "ServiceConfig validates the capacity");
         Self {
             index,
-            capacity: capacity.max(1),
+            capacity,
             tenants: HashMap::new(),
             queue: VecDeque::new(),
             metrics: ShardMetrics::new(),
@@ -138,9 +141,16 @@ impl Shard {
             .tenants
             .get_mut(&auction.tenant)
             .expect("submit admits only registered tenants");
+        // Session-learned reserves observe inside the round, so the drift
+        // detector can fire here too.
+        let fires_before = state.session.mechanism().detector_fires();
+        let restarts_before = state.session.mechanism().restarts();
         match state.serve_auction(&auction.features, auction.floor, &auction.bids) {
             Some(cleared) => {
                 self.metrics.auction.record(&cleared);
+                let mechanism = state.session.mechanism();
+                self.metrics.drift_fires += mechanism.detector_fires() - fires_before;
+                self.metrics.drift_restarts += mechanism.restarts() - restarts_before;
                 Payload::Cleared(cleared)
             }
             None => {
@@ -163,6 +173,8 @@ impl Shard {
             accepted: outcome.accepted,
             market_value: outcome.market_value,
         };
+        let fires_before = state.session.mechanism().detector_fires();
+        let restarts_before = state.session.mechanism().restarts();
         match state.session.observe(step_outcome) {
             Some(record) => {
                 self.metrics.observations += 1;
@@ -174,6 +186,9 @@ impl Shard {
                     self.metrics.regret += regret;
                 }
                 self.metrics.regret_proxy += record.uncertainty_width;
+                let mechanism = state.session.mechanism();
+                self.metrics.drift_fires += mechanism.detector_fires() - fires_before;
+                self.metrics.drift_restarts += mechanism.restarts() - restarts_before;
                 Payload::Observed(record)
             }
             None => {

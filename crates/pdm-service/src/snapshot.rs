@@ -29,16 +29,23 @@ use crate::tenant::{AuctionPolicy, MarketKind, TenantConfig, TenantState};
 use pdm_auction::{EmpiricalConfig, EmpiricalReserve};
 use pdm_ellipsoid::Ellipsoid;
 use pdm_linalg::{Json, Matrix, OnlineStats, Vector};
-use pdm_pricing::prelude::{EllipsoidPricing, LinearModel, PricingConfig, RegretReport};
+use pdm_pricing::prelude::{
+    DriftAwarePricing, DriftPolicy, EllipsoidPricing, LinearModel, PricingConfig, RegretReport,
+};
 
 /// Version of the snapshot schema this build writes.
 ///
+/// v3 added the drift layer: a `drift` object per tenant (the drift policy
+/// plus the surprisal detector's live state — window flags, firing and
+/// restart counters) and the `drift_fires`/`drift_restarts` counters of
+/// the per-shard metric ledgers.  v2 documents restore as static-policy
+/// tenants with zero drift counters.
 /// v2 added the auction layer: a `market` object per tenant (posted vs
 /// auction, the reserve policy, and the empirical setter's learned bid
 /// history) and the auction counters of the per-shard metric ledgers.
 /// v1 documents restore as posted-price tenants with empty auction
 /// counters.
-pub const SNAPSHOT_SCHEMA_VERSION: u64 = 2;
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 3;
 
 fn vector_json(v: &Vector) -> Json {
     Json::Arr(v.iter().map(|&x| Json::Num(x)).collect())
@@ -119,6 +126,8 @@ fn metrics_json(metrics: &ShardMetrics) -> Json {
         ("regret_proxy", Json::Num(metrics.regret_proxy)),
         ("shed", Json::Num(metrics.shed as f64)),
         ("rejected", Json::Num(metrics.rejected as f64)),
+        ("drift_fires", Json::Num(metrics.drift_fires as f64)),
+        ("drift_restarts", Json::Num(metrics.drift_restarts as f64)),
         (
             "auction",
             Json::obj(vec![
@@ -159,6 +168,17 @@ fn metrics_from_json(value: &Json, context: &str) -> Result<ShardMetrics, Servic
     metrics.regret_proxy = number("regret_proxy")?;
     metrics.shed = count("shed")?;
     metrics.rejected = count("rejected")?;
+    // The drift counters arrived with schema v3; an absent key is an older
+    // document with no drift-aware tenants, but a *present* key must parse
+    // (corruption is an error, not a silent zero).
+    let optional_count = |key: &str| match value.get(key) {
+        None => Ok(0),
+        Some(v) => v.as_u64().ok_or_else(|| {
+            ServiceError::MalformedSnapshot(format!("{context}: `{key}` must be a count"))
+        }),
+    };
+    metrics.drift_fires = optional_count("drift_fires")?;
+    metrics.drift_restarts = optional_count("drift_restarts")?;
     // The auction ledger arrived with schema v2; a v1 document simply has
     // no auction traffic to restore.
     if let Some(auction) = value.get("auction") {
@@ -303,6 +323,105 @@ fn market_from_json(
     }
 }
 
+/// Serialises a tenant's drift policy plus the live detector state (the
+/// part of the mechanism the knowledge set cannot carry).
+fn drift_json(state: &TenantState) -> Json {
+    let mechanism = state.session.mechanism();
+    match state.config.drift {
+        DriftPolicy::Static => Json::obj(vec![("policy", Json::str("static"))]),
+        DriftPolicy::Restart { window, threshold } => {
+            let flags: Vec<Json> = mechanism
+                .detector()
+                .map(|detector| {
+                    detector
+                        .window_flags()
+                        .map(|flag| Json::Num(if flag { 1.0 } else { 0.0 }))
+                        .collect()
+                })
+                .unwrap_or_default();
+            Json::obj(vec![
+                ("policy", Json::str("restart")),
+                ("window", Json::Num(window as f64)),
+                ("threshold", Json::Num(threshold as f64)),
+                ("fires", Json::Num(mechanism.detector_fires() as f64)),
+                ("restarts", Json::Num(mechanism.restarts() as f64)),
+                ("window_flags", Json::Arr(flags)),
+            ])
+        }
+        DriftPolicy::Discounted { inflation } => Json::obj(vec![
+            ("policy", Json::str("discounted")),
+            ("inflation", Json::Num(inflation)),
+        ]),
+    }
+}
+
+/// The restored drift state of a restart-policy tenant.
+struct DriftRestore {
+    fires: u64,
+    restarts: u64,
+    flags: Vec<bool>,
+}
+
+/// Parses a tenant's `drift` object (schema v3).  Returns the policy plus
+/// the detector state to re-instate after the mechanism is built.
+fn drift_from_json(
+    value: &Json,
+    context: &str,
+) -> Result<(DriftPolicy, Option<DriftRestore>), ServiceError> {
+    let malformed = |message: String| -> ServiceError { ServiceError::MalformedSnapshot(message) };
+    let policy = value
+        .get("policy")
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed(format!("{context}: drift missing `policy`")))?;
+    match policy {
+        "static" => Ok((DriftPolicy::Static, None)),
+        "discounted" => {
+            let inflation = value
+                .get("inflation")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| {
+                    malformed(format!("{context}: discounted drift missing `inflation`"))
+                })?;
+            Ok((DriftPolicy::Discounted { inflation }, None))
+        }
+        "restart" => {
+            let count = |key: &str| {
+                value.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                    malformed(format!("{context}: restart drift missing count `{key}`"))
+                })
+            };
+            let flags = value
+                .get("window_flags")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| {
+                    malformed(format!("{context}: restart drift missing `window_flags`"))
+                })?
+                .iter()
+                .map(|flag| match flag.as_f64() {
+                    Some(v) if v == 0.0 || v == 1.0 => Ok(v == 1.0),
+                    _ => Err(malformed(format!(
+                        "{context}: drift window flags must be 0 or 1"
+                    ))),
+                })
+                .collect::<Result<Vec<bool>, ServiceError>>()?;
+            Ok((
+                DriftPolicy::Restart {
+                    window: count("window")? as usize,
+                    threshold: count("threshold")? as usize,
+                },
+                Some(DriftRestore {
+                    fires: count("fires")?,
+                    restarts: count("restarts")?,
+                    flags,
+                }),
+            ))
+        }
+        other => Err(malformed(format!(
+            "{context}: unknown drift policy `{other}`"
+        ))),
+    }
+}
+
 fn stats_json(stats: &OnlineStats) -> Json {
     Json::obj(vec![
         ("count", Json::Num(stats.count() as f64)),
@@ -398,6 +517,7 @@ fn tenant_json(state: &TenantState) -> Json {
         ("dim", Json::Num(state.config.dim as f64)),
         ("pricing", pricing_json(&state.config.pricing)),
         ("market", market_json(state)),
+        ("drift", drift_json(state)),
         (
             "knowledge",
             Json::obj(vec![
@@ -485,12 +605,22 @@ fn tenant_from_json(value: &Json) -> Result<TenantState, ServiceError> {
         Some(market) => market_from_json(market, &context)?,
         None => (MarketKind::PostedPrice, None),
     };
+    // The drift policy arrived with schema v3; older tenants are static.
+    let (drift, drift_restore) = match value.get("drift") {
+        Some(drift) => drift_from_json(drift, &context)?,
+        None => (DriftPolicy::Static, None),
+    };
     let config = TenantConfig {
         dim,
         pricing,
         market,
+        drift,
     };
-    let mechanism = EllipsoidPricing::with_knowledge(LinearModel::new(dim), ellipsoid, pricing);
+    let engine = EllipsoidPricing::with_knowledge(LinearModel::new(dim), ellipsoid, pricing);
+    let mut mechanism = DriftAwarePricing::wrap(engine, drift);
+    if let Some(restore) = drift_restore {
+        mechanism.restore_drift_state(restore.fires, restore.restarts, &restore.flags);
+    }
     let mut state = TenantState::with_mechanism(id, config, mechanism);
     if let (
         Some(history),
@@ -616,10 +746,12 @@ impl MarketService {
             .filter(|&n| n >= 1)
             .ok_or_else(|| ServiceError::MalformedSnapshot("missing `queue_capacity`".to_owned()))?
             as usize;
+        // The sizing was validated above (both counts >= 1), so construction
+        // cannot fail on config grounds; `?` keeps the error path honest.
         let mut service = MarketService::new(ServiceConfig {
             shards,
             queue_capacity,
-        });
+        })?;
         let tenants = snapshot
             .get("tenants")
             .and_then(Json::as_arr)
@@ -696,7 +828,8 @@ mod tests {
         let mut service = MarketService::new(ServiceConfig {
             shards: 3,
             queue_capacity: 32,
-        });
+        })
+        .expect("valid service config");
         for &id in ids {
             service
                 .register_tenant(id, TenantConfig::standard(3, 500))

@@ -22,7 +22,7 @@ use pdm_auction::{
 };
 use pdm_linalg::Vector;
 use pdm_pricing::prelude::{
-    EllipsoidPricing, LinearModel, PricingConfig, PricingSession, SimulationOptions,
+    DriftAwarePricing, DriftPolicy, LinearModel, PricingConfig, PricingSession, SimulationOptions,
 };
 
 /// The δ uncertainty buffer auction tenants run the paper's mechanism with.
@@ -105,12 +105,18 @@ pub struct TenantConfig {
     pub pricing: PricingConfig,
     /// The market this tenant trades in.
     pub market: MarketKind,
+    /// How the tenant's mechanism reacts to a drifting market:
+    /// [`DriftPolicy::Static`] is the paper's stationary mechanism
+    /// (bit-identical to the pre-drift service), `Restart` re-initialises
+    /// the knowledge set when the surprisal detector fires, `Discounted`
+    /// inflates it after every round that applied no cut.
+    pub drift: DriftPolicy,
 }
 
 impl TenantConfig {
     /// A posted-price tenant with the paper's defaults: reserve enabled, no
     /// uncertainty buffer, knowledge-set radius `2√n` (the broker prior of
-    /// Section V-A).
+    /// Section V-A), stationary (no drift handling).
     #[must_use]
     pub fn standard(dim: usize, horizon: usize) -> Self {
         let dim = dim.max(1);
@@ -118,6 +124,7 @@ impl TenantConfig {
             dim,
             pricing: PricingConfig::new(2.0 * (dim as f64).sqrt(), horizon),
             market: MarketKind::PostedPrice,
+            drift: DriftPolicy::Static,
         }
     }
 
@@ -131,11 +138,20 @@ impl TenantConfig {
         config.market = MarketKind::Auction(policy);
         config
     }
+
+    /// Attaches a drift policy to the tenant's mechanism (posted-price and
+    /// session-learned auction tenants alike).
+    #[must_use]
+    pub fn with_drift(mut self, drift: DriftPolicy) -> Self {
+        self.drift = drift;
+        self
+    }
 }
 
 /// The mechanism type every tenant session drives: the paper's ellipsoid
-/// engine over the linear market-value model.
-pub type TenantMechanism = EllipsoidPricing<LinearModel>;
+/// engine over the linear market-value model, wrapped with the tenant's
+/// drift policy ([`DriftPolicy::Static`] delegates bit-for-bit).
+pub type TenantMechanism = DriftAwarePricing<LinearModel>;
 
 /// The live state of one tenant: its pricing session plus the registration
 /// config (kept for snapshots), plus the learned state of a non-session
@@ -158,7 +174,8 @@ impl TenantState {
     /// Builds a fresh tenant from its registration config.
     #[must_use]
     pub fn new(id: TenantId, config: TenantConfig) -> Self {
-        let mechanism = EllipsoidPricing::new(LinearModel::new(config.dim), config.pricing);
+        let mechanism =
+            DriftAwarePricing::new(LinearModel::new(config.dim), config.pricing, config.drift);
         Self::with_mechanism(id, config, mechanism)
     }
 

@@ -13,8 +13,8 @@
 use pdm_auction::{AuctionMarket, AuctionMarketConfig, ValuationDistribution};
 use pdm_linalg::{sampling, Json, Vector};
 use pdm_service::{
-    AuctionPolicy, AuctionRequest, MarketService, OutcomeReport, QueryRequest, ServiceConfig,
-    TenantConfig, TenantId, TenantState,
+    AuctionPolicy, AuctionRequest, DriftPolicy, MarketService, OutcomeReport, QueryRequest,
+    ServiceConfig, TenantConfig, TenantId, TenantState, SNAPSHOT_SCHEMA_VERSION,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,7 +28,8 @@ fn mixed_service(shards: usize) -> MarketService {
     let mut service = MarketService::new(ServiceConfig {
         shards,
         queue_capacity: 64,
-    });
+    })
+    .expect("valid service config");
     for id in 0..3u64 {
         service
             .register_tenant(TenantId(id), TenantConfig::standard(DIM, HORIZON))
@@ -63,6 +64,7 @@ fn markets(seed: u64) -> Vec<AuctionMarket> {
                 distribution: ValuationDistribution::Uniform { spread: 0.95 },
                 floor_fraction: 0.3,
                 seed: seed.wrapping_add(offset),
+                drift: None,
             })
         })
         .collect()
@@ -193,7 +195,8 @@ fn zero_window_empirical_tenants_snapshot_and_restore() {
     let mut service = MarketService::new(ServiceConfig {
         shards: 1,
         queue_capacity: 8,
-    });
+    })
+    .expect("valid service config");
     service
         .register_tenant(
             TenantId(1),
@@ -290,4 +293,197 @@ fn service_auction_arithmetic_equals_serial_replay() {
             );
         }
     }
+}
+
+/// A service with two drift-aware posted tenants: a restart tenant with a
+/// small detector (so the window fills quickly) and a discounted tenant.
+fn drift_service() -> MarketService {
+    let mut service = MarketService::new(ServiceConfig {
+        shards: 2,
+        queue_capacity: 16,
+    })
+    .expect("valid service config");
+    // A δ buffer lifts the exploration threshold (ε ≥ 4nδ), so the
+    // mechanism reaches the conservative regime — where drift surprisal
+    // lives — within a few dozen rounds.
+    let mut restart = TenantConfig::standard(DIM, HORIZON).with_drift(DriftPolicy::Restart {
+        window: 8,
+        threshold: 3,
+    });
+    restart.pricing = restart.pricing.with_uncertainty(0.05);
+    let mut discounted = TenantConfig::standard(DIM, HORIZON)
+        .with_drift(DriftPolicy::Discounted { inflation: 1.05 });
+    discounted.pricing = discounted.pricing.with_uncertainty(0.05);
+    service.register_tenant(TenantId(10), restart).unwrap();
+    service.register_tenant(TenantId(11), discounted).unwrap();
+    service
+}
+
+/// Pumps `waves` posted rounds against both drift tenants; the hidden
+/// market value drops sharply at wave 80 — after the mechanisms have
+/// converged into the conservative regime — so conservative quotes go stale
+/// and the restart tenant's detector accumulates surprisal (possibly
+/// firing).  Returns every posted price bit in response order.
+fn pump_drift(service: &mut MarketService, waves: std::ops::Range<usize>, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut produced = Vec::new();
+    for wave in waves {
+        let value = if wave < 80 { 1.2 } else { 0.35 };
+        for id in [10u64, 11] {
+            let features = sampling::standard_normal_vector(&mut rng, DIM)
+                .map(f64::abs)
+                .normalized();
+            service
+                .submit_quote(QueryRequest {
+                    tenant: TenantId(id),
+                    features,
+                    reserve_price: 0.1,
+                })
+                .unwrap();
+        }
+        for response in service.drain(2) {
+            let quote = *response.quote().unwrap();
+            produced.push(quote.posted_price.to_bits());
+            service
+                .submit_outcome(OutcomeReport {
+                    tenant: response.tenant,
+                    accepted: quote.posted_price <= value,
+                    market_value: Some(value),
+                })
+                .unwrap();
+        }
+        service.drain(2);
+    }
+    produced
+}
+
+#[test]
+fn drift_tenant_snapshot_restores_bit_identically() {
+    // Uninterrupted: warm-up through the value shift, then continuation.
+    let mut uninterrupted = drift_service();
+    pump_drift(&mut uninterrupted, 0..82, 5);
+    let expected = pump_drift(&mut uninterrupted, 82..120, 6);
+    let expected_metrics = uninterrupted.aggregate_metrics();
+
+    // Interrupted at wave 82 — right in the middle of the post-shift
+    // surprisal streak, so the detector window flags are non-trivial and
+    // the fire/restart decision falls on the *restored* service.
+    let mut original = drift_service();
+    pump_drift(&mut original, 0..82, 5);
+    let snapshot = original.snapshot().expect("quiescent service");
+    let rendered = snapshot.render_pretty();
+    assert!(
+        rendered.contains(&format!("\"schema_version\": {SNAPSHOT_SCHEMA_VERSION}")),
+        "the document must carry the current schema version"
+    );
+    assert!(rendered.contains("\"policy\": \"restart\""), "{rendered}");
+    assert!(rendered.contains("\"policy\": \"discounted\""));
+    assert!(rendered.contains("window_flags"));
+    let mut restored = MarketService::restore(&Json::parse(&rendered).unwrap()).unwrap();
+    let continued = pump_drift(&mut restored, 82..120, 6);
+
+    assert_eq!(
+        expected, continued,
+        "drift-aware tenants must continue bit-identically across the snapshot \
+         (knowledge set, detector window, and restart counters all restored)"
+    );
+    // The shard-level drift counters carried over and kept counting.
+    let restored_metrics = restored.aggregate_metrics();
+    assert_eq!(restored_metrics.drift_fires, expected_metrics.drift_fires);
+    assert_eq!(
+        restored_metrics.drift_restarts,
+        expected_metrics.drift_restarts
+    );
+    // The shift actually exercised the restart machinery — otherwise this
+    // test pins nothing.
+    assert!(
+        expected_metrics.drift_restarts >= 1,
+        "the value shift must trigger at least one restart"
+    );
+
+    // snapshot → restore → snapshot is the identity on the rendering.
+    let restored_again = MarketService::restore(&Json::parse(&rendered).unwrap()).unwrap();
+    assert_eq!(restored_again.snapshot().unwrap().render_pretty(), rendered);
+}
+
+#[test]
+fn checked_in_v1_snapshot_restores_under_schema_v3() {
+    let fixture = include_str!("fixtures/snapshot_v1.json");
+    let mut restored =
+        MarketService::restore(&Json::parse(fixture).unwrap()).expect("v1 fixture restores");
+    assert_eq!(restored.tenant_count(), 1);
+    // Pre-market, pre-drift documents restore as static posted tenants and
+    // keep their metric counters.
+    let metrics = restored.aggregate_metrics();
+    assert_eq!(metrics.quotes_served, 12);
+    assert_eq!(metrics.sales, 9);
+    assert_eq!(metrics.drift_fires, 0);
+    assert_eq!(metrics.drift_restarts, 0);
+    // The restored tenant serves a posted round.
+    restored
+        .submit_quote(QueryRequest {
+            tenant: TenantId(7),
+            features: Vector::from_slice(&[0.6, 0.8]),
+            reserve_price: 0.1,
+        })
+        .expect("v1 tenant is registered and posted-price");
+    let quote = *restored.drain(1)[0].quote().expect("a quote response");
+    assert!(quote.posted_price.is_finite());
+    restored
+        .submit_outcome(OutcomeReport {
+            tenant: TenantId(7),
+            accepted: true,
+            market_value: None,
+        })
+        .unwrap();
+    restored.drain(1);
+    // Re-snapshotting writes the current schema with the drift layer.
+    let rendered = restored.snapshot().unwrap().render_pretty();
+    assert!(rendered.contains(&format!("\"schema_version\": {SNAPSHOT_SCHEMA_VERSION}")));
+    assert!(rendered.contains("\"policy\": \"static\""));
+    assert!(rendered.contains("drift_fires"));
+}
+
+#[test]
+fn checked_in_v2_snapshot_restores_under_schema_v3() {
+    let fixture = include_str!("fixtures/snapshot_v2.json");
+    let mut restored =
+        MarketService::restore(&Json::parse(fixture).unwrap()).expect("v2 fixture restores");
+    assert_eq!(restored.tenant_count(), 2);
+    // The v2 auction layer survives: counters and the empirical history.
+    let metrics = restored.aggregate_metrics();
+    assert_eq!(metrics.auction.auctions, 3);
+    assert_eq!(metrics.auction.reserve_hits, 1);
+    assert_eq!(
+        metrics.drift_fires, 0,
+        "v2 documents predate the drift layer"
+    );
+    // The empirical auction tenant still clears rounds from its restored
+    // bid-history window.
+    restored
+        .submit_auction(AuctionRequest {
+            tenant: TenantId(4),
+            features: Vector::from_slice(&[0.5, 0.5, 0.5]),
+            floor: 0.2,
+            bids: vec![0.9, 0.4],
+        })
+        .expect("v2 auction tenant is registered");
+    let responses = restored.drain(1);
+    let cleared = responses[0].cleared().expect("a cleared response");
+    assert!(cleared.reserve >= 0.2);
+    // A posted quote to the auction tenant is still a market mismatch.
+    restored
+        .submit_quote(QueryRequest {
+            tenant: TenantId(4),
+            features: Vector::from_slice(&[0.5, 0.5, 0.5]),
+            reserve_price: 0.1,
+        })
+        .unwrap();
+    assert!(restored.drain(1)[0].quote().is_none());
+    // Re-snapshotting upgrades the document to schema v3 with an explicit
+    // static drift policy per tenant.
+    let rendered = restored.snapshot().unwrap().render_pretty();
+    assert!(rendered.contains(&format!("\"schema_version\": {SNAPSHOT_SCHEMA_VERSION}")));
+    assert!(rendered.contains("\"policy\": \"static\""));
+    assert!(rendered.contains("\"policy\": \"empirical\""));
 }

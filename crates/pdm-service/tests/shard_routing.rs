@@ -40,7 +40,7 @@ proptest! {
         let mut service = MarketService::new(ServiceConfig {
             shards,
             queue_capacity: 8,
-        });
+        }).expect("valid service config");
         let mut ids = raw_ids;
         ids.sort_unstable();
         ids.dedup();
@@ -78,7 +78,8 @@ fn closed_loop(tenants: u64, rounds: usize, workers: usize) -> (Vec<u64>, f64, f
     let mut service = MarketService::new(ServiceConfig {
         shards: 4,
         queue_capacity: 256,
-    });
+    })
+    .expect("valid service config");
     for id in 0..tenants {
         service
             .register_tenant(TenantId(id), TenantConfig::standard(3, 200))
@@ -140,7 +141,8 @@ fn per_shard_metrics_cover_all_traffic_and_latency_percentiles_exist() {
     let mut service = MarketService::new(ServiceConfig {
         shards: 3,
         queue_capacity: 64,
-    });
+    })
+    .expect("valid service config");
     for id in 0..9 {
         service
             .register_tenant(TenantId(id), TenantConfig::standard(2, 100))

@@ -7,7 +7,9 @@
 //! depend on a single crate:
 //!
 //! * [`pricing`] — the contextual dynamic pricing mechanism (Algorithms 1/2),
-//!   market value models, regret accounting, and the simulation loop.
+//!   market value models, regret accounting, the simulation loop, and the
+//!   drift layer (drifting environments, the surprisal drift detector, and
+//!   the restart/discounted drift-aware mechanism policies).
 //! * [`market`] — the personal-data-market substrate (owners, queries,
 //!   privacy leakage, tanh compensations, broker, consumers).
 //! * [`auction`] — the multi-bidder auction market: eager second-price
