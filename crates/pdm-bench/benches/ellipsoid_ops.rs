@@ -53,5 +53,34 @@ fn bench_cut_update(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_support_bounds, bench_cut_update);
+/// The full fused query→cut round the serving hot path runs: scratch-buffer
+/// support bounds (`support_bounds_mut`) followed by the in-place cut —
+/// zero allocations per iteration (pinned by the `alloc_count` test in
+/// `pdm-ellipsoid`).  Compare against `ellipsoid_cut_update`, whose support
+/// query still allocates the boundary vector.
+fn bench_cut_round_fused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ellipsoid_cut_round_fused");
+    for &dim in &[20usize, 100, 1024] {
+        let dirs = directions(dim, 32);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            let mut ellipsoid = Ellipsoid::ball(dim, 2.0);
+            let mut i = 0usize;
+            b.iter(|| {
+                let x = &dirs[i % dirs.len()];
+                i += 1;
+                let (lo, hi) = ellipsoid.support_bounds_mut(x);
+                let outcome = ellipsoid.cut_below(x, 0.5 * (lo + hi));
+                outcome.is_updated()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_support_bounds,
+    bench_cut_update,
+    bench_cut_round_fused
+);
 criterion_main!(benches);

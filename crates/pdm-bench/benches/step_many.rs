@@ -1,0 +1,121 @@
+//! Criterion microbenchmarks for the batched quoting paths introduced by the
+//! hot-path rework: [`ContextualPricing::step_many`] over the paper's
+//! mechanism and [`PricingSession::serve_batch`] over full quote→observe
+//! rounds, at batch sizes 1 / 8 / 64 / 512.
+//!
+//! Each criterion iteration serves one whole batch, so the reported mean is
+//! *per batch*; the explicit ns/quote summary printed after each group is
+//! the per-quote figure (batch time ÷ batch size), which is the number the
+//! BENCH report's `quotes/s` column inverts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdm_linalg::{sampling, Vector};
+use pdm_pricing::prelude::{
+    BatchRequest, EllipsoidPricing, LinearModel, PricingConfig, PricingSession, SimulationOptions,
+    StepOutcome,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const DIM: usize = 8;
+const BATCH_SIZES: [usize; 4] = [1, 8, 64, 512];
+
+fn requests(count: usize) -> Vec<(Vector, f64)> {
+    let mut rng = StdRng::seed_from_u64(23);
+    (0..count)
+        .map(|_| {
+            (
+                sampling::uniform_vector(&mut rng, DIM, -1.0, 1.0),
+                sampling::uniform(&mut rng, 0.0, 0.6),
+            )
+        })
+        .collect()
+}
+
+fn mechanism() -> EllipsoidPricing<LinearModel> {
+    let config = PricingConfig::new(2.0 * (DIM as f64).sqrt(), 100_000).with_reserve(true);
+    EllipsoidPricing::new(LinearModel::new(DIM), config)
+}
+
+/// Wall-clock ns/quote over a fixed number of batches, printed alongside the
+/// criterion per-batch means so regressions are readable per quote.
+fn report_ns_per_quote(label: &str, batch: usize, mut serve_one_batch: impl FnMut()) {
+    let batches = (4_096 / batch).max(8);
+    let started = Instant::now();
+    for _ in 0..batches {
+        serve_one_batch();
+    }
+    let elapsed = started.elapsed();
+    let quotes = (batches * batch) as f64;
+    println!(
+        "{label}/batch_{batch} ... {:.1} ns/quote ({} quotes)",
+        elapsed.as_nanos() as f64 / quotes,
+        quotes as u64,
+    );
+}
+
+fn bench_step_many(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_many");
+    for &batch in &BATCH_SIZES {
+        let pool = requests(batch);
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            let mut mech = mechanism();
+            let mut out = Vec::with_capacity(batch);
+            b.iter(|| {
+                out.clear();
+                mech.step_many(pool.iter().map(|(f, r)| (f, *r)), &mut out);
+                out.len()
+            });
+        });
+    }
+    group.finish();
+    for &batch in &BATCH_SIZES {
+        let pool = requests(batch);
+        let mut mech = mechanism();
+        let mut out = Vec::with_capacity(batch);
+        report_ns_per_quote("step_many", batch, || {
+            out.clear();
+            mech.step_many(pool.iter().map(|(f, r)| (f, *r)), &mut out);
+        });
+    }
+}
+
+fn bench_serve_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_batch");
+    for &batch in &BATCH_SIZES {
+        let pool = requests(batch);
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            let mut session = PricingSession::new(
+                mechanism(),
+                100_000,
+                SimulationOptions {
+                    trace_points: 0,
+                    keep_full_trace: false,
+                },
+            )
+            .without_latency_tracking();
+            let mut out = Vec::with_capacity(2 * batch);
+            b.iter(|| {
+                out.clear();
+                session.serve_batch(
+                    pool.iter().flat_map(|(features, reserve)| {
+                        [
+                            BatchRequest::Quote {
+                                features,
+                                reserve_price: *reserve,
+                            },
+                            BatchRequest::Observe(StepOutcome::accept_only(false)),
+                        ]
+                    }),
+                    &mut out,
+                );
+                out.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_many, bench_serve_batch);
+criterion_main!(benches);

@@ -11,7 +11,9 @@ use crate::auction::{auction_grid, render_auction, run_auction_cells};
 use crate::drift::{drift_grid, render_drift, run_drift_cells};
 use crate::experiments::{experiments_for, render_experiment, render_fig1};
 use crate::grid::expand_jobs;
-use crate::report::{build_experiment_reports, git_describe, BenchReport, SCHEMA_VERSION};
+use crate::report::{
+    build_experiment_reports, git_describe, BenchReport, PerfFloor, PerfSummary, SCHEMA_VERSION,
+};
 use crate::runner::run_jobs;
 use crate::serve::{render_serve, render_serve_summary, run_serve_cells, serve_grid};
 use crate::Scale;
@@ -118,6 +120,9 @@ pub struct BenchArgs {
     /// Restrict every grid (experiments, serve, auction) to the cells whose
     /// job key contains this substring.
     pub filter: Option<String>,
+    /// Fail (exit 1) when the serve grid's quotes/sec falls below the floor
+    /// file's tolerance band — the perf-smoke CI gate.
+    pub perf_floor: Option<PathBuf>,
 }
 
 /// The usage text printed on parse errors and `--help`.
@@ -126,7 +131,7 @@ pub fn usage() -> String {
     let commands: Vec<&str> = Command::ALL.iter().map(|c| c.name()).collect();
     format!(
         "usage: bench <command> [--full] [--workers N] [--reps N] [--json PATH] [--check]\n\
-         \x20            [--filter SUBSTRING]\n\
+         \x20            [--filter SUBSTRING] [--perf-floor PATH]\n\
          \n\
          commands: {}\n\
          \n\
@@ -141,6 +146,10 @@ pub fn usage() -> String {
          \x20 --filter S    run only the grid cells whose job key (experiment/cell\n\
          \x20               label) contains the substring S; it is an error when\n\
          \x20               nothing matches\n\
+         \x20 --perf-floor PATH\n\
+         \x20               exit non-zero when the serve grid's quotes/sec falls\n\
+         \x20               below the floor file's tolerance band (the perf-smoke\n\
+         \x20               CI gate; see docs/PERF_FLOOR.json)\n\
          \x20 -h, --help    show this message",
         commands.join(", ")
     )
@@ -161,6 +170,7 @@ pub fn parse_args(preset: Option<Command>, args: &[String]) -> Result<Option<Ben
     let mut reps = 1u64;
     let mut check = false;
     let mut filter = None;
+    let mut perf_floor = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -180,6 +190,12 @@ pub fn parse_args(preset: Option<Command>, args: &[String]) -> Result<Option<Ben
                     .next()
                     .ok_or_else(|| "--json needs a file path".to_owned())?;
                 json = Some(PathBuf::from(path));
+            }
+            "--perf-floor" => {
+                let path = iter
+                    .next()
+                    .ok_or_else(|| "--perf-floor needs a file path".to_owned())?;
+                perf_floor = Some(PathBuf::from(path));
             }
             "--workers" => {
                 let n = iter
@@ -220,6 +236,7 @@ pub fn parse_args(preset: Option<Command>, args: &[String]) -> Result<Option<Ben
         reps,
         check,
         filter,
+        perf_floor,
     }))
 }
 
@@ -405,6 +422,7 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         reps: args.reps,
         wall_clock_secs: start.elapsed().as_secs_f64(),
         experiments: reports,
+        perf: PerfSummary::from_serve(&serve),
         serve,
         auction,
         drift,
@@ -438,6 +456,17 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
                 violations.join("\n  ")
             ));
         }
+    }
+
+    if let Some(path) = &args.perf_floor {
+        let raw = std::fs::read_to_string(path)
+            .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+        let floor = crate::json::Json::parse(&raw)
+            .map_err(|e| format!("{}: {e}", path.display()))
+            .and_then(|json| PerfFloor::from_json(&json))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let message = floor.check(&report)?;
+        println!("{message}");
     }
 
     Ok(report)
@@ -625,6 +654,72 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn perf_floor_flag_parses_and_gates_a_serve_run() {
+        // Parsing: the flag takes a path and is off by default.
+        let args = parse_args(None, &strings(&["serve", "--perf-floor", "floor.json"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.perf_floor, Some(PathBuf::from("floor.json")));
+        assert!(parse_args(None, &strings(&["serve", "--perf-floor"]))
+            .unwrap_err()
+            .contains("--perf-floor"));
+        assert_eq!(
+            parse_args(None, &strings(&["serve"]))
+                .unwrap()
+                .unwrap()
+                .perf_floor,
+            None
+        );
+        assert!(usage().contains("--perf-floor"));
+
+        // End to end on one quick serve cell: a permissive floor passes, an
+        // absurd floor fails, and a missing floor file is a clear error.
+        let dir = std::env::temp_dir();
+        let permissive = dir.join("pdm_perf_floor_permissive.json");
+        let absurd = dir.join("pdm_perf_floor_absurd.json");
+        std::fs::write(
+            &permissive,
+            r#"{"serve_quotes_per_sec": 1.0, "max_regression": 0.3}"#,
+        )
+        .expect("write floor");
+        std::fs::write(
+            &absurd,
+            r#"{"serve_quotes_per_sec": 1e15, "max_regression": 0.3}"#,
+        )
+        .expect("write floor");
+
+        let mut args = parse_args(None, &strings(&["serve", "--filter", "mix=uniform"]))
+            .unwrap()
+            .unwrap();
+        args.workers = 2;
+        args.perf_floor = Some(permissive.clone());
+        let report = execute(&args).expect("a permissive floor passes");
+        let perf = report.perf.expect("serve runs carry the v5 summary");
+        assert!(perf.serve_quotes > 0);
+        assert!(perf.serve_quotes_per_sec > 0.0);
+
+        args.perf_floor = Some(absurd.clone());
+        let err = execute(&args).unwrap_err();
+        assert!(err.contains("perf floor failed"), "{err}");
+
+        args.perf_floor = Some(dir.join("pdm_perf_floor_does_not_exist.json"));
+        let err = execute(&args).unwrap_err();
+        assert!(err.contains("failed to read"), "{err}");
+
+        // Gating a simulation-only run is an error, not a silent pass.
+        let mut fig4 = parse_args(None, &strings(&["fig4", "--filter", "with reserve"]))
+            .unwrap()
+            .unwrap();
+        fig4.workers = 2;
+        fig4.perf_floor = Some(permissive.clone());
+        let err = execute(&fig4).unwrap_err();
+        assert!(err.contains("no serve cells"), "{err}");
+
+        let _ = std::fs::remove_file(permissive);
+        let _ = std::fs::remove_file(absurd);
     }
 
     #[test]

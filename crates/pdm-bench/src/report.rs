@@ -32,6 +32,10 @@ use std::process::Command;
 
 /// Version of the `BENCH_*.json` schema this build writes.
 ///
+/// v5 added the additive top-level `perf` summary (the serve workload's
+/// grid-level quotes/sec as a first-class figure, the one the
+/// `--perf-floor` CI gate reads) — absent for simulation-only runs and for
+/// reports read back from v1–v4 files;
 /// v4 added the additive `drift` section (the `bench drift` workload: the
 /// drift-kind × magnitude × policy grid with post-shift regret, detector
 /// firings, and restarts) and made the `validate()` tolerances
@@ -41,8 +45,132 @@ use std::process::Command;
 /// revenue, the no-reserve baseline, welfare, and reserve hit-rates);
 /// v2 added the additive `serve` section (the `bench serve` closed-loop
 /// workload: quotes/sec plus p50/p99 service latency per workload cell);
-/// v1–v3 reports parse as v4 reports with the missing sections empty.
-pub const SCHEMA_VERSION: u64 = 4;
+/// v1–v4 reports parse as v5 reports with the missing sections empty.
+pub const SCHEMA_VERSION: u64 = 5;
+
+/// Headline throughput summary (schema v5): the serve workload folded into
+/// one first-class perf figure, so CI can gate regressions on a single
+/// number instead of re-deriving it from the per-cell section.  Entirely
+/// wall-clock derived — never part of the deterministic fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfSummary {
+    /// Total quotes served across every serve cell.
+    pub serve_quotes: u64,
+    /// Total drain (service) seconds accumulated across every serve cell.
+    pub serve_drain_secs: f64,
+    /// Grid-level throughput: `serve_quotes / serve_drain_secs`.
+    pub serve_quotes_per_sec: f64,
+    /// The slowest single cell's quotes/sec (the tail the floor protects).
+    pub serve_min_cell_quotes_per_sec: f64,
+}
+
+impl PerfSummary {
+    /// Folds the serve cells into the headline summary; `None` when the run
+    /// had no serve cells (simulation-only reports carry no summary).
+    #[must_use]
+    pub fn from_serve(cells: &[ServeCellReport]) -> Option<Self> {
+        if cells.is_empty() {
+            return None;
+        }
+        let serve_quotes: u64 = cells.iter().map(|c| c.quotes_served).sum();
+        // Each cell reports quotes/sec over its accumulated drain time, so
+        // the drain seconds are recovered exactly as quotes ÷ throughput.
+        let serve_drain_secs: f64 = cells
+            .iter()
+            .filter(|c| c.perf.quotes_per_sec > 0.0)
+            .map(|c| c.quotes_served as f64 / c.perf.quotes_per_sec)
+            .sum();
+        let serve_quotes_per_sec = if serve_drain_secs > 0.0 {
+            serve_quotes as f64 / serve_drain_secs
+        } else {
+            0.0
+        };
+        let serve_min_cell_quotes_per_sec = cells
+            .iter()
+            .map(|c| c.perf.quotes_per_sec)
+            .fold(f64::INFINITY, f64::min);
+        Some(Self {
+            serve_quotes,
+            serve_drain_secs,
+            serve_quotes_per_sec,
+            serve_min_cell_quotes_per_sec,
+        })
+    }
+}
+
+/// The checked-in throughput floor (`docs/PERF_FLOOR.json`) the
+/// `--perf-floor` gate compares a fresh report's [`PerfSummary`] against.
+///
+/// The gate fails when grid-level quotes/sec falls more than
+/// `max_regression` (a fraction, e.g. `0.3`) below `serve_quotes_per_sec`.
+/// The floor is deliberately conservative — it catches order-of-magnitude
+/// hot-path regressions, not machine-to-machine noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfFloor {
+    /// The reference grid-level serve throughput, quotes per second.
+    pub serve_quotes_per_sec: f64,
+    /// Largest tolerated fractional regression below the reference.
+    pub max_regression: f64,
+}
+
+impl PerfFloor {
+    /// Parses a floor file.
+    ///
+    /// # Errors
+    /// A message naming the missing or out-of-range field.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let serve_quotes_per_sec = value
+            .get("serve_quotes_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or("perf floor: missing number `serve_quotes_per_sec`")?;
+        if !serve_quotes_per_sec.is_finite() || serve_quotes_per_sec <= 0.0 {
+            return Err(format!(
+                "perf floor: `serve_quotes_per_sec` must be positive, got {serve_quotes_per_sec}"
+            ));
+        }
+        let max_regression = value
+            .get("max_regression")
+            .and_then(Json::as_f64)
+            .ok_or("perf floor: missing number `max_regression`")?;
+        if !(0.0..1.0).contains(&max_regression) {
+            return Err(format!(
+                "perf floor: `max_regression` must be a fraction in [0, 1), got {max_regression}"
+            ));
+        }
+        Ok(Self {
+            serve_quotes_per_sec,
+            max_regression,
+        })
+    }
+
+    /// Applies the gate to a report.  `Ok` carries the pass message to
+    /// print; `Err` carries the failure (a report without serve cells
+    /// cannot be gated and also fails).
+    pub fn check(&self, report: &BenchReport) -> Result<String, String> {
+        let perf = report.perf.as_ref().ok_or(
+            "perf floor: the report has no serve cells — gate a `bench serve` run".to_owned(),
+        )?;
+        let bar = (1.0 - self.max_regression) * self.serve_quotes_per_sec;
+        if perf.serve_quotes_per_sec < bar {
+            return Err(format!(
+                "perf floor failed: grid serve throughput {:.0} quotes/s fell below \
+                 {:.0} (floor {:.0} − {:.0}% tolerance)",
+                perf.serve_quotes_per_sec,
+                bar,
+                self.serve_quotes_per_sec,
+                self.max_regression * 100.0
+            ));
+        }
+        Ok(format!(
+            "perf floor passed: grid serve throughput {:.0} quotes/s >= {:.0} \
+             (floor {:.0} − {:.0}% tolerance)",
+            perf.serve_quotes_per_sec,
+            bar,
+            self.serve_quotes_per_sec,
+            self.max_regression * 100.0
+        ))
+    }
+}
 
 /// The aggregates of one experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +209,9 @@ pub struct BenchReport {
     /// Drift-workload cells (schema v4; empty for other runs and for
     /// reports read back from v1–v3 files).
     pub drift: Vec<DriftCellReport>,
+    /// Headline throughput summary (schema v5; `None` for simulation-only
+    /// runs and for reports read back from v1–v4 files).
+    pub perf: Option<PerfSummary>,
 }
 
 /// Groups executed job results back into per-experiment aggregates.
@@ -661,7 +792,7 @@ impl BenchReport {
     /// Serialises the full report (metadata + aggregates + perf).
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut json = Json::obj(vec![
             ("schema_version", Json::Num(self.schema_version as f64)),
             ("name", Json::str(&self.name)),
             ("git_describe", Json::str(&self.git_describe)),
@@ -698,7 +829,22 @@ impl BenchReport {
                 "drift",
                 Json::Arr(self.drift.iter().map(drift_cell_json).collect()),
             ),
-        ])
+        ]);
+        if let Some(perf) = &self.perf {
+            let summary = Json::obj(vec![
+                ("serve_quotes", Json::Num(perf.serve_quotes as f64)),
+                ("serve_drain_secs", Json::Num(perf.serve_drain_secs)),
+                ("serve_quotes_per_sec", Json::Num(perf.serve_quotes_per_sec)),
+                (
+                    "serve_min_cell_quotes_per_sec",
+                    Json::Num(perf.serve_min_cell_quotes_per_sec),
+                ),
+            ]);
+            if let Json::Obj(pairs) = &mut json {
+                pairs.push(("perf".to_owned(), summary));
+            }
+        }
+        json
     }
 
     /// Parses a report previously produced by [`BenchReport::to_json`].
@@ -772,11 +918,34 @@ impl BenchReport {
                 .collect::<Result<Vec<_>, String>>()?,
             None => Vec::new(),
         };
+        // The `perf` summary arrived with schema v5; its absence (older
+        // files, simulation-only runs) means "no summary", not an error.
+        let perf = match value.get("perf") {
+            Some(section) => {
+                let field = |key: &str| {
+                    section
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("report: perf summary missing number `{key}`"))
+                };
+                Some(PerfSummary {
+                    serve_quotes: section
+                        .get("serve_quotes")
+                        .and_then(Json::as_u64)
+                        .ok_or("report: perf summary missing count `serve_quotes`")?,
+                    serve_drain_secs: field("serve_drain_secs")?,
+                    serve_quotes_per_sec: field("serve_quotes_per_sec")?,
+                    serve_min_cell_quotes_per_sec: field("serve_min_cell_quotes_per_sec")?,
+                })
+            }
+            None => None,
+        };
         Ok(Self {
             schema_version,
             serve,
             auction,
             drift,
+            perf,
             name: text("name")?,
             git_describe: text("git_describe")?,
             scale: text("scale")?,
@@ -948,6 +1117,38 @@ impl BenchReport {
             let shed_rate = cell.shed_rate();
             if !shed_rate.is_finite() || shed_rate >= 1.0 {
                 violations.push(format!("{place}: shed rate reached 100% ({shed_rate})"));
+            }
+        }
+        // The v5 headline summary must agree with the serve section it was
+        // folded from: present exactly when serve cells are, and positive
+        // whenever anything was served.  (Pre-v5 files legitimately carry
+        // serve cells without a summary.)
+        match &self.perf {
+            Some(perf) => {
+                let total: u64 = self.serve.iter().map(|c| c.quotes_served).sum();
+                if perf.serve_quotes != total {
+                    violations.push(format!(
+                        "perf summary: serve_quotes {} disagrees with the serve section's {}",
+                        perf.serve_quotes, total
+                    ));
+                }
+                if perf.serve_quotes > 0
+                    && (!perf.serve_quotes_per_sec.is_finite() || perf.serve_quotes_per_sec <= 0.0)
+                {
+                    violations.push(format!(
+                        "perf summary: grid quotes/sec is not positive ({})",
+                        perf.serve_quotes_per_sec
+                    ));
+                }
+            }
+            None => {
+                if !self.serve.is_empty() && self.schema_version >= 5 {
+                    violations.push(
+                        "perf summary: a v5 report with serve cells must carry the headline \
+                         summary"
+                            .to_owned(),
+                    );
+                }
             }
         }
         for cell in &self.auction {
@@ -1213,6 +1414,7 @@ mod tests {
     }
 
     fn sample_report() -> BenchReport {
+        let serve = vec![sample_serve_cell("tenants=16/mix=uniform")];
         BenchReport {
             schema_version: SCHEMA_VERSION,
             name: "all".to_owned(),
@@ -1225,7 +1427,8 @@ mod tests {
                 name: "fig4/n=20".to_owned(),
                 cells: vec![sample_cell("pure version"), sample_cell("with reserve")],
             }],
-            serve: vec![sample_serve_cell("tenants=16/mix=uniform")],
+            perf: PerfSummary::from_serve(&serve),
+            serve,
             auction: vec![sample_auction_cell("bidders=2/dist=uniform/policy=session")],
             drift: vec![
                 sample_drift_cell("static", 30.0),
@@ -1263,6 +1466,8 @@ mod tests {
         b.auction[0].perf.rounds_per_sec = 5.0;
         b.drift[0].workers = 1;
         b.drift[0].perf.quotes_per_sec = 7.0;
+        // The v5 headline summary is pure wall clock: invisible too.
+        b.perf.as_mut().expect("summary").serve_quotes_per_sec = 1.0;
         assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
         // But it does see the aggregates — simulation, serve, and auction
         // alike.
@@ -1280,11 +1485,12 @@ mod tests {
     }
 
     #[test]
-    fn v1_through_v3_reports_without_newer_sections_still_parse() {
+    fn v1_through_v4_reports_without_newer_sections_still_parse() {
         let mut report = sample_report();
         report.serve.clear();
         report.auction.clear();
         report.drift.clear();
+        report.perf = None;
         let mut rendered = report.to_json();
         // Simulate a v1 file: no `serve`/`auction`/`drift` keys, version 1.
         if let Json::Obj(pairs) = &mut rendered {
@@ -1296,14 +1502,16 @@ mod tests {
         assert!(reparsed.serve.is_empty());
         assert!(reparsed.auction.is_empty());
         assert!(reparsed.drift.is_empty());
+        assert!(reparsed.perf.is_none());
 
-        // Simulate a v2 file: a `serve` section but no `auction`/`drift`.
+        // Simulate a v2 file: a `serve` section but no `auction`/`drift`
+        // (and no v5 `perf` summary).
         let mut v2 = sample_report();
         v2.auction.clear();
         v2.drift.clear();
         let mut rendered = v2.to_json();
         if let Json::Obj(pairs) = &mut rendered {
-            pairs.retain(|(key, _)| key != "auction" && key != "drift");
+            pairs.retain(|(key, _)| key != "auction" && key != "drift" && key != "perf");
             pairs[0].1 = Json::Num(2.0);
         }
         let reparsed = BenchReport::from_json(&rendered).expect("v2 parses");
@@ -1311,19 +1519,114 @@ mod tests {
         assert_eq!(reparsed.serve.len(), 1);
         assert!(reparsed.auction.is_empty());
         assert!(reparsed.drift.is_empty());
+        assert!(reparsed.perf.is_none());
+        assert!(
+            reparsed.validate().is_empty(),
+            "a pre-v5 file with serve cells but no summary is healthy"
+        );
 
         // Simulate a v3 file: serve + auction but no `drift`.
         let mut v3 = sample_report();
         v3.drift.clear();
         let mut rendered = v3.to_json();
         if let Json::Obj(pairs) = &mut rendered {
-            pairs.retain(|(key, _)| key != "drift");
+            pairs.retain(|(key, _)| key != "drift" && key != "perf");
             pairs[0].1 = Json::Num(3.0);
         }
         let reparsed = BenchReport::from_json(&rendered).expect("v3 parses");
         assert_eq!(reparsed.schema_version, 3);
         assert_eq!(reparsed.auction.len(), 1);
         assert!(reparsed.drift.is_empty());
+        assert!(reparsed.perf.is_none());
+
+        // Simulate a v4 file: every section but no top-level `perf` summary.
+        let mut rendered = sample_report().to_json();
+        if let Json::Obj(pairs) = &mut rendered {
+            pairs.retain(|(key, _)| key != "perf");
+            pairs[0].1 = Json::Num(4.0);
+        }
+        let reparsed = BenchReport::from_json(&rendered).expect("v4 parses");
+        assert_eq!(reparsed.schema_version, 4);
+        assert_eq!(reparsed.drift.len(), 3);
+        assert!(reparsed.perf.is_none());
+        assert!(reparsed.validate().is_empty());
+    }
+
+    #[test]
+    fn perf_summary_folds_the_serve_grid_and_gates_the_floor() {
+        let report = sample_report();
+        let perf = report.perf.as_ref().expect("serve cells imply a summary");
+        assert_eq!(perf.serve_quotes, 768);
+        assert!((perf.serve_quotes_per_sec - 50_000.0).abs() < 1e-6);
+        assert!((perf.serve_min_cell_quotes_per_sec - 50_000.0).abs() < 1e-6);
+        assert!((perf.serve_drain_secs - 768.0 / 50_000.0).abs() < 1e-12);
+        // No serve cells, no summary.
+        assert!(PerfSummary::from_serve(&[]).is_none());
+
+        // The floor gate: a 30% tolerance below 60k is 42k, which 50k
+        // clears; a floor of 80k (bar 56k) it does not.
+        let floor = PerfFloor {
+            serve_quotes_per_sec: 60_000.0,
+            max_regression: 0.3,
+        };
+        assert!(floor.check(&report).expect("passes").contains("passed"));
+        let tight = PerfFloor {
+            serve_quotes_per_sec: 80_000.0,
+            max_regression: 0.3,
+        };
+        assert!(tight.check(&report).unwrap_err().contains("fell below"));
+        // A report without serve cells cannot be gated.
+        let mut simulation_only = sample_report();
+        simulation_only.serve.clear();
+        simulation_only.perf = None;
+        assert!(floor
+            .check(&simulation_only)
+            .unwrap_err()
+            .contains("no serve cells"));
+
+        // Floor files parse strictly.
+        let parsed = PerfFloor::from_json(
+            &Json::parse(r#"{"serve_quotes_per_sec": 1500.0, "max_regression": 0.3}"#).unwrap(),
+        )
+        .expect("a valid floor file");
+        assert_eq!(parsed.serve_quotes_per_sec, 1_500.0);
+        assert_eq!(parsed.max_regression, 0.3);
+        assert!(PerfFloor::from_json(&Json::parse("{}").unwrap()).is_err());
+        assert!(PerfFloor::from_json(
+            &Json::parse(r#"{"serve_quotes_per_sec": -1.0, "max_regression": 0.3}"#).unwrap()
+        )
+        .unwrap_err()
+        .contains("positive"));
+        assert!(PerfFloor::from_json(
+            &Json::parse(r#"{"serve_quotes_per_sec": 10.0, "max_regression": 1.5}"#).unwrap()
+        )
+        .unwrap_err()
+        .contains("fraction"));
+    }
+
+    #[test]
+    fn validate_gates_the_perf_summary_consistency() {
+        // A v5 report whose summary disagrees with its serve section fails.
+        let mut skewed = sample_report();
+        skewed.perf.as_mut().expect("summary").serve_quotes += 1;
+        assert!(skewed
+            .validate()
+            .iter()
+            .any(|v| v.contains("disagrees with the serve section")));
+        // A v5 report with serve cells but a missing summary fails.
+        let mut missing = sample_report();
+        missing.perf = None;
+        assert!(missing
+            .validate()
+            .iter()
+            .any(|v| v.contains("must carry the headline summary")));
+        // A summary claiming zero throughput over served quotes fails.
+        let mut stalled = sample_report();
+        stalled.perf.as_mut().expect("summary").serve_quotes_per_sec = 0.0;
+        assert!(stalled
+            .validate()
+            .iter()
+            .any(|v| v.contains("grid quotes/sec is not positive")));
     }
 
     #[test]

@@ -12,10 +12,16 @@ use pdm_bench::drift::{drift_grid, run_drift_cells};
 use pdm_bench::grid::{expand_jobs, CellSpec, Checkpoint, JobSpec, SyntheticMechanism};
 use pdm_bench::json::Json;
 use pdm_bench::linear_market::{LinearMarketConfig, Version};
-use pdm_bench::report::{build_experiment_reports, BenchReport, SCHEMA_VERSION};
+use pdm_bench::report::{build_experiment_reports, BenchReport, PerfSummary, SCHEMA_VERSION};
 use pdm_bench::runner::run_jobs;
 use pdm_bench::serve::run_serve_grid;
 use pdm_bench::Scale;
+use pdm_linalg::{sampling, Vector};
+use pdm_service::{
+    MarketService, OutcomeReport, Payload, QueryRequest, ServiceConfig, TenantConfig, TenantId,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// A small heterogeneous grid: a market cell, a synthetic cell with
 /// checkpoints, and a deterministic Lemma-8 cell.
@@ -91,12 +97,14 @@ fn report_with_workers(workers: usize, reps: u64) -> BenchReport {
         serve: Vec::new(),
         auction: Vec::new(),
         drift: Vec::new(),
+        perf: None,
     }
 }
 
 /// Runs the full quick-scale serve grid with the given drain worker count
 /// and wraps it in a report, the way `bench serve --workers N` does.
 fn serve_report_with_workers(workers: usize) -> BenchReport {
+    let serve = run_serve_grid(Scale::Quick, workers, 1).expect("the serve grid must run");
     BenchReport {
         schema_version: SCHEMA_VERSION,
         name: "serve".to_owned(),
@@ -106,7 +114,8 @@ fn serve_report_with_workers(workers: usize) -> BenchReport {
         reps: 1,
         wall_clock_secs: 0.0,
         experiments: Vec::new(),
-        serve: run_serve_grid(Scale::Quick, workers, 1).expect("the serve grid must run"),
+        perf: PerfSummary::from_serve(&serve),
+        serve,
         auction: Vec::new(),
         drift: Vec::new(),
     }
@@ -128,6 +137,7 @@ fn auction_report_with_workers(workers: usize) -> BenchReport {
         auction: run_auction_cells(&auction_grid(Scale::Quick), workers, 1)
             .expect("the auction grid must run"),
         drift: Vec::new(),
+        perf: None,
     }
 }
 
@@ -147,6 +157,7 @@ fn drift_report_with_workers(workers: usize) -> BenchReport {
         auction: Vec::new(),
         drift: run_drift_cells(&drift_grid(Scale::Quick), workers, 1)
             .expect("the drift grid must run"),
+        perf: None,
     }
 }
 
@@ -277,6 +288,190 @@ fn report_survives_a_full_json_round_trip() {
         report.experiments[0].cells[0].cumulative_regret.mean
     );
     assert_eq!(recovered.workers, report.workers);
+}
+
+/// One pre-drawn round of the differential replay workload: the buyer's
+/// decision and ground truth are fixed up front, so both drain disciplines
+/// see the exact same request stream.
+struct ReplayRound {
+    tenant: TenantId,
+    features: Vector,
+    reserve_price: f64,
+    accepted: bool,
+    market_value: f64,
+}
+
+/// A 512-round seeded serve workload over 8 tenants: the first half arrives
+/// in long per-tenant blocks (maximal same-tenant runs for `serve_batch`),
+/// the second half in round-robin waves (runs of length ≲ 2).
+fn replay_workload() -> Vec<Vec<ReplayRound>> {
+    let tenants = 8;
+    let rounds_per_tenant = 64;
+    let dim = 3;
+    let mut rng = StdRng::seed_from_u64(88_512);
+    (0..tenants)
+        .map(|t| {
+            (0..rounds_per_tenant)
+                .map(|_| ReplayRound {
+                    tenant: TenantId(t as u64 + 1),
+                    features: sampling::uniform_vector(&mut rng, dim, -1.0, 1.0),
+                    reserve_price: sampling::uniform(&mut rng, 0.0, 0.6),
+                    accepted: sampling::uniform(&mut rng, 0.0, 1.0) < 0.55,
+                    market_value: sampling::uniform(&mut rng, -0.5, 1.5),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn replay_service() -> MarketService {
+    let mut service = MarketService::new(ServiceConfig {
+        shards: 4,
+        queue_capacity: 2048,
+    })
+    .expect("a valid service config");
+    for t in 1..=8u64 {
+        service
+            .register_tenant(TenantId(t), TenantConfig::standard(3, 512))
+            .expect("tenant ids are unique");
+    }
+    service
+}
+
+/// Submits the workload in the fixed global order, draining with the given
+/// discipline: `drain_every` = usize::MAX means "bulk" (one drain per
+/// phase, so shards see maximal batched runs); 1 means one-at-a-time
+/// (every request drained alone — the pre-batching dispatch).  Returns the
+/// responses keyed by submission sequence plus the quiescent service.
+fn run_replay(drain_every: usize) -> (Vec<(u64, Payload)>, MarketService) {
+    let workload = replay_workload();
+    let mut service = replay_service();
+    let mut responses = Vec::new();
+    let mut since_drain = 0usize;
+    let submit = |service: &mut MarketService,
+                  responses: &mut Vec<pdm_service::Response>,
+                  since_drain: &mut usize,
+                  round: &ReplayRound| {
+        service
+            .submit_quote(QueryRequest {
+                tenant: round.tenant,
+                features: round.features.clone(),
+                reserve_price: round.reserve_price,
+            })
+            .expect("queue has capacity");
+        *since_drain += 1;
+        if *since_drain >= drain_every {
+            service.drain_into(4, responses);
+            *since_drain = 0;
+        }
+        service
+            .submit_outcome(OutcomeReport {
+                tenant: round.tenant,
+                accepted: round.accepted,
+                market_value: Some(round.market_value),
+            })
+            .expect("queue has capacity");
+        *since_drain += 1;
+        if *since_drain >= drain_every {
+            service.drain_into(4, responses);
+            *since_drain = 0;
+        }
+    };
+
+    // Phase 1: long per-tenant blocks (rounds 0..32 of every tenant).
+    for tenant_rounds in &workload {
+        for round in &tenant_rounds[..32] {
+            submit(&mut service, &mut responses, &mut since_drain, round);
+        }
+    }
+    service.drain_into(4, &mut responses);
+    since_drain = 0;
+    // Phase 2: round-robin waves (rounds 32..64, one per tenant per wave).
+    for wave in 32..64 {
+        for tenant_rounds in &workload {
+            submit(
+                &mut service,
+                &mut responses,
+                &mut since_drain,
+                &tenant_rounds[wave],
+            );
+        }
+    }
+    service.drain_into(4, &mut responses);
+    assert_eq!(service.queued_requests(), 0);
+
+    let mut keyed: Vec<(u64, Payload)> = responses
+        .into_iter()
+        .map(|response| (response.seq, response.payload))
+        .collect();
+    keyed.sort_by_key(|(seq, _)| *seq);
+    (keyed, service)
+}
+
+#[test]
+fn batched_drain_replays_one_at_a_time_bit_identically() {
+    // The differential replay behind the batched-drain rework: the same
+    // 512-round seeded workload driven through bulk drains (maximal
+    // same-tenant runs handed to `serve_batch`) and through one-at-a-time
+    // submit→drain (the pre-batching dispatch) must produce the same
+    // response for every sequence number, byte-identical snapshots, and
+    // identical deterministic metrics fingerprints.
+    let (batched_responses, batched) = run_replay(usize::MAX);
+    let (serial_responses, serial) = run_replay(1);
+
+    assert_eq!(batched_responses.len(), 1024, "512 quotes + 512 outcomes");
+    assert_eq!(batched_responses.len(), serial_responses.len());
+    for ((seq_a, payload_a), (seq_b, payload_b)) in batched_responses.iter().zip(&serial_responses)
+    {
+        assert_eq!(seq_a, seq_b, "submission sequences must align");
+        assert_eq!(payload_a, payload_b, "payload diverged at seq {seq_a}");
+    }
+
+    // Byte-identical snapshots: every tenant's knowledge set, ledger, and
+    // counter serialises to the same canonical JSON.
+    let snapshot_a = batched.snapshot().expect("quiescent service snapshots");
+    let snapshot_b = serial.snapshot().expect("quiescent service snapshots");
+    assert_eq!(
+        snapshot_a.render(),
+        snapshot_b.render(),
+        "drain batching must not move any snapshotted state"
+    );
+
+    // ShardMetrics fingerprint: every deterministic field, at the bit level
+    // (latency is wall-clock and deliberately excluded).
+    let metrics_a = batched.aggregate_metrics();
+    let metrics_b = serial.aggregate_metrics();
+    assert_eq!(metrics_a.quotes_served, metrics_b.quotes_served);
+    assert_eq!(metrics_a.observations, metrics_b.observations);
+    assert_eq!(metrics_a.sales, metrics_b.sales);
+    assert_eq!(metrics_a.revenue.to_bits(), metrics_b.revenue.to_bits());
+    assert_eq!(metrics_a.regret.to_bits(), metrics_b.regret.to_bits());
+    assert_eq!(
+        metrics_a.regret_proxy.to_bits(),
+        metrics_b.regret_proxy.to_bits()
+    );
+    assert_eq!(metrics_a.shed, metrics_b.shed);
+    assert_eq!(metrics_a.rejected, metrics_b.rejected);
+    assert_eq!(metrics_a.drift_fires, metrics_b.drift_fires);
+    assert_eq!(metrics_a.drift_restarts, metrics_b.drift_restarts);
+    assert_eq!(metrics_a.quotes_served, 512);
+    assert_eq!(metrics_a.observations, 512);
+
+    // And the per-tenant regret ledgers agree exactly.
+    for t in 1..=8u64 {
+        let report_a = batched.tenant_report(TenantId(t)).expect("registered");
+        let report_b = serial.tenant_report(TenantId(t)).expect("registered");
+        assert_eq!(report_a.rounds, report_b.rounds);
+        assert_eq!(
+            report_a.cumulative_regret.to_bits(),
+            report_b.cumulative_regret.to_bits(),
+            "tenant {t} regret ledger diverged"
+        );
+        assert_eq!(
+            report_a.cumulative_revenue.to_bits(),
+            report_b.cumulative_revenue.to_bits()
+        );
+    }
 }
 
 #[test]

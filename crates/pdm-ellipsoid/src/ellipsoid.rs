@@ -28,14 +28,40 @@ use serde::{Deserialize, Serialize};
 /// information (`√(x^T A x)` below this is treated as degenerate).
 const DIRECTION_TOL: f64 = 1e-12;
 
+/// Reusable buffers for the per-round hot path (`support_bounds_mut` and the
+/// cut update).  Purely transient: the contents between calls are
+/// meaningless, so the buffers take no part in equality, serialization, or
+/// snapshots.
+#[derive(Debug, Clone, Default)]
+struct CutScratch {
+    /// Holds `A x` and then the boundary displacement `b`.
+    b: Vector,
+    /// Staging area for the updated centre `c'`.
+    center: Vector,
+    /// Staging area for the updated shape matrix `A'`.
+    shape: Matrix,
+}
+
 /// An ellipsoidal knowledge set `E = {θ : (θ−c)^T A⁻¹ (θ−c) ≤ 1}`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Ellipsoid {
     center: Vector,
     shape: Matrix,
     /// Cumulative count of volume-reducing cuts applied, kept for
     /// diagnostics (the regret analysis bounds this count).
     cuts_applied: usize,
+    #[serde(skip)]
+    scratch: CutScratch,
+}
+
+impl PartialEq for Ellipsoid {
+    /// Equality ignores the scratch buffers: two ellipsoids are equal when
+    /// they describe the same set and cut history.
+    fn eq(&self, other: &Self) -> bool {
+        self.center == other.center
+            && self.shape == other.shape
+            && self.cuts_applied == other.cuts_applied
+    }
 }
 
 impl Ellipsoid {
@@ -53,6 +79,7 @@ impl Ellipsoid {
             center: Vector::zeros(dim),
             shape: Matrix::identity(dim).scaled(radius * radius),
             cuts_applied: 0,
+            scratch: CutScratch::default(),
         }
     }
 
@@ -78,6 +105,7 @@ impl Ellipsoid {
             center,
             shape,
             cuts_applied: 0,
+            scratch: CutScratch::default(),
         })
     }
 
@@ -218,74 +246,103 @@ impl Ellipsoid {
     }
 
     /// Shared implementation of the Löwner–John update for the halfspace
-    /// `{θ : direction^T θ ≤ threshold}`.
+    /// `{θ : sign · direction^T θ ≤ sign · threshold}` with `sign ∈ {−1, +1}`.
     ///
     /// The formulas are the deep/shallow-cut update of Grötschel et al.; the
-    /// "keep above" case is obtained by negating both the direction and the
-    /// threshold before calling this.
-    fn apply_cut_keep_below(&mut self, direction: &Vector, threshold: f64) -> CutOutcome {
+    /// "keep above" case threads `sign = −1` instead of materialising the
+    /// negated direction vector.  This is bit-for-bit the computation the
+    /// negated-vector formulation performs: IEEE-754 negation is exact and
+    /// distributes exactly over rounded sums and products, so
+    /// `(−x)^T A (−x)`, `(A(−x))ᵢ = −(Ax)ᵢ`, and `(−x)^T c = −(x^T c)` all
+    /// hold at the bit level.  No allocation happens on any path: the
+    /// candidate centre/shape are staged in [`CutScratch`] and committed by
+    /// swapping.
+    fn apply_cut_signed(&mut self, direction: &Vector, sign: f64, threshold: f64) -> CutOutcome {
         let n = self.dim();
         if n == 1 {
-            return self.apply_cut_one_dim(direction, threshold);
+            return self.apply_cut_one_dim(sign * direction[0], sign * threshold);
         }
-        let scale = self.direction_scale(direction);
+        // `x^T A x` is sign-invariant; the scratch ends up holding `A x`.
+        let scale = self
+            .shape
+            .quadratic_form_with(direction, &mut self.scratch.b)
+            .max(0.0)
+            .sqrt();
         if scale <= DIRECTION_TOL {
             return CutOutcome::DegenerateDirection;
         }
-        let centre_value = direction
-            .dot(&self.center)
-            .expect("dimensions checked by quadratic_form");
-        let alpha = (centre_value - threshold) / scale;
+        let signed_centre = sign
+            * direction
+                .dot(&self.center)
+                .expect("dimensions checked by quadratic_form");
+        let mut signed_threshold = sign * threshold;
         let nf = n as f64;
 
-        if alpha > 1.0 {
-            // The halfspace misses the ellipsoid entirely.
-            return CutOutcome::WouldBeEmpty { alpha };
-        }
-        if alpha < -1.0 / nf {
-            // Too shallow: the Löwner–John ellipsoid of the surviving region
-            // is the current ellipsoid.
-            return CutOutcome::OutOfRange { alpha };
-        }
-        if alpha >= 1.0 - 1e-12 {
-            // Tangent cut: the surviving region is a single point; the update
-            // formula would collapse the shape matrix to zero and destroy
-            // positive definiteness, so we clamp just inside the valid range.
-            return self.apply_cut_keep_below(direction, centre_value - (1.0 - 1e-9) * scale);
+        let mut alpha = (signed_centre - signed_threshold) / scale;
+        loop {
+            if alpha > 1.0 {
+                // The halfspace misses the ellipsoid entirely.
+                return CutOutcome::WouldBeEmpty { alpha };
+            }
+            if alpha < -1.0 / nf {
+                // Too shallow: the Löwner–John ellipsoid of the surviving
+                // region is the current ellipsoid.
+                return CutOutcome::OutOfRange { alpha };
+            }
+            if alpha >= 1.0 - 1e-12 {
+                // Tangent cut: the surviving region is a single point; the
+                // update formula would collapse the shape matrix to zero and
+                // destroy positive definiteness, so we clamp just inside the
+                // valid range and re-evaluate (the state is untouched, so
+                // this loop is the recursion of the allocating formulation
+                // unrolled).
+                signed_threshold = signed_centre - (1.0 - 1e-9) * scale;
+                alpha = (signed_centre - signed_threshold) / scale;
+                continue;
+            }
+            break;
         }
 
-        let b = self.shape.matvec(direction).scaled(1.0 / scale);
+        // b = A (sign·x) / scale, reusing the `A x` already in scratch.
+        let inv_scale = 1.0 / scale;
+        for slot in self.scratch.b.as_mut_slice() {
+            *slot = (sign * *slot) * inv_scale;
+        }
 
         // c' = c − (1 + nα)/(n + 1) · b
         let step = (1.0 + nf * alpha) / (nf + 1.0);
-        let mut new_center = self.center.clone();
-        new_center
-            .axpy(-step, &b)
+        self.scratch.center.copy_from(&self.center);
+        self.scratch
+            .center
+            .axpy(-step, &self.scratch.b)
             .expect("center and b share the dimension");
 
         // A' = n²(1 − α²)/(n² − 1) · (A − 2(1 + nα)/((n + 1)(1 + α)) · b bᵀ)
         let outer_coeff = 2.0 * (1.0 + nf * alpha) / ((nf + 1.0) * (1.0 + alpha));
-        let mut new_shape = self.shape.clone();
-        new_shape.rank_one_update(-outer_coeff, &b);
-        new_shape.scale_mut(nf * nf * (1.0 - alpha * alpha) / (nf * nf - 1.0));
-        new_shape.symmetrize();
+        let shape_scale = nf * nf * (1.0 - alpha * alpha) / (nf * nf - 1.0);
+        self.shape.rank_one_scaled_symmetrized_into(
+            -outer_coeff,
+            &self.scratch.b,
+            shape_scale,
+            &mut self.scratch.shape,
+        );
 
-        if !new_shape.is_finite() || !new_center.is_finite() {
+        if !self.scratch.shape.is_finite() || !self.scratch.center.is_finite() {
             // Refuse to poison the knowledge set with NaNs; treat as a no-op.
             return CutOutcome::OutOfRange { alpha };
         }
 
-        self.center = new_center;
-        self.shape = new_shape;
+        std::mem::swap(&mut self.center, &mut self.scratch.center);
+        std::mem::swap(&mut self.shape, &mut self.scratch.shape);
         self.cuts_applied += 1;
         CutOutcome::Updated(Cut::from_alpha(alpha))
     }
 
     /// One-dimensional specialisation: the ellipsoid `[c − √A, c + √A]` is an
     /// interval and the general update formula is singular (`n² − 1 = 0`), so
-    /// the interval is intersected exactly with the halfline.
-    fn apply_cut_one_dim(&mut self, direction: &Vector, threshold: f64) -> CutOutcome {
-        let x = direction[0];
+    /// the interval is intersected exactly with the halfline.  `x` and
+    /// `threshold` are already sign-adjusted scalars.
+    fn apply_cut_one_dim(&mut self, x: f64, threshold: f64) -> CutOutcome {
         if x.abs() <= DIRECTION_TOL {
             return CutOutcome::DegenerateDirection;
         }
@@ -341,13 +398,38 @@ impl KnowledgeSet for Ellipsoid {
         }
     }
 
+    fn support_bounds_mut(&mut self, direction: &Vector) -> (f64, f64) {
+        let centre_value = direction
+            .dot(&self.center)
+            .expect("direction must match the ellipsoid dimension");
+        // Same arithmetic as the allocating path: `x^T A x` accumulated in
+        // the order of `matvec(x).dot(x)`, then the spread accumulated as
+        // `Σ xᵢ · ((A x)ᵢ / scale)`.
+        let scale = self
+            .shape
+            .quadratic_form_with(direction, &mut self.scratch.b)
+            .max(0.0)
+            .sqrt();
+        if scale <= DIRECTION_TOL {
+            return (centre_value, centre_value);
+        }
+        let inv_scale = 1.0 / scale;
+        let spread: f64 = direction
+            .iter()
+            .zip(self.scratch.b.iter())
+            .map(|(d, m)| d * (m * inv_scale))
+            .sum();
+        (centre_value - spread, centre_value + spread)
+    }
+
     fn cut_below(&mut self, direction: &Vector, threshold: f64) -> CutOutcome {
-        self.apply_cut_keep_below(direction, threshold)
+        self.apply_cut_signed(direction, 1.0, threshold)
     }
 
     fn cut_above(&mut self, direction: &Vector, threshold: f64) -> CutOutcome {
-        // {θ : x^T θ ≥ h} = {θ : (−x)^T θ ≤ −h}
-        self.apply_cut_keep_below(&(-direction), -threshold)
+        // {θ : x^T θ ≥ h} = {θ : (−x)^T θ ≤ −h}, threaded as sign = −1
+        // (applied to both the direction and the threshold internally).
+        self.apply_cut_signed(direction, -1.0, threshold)
     }
 
     fn contains(&self, theta: &Vector) -> bool {
@@ -645,6 +727,70 @@ mod tests {
         let e = Ellipsoid::ball(3, 1.0);
         assert!(!e.contains(&Vector::zeros(2)));
         assert!(e.contains(&Vector::zeros(3)));
+    }
+
+    #[test]
+    fn cut_above_is_bitwise_the_negated_cut_below() {
+        // The sign-threaded path must reproduce, bit for bit, the textbook
+        // formulation that materialises the negated direction vector.
+        let x = Vector::from_slice(&[0.37, -1.21, 0.89]);
+        let mut via_sign = Ellipsoid::ball(3, 1.5);
+        let mut via_negation = Ellipsoid::ball(3, 1.5);
+        for &th in &[0.2, -0.35, 0.11, 0.6] {
+            let a = via_sign.cut_above(&x, th);
+            let b = via_negation.cut_below(&(-&x), -th);
+            assert_eq!(a, b);
+            assert_eq!(
+                via_sign.center().as_slice(),
+                via_negation.center().as_slice()
+            );
+            assert_eq!(via_sign.shape().as_slice(), via_negation.shape().as_slice());
+        }
+        // And in one dimension, where the interval specialisation kicks in.
+        let x1 = Vector::from_slice(&[-0.8]);
+        let mut one_sign = Ellipsoid::ball(1, 2.0);
+        let mut one_neg = Ellipsoid::ball(1, 2.0);
+        assert_eq!(
+            one_sign.cut_above(&x1, 0.4),
+            one_neg.cut_below(&(-&x1), -0.4)
+        );
+        assert_eq!(one_sign, one_neg);
+    }
+
+    #[test]
+    fn support_bounds_mut_matches_support_bounds_bitwise() {
+        let mut e = Ellipsoid::ball(4, 1.3);
+        let dirs = [
+            Vector::from_slice(&[1.0, 0.25, -0.5, 2.0]),
+            Vector::from_slice(&[0.0, -1.7, 0.0, 0.33]),
+            Vector::zeros(4), // degenerate
+        ];
+        for d in &dirs {
+            let (lo, hi) = e.support_bounds(d);
+            let (lo_m, hi_m) = e.support_bounds_mut(d);
+            assert_eq!(lo.to_bits(), lo_m.to_bits());
+            assert_eq!(hi.to_bits(), hi_m.to_bits());
+        }
+        // Still identical after the shape matrix has evolved.
+        e.cut_below(&dirs[0], 0.1);
+        for d in &dirs {
+            let (lo, hi) = e.support_bounds(d);
+            let (lo_m, hi_m) = e.support_bounds_mut(d);
+            assert_eq!(lo.to_bits(), lo_m.to_bits());
+            assert_eq!(hi.to_bits(), hi_m.to_bits());
+        }
+    }
+
+    #[test]
+    fn equality_ignores_scratch_buffers() {
+        let x = Vector::from_slice(&[1.0, 0.0]);
+        let mut used = Ellipsoid::ball(2, 1.0);
+        // Populate the scratch via a rejected (out-of-range) cut and a
+        // support query; the set itself is untouched.
+        used.cut_below(&x, 5.0);
+        used.support_bounds_mut(&x);
+        let fresh = Ellipsoid::ball(2, 1.0);
+        assert_eq!(used, fresh);
     }
 
     #[test]

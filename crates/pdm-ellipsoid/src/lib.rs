@@ -51,6 +51,14 @@ pub trait KnowledgeSet {
     /// (`(¯p_t, p̄_t)` in the paper's notation).
     fn support_bounds(&self, direction: &Vector) -> (f64, f64);
 
+    /// [`KnowledgeSet::support_bounds`] through a mutable receiver, so
+    /// representations that own scratch buffers can answer without
+    /// allocating.  Must return bit-for-bit the same pair as
+    /// `support_bounds`; the default implementation simply delegates.
+    fn support_bounds_mut(&mut self, direction: &Vector) -> (f64, f64) {
+        self.support_bounds(direction)
+    }
+
     /// Records the inequality `direction^T θ <= threshold` (the *rejection*
     /// feedback: the effective posted price was at least the market value).
     fn cut_below(&mut self, direction: &Vector, threshold: f64) -> CutOutcome;

@@ -1,0 +1,107 @@
+//! Pins the allocation-free hot path: after one warm-up round populates the
+//! ellipsoid's scratch buffers, steady-state support queries and cut updates
+//! must perform **zero** heap allocations.
+//!
+//! The whole measurement lives in a single `#[test]` — the counting
+//! allocator is process-global, so concurrent tests in the same binary would
+//! race the counter.  `unsafe` is confined to the thin `GlobalAlloc`
+//! forwarding shims below; the crate under test itself denies unsafe code.
+
+use pdm_ellipsoid::{Ellipsoid, KnowledgeSet};
+use pdm_linalg::Vector;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation routed through the system
+/// allocator.  Deallocations are free-running (releasing scratch capacity is
+/// fine; *acquiring* any on the hot path is the regression).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_cut_rounds_do_not_allocate() {
+    let dim = 8;
+    let mut e = Ellipsoid::ball(dim, 2.0);
+    // Directions are prepared up front — a serving driver owns its feature
+    // buffers; the property under test is the *ellipsoid's* hot path.
+    let directions: Vec<Vector> = (0..16)
+        .map(|i| {
+            Vector::from_fn(dim, |j| {
+                let v = ((i * dim + j) as f64).sin();
+                if v.abs() < 0.05 {
+                    0.3
+                } else {
+                    v
+                }
+            })
+        })
+        .collect();
+
+    // Warm-up: the first query/cut round acquires the scratch capacity (the
+    // `A x` buffer plus the staged centre/shape), and the first few swaps
+    // let the staged buffers reach their steady sizes.
+    for direction in directions.iter().take(4) {
+        let (lo, hi) = e.support_bounds_mut(direction);
+        let mid = 0.5 * (lo + hi);
+        e.cut_below(direction, mid);
+        e.cut_above(direction, lo - 0.25 * (hi - lo));
+    }
+
+    // Steady state: every branch of the hot path — support queries, central
+    // cuts from both sides, rejected shallow cuts, rejected infeasible cuts
+    // — without a single allocation.
+    let mut sink = 0.0;
+    let mut applied = 0usize;
+    let before = allocations();
+    for round in 0..64 {
+        let direction = &directions[round % directions.len()];
+        let (lo, hi) = e.support_bounds_mut(direction);
+        sink += lo + hi;
+        let mid = 0.5 * (lo + hi);
+        let outcome = if round % 2 == 0 {
+            e.cut_below(direction, mid)
+        } else {
+            e.cut_above(direction, mid)
+        };
+        if outcome.is_updated() {
+            applied += 1;
+        }
+        // A rejected (out-of-range) cut still walks the early-exit path.
+        e.cut_below(direction, hi + 1.0);
+    }
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "the steady-state query/cut loop must not allocate \
+         (counted {} allocations over 64 rounds)",
+        after - before
+    );
+    assert!(applied > 0, "the loop must actually exercise live cuts");
+    assert!(sink.is_finite(), "support bounds stayed finite");
+}

@@ -24,6 +24,25 @@ impl Cholesky {
     /// malformed inputs, and [`LinalgError::NotPositiveDefinite`] when a pivot
     /// becomes non-positive.
     pub fn factor(matrix: &Matrix, symmetry_tol: f64) -> Result<Self> {
+        let mut lower = Matrix::default();
+        Self::factor_into(matrix, symmetry_tol, &mut lower)?;
+        Ok(Self { lower })
+    }
+
+    /// In-place Cholesky factorisation into a caller-owned buffer.
+    ///
+    /// On success `lower` holds the lower-triangular factor `L` with
+    /// `A = L L^T` — bit-for-bit the factor [`Cholesky::factor`] produces
+    /// (the elimination order is identical) — without allocating beyond the
+    /// buffer's capacity.  `lower` is resized and zeroed first, so any
+    /// previous contents are irrelevant.  On error the buffer contents are
+    /// unspecified.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] or [`LinalgError::NotSymmetric`] for
+    /// malformed inputs, and [`LinalgError::NotPositiveDefinite`] when a pivot
+    /// becomes non-positive.
+    pub fn factor_into(matrix: &Matrix, symmetry_tol: f64, lower: &mut Matrix) -> Result<()> {
         if !matrix.is_square() {
             return Err(LinalgError::NotSquare {
                 rows: matrix.rows(),
@@ -37,7 +56,7 @@ impl Cholesky {
             });
         }
         let n = matrix.rows();
-        let mut lower = Matrix::zeros(n, n);
+        lower.resize_zeroed(n, n);
         for i in 0..n {
             for j in 0..=i {
                 let mut sum = matrix.get(i, j);
@@ -57,7 +76,7 @@ impl Cholesky {
                 }
             }
         }
-        Ok(Self { lower })
+        Ok(())
     }
 
     /// The lower-triangular factor `L`.
@@ -236,6 +255,22 @@ mod tests {
         assert!(matches!(
             Cholesky::factor(&asym, 1e-12),
             Err(LinalgError::NotSymmetric { .. })
+        ));
+    }
+
+    #[test]
+    fn factor_into_matches_factor_bitwise_and_reuses_buffer() {
+        let a = spd_example();
+        let reference = Cholesky::factor(&a, 1e-12).unwrap();
+        let mut lower = Matrix::from_fn(5, 5, |_, _| 9.9); // stale contents
+        Cholesky::factor_into(&a, 1e-12, &mut lower).unwrap();
+        assert_eq!(lower.as_slice(), reference.lower().as_slice());
+        // Error paths still reject the same inputs as the allocating API.
+        assert!(Cholesky::factor_into(&Matrix::zeros(2, 3), 1e-12, &mut lower).is_err());
+        let indef = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(matches!(
+            Cholesky::factor_into(&indef, 1e-12, &mut lower),
+            Err(LinalgError::NotPositiveDefinite { .. })
         ));
     }
 

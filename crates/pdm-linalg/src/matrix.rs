@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
 /// A dense matrix stored in row-major order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -170,6 +170,31 @@ impl Matrix {
         &self.data
     }
 
+    /// Overwrites `self` with the contents of `src`, reusing the existing
+    /// allocation whenever its capacity suffices.
+    ///
+    /// The matrix counterpart of [`Vector::copy_from`]: the ellipsoid cut
+    /// update copies the shape matrix into a long-lived scratch buffer each
+    /// round instead of cloning a fresh `n × n` allocation.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Resizes the matrix to `rows x cols` and fills it with zeros, reusing
+    /// the existing allocation whenever its capacity suffices.
+    ///
+    /// Used by in-place factorisations ([`crate::Cholesky::factor_into`])
+    /// that need a clean buffer without a fresh allocation each call.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Trace (sum of diagonal entries).
     #[must_use]
     pub fn trace(&self) -> f64 {
@@ -222,6 +247,30 @@ impl Matrix {
             let row = self.row(i);
             row.iter().zip(x.iter()).map(|(a, b)| a * b).sum()
         })
+    }
+
+    /// Matrix–vector product `A x` into a caller-owned scratch buffer.
+    ///
+    /// Produces exactly the values of [`Matrix::matvec`] — the per-row
+    /// multiply/accumulate order is identical, so results are bit-for-bit
+    /// equal — without allocating.  `out` is resized to `self.rows()`.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != self.cols()`.
+    pub fn mul_vec_into(&self, x: &Vector, out: &mut Vector) {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "mul_vec_into: vector length {} does not match {} columns",
+            x.len(),
+            self.cols
+        );
+        out.resize(self.rows);
+        let out = out.as_mut_slice();
+        for (i, slot) in out.iter_mut().enumerate() {
+            let row = self.row(i);
+            *slot = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        }
     }
 
     /// Transposed matrix–vector product `A^T x`.
@@ -288,6 +337,23 @@ impl Matrix {
         self.matvec(x).dot(x).expect("dimensions checked above")
     }
 
+    /// Quadratic form `x^T A x` computed through a caller-owned scratch
+    /// buffer (which ends up holding `A x`).
+    ///
+    /// Bit-for-bit equal to [`Matrix::quadratic_form`] — the product and
+    /// accumulation order is identical — without allocating.
+    ///
+    /// # Panics
+    /// Panics when the matrix is not square or `x.len() != n`.
+    pub fn quadratic_form_with(&self, x: &Vector, scratch: &mut Vector) -> f64 {
+        assert!(
+            self.is_square(),
+            "quadratic_form_with requires a square matrix"
+        );
+        self.mul_vec_into(x, scratch);
+        scratch.iter().zip(x.iter()).map(|(m, d)| m * d).sum()
+    }
+
     /// In-place symmetric rank-one update `A += alpha * v v^T`.
     ///
     /// # Panics
@@ -301,6 +367,52 @@ impl Matrix {
                 self.add_to(i, j, alpha * vi * v[j]);
             }
         }
+    }
+
+    /// Fused `syr`-style kernel of the ellipsoid cut update:
+    /// `out = symmetrize((A + alpha · v vᵀ) · beta)`, written into a
+    /// caller-owned scratch matrix without allocating.
+    ///
+    /// Bit-for-bit equal to the three-step sequence
+    /// `out = A.clone(); out.rank_one_update(alpha, v); out.scale_mut(beta);
+    /// out.symmetrize()`: each element sees exactly the rounding sequence
+    /// `(a + (alpha·vᵢ)·vⱼ) · beta`, then the same upper/lower averaging —
+    /// the per-operation grouping the three-step path performs.
+    ///
+    /// # Panics
+    /// Panics when the matrix is not square or `v.len() != n`.
+    pub fn rank_one_scaled_symmetrized_into(
+        &self,
+        alpha: f64,
+        v: &Vector,
+        beta: f64,
+        out: &mut Matrix,
+    ) {
+        assert!(
+            self.is_square(),
+            "rank_one_scaled_symmetrized_into requires a square matrix"
+        );
+        assert_eq!(
+            v.len(),
+            self.rows,
+            "rank_one_scaled_symmetrized_into: dimension mismatch"
+        );
+        let n = self.rows;
+        out.rows = n;
+        out.cols = n;
+        out.data.clear();
+        out.data.reserve(n * n);
+        let v = v.as_slice();
+        for i in 0..n {
+            let avi = alpha * v[i];
+            let row = self.row(i);
+            out.data.extend(
+                row.iter()
+                    .zip(v.iter())
+                    .map(|(&a, &vj)| (a + avi * vj) * beta),
+            );
+        }
+        out.symmetrize();
     }
 
     /// Maximum absolute asymmetry `max_ij |A[i][j] - A[j][i]|` (zero for
@@ -615,6 +727,63 @@ mod tests {
     fn frobenius_norm_matches_hand_computation() {
         let m = example();
         assert!(approx_eq(m.frobenius_norm(), 30.0_f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn mul_vec_into_matches_matvec_bitwise() {
+        let m = Matrix::from_rows(&[
+            vec![0.1, -2.3, 7.7],
+            vec![4.25, 0.0, -1.5],
+            vec![9.01, 3.3, 0.125],
+        ]);
+        let x = Vector::from_slice(&[1.7, -0.3, 2.9]);
+        let expected = m.matvec(&x);
+        let mut out = Vector::zeros(1); // wrong size on purpose: must resize
+        m.mul_vec_into(&x, &mut out);
+        assert_eq!(out.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn quadratic_form_with_matches_allocating_path_bitwise() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.51], vec![0.51, 1.25]]);
+        let x = Vector::from_slice(&[1.3, -2.7]);
+        let mut scratch = Vector::zeros(0);
+        let fused = a.quadratic_form_with(&x, &mut scratch);
+        assert_eq!(fused.to_bits(), a.quadratic_form(&x).to_bits());
+        // The scratch ends up holding A x.
+        assert_eq!(scratch.as_slice(), a.matvec(&x).as_slice());
+    }
+
+    #[test]
+    fn rank_one_scaled_symmetrized_into_matches_three_step_sequence() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 0.7, -0.2],
+            vec![0.7, 2.0, 0.05],
+            vec![-0.2, 0.05, 1.5],
+        ]);
+        let v = Vector::from_slice(&[0.3, -1.9, 2.2]);
+        let (alpha, beta) = (-0.637, 1.0625);
+        let mut reference = a.clone();
+        reference.rank_one_update(alpha, &v);
+        reference.scale_mut(beta);
+        reference.symmetrize();
+        let mut fused = Matrix::default();
+        a.rank_one_scaled_symmetrized_into(alpha, &v, beta, &mut fused);
+        assert_eq!(fused, reference);
+        // Reuse of a stale, differently-sized buffer must be harmless.
+        let mut dirty = Matrix::zeros(7, 2);
+        a.rank_one_scaled_symmetrized_into(alpha, &v, beta, &mut dirty);
+        assert_eq!(dirty, reference);
+    }
+
+    #[test]
+    fn copy_from_and_resize_zeroed_reuse_buffers() {
+        let src = example();
+        let mut dst = Matrix::zeros(5, 5);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.resize_zeroed(2, 3);
+        assert_eq!(dst, Matrix::zeros(2, 3));
     }
 
     #[test]

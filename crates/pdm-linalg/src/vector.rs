@@ -107,6 +107,15 @@ impl Vector {
         self.data.extend_from_slice(&src.data);
     }
 
+    /// Resizes the vector to `len` entries, zero-filling any growth and
+    /// reusing the existing allocation whenever its capacity suffices.
+    ///
+    /// Used by the `*_into` kernels to shape a scratch buffer before
+    /// overwriting every entry.
+    pub fn resize(&mut self, len: usize) {
+        self.data.resize(len, 0.0);
+    }
+
     /// Consumes the vector and returns the underlying storage.
     #[must_use]
     pub fn into_vec(self) -> Vec<f64> {

@@ -1,0 +1,818 @@
+//! Differential suite pinning the fused hot-path kernels to old-style
+//! allocating reference implementations, bit for bit.
+//!
+//! The quote→observe hot path was reworked around scratch-buffer kernels
+//! (`support_bounds_mut`, the sign-threaded cut update, `step_many`,
+//! `serve_batch`).  Each test here re-implements the *pre-refactor*
+//! formulation — allocating matvecs, materialised negated directions, the
+//! three-step rank-one/scale/symmetrize shape update, one-at-a-time
+//! step/observe — and drives both formulations over seeded random inputs,
+//! asserting that every quote, cut, counter, and knowledge-set coordinate
+//! carries the exact same `f64` bit pattern.
+
+use pdm_ellipsoid::{Cut, CutOutcome, Ellipsoid, KnowledgeSet};
+use pdm_linalg::{sampling, Matrix, Vector};
+use pdm_pricing::prelude::{
+    BatchRequest, BatchResponse, EllipsoidPricing, LinearModel, LogLinearModel, MarketValueModel,
+    ObservedRound, PostedPriceMechanism, PricingConfig, PricingSession, Quote, QuoteKind,
+    SimulationOptions, StepOutcome,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIRECTION_TOL: f64 = 1e-12;
+
+// ---------------------------------------------------------------------------
+// Reference implementations (the pre-refactor, allocating formulations)
+// ---------------------------------------------------------------------------
+
+/// What the old-style cut produced: either a state-preserving outcome or the
+/// freshly allocated centre/shape pair.
+enum ReferenceCut {
+    NoOp(CutOutcome),
+    Updated {
+        outcome: CutOutcome,
+        center: Vector,
+        shape: Matrix,
+    },
+}
+
+/// The textbook Grötschel–Lovász–Schrijver update exactly as the allocating
+/// formulation computed it: `cut_above` materialises the negated direction
+/// (here threaded as `sign`, which IEEE-754 negation makes bit-equivalent),
+/// `b` is a fresh `matvec`, the new centre a `clone` + `axpy`, and the new
+/// shape the three-step `rank_one_update` → `scale_mut` → `symmetrize`.
+fn reference_cut(
+    center: &Vector,
+    shape: &Matrix,
+    direction: &Vector,
+    sign: f64,
+    threshold: f64,
+) -> ReferenceCut {
+    let n = center.len();
+    if n == 1 {
+        return reference_cut_one_dim(center, shape, sign * direction[0], sign * threshold);
+    }
+    let scale = shape.quadratic_form(direction).max(0.0).sqrt();
+    if scale <= DIRECTION_TOL {
+        return ReferenceCut::NoOp(CutOutcome::DegenerateDirection);
+    }
+    let signed_centre = sign * direction.dot(center).expect("dimensions match");
+    let mut signed_threshold = sign * threshold;
+    let nf = n as f64;
+    let mut alpha = (signed_centre - signed_threshold) / scale;
+    loop {
+        if alpha > 1.0 {
+            return ReferenceCut::NoOp(CutOutcome::WouldBeEmpty { alpha });
+        }
+        if alpha < -1.0 / nf {
+            return ReferenceCut::NoOp(CutOutcome::OutOfRange { alpha });
+        }
+        if alpha >= 1.0 - 1e-12 {
+            // The allocating formulation recursed on a clamped threshold;
+            // unrolled here exactly as the fused path unrolls it.
+            signed_threshold = signed_centre - (1.0 - 1e-9) * scale;
+            alpha = (signed_centre - signed_threshold) / scale;
+            continue;
+        }
+        break;
+    }
+
+    let mut b = shape.matvec(direction);
+    let inv_scale = 1.0 / scale;
+    for slot in b.as_mut_slice() {
+        *slot = (sign * *slot) * inv_scale;
+    }
+
+    let step = (1.0 + nf * alpha) / (nf + 1.0);
+    let mut new_center = center.clone();
+    new_center.axpy(-step, &b).expect("dimensions match");
+
+    let outer_coeff = 2.0 * (1.0 + nf * alpha) / ((nf + 1.0) * (1.0 + alpha));
+    let shape_scale = nf * nf * (1.0 - alpha * alpha) / (nf * nf - 1.0);
+    let mut new_shape = shape.clone();
+    new_shape.rank_one_update(-outer_coeff, &b);
+    new_shape.scale_mut(shape_scale);
+    new_shape.symmetrize();
+
+    if !new_shape.is_finite() || !new_center.is_finite() {
+        return ReferenceCut::NoOp(CutOutcome::OutOfRange { alpha });
+    }
+    ReferenceCut::Updated {
+        outcome: CutOutcome::Updated(Cut::from_alpha(alpha)),
+        center: new_center,
+        shape: new_shape,
+    }
+}
+
+/// The one-dimensional interval specialisation, reproduced verbatim.
+fn reference_cut_one_dim(center: &Vector, shape: &Matrix, x: f64, threshold: f64) -> ReferenceCut {
+    if x.abs() <= DIRECTION_TOL {
+        return ReferenceCut::NoOp(CutOutcome::DegenerateDirection);
+    }
+    let half_width = shape.get(0, 0).max(0.0).sqrt();
+    let c = center[0];
+    let (lo, hi) = (c - half_width, c + half_width);
+    let bound = threshold / x;
+    let (new_lo, new_hi) = if x > 0.0 {
+        (lo, hi.min(bound))
+    } else {
+        (lo.max(bound), hi)
+    };
+    let alpha = {
+        let scale = half_width * x.abs();
+        if scale <= DIRECTION_TOL {
+            0.0
+        } else {
+            (c * x - threshold) / scale
+        }
+    };
+    if new_hi < new_lo {
+        return ReferenceCut::NoOp(CutOutcome::WouldBeEmpty { alpha });
+    }
+    if new_hi >= hi - 1e-15 && new_lo <= lo + 1e-15 {
+        return ReferenceCut::NoOp(CutOutcome::OutOfRange { alpha });
+    }
+    let new_c = 0.5 * (new_lo + new_hi);
+    let new_r = (0.5 * (new_hi - new_lo)).max(1e-15);
+    ReferenceCut::Updated {
+        outcome: CutOutcome::Updated(Cut::from_alpha(alpha)),
+        center: Vector::from_slice(&[new_c]),
+        shape: Matrix::from_fn(1, 1, |_, _| new_r * new_r),
+    }
+}
+
+/// The old-style quote: allocating `support_bounds`, fresh feature map.
+fn reference_quote<M: MarketValueModel>(
+    model: &M,
+    knowledge: &Ellipsoid,
+    config: &PricingConfig,
+    epsilon: f64,
+    features: &Vector,
+    reserve_price: f64,
+) -> Quote {
+    let mapped = model.map_features(features);
+    let (lower, upper) = knowledge.support_bounds(&mapped);
+    let reserve_link = if config.use_reserve {
+        model.inverse_link(reserve_price)
+    } else {
+        f64::NEG_INFINITY
+    };
+    let delta = config.delta;
+    if config.use_reserve && reserve_link >= upper + delta {
+        return Quote {
+            posted_price: reserve_price,
+            link_price: reserve_link,
+            lower_bound: lower,
+            upper_bound: upper,
+            reserve_link,
+            kind: QuoteKind::CertainNoSale,
+        };
+    }
+    let width = upper - lower;
+    let (kind, link_price) = if width > epsilon {
+        (
+            QuoteKind::Exploratory,
+            (0.5 * (lower + upper)).max(reserve_link),
+        )
+    } else {
+        (QuoteKind::Conservative, (lower - delta).max(reserve_link))
+    };
+    Quote {
+        posted_price: model.link(link_price),
+        link_price,
+        lower_bound: lower,
+        upper_bound: upper,
+        reserve_link,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-level comparison helpers
+// ---------------------------------------------------------------------------
+
+fn assert_vec_bits(actual: &Vector, expected: &Vector, what: &str) {
+    assert_eq!(actual.len(), expected.len(), "{what}: length");
+    for (i, (a, e)) in actual.iter().zip(expected.iter()).enumerate() {
+        assert_eq!(a.to_bits(), e.to_bits(), "{what}: slot {i} ({a} vs {e})");
+    }
+}
+
+fn assert_mat_bits(actual: &Matrix, expected: &Matrix, what: &str) {
+    assert_eq!(actual.rows(), expected.rows(), "{what}: rows");
+    for (i, (a, e)) in actual
+        .as_slice()
+        .iter()
+        .zip(expected.as_slice())
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), e.to_bits(), "{what}: entry {i} ({a} vs {e})");
+    }
+}
+
+fn assert_quote_bits(actual: &Quote, expected: &Quote, what: &str) {
+    assert_eq!(actual.kind, expected.kind, "{what}: kind");
+    for (field, a, e) in [
+        ("posted_price", actual.posted_price, expected.posted_price),
+        ("link_price", actual.link_price, expected.link_price),
+        ("lower_bound", actual.lower_bound, expected.lower_bound),
+        ("upper_bound", actual.upper_bound, expected.upper_bound),
+        ("reserve_link", actual.reserve_link, expected.reserve_link),
+    ] {
+        assert_eq!(a.to_bits(), e.to_bits(), "{what}: {field} ({a} vs {e})");
+    }
+}
+
+fn assert_ellipsoid_bits(actual: &Ellipsoid, expected: &Ellipsoid, what: &str) {
+    assert_vec_bits(actual.center(), expected.center(), what);
+    assert_mat_bits(actual.shape(), expected.shape(), what);
+    assert_eq!(
+        actual.cuts_applied(),
+        expected.cuts_applied(),
+        "{what}: cuts"
+    );
+}
+
+/// Applies the reference prediction against the live cut and checks both the
+/// outcome and the resulting state, bit for bit.
+fn check_cut(e: &mut Ellipsoid, direction: &Vector, sign: f64, threshold: f64, what: &str) {
+    let predicted = reference_cut(e.center(), e.shape(), direction, sign, threshold);
+    let before_center = e.center().clone();
+    let before_shape = e.shape().clone();
+    let outcome = if sign >= 0.0 {
+        e.cut_below(direction, threshold)
+    } else {
+        e.cut_above(direction, threshold)
+    };
+    match predicted {
+        ReferenceCut::NoOp(expected) => {
+            assert_eq!(outcome, expected, "{what}: no-op outcome");
+            assert_vec_bits(e.center(), &before_center, what);
+            assert_mat_bits(e.shape(), &before_shape, what);
+        }
+        ReferenceCut::Updated {
+            outcome: expected,
+            center,
+            shape,
+        } => {
+            assert_eq!(outcome, expected, "{what}: updated outcome");
+            assert_vec_bits(e.center(), &center, what);
+            assert_mat_bits(e.shape(), &shape, what);
+        }
+    }
+}
+
+/// A random ellipsoid evolved by a few seeded feasible cuts, so the tests
+/// exercise shapes far from the initial ball.
+fn evolved_ellipsoid(rng: &mut StdRng, dim: usize, cuts: usize) -> Ellipsoid {
+    let mut e = Ellipsoid::ball(dim, sampling::uniform(rng, 0.5, 3.0));
+    for _ in 0..cuts {
+        let direction = sampling::unit_sphere(rng, dim);
+        let (lo, hi) = e.support_bounds(&direction);
+        let threshold = sampling::uniform(rng, lo, hi);
+        if sampling::uniform(rng, 0.0, 1.0) < 0.5 {
+            e.cut_below(&direction, threshold);
+        } else {
+            e.cut_above(&direction, threshold);
+        }
+    }
+    e
+}
+
+fn mechanism(dim: usize, config: PricingConfig) -> EllipsoidPricing<LinearModel> {
+    EllipsoidPricing::new(LinearModel::new(dim), config)
+}
+
+// ---------------------------------------------------------------------------
+// Ellipsoid kernels vs the allocating formulation
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn support_bounds_mut_matches_allocating_reference(
+        dim in 1usize..7,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut e = evolved_ellipsoid(&mut rng, dim, 6);
+        for _ in 0..8 {
+            let direction = sampling::unit_sphere(&mut rng, dim);
+            let (lo, hi) = e.support_bounds(&direction);
+            let (lo_mut, hi_mut) = e.support_bounds_mut(&direction);
+            prop_assert_eq!(lo.to_bits(), lo_mut.to_bits());
+            prop_assert_eq!(hi.to_bits(), hi_mut.to_bits());
+        }
+    }
+
+    #[test]
+    fn cut_below_matches_allocating_gls_reference(
+        dim in 2usize..7,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut e = evolved_ellipsoid(&mut rng, dim, 3);
+        for round in 0..12 {
+            let direction = sampling::unit_sphere(&mut rng, dim);
+            let (lo, hi) = e.support_bounds(&direction);
+            // Thresholds straddle the feasible band so every outcome branch
+            // (updated / would-be-empty / out-of-range) gets exercised.
+            let threshold = sampling::uniform(&mut rng, lo - 0.5 * (hi - lo), hi + 0.5 * (hi - lo));
+            check_cut(&mut e, &direction, 1.0, threshold, &format!("round {round}"));
+        }
+    }
+
+    #[test]
+    fn cut_above_matches_allocating_gls_reference(
+        dim in 2usize..7,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut e = evolved_ellipsoid(&mut rng, dim, 3);
+        for round in 0..12 {
+            let direction = sampling::unit_sphere(&mut rng, dim);
+            let (lo, hi) = e.support_bounds(&direction);
+            let threshold = sampling::uniform(&mut rng, lo - 0.5 * (hi - lo), hi + 0.5 * (hi - lo));
+            check_cut(&mut e, &direction, -1.0, threshold, &format!("round {round}"));
+        }
+    }
+
+    #[test]
+    fn quote_matches_reference_over_random_histories(
+        dim in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = PricingConfig::new(1.5, 512)
+            .with_reserve(true)
+            .with_uncertainty(0.01);
+        let mut mech = mechanism(dim, config);
+        for round in 0..24 {
+            let features = sampling::uniform_vector(&mut rng, dim, -1.0, 1.0);
+            let reserve = sampling::uniform(&mut rng, 0.0, 1.2);
+            let expected = reference_quote(
+                mech.model(),
+                mech.knowledge(),
+                mech.config(),
+                mech.epsilon(),
+                &features,
+                reserve,
+            );
+            let quote = mech.quote(&features, reserve);
+            assert_quote_bits(&quote, &expected, &format!("round {round}"));
+            let accepted = sampling::uniform(&mut rng, 0.0, 1.0) < 0.5;
+            mech.observe(&features, &quote, accepted);
+        }
+    }
+
+    #[test]
+    fn observe_cuts_match_manual_knowledge_cuts(
+        dim in 2usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = PricingConfig::new(2.0, 256).with_uncertainty(0.02);
+        let mut mech = mechanism(dim, config);
+        for _ in 0..16 {
+            let features = sampling::uniform_vector(&mut rng, dim, -1.0, 1.0);
+            let quote = mech.quote(&features, 0.0);
+            let accepted = sampling::uniform(&mut rng, 0.0, 1.0) < 0.5;
+            // The old-style observe: remap the features, materialise the cut
+            // on a cloned knowledge set.
+            let mut manual = mech.knowledge().clone();
+            if quote.kind == QuoteKind::Exploratory {
+                let mapped = mech.model().map_features(&features);
+                let delta = mech.config().delta;
+                if accepted {
+                    manual.cut_above(&mapped, quote.link_price - delta);
+                } else {
+                    manual.cut_below(&mapped, quote.link_price + delta);
+                }
+            }
+            mech.observe(&features, &quote, accepted);
+            assert_ellipsoid_bits(mech.knowledge(), &manual, "post-observe knowledge");
+        }
+    }
+
+    #[test]
+    fn step_many_matches_sequential_quotes_bitwise(
+        dim in 1usize..6,
+        batch in 1usize..24,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = PricingConfig::new(1.0, 128).with_reserve(true);
+        let mut batched = mechanism(dim, config);
+        let mut sequential = batched.clone();
+        let requests: Vec<(Vector, f64)> = (0..batch)
+            .map(|_| {
+                (
+                    sampling::uniform_vector(&mut rng, dim, -1.0, 1.0),
+                    sampling::uniform(&mut rng, 0.0, 1.0),
+                )
+            })
+            .collect();
+
+        let mut batch_quotes = Vec::new();
+        batched.step_many(
+            requests.iter().map(|(f, r)| (f, *r)),
+            &mut batch_quotes,
+        );
+        let loop_quotes: Vec<Quote> = requests
+            .iter()
+            .map(|(f, r)| sequential.quote(f, *r))
+            .collect();
+
+        prop_assert_eq!(batch_quotes.len(), loop_quotes.len());
+        for (i, (a, e)) in batch_quotes.iter().zip(&loop_quotes).enumerate() {
+            assert_quote_bits(a, e, &format!("quote {i}"));
+        }
+        prop_assert_eq!(batched.exploratory_rounds(), sequential.exploratory_rounds());
+        prop_assert_eq!(batched.conservative_rounds(), sequential.conservative_rounds());
+        prop_assert_eq!(batched.certain_no_sale_rounds(), sequential.certain_no_sale_rounds());
+        assert_ellipsoid_bits(batched.knowledge(), sequential.knowledge(), "knowledge");
+    }
+
+    #[test]
+    fn serve_batch_matches_step_observe_bitwise(
+        dim in 1usize..5,
+        rounds in 1usize..32,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = PricingConfig::new(1.5, 256).with_reserve(true);
+        let options = SimulationOptions::default();
+        let mut batched = PricingSession::new(mechanism(dim, config), 256, options)
+            .without_latency_tracking();
+        let mut serial = batched.clone();
+
+        let mut requests: Vec<(Vector, f64, StepOutcome)> = Vec::new();
+        for _ in 0..rounds {
+            let features = sampling::uniform_vector(&mut rng, dim, -1.0, 1.0);
+            let reserve = sampling::uniform(&mut rng, 0.0, 1.0);
+            let accepted = sampling::uniform(&mut rng, 0.0, 1.0) < 0.5;
+            let value = sampling::uniform(&mut rng, -1.0, 1.5);
+            requests.push((features, reserve, StepOutcome::with_value(accepted, value)));
+        }
+
+        let mut responses = Vec::new();
+        batched.serve_batch(
+            requests.iter().flat_map(|(features, reserve, outcome)| {
+                [
+                    BatchRequest::Quote { features, reserve_price: *reserve },
+                    BatchRequest::Observe(*outcome),
+                ]
+            }),
+            &mut responses,
+        );
+
+        for (i, (features, reserve, outcome)) in requests.iter().enumerate() {
+            let quote = serial.step(features, *reserve);
+            let record = serial.observe(*outcome);
+            match &responses[2 * i] {
+                BatchResponse::Quoted(batch_quote) => {
+                    assert_quote_bits(batch_quote, &quote, &format!("round {i} quote"));
+                }
+                other => prop_assert!(false, "round {} expected a quote, got {:?}", i, other),
+            }
+            prop_assert_eq!(&responses[2 * i + 1], &BatchResponse::Observed(record));
+        }
+        prop_assert_eq!(batched.rounds_closed(), serial.rounds_closed());
+        prop_assert_eq!(batched.sales(), serial.sales());
+        prop_assert_eq!(batched.revenue().to_bits(), serial.revenue().to_bits());
+        prop_assert_eq!(batched.regret_proxy().to_bits(), serial.regret_proxy().to_bits());
+        assert_ellipsoid_bits(
+            batched.mechanism().knowledge(),
+            serial.mechanism().knowledge(),
+            "session knowledge",
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Branch-targeted differentials
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tangent_cut_clamp_matches_reference() {
+    // A threshold just inside the tangent band (α ≥ 1 − 1e-12) forces the
+    // clamp-and-retry loop; both formulations must land on the same clamped
+    // state.
+    let direction = Vector::from_slice(&[0.6, -0.8, 0.1]);
+    let mut e = Ellipsoid::ball(3, 1.0);
+    let scale = e.direction_scale(&direction);
+    let centre_value = direction.dot(e.center()).unwrap();
+    let threshold = centre_value - (1.0 - 1e-13) * scale;
+    check_cut(&mut e, &direction, 1.0, threshold, "tangent clamp");
+    assert_eq!(e.cuts_applied(), 1, "the clamped cut must still apply");
+}
+
+#[test]
+fn one_dim_cut_matches_interval_reference() {
+    let x = Vector::from_slice(&[-0.7]);
+    let mut e = Ellipsoid::ball(1, 2.0);
+    for (sign, threshold) in [(1.0, 0.4), (-1.0, -0.9), (1.0, 1.6), (-1.0, 0.2)] {
+        check_cut(&mut e, &x, sign, threshold, "one-dim interval");
+    }
+}
+
+#[test]
+fn degenerate_direction_is_a_noop_everywhere() {
+    let zero2 = Vector::zeros(2);
+    let mut e = Ellipsoid::ball(2, 1.0);
+    let before = e.clone();
+    assert_eq!(e.cut_below(&zero2, 0.3), CutOutcome::DegenerateDirection);
+    assert_eq!(e.cut_above(&zero2, -0.3), CutOutcome::DegenerateDirection);
+    let (lo, hi) = e.support_bounds_mut(&zero2);
+    assert_eq!(lo.to_bits(), 0.0_f64.to_bits());
+    assert_eq!(hi.to_bits(), 0.0_f64.to_bits());
+    assert_ellipsoid_bits(&e, &before, "degenerate 2-d");
+
+    let zero1 = Vector::zeros(1);
+    let mut one = Ellipsoid::ball(1, 1.0);
+    let frozen = one.clone();
+    assert_eq!(one.cut_below(&zero1, 0.5), CutOutcome::DegenerateDirection);
+    assert_ellipsoid_bits(&one, &frozen, "degenerate 1-d");
+}
+
+#[test]
+fn infeasible_and_shallow_cuts_leave_state_bitwise_untouched() {
+    let direction = Vector::from_slice(&[1.0, 0.3, -0.2]);
+    let mut e = Ellipsoid::ball(3, 1.0);
+    let before = e.clone();
+    // α > 1: the halfspace misses the set entirely.
+    assert!(matches!(
+        e.cut_below(&direction, -5.0),
+        CutOutcome::WouldBeEmpty { .. }
+    ));
+    assert_ellipsoid_bits(&e, &before, "would-be-empty");
+    // α < −1/n: too shallow to improve the Löwner–John ellipsoid.
+    assert!(matches!(
+        e.cut_below(&direction, 5.0),
+        CutOutcome::OutOfRange { .. }
+    ));
+    assert_ellipsoid_bits(&e, &before, "out-of-range");
+}
+
+#[test]
+fn certain_no_sale_branch_is_bit_identical() {
+    let config = PricingConfig::new(1.0, 64).with_reserve(true);
+    let mut mech = mechanism(2, config);
+    let features = Vector::from_slice(&[0.6, 0.8]);
+    let expected = reference_quote(
+        mech.model(),
+        mech.knowledge(),
+        mech.config(),
+        mech.epsilon(),
+        &features,
+        7.5,
+    );
+    assert_eq!(expected.kind, QuoteKind::CertainNoSale);
+    let quote = mech.quote(&features, 7.5);
+    assert_quote_bits(&quote, &expected, "certain no-sale");
+    assert_eq!(mech.certain_no_sale_rounds(), 1);
+    // Feedback after a certain no-sale must not move the knowledge set.
+    let before = mech.knowledge().clone();
+    mech.observe(&features, &quote, false);
+    assert_ellipsoid_bits(mech.knowledge(), &before, "no-sale observe");
+}
+
+#[test]
+fn conservative_branch_is_bit_identical() {
+    // ε pinned above any achievable width forces the conservative branch.
+    let config = PricingConfig::new(1.0, 64)
+        .with_reserve(true)
+        .with_uncertainty(0.05)
+        .with_epsilon(1e6);
+    let mut mech = mechanism(2, config);
+    let features = Vector::from_slice(&[0.8, -0.6]);
+    let expected = reference_quote(
+        mech.model(),
+        mech.knowledge(),
+        mech.config(),
+        mech.epsilon(),
+        &features,
+        0.1,
+    );
+    assert_eq!(expected.kind, QuoteKind::Conservative);
+    let quote = mech.quote(&features, 0.1);
+    assert_quote_bits(&quote, &expected, "conservative");
+    assert_eq!(mech.conservative_rounds(), 1);
+}
+
+#[test]
+fn log_linear_model_quote_matches_reference() {
+    let config = PricingConfig::new(2.0, 128).with_reserve(true);
+    let mut mech = EllipsoidPricing::new(LogLinearModel::new(2), config);
+    let mut rng = StdRng::seed_from_u64(11);
+    for round in 0..16 {
+        let features = sampling::uniform_vector(&mut rng, 2, 0.1, 1.0);
+        let reserve = sampling::uniform(&mut rng, 0.5, 2.5);
+        let expected = reference_quote(
+            mech.model(),
+            mech.knowledge(),
+            mech.config(),
+            mech.epsilon(),
+            &features,
+            reserve,
+        );
+        let quote = mech.quote(&features, reserve);
+        assert_quote_bits(&quote, &expected, &format!("log-linear round {round}"));
+        mech.observe(&features, &quote, round % 2 == 0);
+    }
+}
+
+#[test]
+fn observe_with_different_features_remaps_like_the_reference() {
+    // A driver that observes with different features than it quoted must
+    // cut along the *observe* features' mapping (the scratch cache refreshes
+    // itself); the clone-and-cut reference pins that behaviour.
+    let config = PricingConfig::new(2.0, 64).with_uncertainty(0.01);
+    let mut mech = mechanism(3, config);
+    let quoted = Vector::from_slice(&[0.2, 0.9, -0.4]);
+    let observed = Vector::from_slice(&[-0.7, 0.1, 0.6]);
+    let quote = mech.quote(&quoted, 0.0);
+    assert_eq!(quote.kind, QuoteKind::Exploratory);
+    let mut manual = mech.knowledge().clone();
+    manual.cut_above(
+        &mech.model().map_features(&observed),
+        quote.link_price - mech.config().delta,
+    );
+    mech.observe(&observed, &quote, true);
+    assert_ellipsoid_bits(mech.knowledge(), &manual, "cross-feature observe");
+}
+
+// ---------------------------------------------------------------------------
+// The 512-round batched replay differential
+// ---------------------------------------------------------------------------
+
+/// Drives 512 seeded rounds through `serve_batch` in ragged chunks and
+/// through one-at-a-time `step`/`observe`, then compares every response and
+/// the complete final session state at the bit level.
+#[test]
+fn serve_batch_512_round_replay_is_bit_identical() {
+    let dim = 4;
+    let rounds = 512;
+    let config = PricingConfig::new(2.0 * (dim as f64).sqrt(), rounds)
+        .with_reserve(true)
+        .with_uncertainty(0.005);
+    let build = || {
+        PricingSession::new(
+            mechanism(dim, config),
+            rounds,
+            SimulationOptions {
+                trace_points: 0,
+                keep_full_trace: false,
+            },
+        )
+        .without_latency_tracking()
+    };
+    let mut batched = build();
+    let mut serial = build();
+
+    let mut rng = StdRng::seed_from_u64(20_260_807);
+    let mut workload: Vec<(Vector, f64, StepOutcome)> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let features = sampling::uniform_vector(&mut rng, dim, -1.0, 1.0);
+        let reserve = sampling::uniform(&mut rng, 0.0, 0.8);
+        let accepted = sampling::uniform(&mut rng, 0.0, 1.0) < 0.6;
+        let value = sampling::uniform(&mut rng, -0.5, 1.5);
+        workload.push((features, reserve, StepOutcome::with_value(accepted, value)));
+    }
+
+    // Batched leg: ragged chunk sizes so batch boundaries fall mid-round as
+    // well as between rounds.
+    let mut batched_responses = Vec::with_capacity(2 * rounds);
+    let flat: Vec<BatchRequest> = workload
+        .iter()
+        .flat_map(|(features, reserve, outcome)| {
+            [
+                BatchRequest::Quote {
+                    features,
+                    reserve_price: *reserve,
+                },
+                BatchRequest::Observe(*outcome),
+            ]
+        })
+        .collect();
+    let mut cursor = 0;
+    let mut chunk = 1;
+    while cursor < flat.len() {
+        let end = (cursor + chunk).min(flat.len());
+        batched.serve_batch(flat[cursor..end].iter().copied(), &mut batched_responses);
+        cursor = end;
+        chunk = chunk % 7 + 1; // 1, 2, …, 7, 1, … — deliberately ragged
+    }
+    assert_eq!(batched_responses.len(), 2 * rounds);
+
+    // Serial leg: the pre-refactor dispatch, one call per request.
+    let mut serial_records: Vec<Option<ObservedRound>> = Vec::with_capacity(rounds);
+    let mut serial_quotes: Vec<Quote> = Vec::with_capacity(rounds);
+    for (features, reserve, outcome) in &workload {
+        serial_quotes.push(serial.step(features, *reserve));
+        serial_records.push(serial.observe(*outcome));
+    }
+
+    for i in 0..rounds {
+        match &batched_responses[2 * i] {
+            BatchResponse::Quoted(quote) => {
+                assert_quote_bits(quote, &serial_quotes[i], &format!("round {i} quote"));
+            }
+            other => panic!("round {i}: expected a quote, got {other:?}"),
+        }
+        assert_eq!(
+            batched_responses[2 * i + 1],
+            BatchResponse::Observed(serial_records[i]),
+            "round {i} record"
+        );
+    }
+
+    // Complete session state: counters, ledger, and knowledge set.
+    assert_eq!(batched.rounds_closed(), serial.rounds_closed());
+    assert_eq!(batched.sales(), serial.sales());
+    assert_eq!(batched.abandoned_rounds(), serial.abandoned_rounds());
+    assert_eq!(batched.revenue().to_bits(), serial.revenue().to_bits());
+    assert_eq!(
+        batched.regret_proxy().to_bits(),
+        serial.regret_proxy().to_bits()
+    );
+    let (batched_report, serial_report) = (batched.tracker().report(), serial.tracker().report());
+    assert_eq!(batched_report.rounds, serial_report.rounds);
+    assert_eq!(batched_report.sales, serial_report.sales);
+    assert_eq!(
+        batched_report.cumulative_regret.to_bits(),
+        serial_report.cumulative_regret.to_bits()
+    );
+    assert_eq!(
+        batched_report.cumulative_revenue.to_bits(),
+        serial_report.cumulative_revenue.to_bits()
+    );
+    assert_ellipsoid_bits(
+        batched.mechanism().knowledge(),
+        serial.mechanism().knowledge(),
+        "final knowledge",
+    );
+}
+
+#[test]
+fn serve_batch_handles_malformed_interleavings_like_the_serial_path() {
+    // Abandoned rounds (quote over an open round) and dropped feedback
+    // (observe with no open round) must count identically on both paths.
+    let config = PricingConfig::new(1.0, 32);
+    let build = || {
+        PricingSession::new(mechanism(2, config), 32, SimulationOptions::default())
+            .without_latency_tracking()
+    };
+    let mut batched = build();
+    let mut serial = build();
+    let a = Vector::from_slice(&[0.6, 0.8]);
+    let b = Vector::from_slice(&[-0.3, 0.5]);
+
+    let requests = [
+        BatchRequest::Observe(StepOutcome::accept_only(true)), // dropped
+        BatchRequest::Quote {
+            features: &a,
+            reserve_price: 0.0,
+        },
+        BatchRequest::Quote {
+            features: &b,
+            reserve_price: 0.1,
+        }, // abandons the first round
+        BatchRequest::Observe(StepOutcome::accept_only(false)),
+        BatchRequest::Observe(StepOutcome::with_value(true, 0.4)), // dropped
+    ];
+    let mut responses = Vec::new();
+    batched.serve_batch(requests.iter().copied(), &mut responses);
+
+    let dropped = serial.observe(StepOutcome::accept_only(true));
+    assert!(dropped.is_none());
+    let q1 = serial.step(&a, 0.0);
+    let q2 = serial.step(&b, 0.1);
+    let closed = serial.observe(StepOutcome::accept_only(false));
+    let dropped_tail = serial.observe(StepOutcome::with_value(true, 0.4));
+    assert!(dropped_tail.is_none());
+
+    assert_eq!(responses.len(), 5);
+    assert_eq!(responses[0], BatchResponse::Observed(None));
+    match (&responses[1], &responses[2]) {
+        (BatchResponse::Quoted(b1), BatchResponse::Quoted(b2)) => {
+            assert_quote_bits(b1, &q1, "first quote");
+            assert_quote_bits(b2, &q2, "abandoning quote");
+        }
+        other => panic!("expected two quotes, got {other:?}"),
+    }
+    assert_eq!(responses[3], BatchResponse::Observed(closed));
+    assert_eq!(responses[4], BatchResponse::Observed(None));
+
+    assert_eq!(batched.abandoned_rounds(), serial.abandoned_rounds());
+    assert_eq!(batched.abandoned_rounds(), 1);
+    assert_eq!(batched.rounds_closed(), serial.rounds_closed());
+    assert_ellipsoid_bits(
+        batched.mechanism().knowledge(),
+        serial.mechanism().knowledge(),
+        "post-interleave knowledge",
+    );
+}

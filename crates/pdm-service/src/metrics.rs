@@ -153,6 +153,21 @@ impl ShardMetrics {
         self.latency_stats.push(micros);
     }
 
+    /// Records the service time of a batch of `count` requests drained in
+    /// one go: the batch wall-clock is split evenly, one sample per request,
+    /// so window occupancy and all-time counts stay per-request comparable
+    /// with [`ShardMetrics::record_latency`].  A `count` of zero is a no-op.
+    pub fn record_latency_batch(&mut self, elapsed: Duration, count: usize) {
+        if count == 0 {
+            return;
+        }
+        let micros = elapsed.as_secs_f64() * 1e6 / count as f64;
+        for _ in 0..count {
+            self.latency_window.push(micros);
+            self.latency_stats.push(micros);
+        }
+    }
+
     /// Number of latency samples currently retained in the quantile window
     /// (all-time counts live in [`ShardMetrics::latency_stats`]).
     #[must_use]

@@ -9,9 +9,10 @@
 //!   [`ServiceError::QueueFull`], never buffered without limit) and returns
 //!   a [`Ticket`];
 //! * [`MarketService::drain`] serves every queued request on a
-//!   `std::thread::scope` worker pool, one worker per shard at a time, and
-//!   returns the batched [`Response`]s in deterministic (shard, submission)
-//!   order.
+//!   `std::thread::scope` worker pool (capped at the machine's hardware
+//!   threads, with the calling thread claiming shards alongside the
+//!   spawned workers), one worker per shard at a time, and returns the
+//!   batched [`Response`]s in deterministic (shard, submission) order.
 //!
 //! Because every shard processes its queue strictly FIFO and shards share
 //! no mutable state, the *values* the engine computes are identical for any
@@ -75,6 +76,11 @@ pub struct MarketService {
     config: ServiceConfig,
     shards: Vec<Mutex<Shard>>,
     next_seq: u64,
+    /// Hardware threads available to a drain pool, probed once at
+    /// construction: spawning more drain workers than the machine can run
+    /// cannot add parallelism, it only pays spawn and context-switch
+    /// overhead, so [`MarketService::drain`] caps its pool here.
+    hardware_workers: usize,
 }
 
 impl MarketService {
@@ -94,6 +100,8 @@ impl MarketService {
             config,
             shards,
             next_seq: 0,
+            hardware_workers: std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get),
         })
     }
 
@@ -212,51 +220,74 @@ impl MarketService {
     /// Serves every queued request and returns the responses in
     /// deterministic (shard, submission) order.
     ///
+    /// Convenience wrapper over [`MarketService::drain_into`] that allocates
+    /// the response buffer; hot callers that drain in a loop should hold a
+    /// buffer and call `drain_into` to reuse its capacity across drains.
+    pub fn drain(&mut self, workers: usize) -> Vec<Response> {
+        let mut responses = Vec::new();
+        self.drain_into(workers, &mut responses);
+        responses
+    }
+
+    /// Serves every queued request, appending the responses to `out` in
+    /// deterministic (shard, submission) order.
+    ///
     /// `workers` scoped threads pull shard indices from an atomic counter;
     /// each shard is processed serially by whichever worker claims it, so
     /// per-shard state needs no lock contention and the computed values are
     /// independent of the worker count.  `workers` is clamped to
-    /// `[1, shard_count]`; with one worker the pool is skipped entirely.
-    pub fn drain(&mut self, workers: usize) -> Vec<Response> {
+    /// `[1, shard_count]` and capped at the machine's hardware threads —
+    /// oversubscribing a core cannot add parallelism, it only pays spawn
+    /// and context-switch overhead.  An effective single worker (including
+    /// every drain on a single-core host) runs on the calling thread with
+    /// no pool at all; a pool of `n` workers spawns `n - 1` threads and the
+    /// calling thread claims shards alongside them.
+    pub fn drain_into(&mut self, workers: usize, out: &mut Vec<Response>) {
         let shard_count = self.shards.len();
-        let workers = workers.clamp(1, shard_count);
+        let workers = workers.clamp(1, shard_count).min(self.hardware_workers);
 
         // An idle drain (e.g. the silent waves of a bursty workload) must
         // not pay for thread spawns or per-shard locking.
         if self.queued_requests() == 0 {
-            return Vec::new();
+            return;
         }
 
-        if workers == 1 {
-            let mut responses = Vec::new();
+        if workers <= 1 {
             for shard in &mut self.shards {
-                responses.append(&mut shard.get_mut().expect("shard poisoned").process_all());
+                shard
+                    .get_mut()
+                    .expect("shard poisoned")
+                    .process_all_into(out);
             }
-            return responses;
+            return;
         }
 
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Vec<Response>>> =
             (0..shard_count).map(|_| Mutex::new(Vec::new())).collect();
         let shards = &self.shards;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= shard_count {
-                        break;
-                    }
-                    let responses = shards[index].lock().expect("shard poisoned").process_all();
-                    *slots[index].lock().expect("slot poisoned") = responses;
-                });
+        let claim_shards = || loop {
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            if index >= shard_count {
+                break;
             }
+            let mut responses = Vec::new();
+            shards[index]
+                .lock()
+                .expect("shard poisoned")
+                .process_all_into(&mut responses);
+            *slots[index].lock().expect("slot poisoned") = responses;
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(claim_shards);
+            }
+            claim_shards();
         });
 
-        let mut responses = Vec::new();
         for slot in slots {
-            responses.append(&mut slot.into_inner().expect("slot poisoned"));
+            out.append(&mut slot.into_inner().expect("slot poisoned"));
         }
-        responses
     }
 
     /// The regret ledger one tenant accumulated from outcomes that carried
