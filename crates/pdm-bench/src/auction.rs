@@ -218,6 +218,7 @@ fn run_rep(spec: &AuctionCellSpec, workers: usize, rep: u64) -> Result<RepOutcom
     let mut service = MarketService::new(ServiceConfig {
         shards: spec.shards,
         queue_capacity: spec.tenants.max(4),
+        ..ServiceConfig::default()
     })
     .expect("valid service config");
     let mut markets: Vec<AuctionMarket> = Vec::with_capacity(spec.tenants);

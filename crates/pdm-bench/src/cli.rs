@@ -11,6 +11,7 @@ use crate::auction::{auction_grid, render_auction, run_auction_cells};
 use crate::drift::{drift_grid, render_drift, run_drift_cells};
 use crate::experiments::{experiments_for, render_experiment, render_fig1};
 use crate::grid::expand_jobs;
+use crate::longhaul::{longhaul_grid, render_longhaul, run_longhaul_cells};
 use crate::report::{
     build_experiment_reports, git_describe, BenchReport, PerfFloor, PerfSummary, SCHEMA_VERSION,
 };
@@ -50,13 +51,17 @@ pub enum Command {
     /// The drifting-market workload (drift-kind × magnitude × policy grid
     /// with post-shift regret and serial-replay verification).
     Drift,
+    /// The sustained-serving workload (continuous ingest with WAL
+    /// checkpoints under traffic, a timed bit-identical restore, and
+    /// cold-tenant paging churn under a resident cap).
+    Longhaul,
     /// Every simulation experiment above in one grid.
     All,
 }
 
 impl Command {
     /// Every subcommand, in help order.
-    pub const ALL: [Command; 13] = [
+    pub const ALL: [Command; 14] = [
         Command::Fig1,
         Command::Fig4,
         Command::Fig5a,
@@ -69,6 +74,7 @@ impl Command {
         Command::Serve,
         Command::Auction,
         Command::Drift,
+        Command::Longhaul,
         Command::All,
     ];
 
@@ -88,6 +94,7 @@ impl Command {
             Command::Serve => "serve",
             Command::Auction => "auction",
             Command::Drift => "drift",
+            Command::Longhaul => "longhaul",
             Command::All => "all",
         }
     }
@@ -324,11 +331,17 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
     } else {
         Vec::new()
     };
+    let longhaul_cells = if args.command == Command::Longhaul {
+        filter_cells(longhaul_grid(args.scale), filter, |c| c.label.clone())
+    } else {
+        Vec::new()
+    };
     if let Some(needle) = filter {
         if experiments.is_empty()
             && serve_cells.is_empty()
             && auction_cells.is_empty()
             && drift_cells.is_empty()
+            && longhaul_cells.is_empty()
         {
             return Err(format!(
                 "--filter `{needle}` matched no cells of `bench {}`",
@@ -350,6 +363,7 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         .map(|cell| cell.shards)
         .chain(auction_cells.iter().map(|cell| cell.shards))
         .chain(drift_cells.iter().map(|cell| cell.shards))
+        .chain(longhaul_cells.iter().map(|cell| cell.shards))
         .max();
     let workers = match shard_cap {
         Some(shards) => args.workers.clamp(1, shards),
@@ -412,6 +426,15 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         |rows| vec![render_drift(rows)],
         "posted prices, detector firings, restarts",
     )?;
+    let longhaul = run_closed_loop_workload(
+        "longhaul",
+        args,
+        workers,
+        &longhaul_cells,
+        run_longhaul_cells,
+        |rows| vec![render_longhaul(rows)],
+        "WAL restore continuation, pre-cut ledgers, resident bound",
+    )?;
 
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -426,6 +449,7 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         serve,
         auction,
         drift,
+        longhaul,
     };
 
     println!(
@@ -561,6 +585,31 @@ mod tests {
         assert_eq!(args.command, Command::Drift);
         assert!(args.check);
         assert!(usage().contains("drift"));
+    }
+
+    #[test]
+    fn longhaul_is_a_first_class_subcommand() {
+        assert_eq!(Command::parse("longhaul"), Some(Command::Longhaul));
+        let args = parse_args(None, &strings(&["longhaul", "--workers", "2", "--check"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.command, Command::Longhaul);
+        assert!(args.check);
+        assert!(usage().contains("longhaul"));
+    }
+
+    #[test]
+    fn filter_restricts_the_longhaul_grid() {
+        let mut args = parse_args(None, &strings(&["longhaul", "--filter", "cap=8"]))
+            .unwrap()
+            .unwrap();
+        args.workers = 2;
+        let report = execute(&args).expect("filtered longhaul run");
+        assert_eq!(report.longhaul.len(), 1);
+        assert_eq!(report.longhaul[0].label, "tenants=24/cap=8");
+        assert!(report.experiments.is_empty());
+        assert!(report.serve.is_empty());
+        assert!(report.validate().is_empty());
     }
 
     #[test]

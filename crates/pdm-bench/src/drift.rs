@@ -255,6 +255,7 @@ fn run_rep(spec: &DriftCellSpec, workers: usize, rep: u64) -> Result<RepOutcome,
     let mut service = MarketService::new(ServiceConfig {
         shards: spec.shards,
         queue_capacity: spec.tenants.max(4),
+        ..ServiceConfig::default()
     })
     .map_err(|e| format!("{}: config: {e}", spec.label))?;
     let mut environments: Vec<DriftingLinearEnvironment> = Vec::with_capacity(spec.tenants);

@@ -65,10 +65,11 @@ pub fn experiments_for(command: Command, scale: Scale) -> Vec<Experiment> {
         Command::RegretScaling => regret_scaling(scale),
         Command::Overhead => overhead(scale),
         Command::Lemma8 => vec![lemma8(scale)],
-        // The serve, auction, and drift workloads drive the sharded service
-        // engine through their own closed loops (crate::serve /
-        // crate::auction / crate::drift), not the simulation job runner.
-        Command::Serve | Command::Auction | Command::Drift => Vec::new(),
+        // The serve, auction, drift, and longhaul workloads drive the
+        // sharded service engine through their own closed loops
+        // (crate::serve / crate::auction / crate::drift / crate::longhaul),
+        // not the simulation job runner.
+        Command::Serve | Command::Auction | Command::Drift | Command::Longhaul => Vec::new(),
         Command::All => {
             let mut all = fig4(scale);
             all.push(fig5a(scale));
@@ -743,11 +744,15 @@ mod tests {
         for command in Command::ALL {
             let experiments = experiments_for(command, Scale::Quick);
             // Fig. 1 is closed-form (no simulation) and the serve, auction,
-            // and drift workloads run through their own closed loops, not
-            // the simulation job runner.
+            // drift, and longhaul workloads run through their own closed
+            // loops, not the simulation job runner.
             if matches!(
                 command,
-                Command::Fig1 | Command::Serve | Command::Auction | Command::Drift
+                Command::Fig1
+                    | Command::Serve
+                    | Command::Auction
+                    | Command::Drift
+                    | Command::Longhaul
             ) {
                 assert!(experiments.is_empty());
             } else {

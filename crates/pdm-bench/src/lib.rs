@@ -46,6 +46,7 @@ pub mod drift;
 pub mod experiments;
 pub mod grid;
 pub mod linear_market;
+pub mod longhaul;
 pub mod report;
 pub mod runner;
 pub mod scale;

@@ -1,0 +1,611 @@
+//! The `bench longhaul` workload: sustained serving with WAL checkpoints
+//! under traffic, a timed mid-run restore, and cold-tenant paging churn.
+//!
+//! Every cell spins up a paging-enabled [`MarketService`] (a resident cap
+//! well below the tenant count, the WAL on) and pumps a rotating
+//! active-window traffic trace through it: each wave serves a contiguous
+//! window of tenants that slides every wave, so tenants keep falling cold
+//! and paging back in.  The whole trace is precomputed, which lets the run
+//! verify the tentpole contracts end to end:
+//!
+//! * **Snapshot under traffic** — a WAL checkpoint is taken every
+//!   `checkpoint_every` waves while the service keeps serving; dirty-tenant
+//!   tracking keeps each segment proportional to the tenants that actually
+//!   changed, not the population.
+//! * **Bit-identical restore** — at the halfway cut the service is rebuilt
+//!   from the base snapshot plus the accumulated segments
+//!   ([`MarketService::restore_with_wal`], timed as the restore-latency
+//!   column), and **both** services then replay the identical second half
+//!   of the trace.  Every posted price must agree bit for bit, and the
+//!   pre-cut aggregates (quotes, sales, revenue, regret) must match
+//!   exactly.  Paging counters are deliberately *not* compared: the
+//!   restored service starts with a fresh LRU, so its eviction choices may
+//!   differ while its arithmetic cannot.
+//! * **Bounded residency** — after every wave, on both services, the
+//!   materialised tenant count must not exceed the resident cap; the run
+//!   fails otherwise.  Memory per tenant (hot footprints plus cold page
+//!   bytes over the whole population) is reported as a column.
+//!
+//! [`MarketService`]: pdm_service::MarketService
+//! [`MarketService::restore_with_wal`]: pdm_service::MarketService::restore_with_wal
+
+use crate::grid::derive_seed;
+use crate::runner::AggStat;
+use crate::table;
+use crate::Scale;
+use pdm_linalg::{sampling, Json, Vector};
+use pdm_service::{
+    MarketService, OutcomeReport, QueryRequest, ServiceConfig, ShardMetrics, TenantConfig, TenantId,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Base seed of the longhaul grid; each cell derives its traffic trace from
+/// `derive_seed(LONGHAUL_SEED_BASE + cell_index, rep)`.
+const LONGHAUL_SEED_BASE: u64 = 0x10A9;
+
+/// Reserve prices are this fraction of the hidden market value, matching
+/// the serve workload's convention.
+const RESERVE_FRACTION: f64 = 0.6;
+
+/// One cell of the longhaul grid: a paging-enabled service under a rotating
+/// active-window trace with periodic WAL checkpoints.
+#[derive(Debug, Clone)]
+pub struct LonghaulCellSpec {
+    /// Row label, e.g. `tenants=24/cap=8`.
+    pub label: String,
+    /// Number of registered tenants.
+    pub tenants: usize,
+    /// Feature dimension of every tenant's queries.
+    pub dim: usize,
+    /// Shard count of the service.
+    pub shards: usize,
+    /// Closed-loop waves to pump (the restore cut falls at the midpoint).
+    pub waves: usize,
+    /// Resident cap — far below `tenants`, so the trace forces churn.
+    pub resident_capacity: usize,
+    /// Tenant records per WAL segment.
+    pub wal_segment_size: usize,
+    /// A WAL checkpoint is taken every this many waves.
+    pub checkpoint_every: usize,
+    /// Base seed of the cell's traffic trace.
+    pub seed: u64,
+}
+
+/// Wall-clock figures of one longhaul cell (excluded from the determinism
+/// fingerprint).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LonghaulPerf {
+    /// End-to-end seconds for the cell (trace + both runs + verify).
+    pub wall_clock_secs: f64,
+    /// Quotes served per second of drain time on the original service.
+    pub quotes_per_sec: f64,
+    /// Mean µs for one [`restore_with_wal`] rebuild (base + segments).
+    ///
+    /// [`restore_with_wal`]: pdm_service::MarketService::restore_with_wal
+    pub restore_latency_micros: f64,
+    /// Mean resident bytes per registered tenant at the end of a rep: hot
+    /// tenants at their learned-state footprint, cold tenants at the length
+    /// of their serialised page.
+    pub memory_per_tenant_bytes: f64,
+}
+
+/// Everything the BENCH v6 report records about one longhaul cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LonghaulCellReport {
+    /// Row label (from the cell spec).
+    pub label: String,
+    /// Registered tenants.
+    pub tenants: u64,
+    /// Service shard count.
+    pub shards: u64,
+    /// Closed-loop waves per repetition.
+    pub waves: u64,
+    /// Repetitions aggregated.
+    pub reps: u64,
+    /// Worker threads each drain ran on.
+    pub workers: u64,
+    /// The resident cap the run was bounded by.
+    pub resident_capacity: u64,
+    /// Tenant records per WAL segment.
+    pub wal_segment_size: u64,
+    /// Quotes served on the original service, summed over repetitions.
+    pub quotes_served: u64,
+    /// Outcome reports applied, summed over repetitions.
+    pub observations: u64,
+    /// Accepted quotes, summed over repetitions.
+    pub sales: u64,
+    /// Cold-tenant evictions on the original service, summed over reps.
+    pub evictions: u64,
+    /// Cold-tenant rehydrations on the original service, summed over reps.
+    pub rehydrations: u64,
+    /// WAL segments written per repetition (identical across reps by
+    /// construction), summed over reps.
+    pub wal_segments: u64,
+    /// Highest materialised tenant count observed after any wave, across
+    /// both services and every rep — the number the cap gate bounds.
+    pub max_resident: u64,
+    /// Cumulative revenue per repetition.
+    pub revenue: AggStat,
+    /// Cumulative exact regret per repetition.
+    pub regret: AggStat,
+    /// Acceptance rate per repetition.
+    pub accept_rate: AggStat,
+    /// Wall-clock throughput/latency/memory figures.
+    pub perf: LonghaulPerf,
+}
+
+/// The longhaul grid at the given scale: one tenant population under two
+/// resident caps (tight and tighter), both far below the population.
+#[must_use]
+pub fn longhaul_grid(scale: Scale) -> Vec<LonghaulCellSpec> {
+    let tenants = scale.pick(24usize, 128);
+    let dim = scale.pick(3, 8);
+    let shards = scale.pick(4, 8);
+    let waves = scale.pick(24, 96);
+    let caps = scale.pick(vec![8usize, 6], vec![32, 16]);
+    let wal_segment_size = scale.pick(8, 32);
+    let checkpoint_every = scale.pick(4, 8);
+    caps.into_iter()
+        .enumerate()
+        .map(|(index, cap)| LonghaulCellSpec {
+            label: format!("tenants={tenants}/cap={cap}"),
+            tenants,
+            dim,
+            shards,
+            waves,
+            resident_capacity: cap,
+            wal_segment_size,
+            checkpoint_every,
+            seed: LONGHAUL_SEED_BASE + index as u64,
+        })
+        .collect()
+}
+
+/// One precomputed request of the traffic trace.
+struct TraceRequest {
+    tenant: u64,
+    features: Vector,
+    value: f64,
+    reserve: f64,
+}
+
+/// The per-repetition outcome handed to the aggregator.
+struct RepOutcome {
+    revenue: f64,
+    regret: f64,
+    accept_rate: f64,
+    metrics: ShardMetrics,
+    wal_segments: u64,
+    max_resident: usize,
+    resident_memory_bytes: usize,
+    restore_latency: Duration,
+    drain_time: Duration,
+}
+
+/// Precomputes the full trace: each wave serves a sliding window of
+/// tenants, so the same requests can replay against the original service
+/// and the restored one.
+fn build_trace(
+    spec: &LonghaulCellSpec,
+    traffic_seed: u64,
+) -> Result<Vec<Vec<TraceRequest>>, String> {
+    let window = spec
+        .resident_capacity
+        .max(spec.tenants / 4)
+        .max(1)
+        .min(spec.tenants);
+    let mut streams: Vec<StdRng> = Vec::with_capacity(spec.tenants);
+    let mut thetas: Vec<Vector> = Vec::with_capacity(spec.tenants);
+    for id in 0..spec.tenants as u64 {
+        let mut rng = StdRng::seed_from_u64(derive_seed(traffic_seed, id.wrapping_add(1)));
+        thetas.push(
+            sampling::unit_sphere(&mut rng, spec.dim)
+                .map(f64::abs)
+                .normalized(),
+        );
+        streams.push(rng);
+    }
+    let mut trace = Vec::with_capacity(spec.waves);
+    for wave in 0..spec.waves {
+        // The window slides three tenants per wave: fast enough that the
+        // active set outruns the resident cap, slow enough that sessions
+        // still accumulate rounds before falling cold.
+        let start = (wave * 3) % spec.tenants;
+        let mut requests = Vec::with_capacity(window);
+        for offset in 0..window {
+            let id = ((start + offset) % spec.tenants) as u64;
+            let rng = &mut streams[id as usize];
+            let features = sampling::standard_normal_vector(rng, spec.dim)
+                .map(f64::abs)
+                .normalized();
+            let value = thetas[id as usize]
+                .dot(&features)
+                .map_err(|e| format!("{}: dot: {e}", spec.label))?;
+            requests.push(TraceRequest {
+                tenant: id,
+                features,
+                value,
+                reserve: RESERVE_FRACTION * value,
+            });
+        }
+        trace.push(requests);
+    }
+    Ok(trace)
+}
+
+/// Builds the cell's service and registers its tenants.
+fn build_service(spec: &LonghaulCellSpec) -> Result<MarketService, String> {
+    let window = spec.resident_capacity.max(spec.tenants / 4).max(1);
+    let mut service = MarketService::new(ServiceConfig {
+        shards: spec.shards,
+        queue_capacity: window.max(4),
+        resident_capacity: Some(spec.resident_capacity),
+        wal_segment_size: Some(spec.wal_segment_size),
+    })
+    .map_err(|e| format!("{}: config: {e}", spec.label))?;
+    let config = TenantConfig::standard(spec.dim, spec.waves);
+    for id in 0..spec.tenants as u64 {
+        service
+            .register_tenant(TenantId(id), config)
+            .map_err(|e| format!("{}: register: {e}", spec.label))?;
+    }
+    Ok(service)
+}
+
+/// Replays `waves` of the trace against `service`, collecting every posted
+/// price bit in `(tenant, bits)` response order and enforcing the resident
+/// cap after every wave.  Returns the accumulated drain time.
+fn run_waves(
+    label: &str,
+    service: &mut MarketService,
+    trace: &[Vec<TraceRequest>],
+    workers: usize,
+    bits: &mut Vec<(u64, u64)>,
+    max_resident: &mut usize,
+    cap: usize,
+) -> Result<Duration, String> {
+    let mut drain_time = Duration::ZERO;
+    let mut responses = Vec::new();
+    for requests in trace {
+        for request in requests {
+            service
+                .submit_quote(QueryRequest {
+                    tenant: TenantId(request.tenant),
+                    features: request.features.clone(),
+                    reserve_price: request.reserve,
+                })
+                .map_err(|e| format!("{label}: submit: {e}"))?;
+        }
+        responses.clear();
+        let started = Instant::now();
+        service.drain_into(workers, &mut responses);
+        drain_time += started.elapsed();
+        for response in &responses {
+            let quote = response
+                .quote()
+                .ok_or_else(|| format!("{label}: expected a quote response"))?;
+            let request = requests
+                .iter()
+                .find(|r| r.tenant == response.tenant.0)
+                .ok_or_else(|| format!("{label}: response without a request"))?;
+            bits.push((response.tenant.0, quote.posted_price.to_bits()));
+            service
+                .submit_outcome(OutcomeReport {
+                    tenant: response.tenant,
+                    accepted: quote.posted_price <= request.value,
+                    market_value: Some(request.value),
+                })
+                .map_err(|e| format!("{label}: outcome: {e}"))?;
+        }
+        responses.clear();
+        let started = Instant::now();
+        service.drain_into(workers, &mut responses);
+        drain_time += started.elapsed();
+        let resident = service.resident_tenants();
+        *max_resident = (*max_resident).max(resident);
+        if resident > cap {
+            return Err(format!(
+                "{label}: {resident} tenants resident after a wave, above the cap of {cap}"
+            ));
+        }
+    }
+    Ok(drain_time)
+}
+
+/// Runs one repetition of one cell: first half with checkpoints under
+/// traffic, the timed restore at the cut, then the identical second half on
+/// both services with bit-for-bit comparison.
+fn run_rep(spec: &LonghaulCellSpec, workers: usize, rep: u64) -> Result<RepOutcome, String> {
+    let trace = build_trace(spec, derive_seed(spec.seed, rep))?;
+    let cut = spec.waves / 2;
+    let cap = spec.resident_capacity;
+    let mut max_resident = 0usize;
+
+    let mut original = build_service(spec)?;
+    let base = original
+        .snapshot()
+        .map_err(|e| format!("{}: base snapshot: {e}", spec.label))?;
+    let mut stream: Vec<Json> = Vec::new();
+    let mut drain_time = Duration::ZERO;
+    let mut pre_cut_bits = Vec::new();
+    for (wave, requests) in trace[..cut].iter().enumerate() {
+        drain_time += run_waves(
+            &spec.label,
+            &mut original,
+            std::slice::from_ref(requests),
+            workers,
+            &mut pre_cut_bits,
+            &mut max_resident,
+            cap,
+        )?;
+        // Snapshot-under-traffic: the checkpoint interleaves with the load
+        // instead of waiting for the run to end.
+        if (wave + 1) % spec.checkpoint_every == 0 {
+            stream.extend(
+                original
+                    .checkpoint()
+                    .map_err(|e| format!("{}: checkpoint: {e}", spec.label))?,
+            );
+        }
+    }
+    // The cut checkpoint: the service is quiescent here, so base + stream is
+    // a consistent point to rebuild from.
+    stream.extend(
+        original
+            .checkpoint()
+            .map_err(|e| format!("{}: cut checkpoint: {e}", spec.label))?,
+    );
+
+    let restore_started = Instant::now();
+    let mut restored = MarketService::restore_with_wal(&base, &stream)
+        .map_err(|e| format!("{}: restore: {e}", spec.label))?;
+    let restore_latency = restore_started.elapsed();
+
+    // The restored service must agree with the original on everything the
+    // WAL promises to carry — the pricing arithmetic and its ledgers.  The
+    // paging counters are excluded by design: a fresh LRU may evict
+    // different tenants without changing a single priced bit.
+    let original_cut = original.aggregate_metrics();
+    let restored_cut = restored.aggregate_metrics();
+    if restored_cut.quotes_served != original_cut.quotes_served
+        || restored_cut.sales != original_cut.sales
+        || restored_cut.revenue.to_bits() != original_cut.revenue.to_bits()
+        || restored_cut.regret.to_bits() != original_cut.regret.to_bits()
+    {
+        return Err(format!(
+            "{}: the WAL restore lost counters at the cut (quotes {} vs {}, revenue {} vs {})",
+            spec.label,
+            restored_cut.quotes_served,
+            original_cut.quotes_served,
+            restored_cut.revenue,
+            original_cut.revenue,
+        ));
+    }
+
+    // Second half: the identical trace against both services.
+    let mut expected = Vec::new();
+    drain_time += run_waves(
+        &spec.label,
+        &mut original,
+        &trace[cut..],
+        workers,
+        &mut expected,
+        &mut max_resident,
+        cap,
+    )?;
+    let mut actual = Vec::new();
+    run_waves(
+        &spec.label,
+        &mut restored,
+        &trace[cut..],
+        workers,
+        &mut actual,
+        &mut max_resident,
+        cap,
+    )?;
+    if expected != actual {
+        return Err(format!(
+            "{}: the restored service diverged from the original over the post-cut trace \
+             — WAL restore is not bit-identical",
+            spec.label
+        ));
+    }
+
+    let metrics = original.aggregate_metrics();
+    Ok(RepOutcome {
+        revenue: metrics.revenue,
+        regret: metrics.regret,
+        accept_rate: metrics.accept_rate(),
+        wal_segments: original.wal_segments_written(),
+        max_resident,
+        resident_memory_bytes: original.resident_memory_bytes(),
+        restore_latency,
+        drain_time,
+        metrics,
+    })
+}
+
+/// Runs one cell (all repetitions) and aggregates it into a report row.
+pub fn run_longhaul_cell(
+    spec: &LonghaulCellSpec,
+    workers: usize,
+    reps: u64,
+) -> Result<LonghaulCellReport, String> {
+    let started = Instant::now();
+    let reps = reps.max(1);
+    let mut revenue = Vec::with_capacity(reps as usize);
+    let mut regret = Vec::with_capacity(reps as usize);
+    let mut accept_rate = Vec::with_capacity(reps as usize);
+    let mut metrics = ShardMetrics::new();
+    let mut wal_segments = 0u64;
+    let mut max_resident = 0usize;
+    let mut memory_bytes = 0.0f64;
+    let mut restore_time = Duration::ZERO;
+    let mut drain_time = Duration::ZERO;
+    for rep in 0..reps {
+        let outcome = run_rep(spec, workers, rep)?;
+        revenue.push(outcome.revenue);
+        regret.push(outcome.regret);
+        accept_rate.push(outcome.accept_rate);
+        metrics.merge(&outcome.metrics);
+        wal_segments += outcome.wal_segments;
+        max_resident = max_resident.max(outcome.max_resident);
+        memory_bytes += outcome.resident_memory_bytes as f64;
+        restore_time += outcome.restore_latency;
+        drain_time += outcome.drain_time;
+    }
+    let drain_secs = drain_time.as_secs_f64();
+    let quotes_per_sec = if drain_secs > 0.0 {
+        metrics.quotes_served as f64 / drain_secs
+    } else {
+        0.0
+    };
+    Ok(LonghaulCellReport {
+        label: spec.label.clone(),
+        tenants: spec.tenants as u64,
+        shards: spec.shards as u64,
+        waves: spec.waves as u64,
+        reps,
+        workers: workers as u64,
+        resident_capacity: spec.resident_capacity as u64,
+        wal_segment_size: spec.wal_segment_size as u64,
+        quotes_served: metrics.quotes_served,
+        observations: metrics.observations,
+        sales: metrics.sales,
+        evictions: metrics.evictions,
+        rehydrations: metrics.rehydrations,
+        wal_segments,
+        max_resident: max_resident as u64,
+        revenue: AggStat::from_values(&revenue),
+        regret: AggStat::from_values(&regret),
+        accept_rate: AggStat::from_values(&accept_rate),
+        perf: LonghaulPerf {
+            wall_clock_secs: started.elapsed().as_secs_f64(),
+            quotes_per_sec,
+            restore_latency_micros: restore_time.as_secs_f64() * 1e6 / reps as f64,
+            memory_per_tenant_bytes: memory_bytes / (reps as f64 * spec.tenants as f64),
+        },
+    })
+}
+
+/// Runs a set of longhaul cells (the whole grid, or a `--filter` subset).
+pub fn run_longhaul_cells(
+    cells: &[LonghaulCellSpec],
+    workers: usize,
+    reps: u64,
+) -> Result<Vec<LonghaulCellReport>, String> {
+    cells
+        .iter()
+        .map(|spec| run_longhaul_cell(spec, workers, reps))
+        .collect()
+}
+
+/// Renders the longhaul cells as the console table `bench longhaul` prints.
+#[must_use]
+pub fn render_longhaul(cells: &[LonghaulCellReport]) -> String {
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.label.clone(),
+                cell.quotes_served.to_string(),
+                cell.evictions.to_string(),
+                cell.rehydrations.to_string(),
+                cell.wal_segments.to_string(),
+                format!("{}/{}", cell.max_resident, cell.resident_capacity),
+                table::fmt(cell.perf.memory_per_tenant_bytes, 0),
+                table::fmt(cell.perf.restore_latency_micros, 1),
+                table::fmt(cell.perf.quotes_per_sec, 0),
+            ]
+        })
+        .collect();
+    table::render(
+        &[
+            "cell",
+            "quotes",
+            "evict",
+            "rehydrate",
+            "wal segs",
+            "resident",
+            "B/tenant",
+            "restore µs",
+            "quotes/s",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cell() -> LonghaulCellSpec {
+        LonghaulCellSpec {
+            label: "tenants=12/cap=4".to_owned(),
+            tenants: 12,
+            dim: 3,
+            shards: 2,
+            waves: 12,
+            resident_capacity: 4,
+            wal_segment_size: 4,
+            checkpoint_every: 3,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn grid_scales_and_labels_carry_the_cap() {
+        let quick = longhaul_grid(Scale::Quick);
+        assert_eq!(quick.len(), 2);
+        assert!(quick[0].label.contains("cap="));
+        for cell in &quick {
+            assert!(cell.resident_capacity < cell.tenants);
+        }
+        let full = longhaul_grid(Scale::Full);
+        assert!(full[0].tenants > quick[0].tenants);
+        assert!(full[0].waves > quick[0].waves);
+    }
+
+    #[test]
+    fn cell_survives_its_own_restore_and_residency_gates() {
+        let report = run_longhaul_cell(&tiny_cell(), 2, 1).unwrap();
+        assert!(report.quotes_served > 0);
+        assert_eq!(report.observations, report.quotes_served);
+        assert!(
+            report.evictions > 0,
+            "a cap of 4 over 12 tenants must force paging"
+        );
+        assert!(report.rehydrations > 0);
+        assert!(report.wal_segments > 0);
+        assert!(report.max_resident <= report.resident_capacity);
+        assert!(report.perf.restore_latency_micros > 0.0);
+        assert!(report.perf.memory_per_tenant_bytes > 0.0);
+        assert!(report.revenue.mean > 0.0);
+    }
+
+    #[test]
+    fn worker_count_does_not_move_deterministic_aggregates() {
+        let one = run_longhaul_cell(&tiny_cell(), 1, 1).unwrap();
+        let two = run_longhaul_cell(&tiny_cell(), 2, 1).unwrap();
+        assert_eq!(one.quotes_served, two.quotes_served);
+        assert_eq!(one.sales, two.sales);
+        assert_eq!(one.evictions, two.evictions);
+        assert_eq!(one.rehydrations, two.rehydrations);
+        assert_eq!(one.wal_segments, two.wal_segments);
+        assert_eq!(one.max_resident, two.max_resident);
+        assert_eq!(one.revenue.mean.to_bits(), two.revenue.mean.to_bits());
+        assert_eq!(one.regret.mean.to_bits(), two.regret.mean.to_bits());
+    }
+
+    #[test]
+    fn render_lists_every_column() {
+        let report = run_longhaul_cell(&tiny_cell(), 1, 1).unwrap();
+        let rendered = render_longhaul(std::slice::from_ref(&report));
+        assert!(rendered.contains("tenants=12/cap=4"));
+        assert!(rendered.contains("B/tenant"));
+        assert!(rendered.contains("restore µs"));
+        assert!(rendered.contains("wal segs"));
+    }
+}

@@ -24,6 +24,7 @@ use crate::auction::{AuctionCellReport, AuctionPerf};
 use crate::drift::{DriftCellReport, DriftPerf};
 use crate::grid::{CellSpec, Job};
 use crate::json::Json;
+use crate::longhaul::{LonghaulCellReport, LonghaulPerf};
 use crate::runner::{
     aggregate_cell, AggStat, CellAggregate, CellPerf, CheckpointAggregate, JobResult, MeanStd,
 };
@@ -32,6 +33,11 @@ use std::process::Command;
 
 /// Version of the `BENCH_*.json` schema this build writes.
 ///
+/// v6 added the additive `longhaul` section (the `bench longhaul`
+/// workload: sustained continuous-ingest serving with WAL checkpoints
+/// under traffic, a timed mid-run restore verified bit for bit, and
+/// cold-tenant paging churn — with memory-per-tenant and restore-latency
+/// perf columns);
 /// v5 added the additive top-level `perf` summary (the serve workload's
 /// grid-level quotes/sec as a first-class figure, the one the
 /// `--perf-floor` CI gate reads) — absent for simulation-only runs and for
@@ -45,8 +51,8 @@ use std::process::Command;
 /// revenue, the no-reserve baseline, welfare, and reserve hit-rates);
 /// v2 added the additive `serve` section (the `bench serve` closed-loop
 /// workload: quotes/sec plus p50/p99 service latency per workload cell);
-/// v1–v4 reports parse as v5 reports with the missing sections empty.
-pub const SCHEMA_VERSION: u64 = 5;
+/// v1–v5 reports parse as v6 reports with the missing sections empty.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Headline throughput summary (schema v5): the serve workload folded into
 /// one first-class perf figure, so CI can gate regressions on a single
@@ -209,6 +215,9 @@ pub struct BenchReport {
     /// Drift-workload cells (schema v4; empty for other runs and for
     /// reports read back from v1–v3 files).
     pub drift: Vec<DriftCellReport>,
+    /// Longhaul-workload cells (schema v6; empty for other runs and for
+    /// reports read back from v1–v5 files).
+    pub longhaul: Vec<LonghaulCellReport>,
     /// Headline throughput summary (schema v5; `None` for simulation-only
     /// runs and for reports read back from v1–v4 files).
     pub perf: Option<PerfSummary>,
@@ -700,6 +709,112 @@ fn drift_cell_from_json(value: &Json) -> Result<DriftCellReport, String> {
     })
 }
 
+/// Serialises the schedule-independent part of a longhaul cell: everything
+/// except `perf` and the worker count.  The paging and WAL counters belong
+/// here — the per-shard LRU clock advances in FIFO admission order, so
+/// evictions, rehydrations, segment counts, and the resident high-water
+/// mark are all worker-count independent.
+fn longhaul_cell_deterministic_json(cell: &LonghaulCellReport) -> Json {
+    Json::obj(vec![
+        ("label", Json::str(&cell.label)),
+        ("tenants", Json::Num(cell.tenants as f64)),
+        ("shards", Json::Num(cell.shards as f64)),
+        ("waves", Json::Num(cell.waves as f64)),
+        ("reps", Json::Num(cell.reps as f64)),
+        (
+            "resident_capacity",
+            Json::Num(cell.resident_capacity as f64),
+        ),
+        ("wal_segment_size", Json::Num(cell.wal_segment_size as f64)),
+        ("quotes_served", Json::Num(cell.quotes_served as f64)),
+        ("observations", Json::Num(cell.observations as f64)),
+        ("sales", Json::Num(cell.sales as f64)),
+        ("evictions", Json::Num(cell.evictions as f64)),
+        ("rehydrations", Json::Num(cell.rehydrations as f64)),
+        ("wal_segments", Json::Num(cell.wal_segments as f64)),
+        ("max_resident", Json::Num(cell.max_resident as f64)),
+        ("revenue", agg_stat_json(&cell.revenue)),
+        ("regret", agg_stat_json(&cell.regret)),
+        ("accept_rate", agg_stat_json(&cell.accept_rate)),
+    ])
+}
+
+fn longhaul_cell_json(cell: &LonghaulCellReport) -> Json {
+    let mut json = longhaul_cell_deterministic_json(cell);
+    let perf = Json::obj(vec![
+        ("wall_clock_secs", Json::Num(cell.perf.wall_clock_secs)),
+        ("quotes_per_sec", Json::Num(cell.perf.quotes_per_sec)),
+        (
+            "restore_latency_micros",
+            Json::Num(cell.perf.restore_latency_micros),
+        ),
+        (
+            "memory_per_tenant_bytes",
+            Json::Num(cell.perf.memory_per_tenant_bytes),
+        ),
+    ]);
+    if let Json::Obj(pairs) = &mut json {
+        pairs.push(("workers".to_owned(), Json::Num(cell.workers as f64)));
+        pairs.push(("perf".to_owned(), perf));
+    }
+    json
+}
+
+fn longhaul_cell_from_json(value: &Json) -> Result<LonghaulCellReport, String> {
+    let label = value
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or("longhaul cell: missing `label`")?
+        .to_owned();
+    let context = format!("longhaul cell `{label}`");
+    let count = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{context}: missing count `{key}`"))
+    };
+    let stat = |key: &str| {
+        value
+            .get(key)
+            .ok_or_else(|| format!("{context}: missing `{key}`"))
+            .and_then(|v| agg_stat_from_json(v, &context))
+    };
+    let perf = value
+        .get("perf")
+        .ok_or_else(|| format!("{context}: missing `perf`"))?;
+    let perf_field = |key: &str| {
+        perf.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{context}: missing perf number `{key}`"))
+    };
+    Ok(LonghaulCellReport {
+        tenants: count("tenants")?,
+        shards: count("shards")?,
+        waves: count("waves")?,
+        reps: count("reps")?,
+        workers: count("workers")?,
+        resident_capacity: count("resident_capacity")?,
+        wal_segment_size: count("wal_segment_size")?,
+        quotes_served: count("quotes_served")?,
+        observations: count("observations")?,
+        sales: count("sales")?,
+        evictions: count("evictions")?,
+        rehydrations: count("rehydrations")?,
+        wal_segments: count("wal_segments")?,
+        max_resident: count("max_resident")?,
+        revenue: stat("revenue")?,
+        regret: stat("regret")?,
+        accept_rate: stat("accept_rate")?,
+        perf: LonghaulPerf {
+            wall_clock_secs: perf_field("wall_clock_secs")?,
+            quotes_per_sec: perf_field("quotes_per_sec")?,
+            restore_latency_micros: perf_field("restore_latency_micros")?,
+            memory_per_tenant_bytes: perf_field("memory_per_tenant_bytes")?,
+        },
+        label,
+    })
+}
+
 fn cell_from_json(value: &Json) -> Result<CellAggregate, String> {
     let label = value
         .get("label")
@@ -829,6 +944,10 @@ impl BenchReport {
                 "drift",
                 Json::Arr(self.drift.iter().map(drift_cell_json).collect()),
             ),
+            (
+                "longhaul",
+                Json::Arr(self.longhaul.iter().map(longhaul_cell_json).collect()),
+            ),
         ]);
         if let Some(perf) = &self.perf {
             let summary = Json::obj(vec![
@@ -918,6 +1037,16 @@ impl BenchReport {
                 .collect::<Result<Vec<_>, String>>()?,
             None => Vec::new(),
         };
+        // `longhaul` arrived with schema v6; same additive rule.
+        let longhaul = match value.get("longhaul") {
+            Some(section) => section
+                .as_arr()
+                .ok_or("report: `longhaul` must be an array")?
+                .iter()
+                .map(longhaul_cell_from_json)
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
         // The `perf` summary arrived with schema v5; its absence (older
         // files, simulation-only runs) means "no summary", not an error.
         let perf = match value.get("perf") {
@@ -945,6 +1074,7 @@ impl BenchReport {
             serve,
             auction,
             drift,
+            longhaul,
             perf,
             name: text("name")?,
             git_describe: text("git_describe")?,
@@ -1018,6 +1148,15 @@ impl BenchReport {
                     self.drift
                         .iter()
                         .map(drift_cell_deterministic_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "longhaul",
+                Json::Arr(
+                    self.longhaul
+                        .iter()
+                        .map(longhaul_cell_deterministic_json)
                         .collect(),
                 ),
             ),
@@ -1253,6 +1392,51 @@ impl BenchReport {
                 }
             }
         }
+        for cell in &self.longhaul {
+            let place = format!("longhaul / {}", cell.label);
+            for (what, stat, upper) in [
+                ("revenue", &cell.revenue, None),
+                ("regret", &cell.regret, None),
+                ("acceptance rate", &cell.accept_rate, Some(1.0)),
+            ] {
+                check_stat(&mut violations, &place, what, stat, upper);
+            }
+            if cell.quotes_served == 0 {
+                violations.push(format!("{place}: served no quotes at all"));
+            }
+            // The residency contract of the paging layer: the run records
+            // the high-water mark across every wave of both the original
+            // and the restored service, and it must stay under the cap.
+            if cell.max_resident > cell.resident_capacity {
+                violations.push(format!(
+                    "{place}: {} tenants resident at the high-water mark, above the \
+                     configured cap of {}",
+                    cell.max_resident, cell.resident_capacity
+                ));
+            }
+            // A longhaul run that wrote no WAL segments never exercised the
+            // checkpoint path it exists to measure.
+            if cell.wal_segments == 0 {
+                violations.push(format!("{place}: wrote no WAL segments at all"));
+            }
+            let throughput = cell.perf.quotes_per_sec;
+            if cell.quotes_served > 0 && (!throughput.is_finite() || throughput <= 0.0) {
+                violations.push(format!(
+                    "{place}: quotes/sec is not positive ({throughput})"
+                ));
+            }
+            // Restore latency and memory-per-tenant are wall-clock figures,
+            // but a successful run must still report them as finite,
+            // non-negative numbers for the CI columns to mean anything.
+            for (what, v) in [
+                ("restore latency µs", cell.perf.restore_latency_micros),
+                ("memory per tenant", cell.perf.memory_per_tenant_bytes),
+            ] {
+                if !v.is_finite() || v < 0.0 {
+                    violations.push(format!("{place}: {what} is not a sane figure ({v})"));
+                }
+            }
+        }
         violations
     }
 }
@@ -1413,6 +1597,35 @@ mod tests {
         }
     }
 
+    fn sample_longhaul_cell(label: &str) -> LonghaulCellReport {
+        LonghaulCellReport {
+            label: label.to_owned(),
+            tenants: 24,
+            shards: 4,
+            waves: 24,
+            reps: 2,
+            workers: 4,
+            resident_capacity: 8,
+            wal_segment_size: 8,
+            quotes_served: 480,
+            observations: 480,
+            sales: 300,
+            evictions: 64,
+            rehydrations: 60,
+            wal_segments: 14,
+            max_resident: 8,
+            revenue: sample_stat(150.0),
+            regret: sample_stat(20.0),
+            accept_rate: sample_stat(0.65),
+            perf: LonghaulPerf {
+                wall_clock_secs: 0.5,
+                quotes_per_sec: 40_000.0,
+                restore_latency_micros: 850.0,
+                memory_per_tenant_bytes: 2_048.0,
+            },
+        }
+    }
+
     fn sample_report() -> BenchReport {
         let serve = vec![sample_serve_cell("tenants=16/mix=uniform")];
         BenchReport {
@@ -1435,6 +1648,7 @@ mod tests {
                 sample_drift_cell("restart", 10.0),
                 sample_drift_cell("discounted", 12.0),
             ],
+            longhaul: vec![sample_longhaul_cell("tenants=24/cap=8")],
         }
     }
 
@@ -1466,6 +1680,9 @@ mod tests {
         b.auction[0].perf.rounds_per_sec = 5.0;
         b.drift[0].workers = 1;
         b.drift[0].perf.quotes_per_sec = 7.0;
+        b.longhaul[0].workers = 1;
+        b.longhaul[0].perf.restore_latency_micros = 123_456.0;
+        b.longhaul[0].perf.memory_per_tenant_bytes = 1.0;
         // The v5 headline summary is pure wall clock: invisible too.
         b.perf.as_mut().expect("summary").serve_quotes_per_sec = 1.0;
         assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
@@ -1482,19 +1699,28 @@ mod tests {
         let mut e = sample_report();
         e.drift[0].post_shift_regret.mean += 1.0;
         assert_ne!(e.deterministic_fingerprint(), b.deterministic_fingerprint());
+        // The longhaul paging/WAL counters are deterministic aggregates, so
+        // the fingerprint must see them.
+        let mut f = sample_report();
+        f.longhaul[0].evictions += 1;
+        assert_ne!(f.deterministic_fingerprint(), b.deterministic_fingerprint());
     }
 
     #[test]
-    fn v1_through_v4_reports_without_newer_sections_still_parse() {
+    fn v1_through_v5_reports_without_newer_sections_still_parse() {
         let mut report = sample_report();
         report.serve.clear();
         report.auction.clear();
         report.drift.clear();
+        report.longhaul.clear();
         report.perf = None;
         let mut rendered = report.to_json();
-        // Simulate a v1 file: no `serve`/`auction`/`drift` keys, version 1.
+        // Simulate a v1 file: no `serve`/`auction`/`drift`/`longhaul` keys,
+        // version 1.
         if let Json::Obj(pairs) = &mut rendered {
-            pairs.retain(|(key, _)| key != "serve" && key != "auction" && key != "drift");
+            pairs.retain(|(key, _)| {
+                key != "serve" && key != "auction" && key != "drift" && key != "longhaul"
+            });
             pairs[0].1 = Json::Num(1.0);
         }
         let reparsed = BenchReport::from_json(&rendered).expect("v1 parses");
@@ -1502,16 +1728,20 @@ mod tests {
         assert!(reparsed.serve.is_empty());
         assert!(reparsed.auction.is_empty());
         assert!(reparsed.drift.is_empty());
+        assert!(reparsed.longhaul.is_empty());
         assert!(reparsed.perf.is_none());
 
         // Simulate a v2 file: a `serve` section but no `auction`/`drift`
-        // (and no v5 `perf` summary).
+        // (and no v5 `perf` summary, no v6 `longhaul`).
         let mut v2 = sample_report();
         v2.auction.clear();
         v2.drift.clear();
+        v2.longhaul.clear();
         let mut rendered = v2.to_json();
         if let Json::Obj(pairs) = &mut rendered {
-            pairs.retain(|(key, _)| key != "auction" && key != "drift" && key != "perf");
+            pairs.retain(|(key, _)| {
+                key != "auction" && key != "drift" && key != "longhaul" && key != "perf"
+            });
             pairs[0].1 = Json::Num(2.0);
         }
         let reparsed = BenchReport::from_json(&rendered).expect("v2 parses");
@@ -1528,27 +1758,43 @@ mod tests {
         // Simulate a v3 file: serve + auction but no `drift`.
         let mut v3 = sample_report();
         v3.drift.clear();
+        v3.longhaul.clear();
         let mut rendered = v3.to_json();
         if let Json::Obj(pairs) = &mut rendered {
-            pairs.retain(|(key, _)| key != "drift" && key != "perf");
+            pairs.retain(|(key, _)| key != "drift" && key != "longhaul" && key != "perf");
             pairs[0].1 = Json::Num(3.0);
         }
         let reparsed = BenchReport::from_json(&rendered).expect("v3 parses");
         assert_eq!(reparsed.schema_version, 3);
         assert_eq!(reparsed.auction.len(), 1);
         assert!(reparsed.drift.is_empty());
+        assert!(reparsed.longhaul.is_empty());
         assert!(reparsed.perf.is_none());
 
-        // Simulate a v4 file: every section but no top-level `perf` summary.
+        // Simulate a v4 file: the pre-v5 sections but no top-level `perf`
+        // summary and no `longhaul`.
         let mut rendered = sample_report().to_json();
         if let Json::Obj(pairs) = &mut rendered {
-            pairs.retain(|(key, _)| key != "perf");
+            pairs.retain(|(key, _)| key != "perf" && key != "longhaul");
             pairs[0].1 = Json::Num(4.0);
         }
         let reparsed = BenchReport::from_json(&rendered).expect("v4 parses");
         assert_eq!(reparsed.schema_version, 4);
         assert_eq!(reparsed.drift.len(), 3);
+        assert!(reparsed.longhaul.is_empty());
         assert!(reparsed.perf.is_none());
+        assert!(reparsed.validate().is_empty());
+
+        // Simulate a v5 file: everything except the v6 `longhaul` section.
+        let mut rendered = sample_report().to_json();
+        if let Json::Obj(pairs) = &mut rendered {
+            pairs.retain(|(key, _)| key != "longhaul");
+            pairs[0].1 = Json::Num(5.0);
+        }
+        let reparsed = BenchReport::from_json(&rendered).expect("v5 parses");
+        assert_eq!(reparsed.schema_version, 5);
+        assert!(reparsed.longhaul.is_empty());
+        assert!(reparsed.perf.is_some());
         assert!(reparsed.validate().is_empty());
     }
 
@@ -1602,6 +1848,49 @@ mod tests {
         )
         .unwrap_err()
         .contains("fraction"));
+    }
+
+    #[test]
+    fn validate_gates_the_longhaul_residency_and_wal_contracts() {
+        assert!(sample_report().validate().is_empty());
+
+        // The resident high-water mark must respect the configured cap.
+        let mut over = sample_report();
+        over.longhaul[0].max_resident = over.longhaul[0].resident_capacity + 1;
+        assert!(over
+            .validate()
+            .iter()
+            .any(|v| v.contains("above the configured cap")));
+
+        // A longhaul run must actually exercise the WAL.
+        let mut unwritten = sample_report();
+        unwritten.longhaul[0].wal_segments = 0;
+        assert!(unwritten
+            .validate()
+            .iter()
+            .any(|v| v.contains("wrote no WAL segments")));
+
+        // A dead cell fails.
+        let mut dead = sample_report();
+        dead.longhaul[0].quotes_served = 0;
+        assert!(dead
+            .validate()
+            .iter()
+            .any(|v| v.contains("longhaul /") && v.contains("served no quotes")));
+
+        // The report's perf columns must be sane numbers.
+        let mut nan_restore = sample_report();
+        nan_restore.longhaul[0].perf.restore_latency_micros = f64::NAN;
+        assert!(nan_restore
+            .validate()
+            .iter()
+            .any(|v| v.contains("restore latency")));
+        let mut negative_memory = sample_report();
+        negative_memory.longhaul[0].perf.memory_per_tenant_bytes = -1.0;
+        assert!(negative_memory
+            .validate()
+            .iter()
+            .any(|v| v.contains("memory per tenant")));
     }
 
     #[test]

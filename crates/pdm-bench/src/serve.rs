@@ -255,6 +255,7 @@ fn run_rep(spec: &ServeCellSpec, workers: usize, rep: u64) -> Result<RepOutcome,
     let mut service = MarketService::new(ServiceConfig {
         shards: spec.shards,
         queue_capacity: spec.mix.queue_capacity(spec.tenants, spec.shards),
+        ..ServiceConfig::default()
     })
     .expect("valid service config");
     // Per-tenant hidden market model and query stream, all seeded from the

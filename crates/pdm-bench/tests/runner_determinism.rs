@@ -12,6 +12,7 @@ use pdm_bench::drift::{drift_grid, run_drift_cells};
 use pdm_bench::grid::{expand_jobs, CellSpec, Checkpoint, JobSpec, SyntheticMechanism};
 use pdm_bench::json::Json;
 use pdm_bench::linear_market::{LinearMarketConfig, Version};
+use pdm_bench::longhaul::{longhaul_grid, run_longhaul_cells};
 use pdm_bench::report::{build_experiment_reports, BenchReport, PerfSummary, SCHEMA_VERSION};
 use pdm_bench::runner::run_jobs;
 use pdm_bench::serve::run_serve_grid;
@@ -97,6 +98,7 @@ fn report_with_workers(workers: usize, reps: u64) -> BenchReport {
         serve: Vec::new(),
         auction: Vec::new(),
         drift: Vec::new(),
+        longhaul: Vec::new(),
         perf: None,
     }
 }
@@ -118,6 +120,7 @@ fn serve_report_with_workers(workers: usize) -> BenchReport {
         serve,
         auction: Vec::new(),
         drift: Vec::new(),
+        longhaul: Vec::new(),
     }
 }
 
@@ -137,6 +140,7 @@ fn auction_report_with_workers(workers: usize) -> BenchReport {
         auction: run_auction_cells(&auction_grid(Scale::Quick), workers, 1)
             .expect("the auction grid must run"),
         drift: Vec::new(),
+        longhaul: Vec::new(),
         perf: None,
     }
 }
@@ -157,8 +161,62 @@ fn drift_report_with_workers(workers: usize) -> BenchReport {
         auction: Vec::new(),
         drift: run_drift_cells(&drift_grid(Scale::Quick), workers, 1)
             .expect("the drift grid must run"),
+        longhaul: Vec::new(),
         perf: None,
     }
+}
+
+/// Runs the full quick-scale longhaul grid with the given drain worker
+/// count and wraps it in a report, the way `bench longhaul --workers N`
+/// does.
+fn longhaul_report_with_workers(workers: usize) -> BenchReport {
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        name: "longhaul".to_owned(),
+        git_describe: "test".to_owned(),
+        scale: "quick".to_owned(),
+        workers,
+        reps: 1,
+        wall_clock_secs: 0.0,
+        experiments: Vec::new(),
+        serve: Vec::new(),
+        auction: Vec::new(),
+        drift: Vec::new(),
+        longhaul: run_longhaul_cells(&longhaul_grid(Scale::Quick), workers, 1)
+            .expect("the longhaul grid must run"),
+        perf: None,
+    }
+}
+
+#[test]
+fn longhaul_aggregates_are_byte_identical_for_1_and_4_workers() {
+    // The acceptance bar of the persistence/paging layer: the whole quick
+    // longhaul grid — WAL checkpoints under traffic, the timed mid-run
+    // restore, and the eviction churn under the resident cap — must produce
+    // byte-identical ledgers AND byte-identical paging/WAL counters no
+    // matter how many workers drain the shards.  (Each run additionally
+    // verified the restored service against the original over the identical
+    // post-cut trace, bit for bit, inside `run_longhaul_cells`.)
+    let serial = longhaul_report_with_workers(1);
+    let parallel = longhaul_report_with_workers(4);
+    assert!(!serial.longhaul.is_empty());
+    assert_eq!(
+        serial.deterministic_fingerprint(),
+        parallel.deterministic_fingerprint(),
+        "drain worker count must not affect any longhaul aggregate"
+    );
+    for cell in &parallel.longhaul {
+        assert!(cell.perf.quotes_per_sec > 0.0, "{}", cell.label);
+        assert!(cell.perf.restore_latency_micros > 0.0, "{}", cell.label);
+        assert!(cell.evictions > 0, "{}", cell.label);
+        assert!(
+            cell.max_resident <= cell.resident_capacity,
+            "{}",
+            cell.label
+        );
+    }
+    assert!(serial.validate().is_empty());
+    assert!(parallel.validate().is_empty());
 }
 
 #[test]
@@ -328,6 +386,7 @@ fn replay_service() -> MarketService {
     let mut service = MarketService::new(ServiceConfig {
         shards: 4,
         queue_capacity: 2048,
+        ..ServiceConfig::default()
     })
     .expect("a valid service config");
     for t in 1..=8u64 {

@@ -338,6 +338,17 @@ impl<M: PostedPriceMechanism> PricingSession<M> {
         &self.mechanism
     }
 
+    /// Approximate resident memory of this session: the mechanism's
+    /// learned state (its [`PostedPriceMechanism::memory_footprint_bytes`]
+    /// hook) plus
+    /// the fixed-size session bookkeeping itself.  A serving layer that
+    /// pages tenant sessions in and out reads this to budget its resident
+    /// set and to report memory-per-tenant.
+    #[must_use]
+    pub fn memory_footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.mechanism.memory_footprint_bytes()
+    }
+
     /// The regret ledger accumulated from outcomes that carried a market
     /// value.
     #[must_use]

@@ -45,9 +45,21 @@
 //!   welfare, no-reserve baseline) ([`ShardMetrics`]); shard ledgers fold
 //!   into one service-wide aggregate via
 //!   [`MarketService::aggregate_metrics`].
-//! * **Snapshots** — the whole service state serialises to deterministic
-//!   JSON ([`MarketService::snapshot`]) and restores to a service that
-//!   quotes bit-identically ([`MarketService::restore`]).
+//! * **Continuous ingest** — [`MarketService::ingest`] admits requests
+//!   through a shared `&self` reference via mutex-striped per-shard
+//!   queues, so producer threads keep feeding the service while a drain
+//!   is in flight; capacity checks and shed accounting are unchanged.
+//! * **Snapshots & WAL** — the whole service state serialises to
+//!   deterministic JSON ([`MarketService::snapshot`]) and restores to a
+//!   service that quotes bit-identically ([`MarketService::restore`]).
+//!   With [`ServiceConfig::wal_segment_size`] set, shards track dirty
+//!   tenants and [`MarketService::checkpoint`] persists only those as
+//!   numbered WAL segments; [`MarketService::restore_with_wal`] replays
+//!   base-plus-segments to the same bit-identical guarantee.
+//! * **Cold-tenant paging** — with [`ServiceConfig::resident_capacity`]
+//!   set, least-recently-served quiescent tenants page out to their
+//!   serialised form and rehydrate on the next request, bounding the
+//!   resident set under tenant churn.
 //!
 //! ## Quickstart
 //!
@@ -55,7 +67,7 @@
 //! use pdm_linalg::Vector;
 //! use pdm_service::{MarketService, OutcomeReport, QueryRequest, ServiceConfig, TenantConfig, TenantId};
 //!
-//! let mut service = MarketService::new(ServiceConfig { shards: 4, queue_capacity: 64 })?;
+//! let mut service = MarketService::new(ServiceConfig { shards: 4, queue_capacity: 64, ..ServiceConfig::default() })?;
 //! service.register_tenant(TenantId::from_name("survey-7"), TenantConfig::standard(3, 1_000))?;
 //! service.submit_quote(QueryRequest {
 //!     tenant: TenantId::from_name("survey-7"),
@@ -92,6 +104,7 @@ pub mod routing;
 mod shard;
 pub mod snapshot;
 pub mod tenant;
+pub mod wal;
 
 mod service;
 
@@ -107,3 +120,4 @@ pub use snapshot::SNAPSHOT_SCHEMA_VERSION;
 pub use tenant::{
     AuctionPolicy, MarketKind, TenantConfig, TenantMechanism, TenantState, AUCTION_SESSION_DELTA,
 };
+pub use wal::WAL_SEGMENT_KIND;

@@ -69,6 +69,12 @@ pub struct ShardMetrics {
     pub drift_fires: u64,
     /// Knowledge-set restarts performed across the shard's tenants.
     pub drift_restarts: u64,
+    /// Tenant sessions paged out of the resident set by the cold-tenant
+    /// pager (deterministic for a given request stream: the LRU order
+    /// depends only on the per-shard serve sequence).
+    pub evictions: u64,
+    /// Paged-out tenant sessions materialised back in to serve a request.
+    pub rehydrations: u64,
     /// Sliding window of the most recent [`LATENCY_WINDOW`] per-request
     /// service latency samples, in microseconds (wall-clock; excluded from
     /// all determinism comparisons).
@@ -99,6 +105,8 @@ impl ShardMetrics {
             auction: AuctionLedger::default(),
             drift_fires: 0,
             drift_restarts: 0,
+            evictions: 0,
+            rehydrations: 0,
             latency_window: SampleWindow::new(LATENCY_WINDOW),
             latency_stats: OnlineStats::new(),
         }
@@ -227,6 +235,8 @@ impl ShardMetrics {
         self.auction.merge(&other.auction);
         self.drift_fires += other.drift_fires;
         self.drift_restarts += other.drift_restarts;
+        self.evictions += other.evictions;
+        self.rehydrations += other.rehydrations;
         // Replay the other window oldest-first so the merged ring keeps the
         // most recent samples; the all-time summaries merge exactly (not
         // per-sample, which would double-count against the Welford merge).
@@ -364,6 +374,19 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.drift_fires, 4);
         assert_eq!(a.drift_restarts, 3);
+    }
+
+    #[test]
+    fn paging_counters_merge() {
+        let mut a = ShardMetrics::new();
+        a.evictions = 4;
+        a.rehydrations = 3;
+        let mut b = ShardMetrics::new();
+        b.evictions = 2;
+        b.rehydrations = 1;
+        a.merge(&b);
+        assert_eq!(a.evictions, 6);
+        assert_eq!(a.rehydrations, 4);
     }
 
     #[test]

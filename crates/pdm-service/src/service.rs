@@ -2,22 +2,36 @@
 //!
 //! [`MarketService`] owns `N` shards, each holding the pricing sessions of
 //! the tenants routed to it by the stable hash of [`crate::routing`].  The
-//! API is submit/drain:
+//! API is continuous ingest + drain:
 //!
-//! * [`MarketService::submit`] admits a request into its tenant's shard
-//!   queue (bounded — overload is **shed** with
-//!   [`ServiceError::QueueFull`], never buffered without limit) and returns
-//!   a [`Ticket`];
-//! * [`MarketService::drain`] serves every queued request on a
-//!   `std::thread::scope` worker pool (capped at the machine's hardware
-//!   threads, with the calling thread claiming shards alongside the
-//!   spawned workers), one worker per shard at a time, and returns the
-//!   batched [`Response`]s in deterministic (shard, submission) order.
+//! * [`MarketService::ingest`] admits a request into its tenant's
+//!   mutex-striped ingest queue through a **shared** reference (bounded —
+//!   overload is **shed** with [`ServiceError::QueueFull`], never buffered
+//!   without limit) and returns a [`Ticket`].  Because ingest only takes
+//!   `&self`, producers keep admitting traffic while a drain is running:
+//!   the stripe mutex is held for one queue push, never for the serving
+//!   work itself.  [`MarketService::submit`] is the same path behind the
+//!   pre-ingest `&mut self` signature.
+//! * [`MarketService::drain`] transfers each stripe into its shard and
+//!   serves every queued request on a `std::thread::scope` worker pool
+//!   (capped at the machine's hardware threads, with the calling thread
+//!   claiming shards alongside the spawned workers), one worker per shard
+//!   at a time, and returns the batched [`Response`]s in deterministic
+//!   (shard, submission) order.
 //!
 //! Because every shard processes its queue strictly FIFO and shards share
 //! no mutable state, the *values* the engine computes are identical for any
 //! worker count — the property the `bench serve` workload verifies against
 //! a serial simulation bit for bit.
+//!
+//! With [`ServiceConfig::resident_capacity`] set, each shard additionally
+//! bounds the number of tenant sessions it keeps materialised: least
+//! recently served tenants are paged out to their serialised form and
+//! rehydrated bit-identically on their next request (see
+//! [`crate::shard`]).  Eviction requires the WAL
+//! ([`ServiceConfig::wal_segment_size`]) so paged-out state always has a
+//! durable home — [`ServiceConfig::validate`] rejects one without the
+//! other.
 
 use crate::api::{
     AuctionRequest, OutcomeReport, QueryRequest, Request, Response, ServiceError, Ticket,
@@ -26,16 +40,26 @@ use crate::metrics::ShardMetrics;
 use crate::routing::{shard_of, TenantId};
 use crate::shard::Shard;
 use crate::tenant::{TenantConfig, TenantState};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 
 /// Sizing of a [`MarketService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Number of shards (units of concurrency); clamped to at least 1.
     pub shards: usize,
-    /// Bounded per-shard queue capacity; requests beyond it are shed.
+    /// Bounded per-shard ingest-queue capacity; requests beyond it are shed.
     pub queue_capacity: usize,
+    /// Service-wide cap on materialised tenant sessions (`None` =
+    /// unbounded).  The cap is split across shards; tenants beyond a
+    /// shard's share are paged out to their serialised form after a drain
+    /// and rehydrated on their next request.  Requires
+    /// [`ServiceConfig::wal_segment_size`].
+    pub resident_capacity: Option<usize>,
+    /// Tenant records per write-ahead-log segment (`None` = WAL disabled).
+    /// Enables [`MarketService::checkpoint`] incremental snapshots.
+    pub wal_segment_size: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -43,6 +67,8 @@ impl Default for ServiceConfig {
         Self {
             shards: 8,
             queue_capacity: 1024,
+            resident_capacity: None,
+            wal_segment_size: None,
         }
     }
 }
@@ -51,9 +77,13 @@ impl ServiceConfig {
     /// Checks the sizing is usable.
     ///
     /// # Errors
-    /// [`ServiceError::InvalidConfig`] when `shards == 0` (nowhere to route)
-    /// or `queue_capacity == 0` (every request would be shed).  These used
-    /// to be silently clamped to 1, which hid misconfigured deployments.
+    /// [`ServiceError::InvalidConfig`] when `shards == 0` (nowhere to
+    /// route), `queue_capacity == 0` (every request would be shed),
+    /// `resident_capacity == Some(0)` (no tenant could ever be served),
+    /// `wal_segment_size == Some(0)` (no record would fit a segment), or
+    /// eviction is enabled without the WAL persistence path it pages out
+    /// to.  These used to be silently clamped to 1, which hid
+    /// misconfigured deployments.
     pub fn validate(&self) -> Result<(), ServiceError> {
         if self.shards == 0 {
             return Err(ServiceError::InvalidConfig(
@@ -66,7 +96,59 @@ impl ServiceConfig {
                     .to_owned(),
             ));
         }
+        if self.resident_capacity == Some(0) {
+            return Err(ServiceError::InvalidConfig(
+                "`resident_capacity` must be at least 1 (a zero resident set could never \
+                 materialise a tenant to serve it)"
+                    .to_owned(),
+            ));
+        }
+        if self.wal_segment_size == Some(0) {
+            return Err(ServiceError::InvalidConfig(
+                "`wal_segment_size` must be at least 1 (no tenant record fits a zero-size segment)"
+                    .to_owned(),
+            ));
+        }
+        if self.resident_capacity.is_some() && self.wal_segment_size.is_none() {
+            return Err(ServiceError::InvalidConfig(
+                "`resident_capacity` (cold-tenant eviction) requires `wal_segment_size`: evicted \
+                 tenants page out through the WAL persistence path"
+                    .to_owned(),
+            ));
+        }
         Ok(())
+    }
+
+    /// The resident-session cap of shard `index` under `shards` shards:
+    /// the service-wide cap split as evenly as the integers allow, so the
+    /// per-shard shares always sum to exactly the configured capacity.
+    pub(crate) fn resident_share(&self, index: usize) -> Option<usize> {
+        self.resident_capacity.map(|cap| {
+            let base = cap / self.shards;
+            let remainder = cap % self.shards;
+            base + usize::from(index < remainder)
+        })
+    }
+}
+
+/// One ingest stripe: the bounded MPSC queue in front of a shard.
+///
+/// Producers lock the stripe only for the duration of one push; the drain
+/// path takes the whole queue in one transfer.  Shed requests are counted
+/// here (the stripe is the component that refuses them) and merged into
+/// the shard's metric ledger on every read.
+#[derive(Debug)]
+struct IngestStripe {
+    queue: Mutex<VecDeque<(u64, Request)>>,
+    shed: AtomicU64,
+}
+
+impl IngestStripe {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            shed: AtomicU64::new(0),
+        }
     }
 }
 
@@ -74,8 +156,16 @@ impl ServiceConfig {
 #[derive(Debug)]
 pub struct MarketService {
     config: ServiceConfig,
+    /// Mutex-striped bounded ingest queues, one per shard.
+    ingest: Vec<IngestStripe>,
     shards: Vec<Mutex<Shard>>,
-    next_seq: u64,
+    /// Every registered tenant id, readable without touching a shard — the
+    /// ingest path checks membership here so admission never contends with
+    /// a drain worker holding the shard lock.
+    registry: RwLock<HashSet<TenantId>>,
+    next_seq: AtomicU64,
+    /// Monotonic WAL segment number (see [`MarketService::checkpoint`]).
+    pub(crate) wal_segments: AtomicU64,
     /// Hardware threads available to a drain pool, probed once at
     /// construction: spawning more drain workers than the machine can run
     /// cannot add parallelism, it only pays spawn and context-switch
@@ -88,18 +178,21 @@ impl MarketService {
     ///
     /// # Errors
     /// [`ServiceError::InvalidConfig`] when the sizing fails
-    /// [`ServiceConfig::validate`] — zero shards or a zero queue capacity
-    /// (which would shed every request) are rejected instead of silently
-    /// clamped.
+    /// [`ServiceConfig::validate`] — zero shards, a zero queue capacity, a
+    /// zero resident cap or WAL segment size, or eviction without the WAL
+    /// are rejected instead of silently clamped.
     pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
         config.validate()?;
         let shards = (0..config.shards)
-            .map(|index| Mutex::new(Shard::new(index, config.queue_capacity)))
+            .map(|index| Mutex::new(Shard::new(index, config.resident_share(index))))
             .collect();
         Ok(Self {
             config,
+            ingest: (0..config.shards).map(|_| IngestStripe::new()).collect(),
             shards,
-            next_seq: 0,
+            registry: RwLock::new(HashSet::new()),
+            next_seq: AtomicU64::new(0),
+            wal_segments: AtomicU64::new(0),
             hardware_workers: std::thread::available_parallelism()
                 .map_or(1, std::num::NonZeroUsize::get),
         })
@@ -123,12 +216,34 @@ impl MarketService {
         shard_of(tenant, self.shards.len())
     }
 
-    /// Total number of registered tenants.
+    /// Total number of registered tenants, resident or paged out.
     #[must_use]
     pub fn tenant_count(&self) -> usize {
         self.shards
             .iter()
             .map(|s| s.lock().expect("shard poisoned").tenant_count())
+            .sum()
+    }
+
+    /// Number of tenants currently materialised in memory.  With
+    /// [`ServiceConfig::resident_capacity`] set this stays at or below the
+    /// cap between drains.
+    #[must_use]
+    pub fn resident_tenants(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").resident_count())
+            .sum()
+    }
+
+    /// Approximate bytes of tenant state held in memory: materialised
+    /// sessions at their learned-state footprint, paged-out tenants at the
+    /// length of their serialised form.
+    #[must_use]
+    pub fn resident_memory_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").resident_memory_bytes())
             .sum()
     }
 
@@ -144,39 +259,67 @@ impl MarketService {
         self.register_state(TenantState::new(id, config))
     }
 
+    /// Applies one WAL tenant record: last-record-wins replacement of any
+    /// existing state, or plain registration when the tenant first appears
+    /// after the base snapshot (see [`MarketService::restore_with_wal`]).
+    pub(crate) fn apply_wal_record(&mut self, state: TenantState) {
+        let index = self.shard_of(state.id);
+        let id = state.id;
+        self.shards[index]
+            .get_mut()
+            .expect("shard poisoned")
+            .replace(state);
+        self.registry.write().expect("registry poisoned").insert(id);
+    }
+
     /// Registers a pre-built tenant state (the snapshot-restore path).
     pub(crate) fn register_state(&mut self, state: TenantState) -> Result<usize, ServiceError> {
         let index = self.shard_of(state.id);
+        let id = state.id;
         let shard = self.shards[index].get_mut().expect("shard poisoned");
-        if shard.contains(state.id) {
-            return Err(ServiceError::DuplicateTenant(state.id));
+        if shard.contains(id) {
+            return Err(ServiceError::DuplicateTenant(id));
         }
         shard.register(state);
+        self.registry.write().expect("registry poisoned").insert(id);
         Ok(index)
     }
 
-    /// Admits one request into its tenant's shard queue.
+    /// Admits one request into its tenant's ingest stripe through a shared
+    /// reference — the continuous-ingest path.  Producers on other threads
+    /// may call this while a drain is in flight; the stripe mutex is held
+    /// only for the push.
     ///
     /// # Errors
     /// * [`ServiceError::UnknownTenant`] — the tenant was never registered.
-    /// * [`ServiceError::QueueFull`] — the shard queue is at capacity; the
+    /// * [`ServiceError::QueueFull`] — the stripe is at capacity; the
     ///   request is shed (counted in the shard's metrics) instead of
     ///   growing the queue without bound.
-    pub fn submit(&mut self, request: Request) -> Result<Ticket, ServiceError> {
+    pub fn ingest(&self, request: Request) -> Result<Ticket, ServiceError> {
         let tenant = request.tenant();
-        let index = self.shard_of(tenant);
-        let shard = self.shards[index].get_mut().expect("shard poisoned");
-        if !shard.contains(tenant) {
+        if !self
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .contains(&tenant)
+        {
             return Err(ServiceError::UnknownTenant(tenant));
         }
-        let seq = self.next_seq;
-        if !shard.enqueue(seq, request) {
+        let index = self.shard_of(tenant);
+        let stripe = &self.ingest[index];
+        let mut queue = stripe.queue.lock().expect("ingest stripe poisoned");
+        if queue.len() >= self.config.queue_capacity {
+            stripe.shed.fetch_add(1, Ordering::Relaxed);
             return Err(ServiceError::QueueFull {
                 shard: index,
                 capacity: self.config.queue_capacity,
             });
         }
-        self.next_seq += 1;
+        // Sequence numbers are drawn under the stripe lock so each stripe's
+        // queue is strictly seq-ordered — the invariant behind the
+        // deterministic (shard, submission) response order.
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        queue.push_back((seq, request));
         Ok(Ticket {
             seq,
             tenant,
@@ -184,37 +327,87 @@ impl MarketService {
         })
     }
 
+    /// Convenience wrapper: ingest a price-quote request via `&self`.
+    ///
+    /// # Errors
+    /// Same as [`MarketService::ingest`].
+    pub fn ingest_quote(&self, query: QueryRequest) -> Result<Ticket, ServiceError> {
+        self.ingest(Request::Quote(query))
+    }
+
+    /// Convenience wrapper: ingest an outcome report via `&self`.
+    ///
+    /// # Errors
+    /// Same as [`MarketService::ingest`].
+    pub fn ingest_outcome(&self, outcome: OutcomeReport) -> Result<Ticket, ServiceError> {
+        self.ingest(Request::Observe(outcome))
+    }
+
+    /// Convenience wrapper: ingest a self-contained auction round via
+    /// `&self`.
+    ///
+    /// # Errors
+    /// Same as [`MarketService::ingest`].
+    pub fn ingest_auction(&self, auction: AuctionRequest) -> Result<Ticket, ServiceError> {
+        self.ingest(Request::Auction(auction))
+    }
+
+    /// Admits one request into its tenant's ingest stripe (the pre-ingest
+    /// exclusive-reference signature, kept for drivers that own the
+    /// service; identical semantics to [`MarketService::ingest`]).
+    ///
+    /// # Errors
+    /// Same as [`MarketService::ingest`].
+    pub fn submit(&mut self, request: Request) -> Result<Ticket, ServiceError> {
+        self.ingest(request)
+    }
+
     /// Convenience wrapper: submit a price-quote request.
     ///
     /// # Errors
-    /// Same as [`MarketService::submit`].
+    /// Same as [`MarketService::ingest`].
     pub fn submit_quote(&mut self, query: QueryRequest) -> Result<Ticket, ServiceError> {
-        self.submit(Request::Quote(query))
+        self.ingest(Request::Quote(query))
     }
 
     /// Convenience wrapper: submit an outcome report.
     ///
     /// # Errors
-    /// Same as [`MarketService::submit`].
+    /// Same as [`MarketService::ingest`].
     pub fn submit_outcome(&mut self, outcome: OutcomeReport) -> Result<Ticket, ServiceError> {
-        self.submit(Request::Observe(outcome))
+        self.ingest(Request::Observe(outcome))
     }
 
     /// Convenience wrapper: submit a self-contained auction round.
     ///
     /// # Errors
-    /// Same as [`MarketService::submit`].
+    /// Same as [`MarketService::ingest`].
     pub fn submit_auction(&mut self, auction: AuctionRequest) -> Result<Ticket, ServiceError> {
-        self.submit(Request::Auction(auction))
+        self.ingest(Request::Auction(auction))
     }
 
-    /// Total requests currently queued across all shards.
+    /// Total requests currently queued (ingest stripes plus any shard
+    /// backlog mid-drain).
     #[must_use]
-    pub fn queued_requests(&mut self) -> usize {
-        self.shards
-            .iter_mut()
-            .map(|s| s.get_mut().expect("shard poisoned").queue_len())
-            .sum()
+    pub fn queued_requests(&self) -> usize {
+        let striped: usize = self
+            .ingest
+            .iter()
+            .map(|stripe| stripe.queue.lock().expect("ingest stripe poisoned").len())
+            .sum();
+        let shard_backlog: usize = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").queue_len())
+            .sum();
+        striped + shard_backlog
+    }
+
+    /// Moves everything queued on shard `index`'s ingest stripe into the
+    /// shard's FIFO, preserving seq order.
+    fn transfer_stripe(stripe: &IngestStripe, shard: &mut Shard) {
+        let mut queue = stripe.queue.lock().expect("ingest stripe poisoned");
+        shard.admit_transferred(queue.drain(..));
     }
 
     /// Serves every queued request and returns the responses in
@@ -232,16 +425,22 @@ impl MarketService {
     /// Serves every queued request, appending the responses to `out` in
     /// deterministic (shard, submission) order.
     ///
-    /// `workers` scoped threads pull shard indices from an atomic counter;
-    /// each shard is processed serially by whichever worker claims it, so
-    /// per-shard state needs no lock contention and the computed values are
-    /// independent of the worker count.  `workers` is clamped to
-    /// `[1, shard_count]` and capped at the machine's hardware threads —
-    /// oversubscribing a core cannot add parallelism, it only pays spawn
-    /// and context-switch overhead.  An effective single worker (including
-    /// every drain on a single-core host) runs on the calling thread with
-    /// no pool at all; a pool of `n` workers spawns `n - 1` threads and the
-    /// calling thread claims shards alongside them.
+    /// Each worker first transfers its claimed shard's ingest stripe into
+    /// the shard FIFO, then serves the backlog.  `workers` scoped threads
+    /// pull shard indices from an atomic counter; each shard is processed
+    /// serially by whichever worker claims it, so per-shard state needs no
+    /// lock contention and the computed values are independent of the
+    /// worker count.  `workers` is clamped to `[1, shard_count]` and capped
+    /// at the machine's hardware threads — oversubscribing a core cannot
+    /// add parallelism, it only pays spawn and context-switch overhead.  An
+    /// effective single worker (including every drain on a single-core
+    /// host) runs on the calling thread with no pool at all; a pool of `n`
+    /// workers spawns `n - 1` threads and the calling thread claims shards
+    /// alongside them.
+    ///
+    /// Requests ingested *after* a shard's transfer step are served by the
+    /// next drain — continuous producers never block on the serving work,
+    /// they only wait out the one-push stripe lock.
     pub fn drain_into(&mut self, workers: usize, out: &mut Vec<Response>) {
         let shard_count = self.shards.len();
         let workers = workers.clamp(1, shard_count).min(self.hardware_workers);
@@ -253,11 +452,10 @@ impl MarketService {
         }
 
         if workers <= 1 {
-            for shard in &mut self.shards {
-                shard
-                    .get_mut()
-                    .expect("shard poisoned")
-                    .process_all_into(out);
+            for (stripe, shard) in self.ingest.iter().zip(&mut self.shards) {
+                let shard = shard.get_mut().expect("shard poisoned");
+                Self::transfer_stripe(stripe, shard);
+                shard.process_all_into(out);
             }
             return;
         }
@@ -266,16 +464,17 @@ impl MarketService {
         let slots: Vec<Mutex<Vec<Response>>> =
             (0..shard_count).map(|_| Mutex::new(Vec::new())).collect();
         let shards = &self.shards;
+        let stripes = &self.ingest;
         let claim_shards = || loop {
             let index = next.fetch_add(1, Ordering::Relaxed);
             if index >= shard_count {
                 break;
             }
             let mut responses = Vec::new();
-            shards[index]
-                .lock()
-                .expect("shard poisoned")
-                .process_all_into(&mut responses);
+            let mut shard = shards[index].lock().expect("shard poisoned");
+            Self::transfer_stripe(&stripes[index], &mut shard);
+            shard.process_all_into(&mut responses);
+            drop(shard);
             *slots[index].lock().expect("slot poisoned") = responses;
         };
         std::thread::scope(|scope| {
@@ -292,6 +491,8 @@ impl MarketService {
 
     /// The regret ledger one tenant accumulated from outcomes that carried
     /// ground-truth market values, or `None` for an unregistered tenant.
+    /// Paged-out tenants are read from their serialised form without
+    /// disturbing the resident set.
     ///
     /// Benchmark drivers fold these together **in tenant order** (see
     /// [`pdm_pricing::regret::RegretReport::merge`]) to compare a sharded
@@ -304,12 +505,18 @@ impl MarketService {
             .tenant_report(tenant)
     }
 
-    /// A clone of each shard's metrics ledger, in shard order.
+    /// A clone of each shard's metrics ledger, in shard order, with the
+    /// shed count of the shard's ingest stripe folded in.
     #[must_use]
     pub fn shard_metrics(&self) -> Vec<ShardMetrics> {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("shard poisoned").metrics.clone())
+            .zip(&self.ingest)
+            .map(|(shard, stripe)| {
+                let mut metrics = shard.lock().expect("shard poisoned").metrics.clone();
+                metrics.shed += stripe.shed.load(Ordering::Relaxed);
+                metrics
+            })
             .collect()
     }
 
@@ -362,6 +569,7 @@ mod tests {
         let mut service = MarketService::new(ServiceConfig {
             shards,
             queue_capacity: 64,
+            ..ServiceConfig::default()
         })
         .expect("valid service config");
         for id in 0..tenants {
@@ -424,6 +632,7 @@ mod tests {
         let mut service = MarketService::new(ServiceConfig {
             shards: 1,
             queue_capacity: 2,
+            ..ServiceConfig::default()
         })
         .expect("valid service config");
         service
@@ -438,6 +647,38 @@ mod tests {
         // Draining frees capacity again.
         assert_eq!(service.drain(1).len(), 2);
         assert!(service.submit_quote(query(0, &[1.0, 0.0])).is_ok());
+    }
+
+    #[test]
+    fn concurrent_ingest_through_a_shared_reference_is_admitted() {
+        // The continuous-ingest contract: producers on several threads push
+        // through `&self` while nothing else holds the service, and every
+        // admitted request is eventually served exactly once.
+        let mut service = service_with_tenants(4, 8);
+        let shared = &service;
+        let admitted: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let mut ok = 0usize;
+                        for round in 0..16u64 {
+                            let id = (worker * 16 + round) % 8;
+                            if shared.ingest_quote(query(id, &[0.6, 0.8])).is_ok() {
+                                ok += 1;
+                            }
+                        }
+                        ok
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(service.queued_requests(), admitted);
+        let responses = service.drain(4);
+        assert_eq!(responses.len(), admitted);
+        let metrics = service.metrics();
+        assert_eq!(metrics.quotes_served as usize, admitted);
+        assert_eq!(metrics.quotes_served + metrics.shed, 64);
     }
 
     #[test]
@@ -487,6 +728,7 @@ mod tests {
         let err = MarketService::new(ServiceConfig {
             shards: 4,
             queue_capacity: 0,
+            ..ServiceConfig::default()
         })
         .unwrap_err();
         assert!(matches!(err, ServiceError::InvalidConfig(_)));
@@ -495,6 +737,7 @@ mod tests {
         let err = MarketService::new(ServiceConfig {
             shards: 0,
             queue_capacity: 16,
+            ..ServiceConfig::default()
         })
         .unwrap_err();
         assert!(matches!(err, ServiceError::InvalidConfig(_)));
@@ -504,9 +747,154 @@ mod tests {
         let service = MarketService::new(ServiceConfig {
             shards: 1,
             queue_capacity: 1,
+            ..ServiceConfig::default()
         })
         .expect("minimal sizing is valid");
         assert_eq!(service.shard_count(), 1);
         assert_eq!(service.config().queue_capacity, 1);
+    }
+
+    #[test]
+    fn paging_and_wal_knobs_are_validated() {
+        // A zero resident cap could never materialise a tenant.
+        let err = MarketService::new(ServiceConfig {
+            shards: 2,
+            queue_capacity: 8,
+            resident_capacity: Some(0),
+            wal_segment_size: Some(16),
+        })
+        .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidConfig(_)));
+        assert!(err.to_string().contains("resident_capacity"), "{err}");
+
+        // A zero WAL segment size fits no record.
+        let err = MarketService::new(ServiceConfig {
+            shards: 2,
+            queue_capacity: 8,
+            resident_capacity: None,
+            wal_segment_size: Some(0),
+        })
+        .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidConfig(_)));
+        assert!(err.to_string().contains("wal_segment_size"), "{err}");
+
+        // Eviction without the WAL has nowhere durable to page out to.
+        let err = MarketService::new(ServiceConfig {
+            shards: 2,
+            queue_capacity: 8,
+            resident_capacity: Some(4),
+            wal_segment_size: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidConfig(_)));
+        let message = err.to_string();
+        assert!(message.contains("resident_capacity"), "{message}");
+        assert!(message.contains("wal_segment_size"), "{message}");
+
+        // The combined sizing is valid, and the per-shard shares sum to
+        // exactly the configured cap.
+        let config = ServiceConfig {
+            shards: 3,
+            queue_capacity: 8,
+            resident_capacity: Some(7),
+            wal_segment_size: Some(4),
+        };
+        assert!(MarketService::new(config).is_ok());
+        let shares: usize = (0..3).map(|i| config.resident_share(i).unwrap()).sum();
+        assert_eq!(shares, 7);
+    }
+
+    #[test]
+    fn eviction_bounds_the_resident_set() {
+        let mut service = MarketService::new(ServiceConfig {
+            shards: 2,
+            queue_capacity: 64,
+            resident_capacity: Some(4),
+            wal_segment_size: Some(8),
+        })
+        .unwrap();
+        for id in 0..12u64 {
+            service
+                .register_tenant(TenantId(id), TenantConfig::standard(2, 100))
+                .unwrap();
+        }
+        assert_eq!(service.tenant_count(), 12);
+        assert!(
+            service.resident_tenants() <= 4,
+            "registration beyond the cap must page out, found {} resident",
+            service.resident_tenants()
+        );
+        // Every tenant — resident or paged out — still serves, and the
+        // resident set stays bounded through the churn.
+        for round in 0..3 {
+            for id in 0..12u64 {
+                service.submit_quote(query(id, &[0.6, 0.8])).unwrap();
+                for response in service.drain(2) {
+                    let quote = response.quote().expect("a quote");
+                    assert!(quote.posted_price.is_finite());
+                    service
+                        .submit_outcome(OutcomeReport {
+                            tenant: response.tenant,
+                            accepted: true,
+                            market_value: Some(1.0),
+                        })
+                        .unwrap();
+                }
+                service.drain(2);
+                assert!(
+                    service.resident_tenants() <= 4,
+                    "round {round}: resident set exceeded the cap"
+                );
+            }
+        }
+        let metrics = service.metrics();
+        assert!(metrics.evictions > 0, "churn must evict");
+        assert!(metrics.rehydrations > 0, "paged-out tenants must rehydrate");
+        assert_eq!(metrics.quotes_served, 36);
+        assert_eq!(service.tenant_count(), 12);
+    }
+
+    #[test]
+    fn eviction_and_rehydration_do_not_change_served_values() {
+        // The paging contract: a capped service prices bit-identically to
+        // an uncapped one over the same request stream.
+        let run = |resident_capacity: Option<usize>| {
+            let mut service = MarketService::new(ServiceConfig {
+                shards: 2,
+                queue_capacity: 64,
+                resident_capacity,
+                wal_segment_size: resident_capacity.map(|_| 8),
+            })
+            .unwrap();
+            for id in 0..10u64 {
+                service
+                    .register_tenant(TenantId(id), TenantConfig::standard(2, 100))
+                    .unwrap();
+            }
+            let mut posted = Vec::new();
+            for wave in 0..6 {
+                for id in 0..10u64 {
+                    let x = 0.4 + 0.05 * (((id + wave) % 5) as f64);
+                    service.submit_quote(query(id, &[x, 1.0 - x])).unwrap();
+                }
+                for response in service.drain(2) {
+                    let quote = response.quote().unwrap();
+                    posted.push(quote.posted_price.to_bits());
+                    service
+                        .submit_outcome(OutcomeReport {
+                            tenant: response.tenant,
+                            accepted: quote.posted_price <= 1.0,
+                            market_value: Some(1.0),
+                        })
+                        .unwrap();
+                }
+                service.drain(2);
+            }
+            (posted, service.metrics().revenue.to_bits())
+        };
+        let (capped_prices, capped_revenue) = run(Some(3));
+        let (uncapped_prices, uncapped_revenue) = run(None);
+        assert_eq!(capped_prices, uncapped_prices);
+        assert_eq!(capped_revenue, uncapped_revenue);
     }
 }

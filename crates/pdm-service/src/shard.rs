@@ -6,23 +6,50 @@
 //! fine-grained locking inside the hot path.  Requests are processed
 //! strictly in submission (FIFO) order, which is what makes the whole
 //! engine's arithmetic independent of how many workers drain it.
+//!
+//! With a resident cap the shard also runs the cold-tenant pager: after a
+//! drain, least-recently-served quiescent tenants beyond the cap are
+//! serialised to their snapshot form and dropped from the resident map;
+//! the next request addressed to a paged-out tenant rehydrates it from
+//! that form.  Because the serialised form is the same deterministic
+//! document the snapshot writer emits — and restoring it is bit-identical
+//! by the snapshot contract — paging never changes a price, a ledger, or
+//! a counter, only *when* memory is spent.  The shard additionally tracks
+//! which tenants changed since the last checkpoint (the dirty set), which
+//! is what makes WAL snapshots incremental.
 
 use crate::api::{AuctionRequest, Payload, Request, RequestError, Response};
 #[cfg(test)]
 use crate::api::{OutcomeReport, QueryRequest};
 use crate::metrics::ShardMetrics;
 use crate::routing::TenantId;
+use crate::snapshot::{cold_tenant_json, cold_tenant_state, tenant_json};
 use crate::tenant::TenantState;
+use pdm_linalg::Json;
 use pdm_pricing::prelude::{BatchRequest, BatchResponse, StepOutcome};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::time::Instant;
 
-/// A shard: tenants, queue, metrics.
+/// A shard: tenants (resident and paged out), queue, metrics.
 #[derive(Debug)]
 pub(crate) struct Shard {
     index: usize,
-    capacity: usize,
+    /// Cap on materialised tenant sessions (this shard's share of the
+    /// service-wide `resident_capacity`); `None` = unbounded.
+    resident_capacity: Option<usize>,
     tenants: HashMap<TenantId, TenantState>,
+    /// Paged-out tenants, keyed to their compact serialised snapshot form.
+    cold: HashMap<TenantId, String>,
+    /// Tenants whose state changed since the last checkpoint or full
+    /// snapshot.  Ordered so checkpoints serialise in id order.
+    dirty: BTreeSet<TenantId>,
+    /// Monotonic serve counter driving the LRU eviction order; ticks once
+    /// per same-tenant run, so it is deterministic for a given request
+    /// stream regardless of drain worker count.
+    clock: u64,
+    /// Last serve tick per resident tenant (absent = never served since
+    /// materialisation; those evict first, tie-broken by id).
+    last_served: HashMap<TenantId, u64>,
     queue: VecDeque<(u64, Request)>,
     pub(crate) metrics: ShardMetrics,
     /// Scratch holding the maximal same-tenant FIFO run being drained;
@@ -33,14 +60,18 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    /// `capacity` is validated (non-zero) by [`crate::ServiceConfig`]
-    /// before any shard is built — no silent clamping here.
-    pub(crate) fn new(index: usize, capacity: usize) -> Self {
-        debug_assert!(capacity >= 1, "ServiceConfig validates the capacity");
+    /// Queue capacity is enforced upstream at the ingest stripe (validated
+    /// non-zero by [`crate::ServiceConfig`]); the shard FIFO itself only
+    /// ever holds what a stripe transfer hands it.
+    pub(crate) fn new(index: usize, resident_capacity: Option<usize>) -> Self {
         Self {
             index,
-            capacity,
+            resident_capacity,
             tenants: HashMap::new(),
+            cold: HashMap::new(),
+            dirty: BTreeSet::new(),
+            clock: 0,
+            last_served: HashMap::new(),
             queue: VecDeque::new(),
             metrics: ShardMetrics::new(),
             run_scratch: Vec::new(),
@@ -49,42 +80,96 @@ impl Shard {
     }
 
     pub(crate) fn contains(&self, tenant: TenantId) -> bool {
-        self.tenants.contains_key(&tenant)
+        self.tenants.contains_key(&tenant) || self.cold.contains_key(&tenant)
     }
 
+    /// Registered tenants, resident or paged out.
     pub(crate) fn tenant_count(&self) -> usize {
+        self.tenants.len() + self.cold.len()
+    }
+
+    /// Tenants currently materialised in memory.
+    pub(crate) fn resident_count(&self) -> usize {
         self.tenants.len()
     }
 
-    /// Tenant states in ascending id order (the deterministic order
-    /// snapshots serialise in).
-    pub(crate) fn tenants_sorted(&self) -> Vec<&TenantState> {
-        let mut tenants: Vec<&TenantState> = self.tenants.values().collect();
-        tenants.sort_by_key(|t| t.id);
-        tenants
+    /// Approximate bytes of tenant state this shard holds: materialised
+    /// sessions at their learned-state footprint, paged-out tenants at
+    /// the length of their serialised form.
+    pub(crate) fn resident_memory_bytes(&self) -> usize {
+        let hot: usize = self
+            .tenants
+            .values()
+            .map(TenantState::memory_footprint_bytes)
+            .sum();
+        let cold: usize = self.cold.values().map(String::len).sum();
+        hot + cold
+    }
+
+    /// Every tenant's serialised document paired with its id — resident
+    /// tenants serialised fresh, paged-out tenants parsed back from their
+    /// stored form (byte-identical either way, by the snapshot contract).
+    pub(crate) fn tenant_documents(&self) -> Vec<(TenantId, Json)> {
+        let mut documents: Vec<(TenantId, Json)> = self
+            .tenants
+            .values()
+            .map(|state| (state.id, tenant_json(state)))
+            .collect();
+        documents.extend(
+            self.cold
+                .iter()
+                .map(|(&id, raw)| (id, cold_tenant_json(raw))),
+        );
+        documents.sort_by_key(|(id, _)| *id);
+        documents
     }
 
     /// Registers a tenant state on this shard.  The caller (the service)
-    /// has already checked for duplicates.
+    /// has already checked for duplicates.  Registration beyond the
+    /// resident cap pages the (necessarily quiescent) state straight out,
+    /// so a service can hold far more registered tenants than its cap.
     pub(crate) fn register(&mut self, state: TenantState) {
-        self.tenants.insert(state.id, state);
+        let id = state.id;
+        self.dirty.insert(id);
+        if self
+            .resident_capacity
+            .is_some_and(|cap| self.tenants.len() >= cap)
+        {
+            self.cold.insert(id, tenant_json(&state).render());
+        } else {
+            self.tenants.insert(id, state);
+        }
+    }
+
+    /// Replaces (or registers) a tenant state — the WAL-replay path, where
+    /// a later record supersedes whatever the base snapshot carried.
+    pub(crate) fn replace(&mut self, state: TenantState) {
+        let id = state.id;
+        self.cold.remove(&id);
+        self.tenants.remove(&id);
+        self.register(state);
     }
 
     pub(crate) fn queue_len(&self) -> usize {
         self.queue.len()
     }
 
-    /// The regret ledger of one tenant on this shard.
+    /// The regret ledger of one tenant on this shard.  A paged-out tenant
+    /// is read from its serialised form without joining the resident set.
     pub(crate) fn tenant_report(
         &self,
         tenant: TenantId,
     ) -> Option<pdm_pricing::prelude::RegretReport> {
-        self.tenants
+        if let Some(state) = self.tenants.get(&tenant) {
+            return Some(state.session.tracker().report());
+        }
+        self.cold
             .get(&tenant)
-            .map(|state| state.session.tracker().report())
+            .map(|raw| cold_tenant_state(raw).session.tracker().report())
     }
 
-    /// Number of tenants with a quoted-but-unobserved round.
+    /// Number of tenants with a quoted-but-unobserved round.  Paged-out
+    /// tenants are always quiescent (the pager refuses open rounds).
     pub(crate) fn open_rounds(&self) -> usize {
         self.tenants
             .values()
@@ -92,15 +177,47 @@ impl Shard {
             .count()
     }
 
-    /// Admits a request into the bounded queue; `false` means the queue was
-    /// full and the request was shed (the shed counter is updated here).
-    pub(crate) fn enqueue(&mut self, seq: u64, request: Request) -> bool {
-        if self.queue.len() >= self.capacity {
-            self.metrics.shed += 1;
-            return false;
+    /// Tenants changed since the last checkpoint, in id order, as
+    /// serialised documents — **quiescent tenants only**.  A tenant with an
+    /// open round stays dirty (its mid-round state has no serialised form)
+    /// and is captured by a later checkpoint, which is what lets
+    /// checkpoints run under live traffic.  Captured tenants leave the
+    /// dirty set.
+    pub(crate) fn checkpoint_dirty(&mut self) -> Vec<(TenantId, Json)> {
+        let ids: Vec<TenantId> = self.dirty.iter().copied().collect();
+        let mut captured = Vec::new();
+        for id in ids {
+            if let Some(state) = self.tenants.get(&id) {
+                if state.session.has_pending() {
+                    continue;
+                }
+                captured.push((id, tenant_json(state)));
+            } else if let Some(raw) = self.cold.get(&id) {
+                captured.push((id, cold_tenant_json(raw)));
+            }
+            self.dirty.remove(&id);
         }
+        captured
+    }
+
+    /// Clears the dirty set — a full snapshot captured everything.
+    pub(crate) fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Appends a stripe transfer to the FIFO.  Capacity was enforced at
+    /// ingest time (the stripe is the bounded component), so the transfer
+    /// itself never sheds.
+    pub(crate) fn admit_transferred(&mut self, requests: impl Iterator<Item = (u64, Request)>) {
+        self.queue.extend(requests);
+    }
+
+    /// Appends a request to the FIFO directly — shard-level tests drive
+    /// the processing loop through this; the service path goes through the
+    /// bounded ingest stripe and [`Shard::admit_transferred`].
+    #[cfg(test)]
+    pub(crate) fn enqueue(&mut self, seq: u64, request: Request) {
         self.queue.push_back((seq, request));
-        true
     }
 
     /// Serves every queued request in FIFO order, producing one response
@@ -149,9 +266,69 @@ impl Shard {
                 let entry = self.queue.pop_front().expect("front checked above");
                 self.run_scratch.push(entry);
             }
+            self.ensure_resident(tenant);
             self.serve_run(tenant, responses);
+            // The run mutated the session: mark it for the next checkpoint
+            // and refresh its slot in the LRU order.  One tick per run, so
+            // the eviction order is deterministic for a given request
+            // stream regardless of how many workers drain the other shards.
+            self.dirty.insert(tenant);
+            self.clock += 1;
+            self.last_served.insert(tenant, self.clock);
         }
+        self.enforce_residency();
         self.metrics.record_latency_batch(started.elapsed(), total);
+    }
+
+    /// Materialises a paged-out tenant before its run is served.  The
+    /// stored form is the exact document the snapshot writer emits, and
+    /// restoring a snapshot is bit-identical, so a rehydrated tenant
+    /// prices exactly as if it had never left memory.
+    fn ensure_resident(&mut self, tenant: TenantId) {
+        if self.tenants.contains_key(&tenant) {
+            return;
+        }
+        if let Some(raw) = self.cold.remove(&tenant) {
+            self.tenants.insert(tenant, cold_tenant_state(&raw));
+            self.metrics.rehydrations += 1;
+        }
+    }
+
+    /// Pages least-recently-served quiescent tenants out until the
+    /// resident set fits the cap again.  Tenants with an open round are
+    /// skipped (their mid-round state has no serialised form); they become
+    /// evictable as soon as the round closes.  Ties on the serve tick
+    /// (e.g. never-served tenants) break on the id, keeping the eviction
+    /// sequence — and therefore the eviction/rehydration counters —
+    /// deterministic.
+    fn enforce_residency(&mut self) {
+        let Some(cap) = self.resident_capacity else {
+            return;
+        };
+        if self.tenants.len() <= cap {
+            return;
+        }
+        let mut candidates: Vec<(u64, TenantId)> = self
+            .tenants
+            .values()
+            .filter(|state| !state.session.has_pending())
+            .map(|state| {
+                (
+                    self.last_served.get(&state.id).copied().unwrap_or(0),
+                    state.id,
+                )
+            })
+            .collect();
+        candidates.sort_unstable();
+        for (_, id) in candidates {
+            if self.tenants.len() <= cap {
+                break;
+            }
+            let state = self.tenants.remove(&id).expect("candidate is resident");
+            self.cold.insert(id, tenant_json(&state).render());
+            self.last_served.remove(&id);
+            self.metrics.evictions += 1;
+        }
     }
 
     /// Serves one maximal same-tenant run currently staged in
@@ -286,8 +463,8 @@ mod tests {
     use crate::tenant::TenantConfig;
     use pdm_linalg::Vector;
 
-    fn shard_with_tenant(capacity: usize) -> Shard {
-        let mut shard = Shard::new(0, capacity);
+    fn shard_with_tenant() -> Shard {
+        let mut shard = Shard::new(0, None);
         shard.register(TenantState::new(
             TenantId(1),
             TenantConfig::standard(2, 100),
@@ -305,21 +482,21 @@ mod tests {
 
     #[test]
     fn fifo_quote_then_observe_round_trip() {
-        let mut shard = shard_with_tenant(16);
-        assert!(shard.enqueue(0, quote_request()));
+        let mut shard = shard_with_tenant();
+        shard.enqueue(0, quote_request());
         let responses = shard.process_all();
         assert_eq!(responses.len(), 1);
         let quote = responses[0].quote().expect("a quote response");
         assert!(quote.posted_price.is_finite());
 
-        assert!(shard.enqueue(
+        shard.enqueue(
             1,
             Request::Observe(OutcomeReport {
                 tenant: TenantId(1),
                 accepted: true,
                 market_value: Some(1.0),
-            })
-        ));
+            }),
+        );
         let responses = shard.process_all();
         assert!(matches!(responses[0].payload, Payload::Observed(_)));
         assert_eq!(shard.metrics.quotes_served, 1);
@@ -331,21 +508,67 @@ mod tests {
     }
 
     #[test]
-    fn bounded_queue_sheds_overload() {
-        let mut shard = shard_with_tenant(2);
-        assert!(shard.enqueue(0, quote_request()));
-        assert!(shard.enqueue(1, quote_request()));
-        // Third request overflows the capacity-2 queue: shed, not queued.
-        assert!(!shard.enqueue(2, quote_request()));
-        assert_eq!(shard.metrics.shed, 1);
-        assert_eq!(shard.queue_len(), 2);
-        // The queued work still drains fine.
-        assert_eq!(shard.process_all().len(), 2);
+    fn paging_round_trips_a_tenant_through_the_cold_map() {
+        // Cap 1: serving tenant 2 after tenant 1 pages tenant 1 out; a
+        // later request pages it back in, and the dirty set has tracked
+        // every mutation along the way.
+        let mut shard = Shard::new(0, Some(1));
+        shard.register(TenantState::new(
+            TenantId(1),
+            TenantConfig::standard(2, 100),
+        ));
+        shard.register(TenantState::new(
+            TenantId(2),
+            TenantConfig::standard(2, 100),
+        ));
+        // Registration beyond the cap pages straight out.
+        assert_eq!(shard.resident_count(), 1);
+        assert_eq!(shard.tenant_count(), 2);
+        shard.enqueue(0, quote_request());
+        shard.enqueue(
+            1,
+            Request::Observe(OutcomeReport {
+                tenant: TenantId(1),
+                accepted: true,
+                market_value: Some(1.0),
+            }),
+        );
+        shard.enqueue(
+            2,
+            Request::Quote(QueryRequest {
+                tenant: TenantId(2),
+                features: Vector::from_slice(&[0.6, 0.8]),
+                reserve_price: 0.1,
+            }),
+        );
+        shard.enqueue(
+            3,
+            Request::Observe(OutcomeReport {
+                tenant: TenantId(2),
+                accepted: false,
+                market_value: Some(1.0),
+            }),
+        );
+        let responses = shard.process_all();
+        assert_eq!(responses.len(), 4);
+        assert_eq!(shard.resident_count(), 1);
+        assert!(shard.metrics.evictions >= 1);
+        assert_eq!(shard.metrics.rehydrations, 1, "tenant 2 was paged out");
+        // Both tenants stay addressable; the paged-out one reads its
+        // ledger from the serialised form.
+        assert!(shard.contains(TenantId(1)));
+        assert!(shard.contains(TenantId(2)));
+        assert_eq!(shard.tenant_report(TenantId(1)).unwrap().rounds, 1);
+        assert_eq!(shard.tenant_report(TenantId(2)).unwrap().rounds, 1);
+        // Every mutated tenant is pending for the next checkpoint.
+        let captured = shard.checkpoint_dirty();
+        assert_eq!(captured.len(), 2);
+        assert!(shard.checkpoint_dirty().is_empty(), "dirty set drained");
     }
 
     #[test]
     fn auction_rounds_settle_in_one_fifo_slot_and_feed_the_ledger() {
-        let mut shard = Shard::new(0, 8);
+        let mut shard = Shard::new(0, None);
         shard.register(TenantState::new(
             TenantId(2),
             crate::tenant::TenantConfig::auction(
@@ -376,7 +599,7 @@ mod tests {
 
     #[test]
     fn market_mismatch_is_rejected_both_ways() {
-        let mut shard = shard_with_tenant(8);
+        let mut shard = shard_with_tenant();
         shard.register(TenantState::new(
             TenantId(2),
             crate::tenant::TenantConfig::auction(2, 100, crate::tenant::AuctionPolicy::Session),
@@ -414,7 +637,7 @@ mod tests {
 
     #[test]
     fn observe_without_quote_is_rejected_not_panicking() {
-        let mut shard = shard_with_tenant(4);
+        let mut shard = shard_with_tenant();
         shard.enqueue(
             0,
             Request::Observe(OutcomeReport {

@@ -35,6 +35,12 @@ use pdm_pricing::prelude::{
 
 /// Version of the snapshot schema this build writes.
 ///
+/// v4 added the persistence/paging layer: the optional
+/// `resident_capacity` and `wal_segment_size` sizing knobs in the header,
+/// and the `evictions`/`rehydrations` counters of the per-shard metric
+/// ledgers.  The same tenant document doubles as the WAL record format
+/// (see [`crate::wal`]).  v1–v3 documents restore with both knobs unset
+/// and zero paging counters.
 /// v3 added the drift layer: a `drift` object per tenant (the drift policy
 /// plus the surprisal detector's live state — window flags, firing and
 /// restart counters) and the `drift_fires`/`drift_restarts` counters of
@@ -45,7 +51,7 @@ use pdm_pricing::prelude::{
 /// history) and the auction counters of the per-shard metric ledgers.
 /// v1 documents restore as posted-price tenants with empty auction
 /// counters.
-pub const SNAPSHOT_SCHEMA_VERSION: u64 = 3;
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 4;
 
 fn vector_json(v: &Vector) -> Json {
     Json::Arr(v.iter().map(|&x| Json::Num(x)).collect())
@@ -116,7 +122,7 @@ fn pricing_from_json(value: &Json, context: &str) -> Result<PricingConfig, Servi
     Ok(config)
 }
 
-fn metrics_json(metrics: &ShardMetrics) -> Json {
+pub(crate) fn metrics_json(metrics: &ShardMetrics) -> Json {
     Json::obj(vec![
         ("quotes_served", Json::Num(metrics.quotes_served as f64)),
         ("observations", Json::Num(metrics.observations as f64)),
@@ -128,6 +134,8 @@ fn metrics_json(metrics: &ShardMetrics) -> Json {
         ("rejected", Json::Num(metrics.rejected as f64)),
         ("drift_fires", Json::Num(metrics.drift_fires as f64)),
         ("drift_restarts", Json::Num(metrics.drift_restarts as f64)),
+        ("evictions", Json::Num(metrics.evictions as f64)),
+        ("rehydrations", Json::Num(metrics.rehydrations as f64)),
         (
             "auction",
             Json::obj(vec![
@@ -148,7 +156,7 @@ fn metrics_json(metrics: &ShardMetrics) -> Json {
     ])
 }
 
-fn metrics_from_json(value: &Json, context: &str) -> Result<ShardMetrics, ServiceError> {
+pub(crate) fn metrics_from_json(value: &Json, context: &str) -> Result<ShardMetrics, ServiceError> {
     let count = |key: &str| {
         value.get(key).and_then(Json::as_u64).ok_or_else(|| {
             ServiceError::MalformedSnapshot(format!("{context}: missing count `{key}`"))
@@ -179,6 +187,9 @@ fn metrics_from_json(value: &Json, context: &str) -> Result<ShardMetrics, Servic
     };
     metrics.drift_fires = optional_count("drift_fires")?;
     metrics.drift_restarts = optional_count("drift_restarts")?;
+    // The paging counters arrived with schema v4; same contract as above.
+    metrics.evictions = optional_count("evictions")?;
+    metrics.rehydrations = optional_count("rehydrations")?;
     // The auction ledger arrived with schema v2; a v1 document simply has
     // no auction traffic to restore.
     if let Some(auction) = value.get("auction") {
@@ -508,7 +519,13 @@ fn ledger_from_json(value: &Json, context: &str) -> Result<RegretReport, Service
     Ok(report)
 }
 
-fn tenant_json(state: &TenantState) -> Json {
+/// Serialises one tenant to its snapshot/WAL document.
+///
+/// This rendering is the unit of persistence everywhere: full snapshots,
+/// WAL segments (see [`crate::wal`]), and the cold-tenant page store all
+/// carry exactly this object, so a tenant round-trips bit-identically no
+/// matter which path it travelled.
+pub(crate) fn tenant_json(state: &TenantState) -> Json {
     let knowledge = state.session.mechanism().knowledge();
     Json::obj(vec![
         // Tenant ids are full u64s (name hashes use all 64 bits) and JSON
@@ -554,7 +571,23 @@ fn tenant_json(state: &TenantState) -> Json {
     ])
 }
 
-fn tenant_from_json(value: &Json) -> Result<TenantState, ServiceError> {
+/// Re-parses the compact rendering a cold (paged-out) tenant is stored as.
+///
+/// The string was produced by [`tenant_json`]`.render()` inside this
+/// process, so a parse failure is a corrupted invariant, not bad input.
+pub(crate) fn cold_tenant_json(raw: &str) -> Json {
+    Json::parse(raw).expect("cold tenant page is valid JSON by construction")
+}
+
+/// Rehydrates a cold tenant back into a live [`TenantState`].
+///
+/// Bit-identical by the snapshot contract: serialise → parse → rebuild is
+/// the same path a full snapshot/restore takes per tenant.
+pub(crate) fn cold_tenant_state(raw: &str) -> TenantState {
+    tenant_from_json(&cold_tenant_json(raw)).expect("cold tenant page round-trips by construction")
+}
+
+pub(crate) fn tenant_from_json(value: &Json) -> Result<TenantState, ServiceError> {
     let id = value
         .get("id")
         .and_then(Json::as_str)
@@ -680,19 +713,12 @@ impl MarketService {
     /// tenant has a quoted-but-unobserved round; drain and close them
     /// first, then snapshot the quiescent service.
     pub fn snapshot(&self) -> Result<Json, ServiceError> {
-        let mut queued = 0usize;
+        // Stripe queues count as pending too: an ingested-but-untransferred
+        // request is invisible to the shards but still owed a response.
+        let queued = self.queued_requests();
         let mut open_rounds = 0usize;
-        let mut tenants: Vec<Json> = Vec::new();
-        let mut all_states: Vec<(TenantId, Json)> = Vec::new();
-        let mut metrics: Vec<Json> = Vec::new();
         for shard in self.shards() {
-            let shard = shard.lock().expect("shard poisoned");
-            queued += shard.queue_len();
-            open_rounds += shard.open_rounds();
-            for state in shard.tenants_sorted() {
-                all_states.push((state.id, tenant_json(state)));
-            }
-            metrics.push(metrics_json(&shard.metrics));
+            open_rounds += shard.lock().expect("shard poisoned").open_rounds();
         }
         if queued > 0 || open_rounds > 0 {
             return Err(ServiceError::PendingWork {
@@ -700,16 +726,36 @@ impl MarketService {
                 open_rounds,
             });
         }
+        // Merged ledgers: stripe-level shed counts fold in at read time, so
+        // the snapshot sees the same totals `shard_metrics` reports.
+        let metrics: Vec<Json> = self.shard_metrics().iter().map(metrics_json).collect();
+        let mut all_states: Vec<(TenantId, Json)> = Vec::new();
+        for shard in self.shards() {
+            let mut shard = shard.lock().expect("shard poisoned");
+            all_states.extend(shard.tenant_documents());
+            // A full snapshot captures every tenant, hot or cold, so the
+            // incremental WAL restarts from a clean slate.
+            shard.clear_dirty();
+        }
         // Global id order, not shard order: the rendering must not depend on
         // how tenants happen to be distributed.
         all_states.sort_by_key(|(id, _)| *id);
-        tenants.extend(all_states.into_iter().map(|(_, json)| json));
+        let tenants: Vec<Json> = all_states.into_iter().map(|(_, json)| json).collect();
+        let optional_size = |size: Option<usize>| size.map_or(Json::Null, |n| Json::Num(n as f64));
         Ok(Json::obj(vec![
             ("schema_version", Json::Num(SNAPSHOT_SCHEMA_VERSION as f64)),
             ("shards", Json::Num(self.shard_count() as f64)),
             (
                 "queue_capacity",
                 Json::Num(self.config().queue_capacity as f64),
+            ),
+            (
+                "resident_capacity",
+                optional_size(self.config().resident_capacity),
+            ),
+            (
+                "wal_segment_size",
+                optional_size(self.config().wal_segment_size),
             ),
             ("tenants", Json::Arr(tenants)),
             ("metrics", Json::Arr(metrics)),
@@ -746,11 +792,30 @@ impl MarketService {
             .filter(|&n| n >= 1)
             .ok_or_else(|| ServiceError::MalformedSnapshot("missing `queue_capacity`".to_owned()))?
             as usize;
-        // The sizing was validated above (both counts >= 1), so construction
-        // cannot fail on config grounds; `?` keeps the error path honest.
+        // The paging knobs arrived with schema v4; older documents (and v4
+        // documents from services with paging off) carry `null` or nothing.
+        let optional_size = |key: &str| -> Result<Option<usize>, ServiceError> {
+            match snapshot.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(value) => value
+                    .as_u64()
+                    .filter(|&n| n >= 1)
+                    .map(|n| Some(n as usize))
+                    .ok_or_else(|| {
+                        ServiceError::MalformedSnapshot(format!("bad `{key}`: {value:?}"))
+                    }),
+            }
+        };
+        let resident_capacity = optional_size("resident_capacity")?;
+        let wal_segment_size = optional_size("wal_segment_size")?;
+        // The sizing was validated above (counts >= 1, optional knobs >= 1
+        // when present), so construction can only fail on the knob pairing
+        // rule; `?` keeps the error path honest.
         let mut service = MarketService::new(ServiceConfig {
             shards,
             queue_capacity,
+            resident_capacity,
+            wal_segment_size,
         })?;
         let tenants = snapshot
             .get("tenants")
@@ -776,6 +841,11 @@ impl MarketService {
                 .get_mut()
                 .expect("shard poisoned")
                 .metrics = restored;
+        }
+        // Registration marked every tenant dirty; a freshly restored service
+        // is by definition in sync with its snapshot, so the WAL starts clean.
+        for shard in service.shards_mut() {
+            shard.get_mut().expect("shard poisoned").clear_dirty();
         }
         Ok(service)
     }
@@ -828,6 +898,7 @@ mod tests {
         let mut service = MarketService::new(ServiceConfig {
             shards: 3,
             queue_capacity: 32,
+            ..ServiceConfig::default()
         })
         .expect("valid service config");
         for &id in ids {

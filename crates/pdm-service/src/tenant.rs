@@ -211,6 +211,20 @@ impl TenantState {
         }
     }
 
+    /// Approximate resident memory of this tenant: the pricing session
+    /// (knowledge set + bookkeeping, via
+    /// [`PricingSession::memory_footprint_bytes`]) plus the empirical
+    /// setter's bid-history window when the tenant carries one.  The
+    /// cold-tenant pager reads this to report memory-per-tenant.
+    #[must_use]
+    pub fn memory_footprint_bytes(&self) -> usize {
+        let empirical = self
+            .empirical
+            .as_ref()
+            .map_or(0, |setter| setter.history().count() * 2 * 8);
+        std::mem::size_of::<Self>() + self.session.memory_footprint_bytes() + empirical
+    }
+
     /// Settles one auction round through the tenant's reserve policy —
     /// quote, clear, feed back — via the shared
     /// [`pdm_auction::run_auction_round`] path, so the sharded service and

@@ -28,6 +28,7 @@ fn mixed_service(shards: usize) -> MarketService {
     let mut service = MarketService::new(ServiceConfig {
         shards,
         queue_capacity: 64,
+        ..ServiceConfig::default()
     })
     .expect("valid service config");
     for id in 0..3u64 {
@@ -195,6 +196,7 @@ fn zero_window_empirical_tenants_snapshot_and_restore() {
     let mut service = MarketService::new(ServiceConfig {
         shards: 1,
         queue_capacity: 8,
+        ..ServiceConfig::default()
     })
     .expect("valid service config");
     service
@@ -301,6 +303,7 @@ fn drift_service() -> MarketService {
     let mut service = MarketService::new(ServiceConfig {
         shards: 2,
         queue_capacity: 16,
+        ..ServiceConfig::default()
     })
     .expect("valid service config");
     // A δ buffer lifts the exploration threshold (ε ≥ 4nδ), so the
@@ -407,7 +410,7 @@ fn drift_tenant_snapshot_restores_bit_identically() {
 }
 
 #[test]
-fn checked_in_v1_snapshot_restores_under_schema_v3() {
+fn checked_in_v1_snapshot_restores_under_schema_v4() {
     let fixture = include_str!("fixtures/snapshot_v1.json");
     let mut restored =
         MarketService::restore(&Json::parse(fixture).unwrap()).expect("v1 fixture restores");
@@ -445,7 +448,7 @@ fn checked_in_v1_snapshot_restores_under_schema_v3() {
 }
 
 #[test]
-fn checked_in_v2_snapshot_restores_under_schema_v3() {
+fn checked_in_v2_snapshot_restores_under_schema_v4() {
     let fixture = include_str!("fixtures/snapshot_v2.json");
     let mut restored =
         MarketService::restore(&Json::parse(fixture).unwrap()).expect("v2 fixture restores");
@@ -480,10 +483,218 @@ fn checked_in_v2_snapshot_restores_under_schema_v3() {
         })
         .unwrap();
     assert!(restored.drain(1)[0].quote().is_none());
-    // Re-snapshotting upgrades the document to schema v3 with an explicit
-    // static drift policy per tenant.
+    // Re-snapshotting upgrades the document to the current schema with an
+    // explicit static drift policy per tenant.
     let rendered = restored.snapshot().unwrap().render_pretty();
     assert!(rendered.contains(&format!("\"schema_version\": {SNAPSHOT_SCHEMA_VERSION}")));
     assert!(rendered.contains("\"policy\": \"static\""));
     assert!(rendered.contains("\"policy\": \"empirical\""));
+}
+
+#[test]
+fn checked_in_v3_snapshot_restores_under_schema_v4() {
+    let fixture = include_str!("fixtures/snapshot_v3.json");
+    let mut restored =
+        MarketService::restore(&Json::parse(fixture).unwrap()).expect("v3 fixture restores");
+    assert_eq!(restored.tenant_count(), 3);
+    // Pre-WAL documents restore with paging off and zero paging counters.
+    assert_eq!(restored.config().resident_capacity, None);
+    assert_eq!(restored.config().wal_segment_size, None);
+    let metrics = restored.aggregate_metrics();
+    assert_eq!(metrics.quotes_served, 180);
+    assert_eq!(metrics.sales, 105);
+    assert_eq!(metrics.drift_fires, 1);
+    assert_eq!(metrics.drift_restarts, 1);
+    assert_eq!(
+        metrics.evictions, 0,
+        "v3 documents predate the paging layer"
+    );
+    assert_eq!(metrics.rehydrations, 0);
+    // The restored drift tenant still serves posted rounds.
+    restored
+        .submit_quote(QueryRequest {
+            tenant: TenantId(5),
+            features: Vector::from_slice(&[0.5, 0.3, 0.2]),
+            reserve_price: 0.1,
+        })
+        .expect("v3 drift tenant is registered and posted-price");
+    let quote = *restored.drain(1)[0].quote().expect("a quote response");
+    assert!(quote.posted_price.is_finite());
+    restored
+        .submit_outcome(OutcomeReport {
+            tenant: TenantId(5),
+            accepted: true,
+            market_value: None,
+        })
+        .unwrap();
+    restored.drain(1);
+    // Checkpointing a WAL-less restore is rejected, not silently empty.
+    assert!(restored.checkpoint().is_err());
+    // Re-snapshotting upgrades the document to schema v4 with explicit
+    // (null) paging knobs and the paging counters.
+    let rendered = restored.snapshot().unwrap().render_pretty();
+    assert!(rendered.contains(&format!("\"schema_version\": {SNAPSHOT_SCHEMA_VERSION}")));
+    assert!(rendered.contains("\"resident_capacity\": null"));
+    assert!(rendered.contains("\"wal_segment_size\": null"));
+    assert!(rendered.contains("\"evictions\""));
+    assert!(rendered.contains("\"policy\": \"restart\""));
+    // And the upgraded document round-trips to the identical rendering.
+    let again = MarketService::restore(&Json::parse(&rendered).unwrap()).unwrap();
+    assert_eq!(again.snapshot().unwrap().render_pretty(), rendered);
+}
+
+/// The mixed tenant population of [`mixed_service`] under a resident cap
+/// small enough to force paging churn, with the WAL on.
+fn paged_mixed_service() -> MarketService {
+    let mut service = MarketService::new(ServiceConfig {
+        shards: 2,
+        queue_capacity: 64,
+        resident_capacity: Some(2),
+        wal_segment_size: Some(3),
+    })
+    .expect("valid service config");
+    for id in 0..3u64 {
+        service
+            .register_tenant(TenantId(id), TenantConfig::standard(DIM, HORIZON))
+            .unwrap();
+    }
+    let policies = [
+        AuctionPolicy::Static { markup: 0.05 },
+        AuctionPolicy::Session,
+        AuctionPolicy::Empirical {
+            window: 16,
+            welfare_weight: 0.0,
+        },
+    ];
+    for (offset, policy) in policies.into_iter().enumerate() {
+        service
+            .register_tenant(
+                TenantId(3 + offset as u64),
+                TenantConfig::auction(DIM, HORIZON, policy),
+            )
+            .unwrap();
+    }
+    service
+}
+
+#[test]
+fn wal_restore_under_paging_continues_bit_identically() {
+    // Six mixed tenants behind a resident cap of two: every wave pages
+    // tenants in and out while posted sessions and auction policies learn.
+    let mut original = paged_mixed_service();
+    let base = original.snapshot().expect("fresh service is quiescent");
+    let mut stream: Vec<Json> = Vec::new();
+    let mut traffic = markets(13);
+    pump(&mut original, &mut traffic, 4, 2, 61);
+    stream.extend(original.checkpoint().unwrap());
+    pump(&mut original, &mut traffic, 4, 2, 62);
+    stream.extend(original.checkpoint().unwrap());
+    let churn = original.aggregate_metrics();
+    assert!(churn.evictions > 0, "the cap must actually force paging");
+    assert!(churn.rehydrations > 0);
+    assert!(original.resident_tenants() <= 2);
+
+    let mut restored = MarketService::restore_with_wal(&base, &stream).unwrap();
+    assert_eq!(restored.tenant_count(), 6);
+    assert_eq!(
+        restored.aggregate_metrics().quotes_served,
+        churn.quotes_served
+    );
+    assert_eq!(
+        restored.aggregate_metrics().revenue.to_bits(),
+        churn.revenue.to_bits()
+    );
+    // Continuation traffic: identical fresh generators for both runs.  The
+    // paging decisions of the two services may differ (the restored LRU is
+    // fresh) but every priced value must agree bit for bit.
+    let mut expected_traffic = markets(99);
+    let mut actual_traffic = markets(99);
+    let expected = pump(&mut original, &mut expected_traffic, 4, 2, 63);
+    let actual = pump(&mut restored, &mut actual_traffic, 4, 2, 63);
+    assert_eq!(expected, actual);
+    assert!(restored.resident_tenants() <= 2);
+}
+
+#[test]
+fn wal_restore_interrupted_mid_eviction_continues_bit_identically() {
+    // Posted tenants only, cap 2 over 2 shards: by the first checkpoint
+    // most of the population is paged out, and the cut lands while one
+    // tenant still has a quoted-but-unobserved round — the WAL skips it
+    // (it stays dirty) and carries it in the next segment after close.
+    let ids: Vec<TenantId> = (20u64..26).map(TenantId).collect();
+    let mut original = MarketService::new(ServiceConfig {
+        shards: 2,
+        queue_capacity: 64,
+        resident_capacity: Some(2),
+        wal_segment_size: Some(2),
+    })
+    .unwrap();
+    for &id in &ids {
+        original
+            .register_tenant(id, TenantConfig::standard(DIM, HORIZON))
+            .unwrap();
+    }
+    let base = original.snapshot().unwrap();
+
+    let pump_posted = |service: &mut MarketService, rounds: usize, seed: u64| -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bits = Vec::new();
+        for _ in 0..rounds {
+            for id in (20u64..26).map(TenantId) {
+                let features = sampling::standard_normal_vector(&mut rng, DIM)
+                    .map(f64::abs)
+                    .normalized();
+                service
+                    .submit_quote(QueryRequest {
+                        tenant: id,
+                        features,
+                        reserve_price: 0.2,
+                    })
+                    .unwrap();
+            }
+            for response in service.drain(2) {
+                let quote = *response.quote().unwrap();
+                bits.push(quote.posted_price.to_bits());
+                service
+                    .submit_outcome(OutcomeReport {
+                        tenant: response.tenant,
+                        accepted: quote.posted_price <= 1.0,
+                        market_value: Some(1.0),
+                    })
+                    .unwrap();
+            }
+            service.drain(2);
+        }
+        bits
+    };
+
+    pump_posted(&mut original, 3, 71);
+    assert!(original.aggregate_metrics().evictions > 0);
+    // Open a round on one tenant, then checkpoint under that traffic.
+    original
+        .submit_quote(QueryRequest {
+            tenant: ids[0],
+            features: Vector::from_slice(&[0.5, 0.3, 0.2]),
+            reserve_price: 0.2,
+        })
+        .unwrap();
+    let open_quote = *original.drain(1)[0].quote().unwrap();
+    let mut stream = original.checkpoint().unwrap();
+    // Close the round; the next checkpoint carries the skipped tenant.
+    original
+        .submit_outcome(OutcomeReport {
+            tenant: ids[0],
+            accepted: open_quote.posted_price <= 1.0,
+            market_value: Some(1.0),
+        })
+        .unwrap();
+    original.drain(1);
+    stream.extend(original.checkpoint().unwrap());
+
+    let mut restored = MarketService::restore_with_wal(&base, &stream).unwrap();
+    assert_eq!(restored.tenant_count(), ids.len());
+    let expected = pump_posted(&mut original, 2, 72);
+    let actual = pump_posted(&mut restored, 2, 72);
+    assert_eq!(expected, actual);
+    assert!(restored.resident_tenants() <= 2);
 }

@@ -40,6 +40,7 @@ proptest! {
         let mut service = MarketService::new(ServiceConfig {
             shards,
             queue_capacity: 8,
+            ..ServiceConfig::default()
         }).expect("valid service config");
         let mut ids = raw_ids;
         ids.sort_unstable();
@@ -78,6 +79,7 @@ fn closed_loop(tenants: u64, rounds: usize, workers: usize) -> (Vec<u64>, f64, f
     let mut service = MarketService::new(ServiceConfig {
         shards: 4,
         queue_capacity: 256,
+        ..ServiceConfig::default()
     })
     .expect("valid service config");
     for id in 0..tenants {
@@ -141,6 +143,7 @@ fn per_shard_metrics_cover_all_traffic_and_latency_percentiles_exist() {
     let mut service = MarketService::new(ServiceConfig {
         shards: 3,
         queue_capacity: 64,
+        ..ServiceConfig::default()
     })
     .expect("valid service config");
     for id in 0..9 {
