@@ -12,6 +12,7 @@ use crate::drift::{drift_grid, render_drift, run_drift_cells};
 use crate::experiments::{experiments_for, render_experiment, render_fig1};
 use crate::grid::expand_jobs;
 use crate::longhaul::{longhaul_grid, render_longhaul, run_longhaul_cells};
+use crate::privacy::{privacy_grid, render_privacy, run_privacy_cells};
 use crate::report::{
     build_experiment_reports, git_describe, BenchReport, PerfFloor, PerfSummary, SCHEMA_VERSION,
 };
@@ -55,13 +56,17 @@ pub enum Command {
     /// checkpoints under traffic, a timed bit-identical restore, and
     /// cold-tenant paging churn under a resident cap).
     Longhaul,
+    /// The privacy-budget workload (per-owner ε ledgers exhausting
+    /// mid-run, revenue-vs-compensation accounting, supply throttling,
+    /// and a bit-identical ledger-carrying WAL restore).
+    Privacy,
     /// Every simulation experiment above in one grid.
     All,
 }
 
 impl Command {
     /// Every subcommand, in help order.
-    pub const ALL: [Command; 14] = [
+    pub const ALL: [Command; 15] = [
         Command::Fig1,
         Command::Fig4,
         Command::Fig5a,
@@ -75,6 +80,7 @@ impl Command {
         Command::Auction,
         Command::Drift,
         Command::Longhaul,
+        Command::Privacy,
         Command::All,
     ];
 
@@ -95,6 +101,7 @@ impl Command {
             Command::Auction => "auction",
             Command::Drift => "drift",
             Command::Longhaul => "longhaul",
+            Command::Privacy => "privacy",
             Command::All => "all",
         }
     }
@@ -336,12 +343,18 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
     } else {
         Vec::new()
     };
+    let privacy_cells = if args.command == Command::Privacy {
+        filter_cells(privacy_grid(args.scale), filter, |c| c.label.clone())
+    } else {
+        Vec::new()
+    };
     if let Some(needle) = filter {
         if experiments.is_empty()
             && serve_cells.is_empty()
             && auction_cells.is_empty()
             && drift_cells.is_empty()
             && longhaul_cells.is_empty()
+            && privacy_cells.is_empty()
         {
             return Err(format!(
                 "--filter `{needle}` matched no cells of `bench {}`",
@@ -364,6 +377,7 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         .chain(auction_cells.iter().map(|cell| cell.shards))
         .chain(drift_cells.iter().map(|cell| cell.shards))
         .chain(longhaul_cells.iter().map(|cell| cell.shards))
+        .chain(privacy_cells.iter().map(|cell| cell.shards))
         .max();
     let workers = match shard_cap {
         Some(shards) => args.workers.clamp(1, shards),
@@ -435,6 +449,15 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         |rows| vec![render_longhaul(rows)],
         "WAL restore continuation, pre-cut ledgers, resident bound",
     )?;
+    let privacy = run_closed_loop_workload(
+        "privacy",
+        args,
+        workers,
+        &privacy_cells,
+        run_privacy_cells,
+        |rows| vec![render_privacy(rows)],
+        "posted prices, refusals, ε ledgers, exhaustion trajectory",
+    )?;
 
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -450,6 +473,7 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         auction,
         drift,
         longhaul,
+        privacy,
     };
 
     println!(
@@ -596,6 +620,33 @@ mod tests {
         assert_eq!(args.command, Command::Longhaul);
         assert!(args.check);
         assert!(usage().contains("longhaul"));
+    }
+
+    #[test]
+    fn privacy_is_a_first_class_subcommand() {
+        assert_eq!(Command::parse("privacy"), Some(Command::Privacy));
+        let args = parse_args(None, &strings(&["privacy", "--workers", "2", "--check"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.command, Command::Privacy);
+        assert!(args.check);
+        assert!(usage().contains("privacy"));
+    }
+
+    #[test]
+    fn filter_restricts_the_privacy_grid_and_the_check_gate_passes() {
+        let mut args = parse_args(None, &strings(&["privacy", "--filter", "budget=1.5"]))
+            .unwrap()
+            .unwrap();
+        args.workers = 2;
+        args.check = true;
+        let report = execute(&args).expect("filtered privacy run passes --check");
+        assert_eq!(report.privacy.len(), 1);
+        assert_eq!(report.privacy[0].label, "budget=1.5/owners=4");
+        assert!(report.privacy[0].owners_exhausted > 0);
+        assert!(report.experiments.is_empty());
+        assert!(report.serve.is_empty());
+        assert!(report.validate().is_empty());
     }
 
     #[test]

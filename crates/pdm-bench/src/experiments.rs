@@ -65,11 +65,15 @@ pub fn experiments_for(command: Command, scale: Scale) -> Vec<Experiment> {
         Command::RegretScaling => regret_scaling(scale),
         Command::Overhead => overhead(scale),
         Command::Lemma8 => vec![lemma8(scale)],
-        // The serve, auction, drift, and longhaul workloads drive the
-        // sharded service engine through their own closed loops
-        // (crate::serve / crate::auction / crate::drift / crate::longhaul),
-        // not the simulation job runner.
-        Command::Serve | Command::Auction | Command::Drift | Command::Longhaul => Vec::new(),
+        // The serve, auction, drift, longhaul, and privacy workloads drive
+        // the sharded service engine through their own closed loops
+        // (crate::serve / crate::auction / crate::drift / crate::longhaul /
+        // crate::privacy), not the simulation job runner.
+        Command::Serve
+        | Command::Auction
+        | Command::Drift
+        | Command::Longhaul
+        | Command::Privacy => Vec::new(),
         Command::All => {
             let mut all = fig4(scale);
             all.push(fig5a(scale));
@@ -744,8 +748,8 @@ mod tests {
         for command in Command::ALL {
             let experiments = experiments_for(command, Scale::Quick);
             // Fig. 1 is closed-form (no simulation) and the serve, auction,
-            // drift, and longhaul workloads run through their own closed
-            // loops, not the simulation job runner.
+            // drift, longhaul, and privacy workloads run through their own
+            // closed loops, not the simulation job runner.
             if matches!(
                 command,
                 Command::Fig1
@@ -753,6 +757,7 @@ mod tests {
                     | Command::Auction
                     | Command::Drift
                     | Command::Longhaul
+                    | Command::Privacy
             ) {
                 assert!(experiments.is_empty());
             } else {

@@ -47,6 +47,7 @@ pub mod experiments;
 pub mod grid;
 pub mod linear_market;
 pub mod longhaul;
+pub mod privacy;
 pub mod report;
 pub mod runner;
 pub mod scale;

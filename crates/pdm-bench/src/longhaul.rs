@@ -243,6 +243,7 @@ fn build_service(spec: &LonghaulCellSpec) -> Result<MarketService, String> {
         queue_capacity: window.max(4),
         resident_capacity: Some(spec.resident_capacity),
         wal_segment_size: Some(spec.wal_segment_size),
+        ..ServiceConfig::default()
     })
     .map_err(|e| format!("{}: config: {e}", spec.label))?;
     let config = TenantConfig::standard(spec.dim, spec.waves);

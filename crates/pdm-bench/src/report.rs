@@ -25,6 +25,7 @@ use crate::drift::{DriftCellReport, DriftPerf};
 use crate::grid::{CellSpec, Job};
 use crate::json::Json;
 use crate::longhaul::{LonghaulCellReport, LonghaulPerf};
+use crate::privacy::{PrivacyCellReport, PrivacyPerf};
 use crate::runner::{
     aggregate_cell, AggStat, CellAggregate, CellPerf, CheckpointAggregate, JobResult, MeanStd,
 };
@@ -33,6 +34,11 @@ use std::process::Command;
 
 /// Version of the `BENCH_*.json` schema this build writes.
 ///
+/// v7 added the additive `privacy` section (the `bench privacy` workload:
+/// privacy-budget economics over a grid of ε budget levels, with
+/// revenue-vs-compensation accounting, the per-wave owners-exhausted
+/// trajectory, supply throttling as budgets bind, arbitrage-clamp counts,
+/// and a bit-identical mid-run WAL restore carrying the owner ledgers);
 /// v6 added the additive `longhaul` section (the `bench longhaul`
 /// workload: sustained continuous-ingest serving with WAL checkpoints
 /// under traffic, a timed mid-run restore verified bit for bit, and
@@ -51,8 +57,8 @@ use std::process::Command;
 /// revenue, the no-reserve baseline, welfare, and reserve hit-rates);
 /// v2 added the additive `serve` section (the `bench serve` closed-loop
 /// workload: quotes/sec plus p50/p99 service latency per workload cell);
-/// v1–v5 reports parse as v6 reports with the missing sections empty.
-pub const SCHEMA_VERSION: u64 = 6;
+/// v1–v6 reports parse as v7 reports with the missing sections empty.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Headline throughput summary (schema v5): the serve workload folded into
 /// one first-class perf figure, so CI can gate regressions on a single
@@ -218,6 +224,9 @@ pub struct BenchReport {
     /// Longhaul-workload cells (schema v6; empty for other runs and for
     /// reports read back from v1–v5 files).
     pub longhaul: Vec<LonghaulCellReport>,
+    /// Privacy-workload cells (schema v7; empty for other runs and for
+    /// reports read back from v1–v6 files).
+    pub privacy: Vec<PrivacyCellReport>,
     /// Headline throughput summary (schema v5; `None` for simulation-only
     /// runs and for reports read back from v1–v4 files).
     pub perf: Option<PerfSummary>,
@@ -815,6 +824,135 @@ fn longhaul_cell_from_json(value: &Json) -> Result<LonghaulCellReport, String> {
     })
 }
 
+/// Serialises the schedule-independent part of a privacy cell: everything
+/// except `perf` and the worker count.  The ledger economics belong here —
+/// ε debits, compensation accruals, exhaustion counts, and the per-wave
+/// trajectory are all settled in submission order, so they are
+/// worker-count independent by the service's determinism contract.
+fn privacy_cell_deterministic_json(cell: &PrivacyCellReport) -> Json {
+    Json::obj(vec![
+        ("label", Json::str(&cell.label)),
+        ("tenants", Json::Num(cell.tenants as f64)),
+        ("shards", Json::Num(cell.shards as f64)),
+        ("waves", Json::Num(cell.waves as f64)),
+        ("reps", Json::Num(cell.reps as f64)),
+        ("owners", Json::Num(cell.owners as f64)),
+        ("epsilon_budget", Json::Num(cell.epsilon_budget)),
+        ("requests", Json::Num(cell.requests as f64)),
+        ("quotes_served", Json::Num(cell.quotes_served as f64)),
+        ("observations", Json::Num(cell.observations as f64)),
+        ("sales", Json::Num(cell.sales as f64)),
+        ("throttled", Json::Num(cell.throttled as f64)),
+        ("arbitrage_clamps", Json::Num(cell.arbitrage_clamps as f64)),
+        ("owners_exhausted", Json::Num(cell.owners_exhausted as f64)),
+        ("wal_segments", Json::Num(cell.wal_segments as f64)),
+        ("quoted_early", Json::Num(cell.quoted_early as f64)),
+        ("quoted_late", Json::Num(cell.quoted_late as f64)),
+        (
+            "exhausted_trajectory",
+            Json::Arr(
+                cell.exhausted_trajectory
+                    .iter()
+                    .map(|&n| Json::Num(n as f64))
+                    .collect(),
+            ),
+        ),
+        ("revenue", agg_stat_json(&cell.revenue)),
+        ("compensation", agg_stat_json(&cell.compensation)),
+        ("epsilon_spent", agg_stat_json(&cell.epsilon_spent)),
+        ("accept_rate", agg_stat_json(&cell.accept_rate)),
+    ])
+}
+
+fn privacy_cell_json(cell: &PrivacyCellReport) -> Json {
+    let mut json = privacy_cell_deterministic_json(cell);
+    let perf = Json::obj(vec![
+        ("wall_clock_secs", Json::Num(cell.perf.wall_clock_secs)),
+        ("quotes_per_sec", Json::Num(cell.perf.quotes_per_sec)),
+        (
+            "restore_latency_micros",
+            Json::Num(cell.perf.restore_latency_micros),
+        ),
+    ]);
+    if let Json::Obj(pairs) = &mut json {
+        pairs.push(("workers".to_owned(), Json::Num(cell.workers as f64)));
+        pairs.push(("perf".to_owned(), perf));
+    }
+    json
+}
+
+fn privacy_cell_from_json(value: &Json) -> Result<PrivacyCellReport, String> {
+    let label = value
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or("privacy cell: missing `label`")?
+        .to_owned();
+    let context = format!("privacy cell `{label}`");
+    let count = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{context}: missing count `{key}`"))
+    };
+    let stat = |key: &str| {
+        value
+            .get(key)
+            .ok_or_else(|| format!("{context}: missing `{key}`"))
+            .and_then(|v| agg_stat_from_json(v, &context))
+    };
+    let exhausted_trajectory = value
+        .get("exhausted_trajectory")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{context}: missing `exhausted_trajectory`"))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| format!("{context}: trajectory entries must be counts"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let perf = value
+        .get("perf")
+        .ok_or_else(|| format!("{context}: missing `perf`"))?;
+    let perf_field = |key: &str| {
+        perf.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{context}: missing perf number `{key}`"))
+    };
+    Ok(PrivacyCellReport {
+        tenants: count("tenants")?,
+        shards: count("shards")?,
+        waves: count("waves")?,
+        reps: count("reps")?,
+        workers: count("workers")?,
+        owners: count("owners")?,
+        epsilon_budget: value
+            .get("epsilon_budget")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{context}: missing number `epsilon_budget`"))?,
+        requests: count("requests")?,
+        quotes_served: count("quotes_served")?,
+        observations: count("observations")?,
+        sales: count("sales")?,
+        throttled: count("throttled")?,
+        arbitrage_clamps: count("arbitrage_clamps")?,
+        owners_exhausted: count("owners_exhausted")?,
+        wal_segments: count("wal_segments")?,
+        quoted_early: count("quoted_early")?,
+        quoted_late: count("quoted_late")?,
+        exhausted_trajectory,
+        revenue: stat("revenue")?,
+        compensation: stat("compensation")?,
+        epsilon_spent: stat("epsilon_spent")?,
+        accept_rate: stat("accept_rate")?,
+        perf: PrivacyPerf {
+            wall_clock_secs: perf_field("wall_clock_secs")?,
+            quotes_per_sec: perf_field("quotes_per_sec")?,
+            restore_latency_micros: perf_field("restore_latency_micros")?,
+        },
+        label,
+    })
+}
+
 fn cell_from_json(value: &Json) -> Result<CellAggregate, String> {
     let label = value
         .get("label")
@@ -948,6 +1086,10 @@ impl BenchReport {
                 "longhaul",
                 Json::Arr(self.longhaul.iter().map(longhaul_cell_json).collect()),
             ),
+            (
+                "privacy",
+                Json::Arr(self.privacy.iter().map(privacy_cell_json).collect()),
+            ),
         ]);
         if let Some(perf) = &self.perf {
             let summary = Json::obj(vec![
@@ -1047,6 +1189,16 @@ impl BenchReport {
                 .collect::<Result<Vec<_>, String>>()?,
             None => Vec::new(),
         };
+        // `privacy` arrived with schema v7; same additive rule.
+        let privacy = match value.get("privacy") {
+            Some(section) => section
+                .as_arr()
+                .ok_or("report: `privacy` must be an array")?
+                .iter()
+                .map(privacy_cell_from_json)
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
         // The `perf` summary arrived with schema v5; its absence (older
         // files, simulation-only runs) means "no summary", not an error.
         let perf = match value.get("perf") {
@@ -1075,6 +1227,7 @@ impl BenchReport {
             auction,
             drift,
             longhaul,
+            privacy,
             perf,
             name: text("name")?,
             git_describe: text("git_describe")?,
@@ -1157,6 +1310,15 @@ impl BenchReport {
                     self.longhaul
                         .iter()
                         .map(longhaul_cell_deterministic_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "privacy",
+                Json::Arr(
+                    self.privacy
+                        .iter()
+                        .map(privacy_cell_deterministic_json)
                         .collect(),
                 ),
             ),
@@ -1437,6 +1599,85 @@ impl BenchReport {
                 }
             }
         }
+        for cell in &self.privacy {
+            let place = format!("privacy / {}", cell.label);
+            for (what, stat, upper) in [
+                ("revenue", &cell.revenue, None),
+                ("compensation", &cell.compensation, None),
+                ("epsilon spent", &cell.epsilon_spent, None),
+                ("acceptance rate", &cell.accept_rate, Some(1.0)),
+            ] {
+                check_stat(&mut violations, &place, what, stat, upper);
+            }
+            if cell.quotes_served == 0 {
+                violations.push(format!("{place}: served no quotes at all"));
+            }
+            // The arbitrage-free accounting identity: the shard lifts every
+            // reserve to cover owner payouts, so cumulative compensation can
+            // never exceed cumulative revenue.
+            let tolerance =
+                gate_tolerance(cell.revenue.mean.abs().max(cell.compensation.mean.abs()));
+            if cell.compensation.mean > cell.revenue.mean + tolerance {
+                violations.push(format!(
+                    "{place}: owner compensation {} exceeded revenue {}",
+                    cell.compensation.mean, cell.revenue.mean
+                ));
+            }
+            // Retirement is sticky, so the per-wave exhaustion trajectory
+            // must be monotone non-decreasing...
+            if cell
+                .exhausted_trajectory
+                .windows(2)
+                .any(|pair| pair[1] < pair[0])
+            {
+                violations.push(format!(
+                    "{place}: the owners-exhausted trajectory decreased — retirement \
+                     must be sticky"
+                ));
+            }
+            // ...and the grid is sized so budgets actually bind: a run where
+            // no owner ever exhausted measured nothing.
+            if cell.owners_exhausted == 0 {
+                violations.push(format!(
+                    "{place}: no owner ever exhausted her budget — the cell never \
+                     exercised the throttling it exists to measure"
+                ));
+            } else {
+                // Exhaustion must measurably throttle supply: the second
+                // half of the trace serves strictly fewer quotes.
+                if cell.quoted_late >= cell.quoted_early {
+                    violations.push(format!(
+                        "{place}: budget exhaustion did not throttle supply ({} quotes \
+                         served late vs {} early)",
+                        cell.quoted_late, cell.quoted_early
+                    ));
+                }
+                if cell.throttled == 0 {
+                    violations.push(format!(
+                        "{place}: owners exhausted but no quote was ever refused"
+                    ));
+                }
+            }
+            // A privacy run that wrote no WAL segments never exercised the
+            // ledger-persistence path it exists to verify.
+            if cell.wal_segments == 0 {
+                violations.push(format!("{place}: wrote no WAL segments at all"));
+            }
+            let throughput = cell.perf.quotes_per_sec;
+            if cell.quotes_served > 0 && (!throughput.is_finite() || throughput <= 0.0) {
+                violations.push(format!(
+                    "{place}: quotes/sec is not positive ({throughput})"
+                ));
+            }
+            if !cell.perf.restore_latency_micros.is_finite()
+                || cell.perf.restore_latency_micros < 0.0
+            {
+                violations.push(format!(
+                    "{place}: restore latency µs is not a sane figure ({})",
+                    cell.perf.restore_latency_micros
+                ));
+            }
+        }
         violations
     }
 }
@@ -1626,6 +1867,39 @@ mod tests {
         }
     }
 
+    fn sample_privacy_cell(label: &str) -> PrivacyCellReport {
+        PrivacyCellReport {
+            label: label.to_owned(),
+            tenants: 4,
+            shards: 2,
+            waves: 16,
+            reps: 2,
+            workers: 4,
+            owners: 4,
+            epsilon_budget: 1.5,
+            requests: 128,
+            quotes_served: 90,
+            observations: 90,
+            sales: 55,
+            throttled: 38,
+            arbitrage_clamps: 3,
+            owners_exhausted: 28,
+            wal_segments: 10,
+            quoted_early: 60,
+            quoted_late: 30,
+            exhausted_trajectory: vec![0, 0, 2, 6, 12, 18, 24, 28],
+            revenue: sample_stat(40.0),
+            compensation: sample_stat(4.0),
+            epsilon_spent: sample_stat(22.0),
+            accept_rate: sample_stat(0.6),
+            perf: PrivacyPerf {
+                wall_clock_secs: 0.4,
+                quotes_per_sec: 35_000.0,
+                restore_latency_micros: 700.0,
+            },
+        }
+    }
+
     fn sample_report() -> BenchReport {
         let serve = vec![sample_serve_cell("tenants=16/mix=uniform")];
         BenchReport {
@@ -1649,6 +1923,7 @@ mod tests {
                 sample_drift_cell("discounted", 12.0),
             ],
             longhaul: vec![sample_longhaul_cell("tenants=24/cap=8")],
+            privacy: vec![sample_privacy_cell("budget=1.5/owners=4")],
         }
     }
 
@@ -1683,6 +1958,9 @@ mod tests {
         b.longhaul[0].workers = 1;
         b.longhaul[0].perf.restore_latency_micros = 123_456.0;
         b.longhaul[0].perf.memory_per_tenant_bytes = 1.0;
+        b.privacy[0].workers = 1;
+        b.privacy[0].perf.quotes_per_sec = 2.0;
+        b.privacy[0].perf.restore_latency_micros = 9.0;
         // The v5 headline summary is pure wall clock: invisible too.
         b.perf.as_mut().expect("summary").serve_quotes_per_sec = 1.0;
         assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
@@ -1704,22 +1982,35 @@ mod tests {
         let mut f = sample_report();
         f.longhaul[0].evictions += 1;
         assert_ne!(f.deterministic_fingerprint(), b.deterministic_fingerprint());
+        // The privacy ledger counters are deterministic aggregates too —
+        // ε totals, exhaustion counts, and the per-wave trajectory.
+        let mut g = sample_report();
+        g.privacy[0].owners_exhausted += 1;
+        assert_ne!(g.deterministic_fingerprint(), b.deterministic_fingerprint());
+        let mut h = sample_report();
+        h.privacy[0].exhausted_trajectory[3] += 1;
+        assert_ne!(h.deterministic_fingerprint(), b.deterministic_fingerprint());
     }
 
     #[test]
-    fn v1_through_v5_reports_without_newer_sections_still_parse() {
+    fn v1_through_v6_reports_without_newer_sections_still_parse() {
         let mut report = sample_report();
         report.serve.clear();
         report.auction.clear();
         report.drift.clear();
         report.longhaul.clear();
+        report.privacy.clear();
         report.perf = None;
         let mut rendered = report.to_json();
-        // Simulate a v1 file: no `serve`/`auction`/`drift`/`longhaul` keys,
-        // version 1.
+        // Simulate a v1 file: no `serve`/`auction`/`drift`/`longhaul`/
+        // `privacy` keys, version 1.
         if let Json::Obj(pairs) = &mut rendered {
             pairs.retain(|(key, _)| {
-                key != "serve" && key != "auction" && key != "drift" && key != "longhaul"
+                key != "serve"
+                    && key != "auction"
+                    && key != "drift"
+                    && key != "longhaul"
+                    && key != "privacy"
             });
             pairs[0].1 = Json::Num(1.0);
         }
@@ -1729,18 +2020,24 @@ mod tests {
         assert!(reparsed.auction.is_empty());
         assert!(reparsed.drift.is_empty());
         assert!(reparsed.longhaul.is_empty());
+        assert!(reparsed.privacy.is_empty());
         assert!(reparsed.perf.is_none());
 
         // Simulate a v2 file: a `serve` section but no `auction`/`drift`
-        // (and no v5 `perf` summary, no v6 `longhaul`).
+        // (and no v5 `perf` summary, no v6 `longhaul`, no v7 `privacy`).
         let mut v2 = sample_report();
         v2.auction.clear();
         v2.drift.clear();
         v2.longhaul.clear();
+        v2.privacy.clear();
         let mut rendered = v2.to_json();
         if let Json::Obj(pairs) = &mut rendered {
             pairs.retain(|(key, _)| {
-                key != "auction" && key != "drift" && key != "longhaul" && key != "perf"
+                key != "auction"
+                    && key != "drift"
+                    && key != "longhaul"
+                    && key != "privacy"
+                    && key != "perf"
             });
             pairs[0].1 = Json::Num(2.0);
         }
@@ -1759,9 +2056,12 @@ mod tests {
         let mut v3 = sample_report();
         v3.drift.clear();
         v3.longhaul.clear();
+        v3.privacy.clear();
         let mut rendered = v3.to_json();
         if let Json::Obj(pairs) = &mut rendered {
-            pairs.retain(|(key, _)| key != "drift" && key != "longhaul" && key != "perf");
+            pairs.retain(|(key, _)| {
+                key != "drift" && key != "longhaul" && key != "privacy" && key != "perf"
+            });
             pairs[0].1 = Json::Num(3.0);
         }
         let reparsed = BenchReport::from_json(&rendered).expect("v3 parses");
@@ -1772,10 +2072,10 @@ mod tests {
         assert!(reparsed.perf.is_none());
 
         // Simulate a v4 file: the pre-v5 sections but no top-level `perf`
-        // summary and no `longhaul`.
+        // summary, no `longhaul`, no `privacy`.
         let mut rendered = sample_report().to_json();
         if let Json::Obj(pairs) = &mut rendered {
-            pairs.retain(|(key, _)| key != "perf" && key != "longhaul");
+            pairs.retain(|(key, _)| key != "perf" && key != "longhaul" && key != "privacy");
             pairs[0].1 = Json::Num(4.0);
         }
         let reparsed = BenchReport::from_json(&rendered).expect("v4 parses");
@@ -1785,15 +2085,30 @@ mod tests {
         assert!(reparsed.perf.is_none());
         assert!(reparsed.validate().is_empty());
 
-        // Simulate a v5 file: everything except the v6 `longhaul` section.
+        // Simulate a v5 file: everything except the v6 `longhaul` and v7
+        // `privacy` sections.
         let mut rendered = sample_report().to_json();
         if let Json::Obj(pairs) = &mut rendered {
-            pairs.retain(|(key, _)| key != "longhaul");
+            pairs.retain(|(key, _)| key != "longhaul" && key != "privacy");
             pairs[0].1 = Json::Num(5.0);
         }
         let reparsed = BenchReport::from_json(&rendered).expect("v5 parses");
         assert_eq!(reparsed.schema_version, 5);
         assert!(reparsed.longhaul.is_empty());
+        assert!(reparsed.privacy.is_empty());
+        assert!(reparsed.perf.is_some());
+        assert!(reparsed.validate().is_empty());
+
+        // Simulate a v6 file: everything except the v7 `privacy` section.
+        let mut rendered = sample_report().to_json();
+        if let Json::Obj(pairs) = &mut rendered {
+            pairs.retain(|(key, _)| key != "privacy");
+            pairs[0].1 = Json::Num(6.0);
+        }
+        let reparsed = BenchReport::from_json(&rendered).expect("v6 parses");
+        assert_eq!(reparsed.schema_version, 6);
+        assert_eq!(reparsed.longhaul.len(), 1);
+        assert!(reparsed.privacy.is_empty());
         assert!(reparsed.perf.is_some());
         assert!(reparsed.validate().is_empty());
     }
@@ -1891,6 +2206,59 @@ mod tests {
             .validate()
             .iter()
             .any(|v| v.contains("memory per tenant")));
+    }
+
+    #[test]
+    fn validate_gates_the_privacy_ledger_economics() {
+        assert!(sample_report().validate().is_empty());
+
+        // The accounting identity: owner payouts never exceed revenue.
+        let mut upside_down = sample_report();
+        upside_down.privacy[0].compensation = sample_stat(99.0);
+        assert!(upside_down
+            .validate()
+            .iter()
+            .any(|v| v.contains("compensation") && v.contains("exceeded revenue")));
+
+        // Sticky retirement: the trajectory must never decrease.
+        let mut unsticky = sample_report();
+        unsticky.privacy[0].exhausted_trajectory[4] = 1;
+        assert!(unsticky
+            .validate()
+            .iter()
+            .any(|v| v.contains("trajectory decreased")));
+
+        // The grid exists to measure exhaustion: a run where no budget ever
+        // bound is a sizing bug, not a pass.
+        let mut unbound = sample_report();
+        unbound.privacy[0].owners_exhausted = 0;
+        unbound.privacy[0].exhausted_trajectory = vec![0; 8];
+        assert!(unbound
+            .validate()
+            .iter()
+            .any(|v| v.contains("no owner ever exhausted")));
+
+        // And exhaustion must measurably throttle the served supply.
+        let mut unthrottled = sample_report();
+        unthrottled.privacy[0].quoted_late = unthrottled.privacy[0].quoted_early;
+        assert!(unthrottled
+            .validate()
+            .iter()
+            .any(|v| v.contains("did not throttle supply")));
+        let mut unrefused = sample_report();
+        unrefused.privacy[0].throttled = 0;
+        assert!(unrefused
+            .validate()
+            .iter()
+            .any(|v| v.contains("no quote was ever refused")));
+
+        // The ledger-persistence path must actually run.
+        let mut unwritten = sample_report();
+        unwritten.privacy[0].wal_segments = 0;
+        assert!(unwritten
+            .validate()
+            .iter()
+            .any(|v| v.contains("privacy /") && v.contains("wrote no WAL segments")));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use pdm_bench::grid::{expand_jobs, CellSpec, Checkpoint, JobSpec, SyntheticMecha
 use pdm_bench::json::Json;
 use pdm_bench::linear_market::{LinearMarketConfig, Version};
 use pdm_bench::longhaul::{longhaul_grid, run_longhaul_cells};
+use pdm_bench::privacy::{privacy_grid, run_privacy_cells};
 use pdm_bench::report::{build_experiment_reports, BenchReport, PerfSummary, SCHEMA_VERSION};
 use pdm_bench::runner::run_jobs;
 use pdm_bench::serve::run_serve_grid;
@@ -99,6 +100,7 @@ fn report_with_workers(workers: usize, reps: u64) -> BenchReport {
         auction: Vec::new(),
         drift: Vec::new(),
         longhaul: Vec::new(),
+        privacy: Vec::new(),
         perf: None,
     }
 }
@@ -121,6 +123,7 @@ fn serve_report_with_workers(workers: usize) -> BenchReport {
         auction: Vec::new(),
         drift: Vec::new(),
         longhaul: Vec::new(),
+        privacy: Vec::new(),
     }
 }
 
@@ -141,6 +144,7 @@ fn auction_report_with_workers(workers: usize) -> BenchReport {
             .expect("the auction grid must run"),
         drift: Vec::new(),
         longhaul: Vec::new(),
+        privacy: Vec::new(),
         perf: None,
     }
 }
@@ -162,6 +166,7 @@ fn drift_report_with_workers(workers: usize) -> BenchReport {
         drift: run_drift_cells(&drift_grid(Scale::Quick), workers, 1)
             .expect("the drift grid must run"),
         longhaul: Vec::new(),
+        privacy: Vec::new(),
         perf: None,
     }
 }
@@ -184,8 +189,64 @@ fn longhaul_report_with_workers(workers: usize) -> BenchReport {
         drift: Vec::new(),
         longhaul: run_longhaul_cells(&longhaul_grid(Scale::Quick), workers, 1)
             .expect("the longhaul grid must run"),
+        privacy: Vec::new(),
         perf: None,
     }
+}
+
+/// Runs the full quick-scale privacy grid with the given drain worker
+/// count and wraps it in a report, the way `bench privacy --workers N`
+/// does.
+fn privacy_report_with_workers(workers: usize) -> BenchReport {
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        name: "privacy".to_owned(),
+        git_describe: "test".to_owned(),
+        scale: "quick".to_owned(),
+        workers,
+        reps: 1,
+        wall_clock_secs: 0.0,
+        experiments: Vec::new(),
+        serve: Vec::new(),
+        auction: Vec::new(),
+        drift: Vec::new(),
+        longhaul: Vec::new(),
+        privacy: run_privacy_cells(&privacy_grid(Scale::Quick), workers, 1)
+            .expect("the privacy grid must run"),
+        perf: None,
+    }
+}
+
+#[test]
+fn privacy_aggregates_are_byte_identical_for_1_and_4_workers() {
+    // The acceptance bar of the ledger subsystem: the whole quick privacy
+    // grid — ε debits, compensation accruals, sticky owner retirement, the
+    // per-wave exhaustion trajectory, arbitrage clamps, and the throttled
+    // supply counts — must produce byte-identical aggregates no matter how
+    // many workers drain the shards.  (Each run additionally verified the
+    // mid-run WAL restore against the original over the identical post-cut
+    // trace, bit for bit, inside `run_privacy_cells`.)
+    let serial = privacy_report_with_workers(1);
+    let parallel = privacy_report_with_workers(4);
+    assert!(!serial.privacy.is_empty());
+    assert_eq!(
+        serial.deterministic_fingerprint(),
+        parallel.deterministic_fingerprint(),
+        "drain worker count must not affect any privacy-ledger aggregate"
+    );
+    for cell in &parallel.privacy {
+        assert!(cell.perf.quotes_per_sec > 0.0, "{}", cell.label);
+        assert!(cell.owners_exhausted > 0, "{}", cell.label);
+        assert!(cell.throttled > 0, "{}", cell.label);
+        assert!(cell.quoted_late < cell.quoted_early, "{}", cell.label);
+        assert!(
+            cell.compensation.mean <= cell.revenue.mean,
+            "{}: payouts exceeded revenue",
+            cell.label
+        );
+    }
+    assert!(serial.validate().is_empty());
+    assert!(parallel.validate().is_empty());
 }
 
 #[test]

@@ -40,5 +40,5 @@ pub use environment::MarketEnvironment;
 pub use features::FeatureAggregator;
 pub use market::{Market, MarketReport, TradeOutcome};
 pub use owner::DataOwner;
-pub use privacy::{LaplaceMechanism, PrivacyQuantifier};
+pub use privacy::{LaplaceMechanism, PrivacyQuantifier, SATURATED_LEAKAGE};
 pub use query::{LinearQuery, QueryGenerator};

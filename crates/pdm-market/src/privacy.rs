@@ -15,6 +15,15 @@ use pdm_linalg::sampling;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// The saturating leakage reported for degenerate mechanisms (a
+/// non-positive Laplace scale answers the query noiselessly, which in ε
+/// terms is unbounded disclosure).  Saturating instead of returning
+/// `f64::INFINITY` keeps every downstream aggregate — ledger debits,
+/// compensation sums, snapshot fingerprints — finite and bit-stable; the
+/// value is far above any budget a ledger would grant, so a saturated owner
+/// is exhausted by the first query that touches her.
+pub const SATURATED_LEAKAGE: f64 = 1e9;
+
 /// Quantifies per-owner differential-privacy leakage of a noisy linear query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PrivacyQuantifier;
@@ -27,12 +36,22 @@ impl PrivacyQuantifier {
     }
 
     /// The privacy leakage `ε_i = |w_i| · Δ_i / b` of a single owner.
+    ///
+    /// Degenerate inputs saturate instead of escaping the finite range:
+    /// an owner with zero weight or a non-positive data range contributes
+    /// nothing (leakage 0), a non-positive noise scale discloses the
+    /// contribution in full (leakage [`SATURATED_LEAKAGE`]), and every
+    /// leakage is capped at [`SATURATED_LEAKAGE`].  The result is always
+    /// finite, non-negative, and monotone non-decreasing in `|w_i|`.
     #[must_use]
     pub fn owner_leakage(&self, weight: f64, data_range: f64, laplace_scale: f64) -> f64 {
-        if laplace_scale <= 0.0 {
-            return f64::INFINITY;
+        if weight == 0.0 || data_range <= 0.0 {
+            return 0.0;
         }
-        weight.abs() * data_range / laplace_scale
+        if laplace_scale <= 0.0 {
+            return SATURATED_LEAKAGE;
+        }
+        (weight.abs() * data_range / laplace_scale).min(SATURATED_LEAKAGE)
     }
 
     /// Per-owner leakages for a query over the given owner population.
@@ -112,8 +131,19 @@ mod tests {
             q.owner_leakage(-3.0, 1.0, 1.0),
             q.owner_leakage(3.0, 1.0, 1.0)
         );
-        // Degenerate noise scale is reported as unbounded leakage.
-        assert!(q.owner_leakage(1.0, 1.0, 0.0).is_infinite());
+        // Degenerate noise scale saturates instead of going non-finite: the
+        // noiseless answer discloses the weighted contribution in full.
+        assert_eq!(q.owner_leakage(1.0, 1.0, 0.0), SATURATED_LEAKAGE);
+        assert_eq!(q.owner_leakage(1.0, 1.0, -2.0), SATURATED_LEAKAGE);
+        // But a zero weight leaks nothing even through a noiseless channel,
+        // and a degenerate (zero or negative) data range cannot move the
+        // answer, so it leaks nothing either.
+        assert_eq!(q.owner_leakage(0.0, 1.0, 0.0), 0.0);
+        assert_eq!(q.owner_leakage(1.0, 0.0, 1.0), 0.0);
+        assert_eq!(q.owner_leakage(1.0, -1.0, 1.0), 0.0);
+        // A huge weight over a tiny noise scale caps at the saturation
+        // value rather than overflowing past it.
+        assert_eq!(q.owner_leakage(1e300, 1.0, 1e-300), SATURATED_LEAKAGE);
     }
 
     #[test]

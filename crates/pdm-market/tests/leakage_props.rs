@@ -1,0 +1,81 @@
+//! Property tests for the leakage quantifier under arbitrary (including
+//! degenerate) inputs.
+//!
+//! The load-bearing invariants behind the serving-side privacy ledgers:
+//! leakage is always finite, non-negative, capped at the saturation value,
+//! and monotone non-decreasing in the query weight's magnitude — so ledger
+//! debits can never go backwards and budget arithmetic can never produce
+//! NaN/∞.
+
+use pdm_market::{PrivacyQuantifier, SATURATED_LEAKAGE};
+use proptest::prelude::*;
+
+/// Turns a continuous draw plus a mode selector into an input that covers
+/// zeros, tiny magnitudes, and extremes that would overflow the naive
+/// `|w|·Δ/b` ratio — the vendored proptest has no `prop_oneof!`, so the
+/// degenerate cases are spliced in by hand.
+fn wild(raw: f64, mode: usize) -> f64 {
+    match mode {
+        0 => 0.0,
+        1 => -0.0,
+        2 => raw * 1e-290,
+        3 => raw * 1e290,
+        _ => raw,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Leakage is a finite ε in `[0, SATURATED_LEAKAGE]` for every input.
+    #[test]
+    fn leakage_is_finite_non_negative_and_capped(
+        weight in -1e9f64..1e9,
+        data_range in -1e9f64..1e9,
+        laplace_scale in -1e9f64..1e9,
+        modes in 0usize..125,
+    ) {
+        let weight = wild(weight, modes % 5);
+        let data_range = wild(data_range, (modes / 5) % 5);
+        let laplace_scale = wild(laplace_scale, modes / 25);
+        let eps = PrivacyQuantifier::new().owner_leakage(weight, data_range, laplace_scale);
+        prop_assert!(eps.is_finite(), "ε = {eps}");
+        prop_assert!(eps >= 0.0, "ε = {eps}");
+        prop_assert!(eps <= SATURATED_LEAKAGE, "ε = {eps}");
+    }
+
+    /// A heavier weight can never leak less: ε is monotone non-decreasing
+    /// in `|w|` for any fixed mechanism, degenerate or not.
+    #[test]
+    fn leakage_is_monotone_in_weight_magnitude(
+        a in -1e9f64..1e9,
+        b in -1e9f64..1e9,
+        data_range in -1e9f64..1e9,
+        laplace_scale in -1e9f64..1e9,
+        modes in 0usize..25,
+    ) {
+        let q = PrivacyQuantifier::new();
+        let data_range = wild(data_range, modes % 5);
+        let laplace_scale = wild(laplace_scale, modes / 5);
+        let (small, large) = if a.abs() <= b.abs() { (a, b) } else { (b, a) };
+        prop_assert!(
+            q.owner_leakage(small, data_range, laplace_scale)
+                <= q.owner_leakage(large, data_range, laplace_scale),
+            "|{small}| ≤ |{large}| must not leak more"
+        );
+    }
+
+    /// The weight's sign never matters.
+    #[test]
+    fn leakage_ignores_weight_sign(
+        weight in -1e9f64..1e9,
+        data_range in -1e9f64..1e9,
+        laplace_scale in -1e9f64..1e9,
+    ) {
+        let q = PrivacyQuantifier::new();
+        prop_assert_eq!(
+            q.owner_leakage(weight, data_range, laplace_scale),
+            q.owner_leakage(-weight, data_range, laplace_scale)
+        );
+    }
+}

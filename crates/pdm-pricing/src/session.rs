@@ -251,6 +251,45 @@ impl<M: PostedPriceMechanism> PricingSession<M> {
         quote
     }
 
+    /// Quotes a price for a query whose sellable supply has been throttled:
+    /// coordinates whose owners can no longer sell (e.g. their privacy
+    /// budgets are exhausted) are zeroed before the mechanism prices the
+    /// query, so the posted price reflects only the data that is actually
+    /// for sale.
+    ///
+    /// Returns `None` — without opening a round or abandoning a pending one
+    /// — when the mask retires every non-zero coordinate: nothing is left
+    /// to sell, so there is nothing to quote.  Otherwise this is exactly
+    /// [`PricingSession::step`] on the throttled vector.
+    ///
+    /// # Panics
+    /// Panics when `active.len() != features.len()`.
+    pub fn step_throttled(
+        &mut self,
+        features: &Vector,
+        active: &[bool],
+        reserve_price: f64,
+    ) -> Option<Quote> {
+        assert_eq!(
+            active.len(),
+            features.len(),
+            "supply mask must cover every feature coordinate"
+        );
+        let mut throttled = features.clone();
+        let mut sellable = false;
+        for (coordinate, &keep) in throttled.as_mut_slice().iter_mut().zip(active) {
+            if !keep {
+                *coordinate = 0.0;
+            } else if *coordinate != 0.0 {
+                sellable = true;
+            }
+        }
+        if !sellable {
+            return None;
+        }
+        Some(self.step(&throttled, reserve_price))
+    }
+
     /// Closes the open round with the buyer's decision.
     ///
     /// Returns `None` when no round is open (the feedback is dropped).  When
@@ -457,6 +496,43 @@ mod tests {
         assert_eq!(record.posted_price, quote.posted_price);
         assert!(record.regret.is_some());
         assert!(record.uncertainty_width > 0.0);
+    }
+
+    #[test]
+    fn throttled_step_prices_the_masked_vector() {
+        // A fully-open mask is a plain step; a fully-throttled one declines
+        // to quote without opening (or abandoning) anything.
+        let mut a = session(3, 100);
+        let mut b = session(3, 100);
+        let x = Vector::from_slice(&[0.5, 0.5, 0.5]);
+        let open = a.step_throttled(&x, &[true, true, true], 0.2).unwrap();
+        assert_eq!(
+            open.posted_price.to_bits(),
+            b.step(&x, 0.2).posted_price.to_bits()
+        );
+        a.observe(StepOutcome::accept_only(true));
+        assert!(a.step_throttled(&x, &[false, false, false], 0.2).is_none());
+        assert!(!a.has_pending());
+        assert_eq!(a.abandoned_rounds(), 0);
+
+        // A partial mask prices exactly the zeroed vector.
+        let masked = a
+            .step_throttled(&x, &[true, false, true], 0.2)
+            .expect("two coordinates still sell");
+        b.observe(StepOutcome::accept_only(true));
+        let by_hand = b.step(&Vector::from_slice(&[0.5, 0.0, 0.5]), 0.2);
+        assert_eq!(
+            masked.posted_price.to_bits(),
+            by_hand.posted_price.to_bits()
+        );
+
+        // A mask that keeps only zero coordinates has nothing to sell.
+        let mut c = session(3, 100);
+        let sparse = Vector::from_slice(&[0.0, 0.7, 0.0]);
+        assert!(c
+            .step_throttled(&sparse, &[true, false, true], 0.1)
+            .is_none());
+        assert_eq!(c.rounds_closed(), 0);
     }
 
     #[test]

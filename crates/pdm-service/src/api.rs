@@ -166,6 +166,10 @@ pub enum RequestError {
     /// round addressed a posted-price tenant, or a quote/outcome addressed
     /// an auction tenant.
     MarketMismatch,
+    /// A quote addressed a privacy tenant whose sellable supply is gone:
+    /// every owner the query weights has exhausted her privacy budget, so
+    /// there is nothing left to price.
+    BudgetExhausted,
 }
 
 impl fmt::Display for RequestError {
@@ -174,6 +178,12 @@ impl fmt::Display for RequestError {
             RequestError::NoOpenRound => write!(f, "no open round to observe"),
             RequestError::MarketMismatch => {
                 write!(f, "request kind does not match the tenant's market")
+            }
+            RequestError::BudgetExhausted => {
+                write!(
+                    f,
+                    "every weighted data owner has exhausted her privacy budget"
+                )
             }
         }
     }

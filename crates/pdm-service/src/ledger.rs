@@ -1,0 +1,526 @@
+//! Per-owner privacy-budget ledgers and compensation accounting.
+//!
+//! A privacy tenant ([`crate::MarketKind::Privacy`]) sells noisy linear
+//! queries over a fixed owner population: coordinate `i` of a query's
+//! feature vector is owner `i`'s weight, so the `pdm-market` quantifier
+//! prices each owner's differential-privacy leakage `ε_i = |w_i|·Δ/b` and
+//! the tanh [`CompensationContract`] converts it into the payment she is
+//! owed.  The [`LedgerBank`] is the serving-side account book behind that
+//! market: one compact [`OwnerLedger`] per owner (ε spent, compensation
+//! accrued, queries sold, exhausted flag) plus the running totals that join
+//! the snapshot surface and the determinism fingerprint.
+//!
+//! Two economic rules are enforced here:
+//!
+//! * **Budgeted supply.**  An owner whose remaining ε budget cannot absorb
+//!   the next query's leakage is *retired for good* (sticky exhaustion, at
+//!   quote time) — she never sells again, so the exhausted-owner count is
+//!   monotone by construction and the sellable supply only ever shrinks.
+//!   The shard zeroes retired owners' coordinates before pricing
+//!   ([`pdm_pricing::session::PricingSession::step_throttled`]), forcing
+//!   the mechanism to price around the throttled data.
+//! * **Arbitrage-free band.**  The total compensation `C(ε) = Σ_i
+//!   base·tanh(s·ε_i)` is concave through the origin in each owner's
+//!   leakage, hence monotone and subadditive: answering two queries
+//!   separately never costs less compensation than answering their
+//!   combination.  Keeping the posted price inside
+//!   `[C(ε), ARBITRAGE_PRICE_MARKUP · C(ε)]` therefore keeps the *price*
+//!   within a constant factor of a monotone subadditive curve — a buyer
+//!   cannot synthesise a cheaper answer by splitting or merging queries by
+//!   more than that factor.  The floor rides the reserve price (the
+//!   mechanism honours reserves); the ceiling is enforced by
+//!   [`arbitrage_clamp`], and clamps are counted in the shard metrics.
+//!
+//! Determinism: debits accumulate in FIFO serve order, and the running
+//! totals are persisted verbatim in snapshots (never recomputed by summing
+//! the per-owner arrays, whose float-addition order differs), so a restored
+//! bank continues bit-identically.
+
+use crate::tenant::PrivacyParams;
+use pdm_linalg::Vector;
+use pdm_market::{CompensationContract, PrivacyQuantifier};
+
+/// Ceiling of the arbitrage-free price band, as a multiple of the query's
+/// total compensation.  Posted prices above `ARBITRAGE_PRICE_MARKUP · C(ε)`
+/// are clamped down to it; prices below `C(ε)` cannot occur because the
+/// compensation is folded into the reserve.  The markup bounds how far the
+/// posted curve may depart from the (monotone, subadditive) compensation
+/// curve, which is what keeps multi-query pricing arbitrage-free up to a
+/// constant factor.
+pub const ARBITRAGE_PRICE_MARKUP: f64 = 8.0;
+
+/// Clamps a posted price into the arbitrage-free band over the query's
+/// total compensation, returning the surfaced price and whether the
+/// ceiling was applied.
+///
+/// A non-positive total compensation means no owner is being compensated
+/// for this query (every admitted owner leaks nothing); the band is
+/// degenerate and the price passes through unclamped.
+#[must_use]
+pub fn arbitrage_clamp(posted: f64, total_compensation: f64) -> (f64, bool) {
+    if total_compensation <= 0.0 {
+        return (posted, false);
+    }
+    let ceiling = ARBITRAGE_PRICE_MARKUP * total_compensation;
+    if posted > ceiling {
+        (ceiling, true)
+    } else {
+        (posted, false)
+    }
+}
+
+/// One data owner's account: what she has disclosed and what she is owed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OwnerLedger {
+    /// Cumulative privacy leakage ε debited across sold queries.
+    pub epsilon_spent: f64,
+    /// Cumulative compensation accrued across sold queries.
+    pub compensation_accrued: f64,
+    /// Number of sold queries this owner participated in.
+    pub queries: u64,
+    /// Whether the owner is retired: a query's leakage exceeded her
+    /// remaining budget.  Sticky — a retired owner never sells again.
+    pub exhausted: bool,
+}
+
+impl OwnerLedger {
+    const fn fresh() -> Self {
+        Self {
+            epsilon_spent: 0.0,
+            compensation_accrued: 0.0,
+            queries: 0,
+            exhausted: false,
+        }
+    }
+}
+
+/// The bank's answer to [`LedgerBank::begin_quote`]: the supply mask and
+/// the charge the query would incur if it sells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupplyQuote {
+    /// Which owners still sell (`true` = participates in this query).
+    pub active: Vec<bool>,
+    /// Owners this query retired for good (their remaining budget could
+    /// not absorb its leakage).
+    pub newly_exhausted: u64,
+    /// Total leakage the admitted owners would incur on a sale.
+    pub total_leakage: f64,
+    /// Total compensation the admitted owners would be owed on a sale —
+    /// the floor of the arbitrage-free price band, folded into the
+    /// reserve price.
+    pub total_compensation: f64,
+    /// Whether any admitted owner contributes a non-zero weight.  `false`
+    /// means the sellable supply is gone: the request must be refused with
+    /// [`crate::RequestError::BudgetExhausted`].
+    pub sellable: bool,
+}
+
+/// The settled charge of one closed round, reported by
+/// [`LedgerBank::settle`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SettledCharge {
+    /// Leakage debited by this round (zero when the buyer declined).
+    pub total_leakage: f64,
+    /// Compensation accrued by this round (zero when the buyer declined).
+    pub total_compensation: f64,
+    /// The arbitrage-clamped price that was surfaced to the buyer.
+    pub quoted_price: f64,
+}
+
+/// A priced query between quote and settlement: the per-owner charges are
+/// computed once at quote time and debited only if the buyer accepts.
+#[derive(Debug, Clone, PartialEq)]
+struct PendingCharge {
+    /// Per-owner leakage (zero for owners not participating).
+    leakages: Vec<f64>,
+    /// Per-owner compensation (zero for owners not participating).
+    compensations: Vec<f64>,
+    total_leakage: f64,
+    total_compensation: f64,
+    /// The arbitrage-clamped price surfaced to the buyer; set by
+    /// [`LedgerBank::commit_quote`] after the mechanism priced the query.
+    quoted_price: f64,
+}
+
+/// The privacy-budget ledger bank of one tenant: one [`OwnerLedger`] per
+/// owner plus the serialised running totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerBank {
+    params: PrivacyParams,
+    quantifier: PrivacyQuantifier,
+    contract: CompensationContract,
+    ledgers: Vec<OwnerLedger>,
+    /// Running totals, accumulated in serve order and persisted verbatim —
+    /// recomputing them from the per-owner arrays would change the float
+    /// addition order and break bit-identical restore.
+    epsilon_spent_total: f64,
+    compensation_total: f64,
+    /// Owners retired so far (monotone: exhaustion is sticky).
+    owners_exhausted: u64,
+    pending: Option<PendingCharge>,
+}
+
+impl LedgerBank {
+    /// A fresh bank over `owners` data owners.
+    ///
+    /// # Panics
+    /// Panics when the contract parameters are non-positive — the service
+    /// validates [`PrivacyParams`] at registration, so reaching the panic
+    /// is a caller bug, not bad input.
+    #[must_use]
+    pub fn new(owners: usize, params: PrivacyParams) -> Self {
+        Self {
+            params,
+            quantifier: PrivacyQuantifier::new(),
+            contract: CompensationContract::new(
+                params.compensation_base,
+                params.compensation_sensitivity,
+            ),
+            ledgers: vec![OwnerLedger::fresh(); owners],
+            epsilon_spent_total: 0.0,
+            compensation_total: 0.0,
+            owners_exhausted: 0,
+            pending: None,
+        }
+    }
+
+    /// The market parameters the bank was built with.
+    #[must_use]
+    pub fn params(&self) -> PrivacyParams {
+        self.params
+    }
+
+    /// Number of owners in the population.
+    #[must_use]
+    pub fn owner_count(&self) -> usize {
+        self.ledgers.len()
+    }
+
+    /// Read access to the per-owner ledgers, in owner order.
+    #[must_use]
+    pub fn ledgers(&self) -> &[OwnerLedger] {
+        &self.ledgers
+    }
+
+    /// Total ε debited across all owners, in serve order.
+    #[must_use]
+    pub fn epsilon_spent_total(&self) -> f64 {
+        self.epsilon_spent_total
+    }
+
+    /// Total compensation accrued across all owners, in serve order.
+    #[must_use]
+    pub fn compensation_total(&self) -> f64 {
+        self.compensation_total
+    }
+
+    /// Number of owners retired so far.  Monotone: exhaustion is sticky.
+    #[must_use]
+    pub fn owners_exhausted(&self) -> u64 {
+        self.owners_exhausted
+    }
+
+    /// Whether a quoted charge is awaiting settlement.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Approximate resident memory of the bank (the pager reads this
+    /// through the tenant's footprint).
+    #[must_use]
+    pub fn memory_footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.ledgers.len() * std::mem::size_of::<OwnerLedger>()
+    }
+
+    /// Prices the supply side of one arriving query: computes each live
+    /// owner's leakage, retires owners whose remaining budget cannot absorb
+    /// it (sticky), and stages the charge for [`LedgerBank::settle`].  A
+    /// previously staged charge (an abandoned round) is overwritten, in
+    /// lockstep with the pricing session abandoning its open round.
+    ///
+    /// # Panics
+    /// Panics when the query does not cover the owner population.
+    pub fn begin_quote(&mut self, weights: &Vector) -> SupplyQuote {
+        assert_eq!(
+            weights.len(),
+            self.ledgers.len(),
+            "query must cover the owner population"
+        );
+        let n = self.ledgers.len();
+        let mut active = vec![false; n];
+        let mut leakages = vec![0.0; n];
+        let mut compensations = vec![0.0; n];
+        let mut newly_exhausted = 0u64;
+        let mut total_leakage = 0.0;
+        let mut total_compensation = 0.0;
+        let mut sellable = false;
+        for i in 0..n {
+            if self.ledgers[i].exhausted {
+                continue;
+            }
+            let leakage = self.quantifier.owner_leakage(
+                weights[i],
+                self.params.data_range,
+                self.params.laplace_scale,
+            );
+            if leakage > 0.0 && self.ledgers[i].epsilon_spent + leakage > self.params.epsilon_budget
+            {
+                // Sticky retirement: the owner cannot afford this query, so
+                // she leaves the market for good — partial disclosure of a
+                // budget remainder is not for sale.
+                self.ledgers[i].exhausted = true;
+                self.owners_exhausted += 1;
+                newly_exhausted += 1;
+                continue;
+            }
+            active[i] = true;
+            if weights[i] != 0.0 {
+                sellable = true;
+            }
+            if leakage > 0.0 {
+                let compensation = self.contract.compensation(leakage);
+                leakages[i] = leakage;
+                compensations[i] = compensation;
+                total_leakage += leakage;
+                total_compensation += compensation;
+            }
+        }
+        self.pending = sellable.then_some(PendingCharge {
+            leakages,
+            compensations,
+            total_leakage,
+            total_compensation,
+            quoted_price: 0.0,
+        });
+        SupplyQuote {
+            active,
+            newly_exhausted,
+            total_leakage,
+            total_compensation,
+            sellable,
+        }
+    }
+
+    /// Records the arbitrage-clamped price the buyer was quoted, completing
+    /// the staged charge.  A no-op when nothing is staged.
+    pub fn commit_quote(&mut self, quoted_price: f64) {
+        if let Some(pending) = &mut self.pending {
+            pending.quoted_price = quoted_price;
+        }
+    }
+
+    /// Settles the staged charge with the buyer's decision: on a sale every
+    /// participating owner is debited her leakage and credited her
+    /// compensation; on a decline nothing is debited.  Returns `None` when
+    /// no charge was staged (mirroring the session's "no open round").
+    pub fn settle(&mut self, accepted: bool) -> Option<SettledCharge> {
+        let pending = self.pending.take()?;
+        if !accepted {
+            return Some(SettledCharge {
+                total_leakage: 0.0,
+                total_compensation: 0.0,
+                quoted_price: pending.quoted_price,
+            });
+        }
+        for (ledger, (&leakage, &compensation)) in self
+            .ledgers
+            .iter_mut()
+            .zip(pending.leakages.iter().zip(&pending.compensations))
+        {
+            if leakage == 0.0 {
+                continue;
+            }
+            ledger.epsilon_spent += leakage;
+            ledger.compensation_accrued += compensation;
+            ledger.queries += 1;
+        }
+        self.epsilon_spent_total += pending.total_leakage;
+        self.compensation_total += pending.total_compensation;
+        Some(SettledCharge {
+            total_leakage: pending.total_leakage,
+            total_compensation: pending.total_compensation,
+            quoted_price: pending.quoted_price,
+        })
+    }
+
+    /// Drops a staged charge without settling it (the pricing session
+    /// declined to quote, so no round was opened).
+    pub fn cancel_quote(&mut self) {
+        self.pending = None;
+    }
+
+    /// Rebuilds a bank from its persisted state (the snapshot-restore
+    /// path).  The totals are reinstated verbatim, not recomputed, so the
+    /// restored bank continues bit-identically.
+    #[must_use]
+    pub fn restore(
+        params: PrivacyParams,
+        ledgers: Vec<OwnerLedger>,
+        epsilon_spent_total: f64,
+        compensation_total: f64,
+    ) -> Self {
+        let owners_exhausted = ledgers.iter().filter(|l| l.exhausted).count() as u64;
+        Self {
+            params,
+            quantifier: PrivacyQuantifier::new(),
+            contract: CompensationContract::new(
+                params.compensation_base,
+                params.compensation_sensitivity,
+            ),
+            ledgers,
+            epsilon_spent_total,
+            compensation_total,
+            owners_exhausted,
+            pending: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> PrivacyParams {
+        PrivacyParams {
+            epsilon_budget: 1.0,
+            compensation_base: 0.1,
+            compensation_sensitivity: 2.0,
+            data_range: 1.0,
+            laplace_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn sales_debit_ledgers_and_declines_do_not() {
+        let mut bank = LedgerBank::new(2, params());
+        let weights = Vector::from_slice(&[0.5, 0.25]);
+
+        let quote = bank.begin_quote(&weights);
+        assert!(quote.sellable);
+        assert_eq!(quote.active, vec![true, true]);
+        assert_eq!(quote.newly_exhausted, 0);
+        assert!((quote.total_leakage - 0.75).abs() < 1e-12);
+        assert!(quote.total_compensation > 0.0);
+        bank.commit_quote(1.2);
+        let declined = bank.settle(false).expect("charge was staged");
+        assert_eq!(declined.total_leakage, 0.0);
+        assert_eq!(declined.quoted_price, 1.2);
+        assert_eq!(bank.epsilon_spent_total(), 0.0);
+        assert_eq!(bank.ledgers()[0].queries, 0);
+
+        let quote = bank.begin_quote(&weights);
+        bank.commit_quote(1.2);
+        let sold = bank.settle(true).expect("charge was staged");
+        assert_eq!(sold.total_leakage.to_bits(), quote.total_leakage.to_bits());
+        assert_eq!(
+            bank.epsilon_spent_total().to_bits(),
+            sold.total_leakage.to_bits()
+        );
+        assert_eq!(bank.ledgers()[0].epsilon_spent, 0.5);
+        assert_eq!(bank.ledgers()[1].epsilon_spent, 0.25);
+        assert_eq!(bank.ledgers()[0].queries, 1);
+        assert!(bank.compensation_total() > 0.0);
+
+        // Settling with nothing staged mirrors "no open round".
+        assert!(bank.settle(true).is_none());
+    }
+
+    #[test]
+    fn exhaustion_is_sticky_and_shrinks_the_supply() {
+        let mut bank = LedgerBank::new(2, params());
+        // Owner 0 spends 0.8 of her 1.0 budget; owner 1 spends 0.1.
+        bank.begin_quote(&Vector::from_slice(&[0.8, 0.1]));
+        bank.commit_quote(1.0);
+        bank.settle(true).unwrap();
+        assert_eq!(bank.owners_exhausted(), 0);
+
+        // The next 0.5-weight query overdraws owner 0: she is retired at
+        // quote time and the charge covers owner 1 alone.
+        let quote = bank.begin_quote(&Vector::from_slice(&[0.5, 0.5]));
+        assert_eq!(quote.newly_exhausted, 1);
+        assert_eq!(quote.active, vec![false, true]);
+        assert!(quote.sellable);
+        assert!((quote.total_leakage - 0.5).abs() < 1e-12);
+        assert_eq!(bank.owners_exhausted(), 1);
+        bank.commit_quote(0.9);
+        bank.settle(true).unwrap();
+
+        // Retirement is sticky even for queries she could have afforded.
+        let quote = bank.begin_quote(&Vector::from_slice(&[0.01, 0.0]));
+        assert!(!quote.sellable, "only the retired owner is weighted");
+        assert_eq!(quote.newly_exhausted, 0);
+        assert_eq!(bank.owners_exhausted(), 1, "exhaustion count is monotone");
+        assert!(!bank.has_pending(), "an unsellable query stages no charge");
+
+        // Owner 1 eventually exhausts too; the whole supply is gone.
+        let quote = bank.begin_quote(&Vector::from_slice(&[0.0, 0.9]));
+        assert_eq!(quote.newly_exhausted, 1);
+        assert!(!quote.sellable);
+        assert_eq!(bank.owners_exhausted(), 2);
+    }
+
+    #[test]
+    fn zero_leakage_owners_participate_for_free() {
+        // A degenerate data range leaks nothing: everyone sells forever,
+        // nobody is compensated, and the band never clamps.
+        let mut bank = LedgerBank::new(
+            2,
+            PrivacyParams {
+                data_range: 0.0,
+                ..params()
+            },
+        );
+        let quote = bank.begin_quote(&Vector::from_slice(&[5.0, 5.0]));
+        assert!(quote.sellable);
+        assert_eq!(quote.total_leakage, 0.0);
+        assert_eq!(quote.total_compensation, 0.0);
+        bank.commit_quote(3.0);
+        bank.settle(true).unwrap();
+        assert_eq!(bank.epsilon_spent_total(), 0.0);
+        assert_eq!(bank.owners_exhausted(), 0);
+        assert_eq!(arbitrage_clamp(1e12, 0.0), (1e12, false));
+    }
+
+    #[test]
+    fn arbitrage_clamp_enforces_the_markup_ceiling() {
+        let (price, clamped) = arbitrage_clamp(100.0, 1.0);
+        assert!(clamped);
+        assert_eq!(price, ARBITRAGE_PRICE_MARKUP);
+        let (price, clamped) = arbitrage_clamp(2.0, 1.0);
+        assert!(!clamped);
+        assert_eq!(price, 2.0);
+        // The compensation curve is concave through the origin (tanh), so
+        // the band's reference is monotone and subadditive in leakage.
+        let contract = CompensationContract::new(0.1, 2.0);
+        let (a, b) = (0.3, 0.9);
+        assert!(contract.compensation(a) < contract.compensation(b));
+        assert!(
+            contract.compensation(a + b)
+                <= contract.compensation(a) + contract.compensation(b) + 1e-15
+        );
+    }
+
+    #[test]
+    fn restore_reinstates_totals_verbatim() {
+        let mut bank = LedgerBank::new(3, params());
+        for _ in 0..4 {
+            bank.begin_quote(&Vector::from_slice(&[0.3, 0.2, 0.1]));
+            bank.commit_quote(0.7);
+            bank.settle(true).unwrap();
+        }
+        let restored = LedgerBank::restore(
+            bank.params(),
+            bank.ledgers().to_vec(),
+            bank.epsilon_spent_total(),
+            bank.compensation_total(),
+        );
+        assert_eq!(restored, bank);
+        // Both banks price the next query identically.
+        let mut a = bank;
+        let mut b = restored;
+        let qa = a.begin_quote(&Vector::from_slice(&[0.5, 0.5, 0.5]));
+        let qb = b.begin_quote(&Vector::from_slice(&[0.5, 0.5, 0.5]));
+        assert_eq!(qa, qb);
+    }
+}

@@ -30,6 +30,17 @@
 //!   second-price auction clears, and the policy learns from the outcome —
 //!   all in one FIFO slot.  Both kinds share shards, snapshots, and
 //!   metrics.
+//! * **Privacy-budget ledgers** — a third tenant kind
+//!   ([`TenantConfig::privacy`]) gives every data owner a compact budget
+//!   ledger ([`LedgerBank`]): each quote's per-owner leakage is computed
+//!   with the paper's privacy quantifier, owners whose ε budget is spent
+//!   are retired (shrinking the sellable supply the mechanism prices),
+//!   accepted sales debit ε and accrue tanh-contract compensation, the
+//!   owed compensation rides the reserve so every sale covers its payouts,
+//!   and quotes are clamped to an arbitrage-free band above the
+//!   compensation curve ([`arbitrage_clamp`]).  Ledgers persist through
+//!   snapshots (schema v5) and the WAL, and their totals join the
+//!   determinism fingerprint.
 //! * **Drift policies** — every tenant config carries a
 //!   [`DriftPolicy`]: `Static` runs the
 //!   paper's stationary mechanism unchanged, `Restart` re-initialises the
@@ -99,6 +110,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod ledger;
 pub mod metrics;
 pub mod routing;
 mod shard;
@@ -112,12 +124,16 @@ pub use api::{
     AuctionRequest, OutcomeReport, Payload, QueryRequest, Request, RequestError, Response,
     ServiceError, Ticket,
 };
+pub use ledger::{
+    arbitrage_clamp, LedgerBank, OwnerLedger, SettledCharge, SupplyQuote, ARBITRAGE_PRICE_MARKUP,
+};
 pub use metrics::ShardMetrics;
 pub use pdm_pricing::drift::DriftPolicy;
 pub use routing::{shard_of, TenantId};
 pub use service::{MarketService, ServiceConfig};
 pub use snapshot::SNAPSHOT_SCHEMA_VERSION;
 pub use tenant::{
-    AuctionPolicy, MarketKind, TenantConfig, TenantMechanism, TenantState, AUCTION_SESSION_DELTA,
+    AuctionPolicy, MarketKind, PrivacyParams, TenantConfig, TenantMechanism, TenantState,
+    AUCTION_SESSION_DELTA,
 };
 pub use wal::WAL_SEGMENT_KIND;

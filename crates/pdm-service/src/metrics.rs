@@ -75,6 +75,22 @@ pub struct ShardMetrics {
     pub evictions: u64,
     /// Paged-out tenant sessions materialised back in to serve a request.
     pub rehydrations: u64,
+    /// Total privacy leakage ε debited across the shard's privacy tenants
+    /// (sold queries only; deterministic — debits accumulate in FIFO serve
+    /// order).
+    pub epsilon_spent: f64,
+    /// Total compensation accrued to data owners across the shard's
+    /// privacy tenants (sold queries only).
+    pub compensation_paid: f64,
+    /// Data owners retired because a query's leakage exceeded their
+    /// remaining budget.  Monotone: exhaustion is sticky.
+    pub owners_exhausted: u64,
+    /// Privacy quotes refused because every weighted owner was exhausted —
+    /// the sellable supply was gone ([`crate::RequestError::BudgetExhausted`]).
+    pub privacy_throttled: u64,
+    /// Posted prices clamped down to the arbitrage-free ceiling
+    /// ([`crate::ledger::ARBITRAGE_PRICE_MARKUP`] × total compensation).
+    pub arbitrage_clamps: u64,
     /// Sliding window of the most recent [`LATENCY_WINDOW`] per-request
     /// service latency samples, in microseconds (wall-clock; excluded from
     /// all determinism comparisons).
@@ -107,6 +123,11 @@ impl ShardMetrics {
             drift_restarts: 0,
             evictions: 0,
             rehydrations: 0,
+            epsilon_spent: 0.0,
+            compensation_paid: 0.0,
+            owners_exhausted: 0,
+            privacy_throttled: 0,
+            arbitrage_clamps: 0,
             latency_window: SampleWindow::new(LATENCY_WINDOW),
             latency_stats: OnlineStats::new(),
         }
@@ -237,6 +258,11 @@ impl ShardMetrics {
         self.drift_restarts += other.drift_restarts;
         self.evictions += other.evictions;
         self.rehydrations += other.rehydrations;
+        self.epsilon_spent += other.epsilon_spent;
+        self.compensation_paid += other.compensation_paid;
+        self.owners_exhausted += other.owners_exhausted;
+        self.privacy_throttled += other.privacy_throttled;
+        self.arbitrage_clamps += other.arbitrage_clamps;
         // Replay the other window oldest-first so the merged ring keeps the
         // most recent samples; the all-time summaries merge exactly (not
         // per-sample, which would double-count against the Welford merge).
@@ -387,6 +413,28 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.evictions, 6);
         assert_eq!(a.rehydrations, 4);
+    }
+
+    #[test]
+    fn privacy_counters_merge() {
+        let mut a = ShardMetrics::new();
+        a.epsilon_spent = 1.5;
+        a.compensation_paid = 0.25;
+        a.owners_exhausted = 3;
+        a.privacy_throttled = 2;
+        a.arbitrage_clamps = 1;
+        let mut b = ShardMetrics::new();
+        b.epsilon_spent = 0.5;
+        b.compensation_paid = 0.75;
+        b.owners_exhausted = 1;
+        b.privacy_throttled = 4;
+        b.arbitrage_clamps = 2;
+        a.merge(&b);
+        assert!((a.epsilon_spent - 2.0).abs() < 1e-12);
+        assert!((a.compensation_paid - 1.0).abs() < 1e-12);
+        assert_eq!(a.owners_exhausted, 4);
+        assert_eq!(a.privacy_throttled, 6);
+        assert_eq!(a.arbitrage_clamps, 3);
     }
 
     #[test]

@@ -39,13 +39,13 @@ use crate::api::{
 use crate::metrics::ShardMetrics;
 use crate::routing::{shard_of, TenantId};
 use crate::shard::Shard;
-use crate::tenant::{TenantConfig, TenantState};
+use crate::tenant::{MarketKind, TenantConfig, TenantState};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
 /// Sizing of a [`MarketService`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
     /// Number of shards (units of concurrency); clamped to at least 1.
     pub shards: usize,
@@ -60,6 +60,22 @@ pub struct ServiceConfig {
     /// Tenant records per write-ahead-log segment (`None` = WAL disabled).
     /// Enables [`MarketService::checkpoint`] incremental snapshots.
     pub wal_segment_size: Option<usize>,
+    /// Service-wide cap on every privacy tenant's per-owner ε budget
+    /// (`None` = each tenant keeps its configured budget).  Registration
+    /// lowers a tenant's [`crate::PrivacyParams::epsilon_budget`] to this
+    /// cap, so no tenant can promise its owners more privacy loss than the
+    /// deployment allows.
+    pub privacy_budget: Option<f64>,
+    /// Service-wide floor on every privacy tenant's per-query compensation
+    /// base (`None` = each tenant keeps its configured base).  Registration
+    /// raises a tenant's [`crate::PrivacyParams::compensation_base`] to
+    /// this floor — the deployment's minimum owner payout.
+    pub compensation_base: Option<f64>,
+    /// Whether privacy tenants (owner ledgers) may page out through the
+    /// cold-tenant pager.  Off by default: ledgers record real money and
+    /// real privacy loss, so they leave memory only when the WAL
+    /// persistence path is configured to keep a durable copy.
+    pub ledger_paging: bool,
 }
 
 impl Default for ServiceConfig {
@@ -69,6 +85,9 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             resident_capacity: None,
             wal_segment_size: None,
+            privacy_budget: None,
+            compensation_base: None,
+            ledger_paging: false,
         }
     }
 }
@@ -113,6 +132,27 @@ impl ServiceConfig {
             return Err(ServiceError::InvalidConfig(
                 "`resident_capacity` (cold-tenant eviction) requires `wal_segment_size`: evicted \
                  tenants page out through the WAL persistence path"
+                    .to_owned(),
+            ));
+        }
+        if self.privacy_budget.is_some_and(|budget| budget <= 0.0) {
+            return Err(ServiceError::InvalidConfig(
+                "`privacy_budget` must be positive: a zero ε budget retires every owner before \
+                 her first query"
+                    .to_owned(),
+            ));
+        }
+        if self.compensation_base.is_some_and(|base| base < 0.0) {
+            return Err(ServiceError::InvalidConfig(
+                "`compensation_base` must not be negative: owners cannot owe the market for \
+                 their own data"
+                    .to_owned(),
+            ));
+        }
+        if self.ledger_paging && self.wal_segment_size.is_none() {
+            return Err(ServiceError::InvalidConfig(
+                "`ledger_paging` requires `wal_segment_size`: owner ledgers page out through \
+                 the WAL persistence path"
                     .to_owned(),
             ));
         }
@@ -184,7 +224,13 @@ impl MarketService {
     pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
         config.validate()?;
         let shards = (0..config.shards)
-            .map(|index| Mutex::new(Shard::new(index, config.resident_share(index))))
+            .map(|index| {
+                Mutex::new(Shard::new(
+                    index,
+                    config.resident_share(index),
+                    config.ledger_paging,
+                ))
+            })
             .collect();
         Ok(Self {
             config,
@@ -249,13 +295,45 @@ impl MarketService {
 
     /// Registers a new tenant, returning the shard it was routed to.
     ///
+    /// A privacy tenant's parameters are checked here (the compensation
+    /// contract would otherwise panic on a non-positive base) and then
+    /// folded against the service-wide knobs: the ε budget is lowered to
+    /// [`ServiceConfig::privacy_budget`] and the compensation base raised
+    /// to [`ServiceConfig::compensation_base`] when those caps are set.
+    ///
     /// # Errors
-    /// [`ServiceError::DuplicateTenant`] when the id is already registered.
+    /// * [`ServiceError::DuplicateTenant`] when the id is already
+    ///   registered.
+    /// * [`ServiceError::InvalidConfig`] when a privacy tenant's ε budget,
+    ///   compensation base, compensation sensitivity, Laplace scale, or
+    ///   data range is not positive and finite.
     pub fn register_tenant(
         &mut self,
         id: TenantId,
-        config: TenantConfig,
+        mut config: TenantConfig,
     ) -> Result<usize, ServiceError> {
+        if let MarketKind::Privacy(ref mut params) = config.market {
+            let positive_finite = |name: &str, value: f64| -> Result<(), ServiceError> {
+                if value > 0.0 && value.is_finite() {
+                    Ok(())
+                } else {
+                    Err(ServiceError::InvalidConfig(format!(
+                        "privacy tenant `{name}` must be positive and finite, got {value}"
+                    )))
+                }
+            };
+            positive_finite("epsilon_budget", params.epsilon_budget)?;
+            positive_finite("compensation_base", params.compensation_base)?;
+            positive_finite("compensation_sensitivity", params.compensation_sensitivity)?;
+            positive_finite("data_range", params.data_range)?;
+            positive_finite("laplace_scale", params.laplace_scale)?;
+            if let Some(cap) = self.config.privacy_budget {
+                params.epsilon_budget = params.epsilon_budget.min(cap);
+            }
+            if let Some(floor) = self.config.compensation_base {
+                params.compensation_base = params.compensation_base.max(floor);
+            }
+        }
         self.register_state(TenantState::new(id, config))
     }
 
@@ -762,6 +840,7 @@ mod tests {
             queue_capacity: 8,
             resident_capacity: Some(0),
             wal_segment_size: Some(16),
+            ..ServiceConfig::default()
         })
         .unwrap_err();
         assert!(matches!(err, ServiceError::InvalidConfig(_)));
@@ -773,6 +852,7 @@ mod tests {
             queue_capacity: 8,
             resident_capacity: None,
             wal_segment_size: Some(0),
+            ..ServiceConfig::default()
         })
         .unwrap_err();
         assert!(matches!(err, ServiceError::InvalidConfig(_)));
@@ -784,6 +864,7 @@ mod tests {
             queue_capacity: 8,
             resident_capacity: Some(4),
             wal_segment_size: None,
+            ..ServiceConfig::default()
         })
         .unwrap_err();
         assert!(matches!(err, ServiceError::InvalidConfig(_)));
@@ -798,10 +879,106 @@ mod tests {
             queue_capacity: 8,
             resident_capacity: Some(7),
             wal_segment_size: Some(4),
+            ..ServiceConfig::default()
         };
         assert!(MarketService::new(config).is_ok());
         let shares: usize = (0..3).map(|i| config.resident_share(i).unwrap()).sum();
         assert_eq!(shares, 7);
+    }
+
+    #[test]
+    fn privacy_ledger_knobs_are_validated() {
+        // A zero ε budget would retire every owner before her first query.
+        let err = MarketService::new(ServiceConfig {
+            shards: 2,
+            queue_capacity: 8,
+            privacy_budget: Some(0.0),
+            ..ServiceConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidConfig(_)));
+        let message = err.to_string();
+        assert!(message.contains("privacy_budget"), "{message}");
+        assert!(message.contains("positive"), "{message}");
+
+        // A negative compensation base would have owners paying the market.
+        let err = MarketService::new(ServiceConfig {
+            shards: 2,
+            queue_capacity: 8,
+            compensation_base: Some(-0.5),
+            ..ServiceConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidConfig(_)));
+        let message = err.to_string();
+        assert!(message.contains("compensation_base"), "{message}");
+        assert!(message.contains("negative"), "{message}");
+
+        // Ledger paging without the WAL has no durable home for ledgers.
+        let err = MarketService::new(ServiceConfig {
+            shards: 2,
+            queue_capacity: 8,
+            ledger_paging: true,
+            ..ServiceConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidConfig(_)));
+        let message = err.to_string();
+        assert!(message.contains("ledger_paging"), "{message}");
+        assert!(message.contains("wal_segment_size"), "{message}");
+
+        // The combined privacy sizing is valid.
+        assert!(MarketService::new(ServiceConfig {
+            shards: 2,
+            queue_capacity: 8,
+            wal_segment_size: Some(4),
+            privacy_budget: Some(2.0),
+            compensation_base: Some(0.05),
+            ledger_paging: true,
+            ..ServiceConfig::default()
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn registration_checks_privacy_params_and_folds_service_knobs() {
+        use crate::tenant::PrivacyParams;
+        let mut service = MarketService::new(ServiceConfig {
+            shards: 2,
+            queue_capacity: 8,
+            privacy_budget: Some(1.5),
+            compensation_base: Some(0.25),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        // A non-positive compensation base is rejected with an error, not
+        // the panic the contract constructor would raise.
+        let bad = PrivacyParams {
+            compensation_base: 0.0,
+            ..PrivacyParams::default()
+        };
+        let err = service
+            .register_tenant(TenantId(1), TenantConfig::privacy(2, 100, bad))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidConfig(_)));
+        assert!(err.to_string().contains("compensation_base"), "{err}");
+
+        // Registration lowers the ε budget to the service cap and raises
+        // the compensation base to the service floor.
+        let generous = PrivacyParams {
+            epsilon_budget: 10.0,
+            compensation_base: 0.01,
+            ..PrivacyParams::default()
+        };
+        service
+            .register_tenant(TenantId(2), TenantConfig::privacy(2, 100, generous))
+            .unwrap();
+        let index = service.shard_of(TenantId(2));
+        let shard = service.shards[index].get_mut().unwrap();
+        let state = shard.resident_state(TenantId(2)).expect("resident");
+        let bank = state.privacy.as_ref().unwrap();
+        assert_eq!(bank.params().epsilon_budget, 1.5);
+        assert_eq!(bank.params().compensation_base, 0.25);
     }
 
     #[test]
@@ -811,6 +988,7 @@ mod tests {
             queue_capacity: 64,
             resident_capacity: Some(4),
             wal_segment_size: Some(8),
+            ..ServiceConfig::default()
         })
         .unwrap();
         for id in 0..12u64 {
@@ -864,6 +1042,7 @@ mod tests {
                 queue_capacity: 64,
                 resident_capacity,
                 wal_segment_size: resident_capacity.map(|_| 8),
+                ..ServiceConfig::default()
             })
             .unwrap();
             for id in 0..10u64 {

@@ -21,6 +21,7 @@
 use crate::api::{AuctionRequest, Payload, Request, RequestError, Response};
 #[cfg(test)]
 use crate::api::{OutcomeReport, QueryRequest};
+use crate::ledger::arbitrage_clamp;
 use crate::metrics::ShardMetrics;
 use crate::routing::TenantId;
 use crate::snapshot::{cold_tenant_json, cold_tenant_state, tenant_json};
@@ -37,6 +38,11 @@ pub(crate) struct Shard {
     /// Cap on materialised tenant sessions (this shard's share of the
     /// service-wide `resident_capacity`); `None` = unbounded.
     resident_capacity: Option<usize>,
+    /// Whether privacy tenants (which carry owner ledgers) may page out
+    /// through the cold map.  Off by default: ledgers are the audit trail
+    /// of real money and real privacy loss, so they leave memory only when
+    /// the operator has opted into the WAL persistence path.
+    ledger_paging: bool,
     tenants: HashMap<TenantId, TenantState>,
     /// Paged-out tenants, keyed to their compact serialised snapshot form.
     cold: HashMap<TenantId, String>,
@@ -63,10 +69,11 @@ impl Shard {
     /// Queue capacity is enforced upstream at the ingest stripe (validated
     /// non-zero by [`crate::ServiceConfig`]); the shard FIFO itself only
     /// ever holds what a stripe transfer hands it.
-    pub(crate) fn new(index: usize, resident_capacity: Option<usize>) -> Self {
+    pub(crate) fn new(index: usize, resident_capacity: Option<usize>, ledger_paging: bool) -> Self {
         Self {
             index,
             resident_capacity,
+            ledger_paging,
             tenants: HashMap::new(),
             cold: HashMap::new(),
             dirty: BTreeSet::new(),
@@ -81,6 +88,12 @@ impl Shard {
 
     pub(crate) fn contains(&self, tenant: TenantId) -> bool {
         self.tenants.contains_key(&tenant) || self.cold.contains_key(&tenant)
+    }
+
+    /// The resident state of one tenant, `None` when unknown or paged out.
+    #[cfg(test)]
+    pub(crate) fn resident_state(&self, tenant: TenantId) -> Option<&TenantState> {
+        self.tenants.get(&tenant)
     }
 
     /// Registered tenants, resident or paged out.
@@ -134,11 +147,19 @@ impl Shard {
         if self
             .resident_capacity
             .is_some_and(|cap| self.tenants.len() >= cap)
+            && self.pageable(&state)
         {
             self.cold.insert(id, tenant_json(&state).render());
         } else {
             self.tenants.insert(id, state);
         }
+    }
+
+    /// Whether a tenant may leave memory through the cold map.  Privacy
+    /// tenants stay pinned resident unless the service opted into
+    /// `ledger_paging` (validated to require the WAL persistence path).
+    fn pageable(&self, state: &TenantState) -> bool {
+        self.ledger_paging || state.privacy.is_none()
     }
 
     /// Replaces (or registers) a tenant state — the WAL-replay path, where
@@ -311,7 +332,7 @@ impl Shard {
         let mut candidates: Vec<(u64, TenantId)> = self
             .tenants
             .values()
-            .filter(|state| !state.session.has_pending())
+            .filter(|state| !state.session.has_pending() && self.pageable(state))
             .map(|state| {
                 (
                     self.last_served.get(&state.id).copied().unwrap_or(0),
@@ -349,6 +370,7 @@ impl Shard {
         let fires_before = state.session.mechanism().detector_fires();
         let restarts_before = state.session.mechanism().restarts();
         let posted = state.config.market.is_posted();
+        let privacy = state.config.market.privacy_params().is_some();
 
         let mut pos = 0;
         while pos < run.len() {
@@ -413,6 +435,19 @@ impl Shard {
                         payload,
                     });
                 }
+            } else if privacy {
+                // Privacy-market traffic is served one request at a time:
+                // every quote first consults the owner ledgers, so there is
+                // no batched session fast path to take.
+                for (seq, request) in segment {
+                    let payload = Self::serve_privacy_one(state, metrics, request);
+                    responses.push(Response {
+                        seq: *seq,
+                        tenant,
+                        shard: shard_index,
+                        payload,
+                    });
+                }
             } else {
                 // Posted-price traffic addressed to an auction tenant: every
                 // request in the segment is rejected, exactly as the
@@ -455,6 +490,111 @@ impl Shard {
             }
         }
     }
+
+    /// Serves one quote or observe for a privacy tenant.
+    ///
+    /// A quote first consults the tenant's [`crate::LedgerBank`]: owners
+    /// whose budget cannot absorb this query's leakage are retired (sticky),
+    /// and their coordinates are masked out of the feature vector before the
+    /// mechanism prices it.  The total compensation owed to the surviving
+    /// owners rides the reserve — the mechanism never posts below what the
+    /// sale costs in payouts — and the surfaced price is clamped to the
+    /// arbitrage-free band `[C(ε), markup · C(ε)]`.  When the clamp fires,
+    /// the *session* keeps learning from its own unclamped price (the
+    /// mechanism's feedback loop stays consistent), while the quote, the
+    /// settled round, and every revenue counter use the clamped price the
+    /// buyer actually saw — a deterministic divergence, identical across
+    /// worker counts.
+    fn serve_privacy_one(
+        state: &mut TenantState,
+        metrics: &mut ShardMetrics,
+        request: &Request,
+    ) -> Payload {
+        match request {
+            Request::Quote(query) => {
+                let supply = state
+                    .privacy
+                    .as_mut()
+                    .expect("privacy tenants carry a ledger bank")
+                    .begin_quote(&query.features);
+                metrics.owners_exhausted += supply.newly_exhausted;
+                if !supply.sellable {
+                    metrics.privacy_throttled += 1;
+                    return Payload::Failed(RequestError::BudgetExhausted);
+                }
+                let reserve = query.reserve_price.max(supply.total_compensation);
+                let Some(mut quote) =
+                    state
+                        .session
+                        .step_throttled(&query.features, &supply.active, reserve)
+                else {
+                    // A sellable supply has an active non-zero coordinate, so
+                    // the session never refuses here; refusing the request is
+                    // still strictly safer than panicking.
+                    state
+                        .privacy
+                        .as_mut()
+                        .expect("privacy tenants carry a ledger bank")
+                        .cancel_quote();
+                    metrics.privacy_throttled += 1;
+                    return Payload::Failed(RequestError::BudgetExhausted);
+                };
+                let (price, clamped) =
+                    arbitrage_clamp(quote.posted_price, supply.total_compensation);
+                if clamped {
+                    metrics.arbitrage_clamps += 1;
+                }
+                state
+                    .privacy
+                    .as_mut()
+                    .expect("privacy tenants carry a ledger bank")
+                    .commit_quote(price);
+                metrics.quotes_served += 1;
+                quote.posted_price = price;
+                Payload::Quoted(quote)
+            }
+            Request::Observe(outcome) => {
+                let observed = state.session.observe(StepOutcome {
+                    accepted: outcome.accepted,
+                    market_value: outcome.market_value,
+                });
+                let Some(mut record) = observed else {
+                    // No open round: nothing was staged on the bank either
+                    // (quote and charge are staged in lockstep).
+                    metrics.rejected += 1;
+                    return Payload::Failed(RequestError::NoOpenRound);
+                };
+                metrics.observations += 1;
+                let settled = state
+                    .privacy
+                    .as_mut()
+                    .expect("privacy tenants carry a ledger bank")
+                    .settle(record.accepted);
+                if let Some(charge) = settled {
+                    record.posted_price = charge.quoted_price;
+                    record.revenue = if record.accepted {
+                        charge.quoted_price
+                    } else {
+                        0.0
+                    };
+                    if record.accepted {
+                        metrics.sales += 1;
+                        metrics.epsilon_spent += charge.total_leakage;
+                        metrics.compensation_paid += charge.total_compensation;
+                    }
+                } else if record.accepted {
+                    metrics.sales += 1;
+                }
+                metrics.revenue += record.revenue;
+                if let Some(regret) = record.regret {
+                    metrics.regret += regret;
+                }
+                metrics.regret_proxy += record.uncertainty_width;
+                Payload::Observed(record)
+            }
+            Request::Auction(_) => unreachable!("segment excludes auction requests"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -464,7 +604,7 @@ mod tests {
     use pdm_linalg::Vector;
 
     fn shard_with_tenant() -> Shard {
-        let mut shard = Shard::new(0, None);
+        let mut shard = Shard::new(0, None, false);
         shard.register(TenantState::new(
             TenantId(1),
             TenantConfig::standard(2, 100),
@@ -512,7 +652,7 @@ mod tests {
         // Cap 1: serving tenant 2 after tenant 1 pages tenant 1 out; a
         // later request pages it back in, and the dirty set has tracked
         // every mutation along the way.
-        let mut shard = Shard::new(0, Some(1));
+        let mut shard = Shard::new(0, Some(1), false);
         shard.register(TenantState::new(
             TenantId(1),
             TenantConfig::standard(2, 100),
@@ -568,7 +708,7 @@ mod tests {
 
     #[test]
     fn auction_rounds_settle_in_one_fifo_slot_and_feed_the_ledger() {
-        let mut shard = Shard::new(0, None);
+        let mut shard = Shard::new(0, None, false);
         shard.register(TenantState::new(
             TenantId(2),
             crate::tenant::TenantConfig::auction(
@@ -633,6 +773,101 @@ mod tests {
         assert_eq!(shard.metrics.rejected, 2);
         assert_eq!(shard.metrics.quotes_served, 0);
         assert_eq!(shard.metrics.auction.auctions, 0);
+    }
+
+    #[test]
+    fn privacy_quotes_debit_ledgers_until_exhaustion_throttles_supply() {
+        use crate::tenant::PrivacyParams;
+        let mut shard = Shard::new(0, None, false);
+        let params = PrivacyParams {
+            epsilon_budget: 1.2,
+            ..PrivacyParams::default()
+        };
+        shard.register(TenantState::new(
+            TenantId(7),
+            TenantConfig::privacy(2, 100, params),
+        ));
+        let quote = |seq: u64| {
+            (
+                seq,
+                Request::Quote(QueryRequest {
+                    tenant: TenantId(7),
+                    features: Vector::from_slice(&[0.6, 0.8]),
+                    reserve_price: 0.0,
+                }),
+            )
+        };
+        let accept = |seq: u64| {
+            (
+                seq,
+                Request::Observe(OutcomeReport {
+                    tenant: TenantId(7),
+                    accepted: true,
+                    market_value: Some(2.0),
+                }),
+            )
+        };
+        // Round 1 debits ε = 0.6 and 0.8; round 2 retires owner 1 at quote
+        // time (0.8 + 0.8 > 1.2) and debits only owner 0; round 3 retires
+        // owner 0 too, leaving nothing sellable.
+        for (seq, request) in [quote(0), accept(1), quote(2), accept(3), quote(4)] {
+            shard.enqueue(seq, request);
+        }
+        let responses = shard.process_all();
+        assert!(matches!(responses[0].payload, Payload::Quoted(_)));
+        assert!(matches!(responses[2].payload, Payload::Quoted(_)));
+        assert_eq!(
+            responses[4].payload,
+            Payload::Failed(RequestError::BudgetExhausted)
+        );
+        assert_eq!(shard.metrics.quotes_served, 2);
+        assert_eq!(shard.metrics.sales, 2);
+        assert_eq!(shard.metrics.owners_exhausted, 2);
+        assert_eq!(shard.metrics.privacy_throttled, 1);
+        assert!(
+            (shard.metrics.epsilon_spent - 2.0).abs() < 1e-12,
+            "0.6 + 0.8 + 0.6 of ε debited, got {}",
+            shard.metrics.epsilon_spent
+        );
+        // Compensation rode the reserve, so every sale covered its payouts.
+        assert!(shard.metrics.compensation_paid > 0.0);
+        assert!(shard.metrics.compensation_paid <= shard.metrics.revenue + 1e-12);
+        let bank = shard.tenants[&TenantId(7)].privacy.as_ref().unwrap();
+        assert_eq!(bank.owners_exhausted(), 2);
+        assert!(bank.ledgers().iter().all(|ledger| ledger.exhausted));
+    }
+
+    #[test]
+    fn privacy_tenants_stay_pinned_resident_without_ledger_paging() {
+        use crate::tenant::PrivacyParams;
+        let mut shard = Shard::new(0, Some(1), false);
+        shard.register(TenantState::new(
+            TenantId(1),
+            TenantConfig::standard(2, 100),
+        ));
+        // Over the cap, but not pageable: the privacy tenant materialises
+        // anyway rather than parking its ledgers in the cold map.
+        shard.register(TenantState::new(
+            TenantId(2),
+            TenantConfig::privacy(2, 100, PrivacyParams::default()),
+        ));
+        assert_eq!(shard.resident_count(), 2);
+        shard.enqueue(0, quote_request());
+        shard.enqueue(
+            1,
+            Request::Observe(OutcomeReport {
+                tenant: TenantId(1),
+                accepted: false,
+                market_value: None,
+            }),
+        );
+        let responses = shard.process_all();
+        assert_eq!(responses.len(), 2);
+        // Residency enforcement paged the standard tenant out — never the
+        // privacy tenant, even though the standard one was served last.
+        assert_eq!(shard.resident_count(), 1);
+        assert!(shard.tenants.contains_key(&TenantId(2)));
+        assert!(shard.cold.contains_key(&TenantId(1)));
     }
 
     #[test]

@@ -22,10 +22,11 @@
 //! quoted-but-unobserved rounds — so there is no in-flight state to encode.
 
 use crate::api::ServiceError;
+use crate::ledger::{LedgerBank, OwnerLedger};
 use crate::metrics::ShardMetrics;
 use crate::routing::TenantId;
 use crate::service::{MarketService, ServiceConfig};
-use crate::tenant::{AuctionPolicy, MarketKind, TenantConfig, TenantState};
+use crate::tenant::{AuctionPolicy, MarketKind, PrivacyParams, TenantConfig, TenantState};
 use pdm_auction::{EmpiricalConfig, EmpiricalReserve};
 use pdm_ellipsoid::Ellipsoid;
 use pdm_linalg::{Json, Matrix, OnlineStats, Vector};
@@ -35,6 +36,16 @@ use pdm_pricing::prelude::{
 
 /// Version of the snapshot schema this build writes.
 ///
+/// v5 added the privacy-budget economics layer: a `privacy` market kind
+/// per tenant carrying the ledger parameters and every owner's ε spent,
+/// compensation accrued, query count, and exhaustion flag (plus the
+/// bank-level totals, persisted verbatim so restored totals are
+/// bit-identical to incrementally accumulated ones); the optional
+/// `privacy_budget`/`compensation_base`/`ledger_paging` knobs in the
+/// header; and the `epsilon_spent`/`compensation_paid`/`owners_exhausted`/
+/// `privacy_throttled`/`arbitrage_clamps` counters of the per-shard metric
+/// ledgers.  v1–v4 documents restore with no privacy tenants and zero
+/// privacy counters.
 /// v4 added the persistence/paging layer: the optional
 /// `resident_capacity` and `wal_segment_size` sizing knobs in the header,
 /// and the `evictions`/`rehydrations` counters of the per-shard metric
@@ -51,7 +62,7 @@ use pdm_pricing::prelude::{
 /// history) and the auction counters of the per-shard metric ledgers.
 /// v1 documents restore as posted-price tenants with empty auction
 /// counters.
-pub const SNAPSHOT_SCHEMA_VERSION: u64 = 4;
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 5;
 
 fn vector_json(v: &Vector) -> Json {
     Json::Arr(v.iter().map(|&x| Json::Num(x)).collect())
@@ -136,6 +147,20 @@ pub(crate) fn metrics_json(metrics: &ShardMetrics) -> Json {
         ("drift_restarts", Json::Num(metrics.drift_restarts as f64)),
         ("evictions", Json::Num(metrics.evictions as f64)),
         ("rehydrations", Json::Num(metrics.rehydrations as f64)),
+        ("epsilon_spent", Json::Num(metrics.epsilon_spent)),
+        ("compensation_paid", Json::Num(metrics.compensation_paid)),
+        (
+            "owners_exhausted",
+            Json::Num(metrics.owners_exhausted as f64),
+        ),
+        (
+            "privacy_throttled",
+            Json::Num(metrics.privacy_throttled as f64),
+        ),
+        (
+            "arbitrage_clamps",
+            Json::Num(metrics.arbitrage_clamps as f64),
+        ),
         (
             "auction",
             Json::obj(vec![
@@ -190,6 +215,18 @@ pub(crate) fn metrics_from_json(value: &Json, context: &str) -> Result<ShardMetr
     // The paging counters arrived with schema v4; same contract as above.
     metrics.evictions = optional_count("evictions")?;
     metrics.rehydrations = optional_count("rehydrations")?;
+    // The privacy counters arrived with schema v5; same contract as above.
+    let optional_number = |key: &str| match value.get(key) {
+        None => Ok(0.0),
+        Some(v) => v.as_f64().ok_or_else(|| {
+            ServiceError::MalformedSnapshot(format!("{context}: `{key}` must be a number"))
+        }),
+    };
+    metrics.epsilon_spent = optional_number("epsilon_spent")?;
+    metrics.compensation_paid = optional_number("compensation_paid")?;
+    metrics.owners_exhausted = optional_count("owners_exhausted")?;
+    metrics.privacy_throttled = optional_count("privacy_throttled")?;
+    metrics.arbitrage_clamps = optional_count("arbitrage_clamps")?;
     // The auction ledger arrived with schema v2; a v1 document simply has
     // no auction traffic to restore.
     if let Some(auction) = value.get("auction") {
@@ -248,35 +285,99 @@ fn market_json(state: &TenantState) -> Json {
             }
             Json::obj(pairs)
         }
+        MarketKind::Privacy(params) => {
+            let bank = state
+                .privacy
+                .as_ref()
+                .expect("privacy tenants carry a ledger bank");
+            let column = |field: fn(&OwnerLedger) -> Json| -> Json {
+                Json::Arr(bank.ledgers().iter().map(field).collect())
+            };
+            Json::obj(vec![
+                ("kind", Json::str("privacy")),
+                ("epsilon_budget", Json::Num(params.epsilon_budget)),
+                ("compensation_base", Json::Num(params.compensation_base)),
+                (
+                    "compensation_sensitivity",
+                    Json::Num(params.compensation_sensitivity),
+                ),
+                ("data_range", Json::Num(params.data_range)),
+                ("laplace_scale", Json::Num(params.laplace_scale)),
+                (
+                    "epsilon_spent",
+                    column(|ledger| Json::Num(ledger.epsilon_spent)),
+                ),
+                (
+                    "compensation",
+                    column(|ledger| Json::Num(ledger.compensation_accrued)),
+                ),
+                ("queries", column(|ledger| Json::Num(ledger.queries as f64))),
+                (
+                    "exhausted",
+                    column(|ledger| Json::Num(if ledger.exhausted { 1.0 } else { 0.0 })),
+                ),
+                // Bank totals are persisted verbatim, **not** recomputed
+                // from the per-owner columns: incremental accumulation
+                // order and restore-sum order round floats differently.
+                ("epsilon_spent_total", Json::Num(bank.epsilon_spent_total())),
+                ("compensation_total", Json::Num(bank.compensation_total())),
+            ])
+        }
     }
 }
 
-/// Parses a tenant's `market` object; also returns the empirical setter's
-/// persisted bid history (applied after the tenant state is built).
-#[allow(clippy::type_complexity)]
+/// Learned market state persisted alongside the market kind, applied
+/// after the tenant state is built.
+enum MarketRestore {
+    /// Nothing beyond the kind itself (posted, session/static auction).
+    None,
+    /// The empirical reserve setter's persisted bid history.
+    EmpiricalHistory(Vec<(f64, f64)>),
+    /// The privacy tenant's owner ledgers and bank totals.
+    Privacy(Box<LedgerRestore>),
+}
+
+/// The persisted state of a privacy tenant's [`LedgerBank`].
+struct LedgerRestore {
+    epsilon_spent: Vec<f64>,
+    compensation: Vec<f64>,
+    queries: Vec<u64>,
+    exhausted: Vec<bool>,
+    epsilon_spent_total: f64,
+    compensation_total: f64,
+}
+
+/// Parses a tenant's `market` object; also returns the learned market
+/// state (applied after the tenant state is built).
 fn market_from_json(
     value: &Json,
     context: &str,
-) -> Result<(MarketKind, Option<Vec<(f64, f64)>>), ServiceError> {
+) -> Result<(MarketKind, MarketRestore), ServiceError> {
     let malformed = |message: String| -> ServiceError { ServiceError::MalformedSnapshot(message) };
     let kind = value
         .get("kind")
         .and_then(Json::as_str)
         .ok_or_else(|| malformed(format!("{context}: market missing `kind`")))?;
     match kind {
-        "posted" => Ok((MarketKind::PostedPrice, None)),
+        "posted" => Ok((MarketKind::PostedPrice, MarketRestore::None)),
         "auction" => {
             let policy = value
                 .get("policy")
                 .and_then(Json::as_str)
                 .ok_or_else(|| malformed(format!("{context}: auction missing `policy`")))?;
             match policy {
-                "session" => Ok((MarketKind::Auction(AuctionPolicy::Session), None)),
+                "session" => Ok((
+                    MarketKind::Auction(AuctionPolicy::Session),
+                    MarketRestore::None,
+                )),
                 "static" => {
                     let markup = value.get("markup").and_then(Json::as_f64).ok_or_else(|| {
                         malformed(format!("{context}: static policy missing `markup`"))
                     })?;
-                    Ok((MarketKind::Auction(AuctionPolicy::Static { markup }), None))
+                    Ok((
+                        MarketKind::Auction(AuctionPolicy::Static { markup }),
+                        MarketRestore::None,
+                    ))
                 }
                 "empirical" => {
                     // A zero window is accepted here (and clamped to 1 by
@@ -320,13 +421,77 @@ fn market_from_json(
                             window,
                             welfare_weight,
                         }),
-                        Some(history),
+                        MarketRestore::EmpiricalHistory(history),
                     ))
                 }
                 other => Err(malformed(format!(
                     "{context}: unknown auction policy `{other}`"
                 ))),
             }
+        }
+        "privacy" => {
+            let number = |key: &str| {
+                value.get(key).and_then(Json::as_f64).ok_or_else(|| {
+                    malformed(format!("{context}: privacy market missing number `{key}`"))
+                })
+            };
+            let params = PrivacyParams {
+                epsilon_budget: number("epsilon_budget")?,
+                compensation_base: number("compensation_base")?,
+                compensation_sensitivity: number("compensation_sensitivity")?,
+                data_range: number("data_range")?,
+                laplace_scale: number("laplace_scale")?,
+            };
+            let numbers = |key: &str| -> Result<Vec<f64>, ServiceError> {
+                value
+                    .get(key)
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| {
+                        malformed(format!("{context}: privacy market missing array `{key}`"))
+                    })?
+                    .iter()
+                    .map(|item| {
+                        item.as_f64().ok_or_else(|| {
+                            malformed(format!("{context}: `{key}` entries must be numbers"))
+                        })
+                    })
+                    .collect()
+            };
+            let queries = numbers("queries")?
+                .into_iter()
+                .map(|count| {
+                    if count >= 0.0 && count.fract() == 0.0 {
+                        Ok(count as u64)
+                    } else {
+                        Err(malformed(format!(
+                            "{context}: `queries` entries must be counts"
+                        )))
+                    }
+                })
+                .collect::<Result<Vec<u64>, ServiceError>>()?;
+            let exhausted = numbers("exhausted")?
+                .into_iter()
+                .map(|flag| {
+                    if flag == 0.0 || flag == 1.0 {
+                        Ok(flag == 1.0)
+                    } else {
+                        Err(malformed(format!(
+                            "{context}: `exhausted` entries must be 0 or 1"
+                        )))
+                    }
+                })
+                .collect::<Result<Vec<bool>, ServiceError>>()?;
+            Ok((
+                MarketKind::Privacy(params),
+                MarketRestore::Privacy(Box::new(LedgerRestore {
+                    epsilon_spent: numbers("epsilon_spent")?,
+                    compensation: numbers("compensation")?,
+                    queries,
+                    exhausted,
+                    epsilon_spent_total: number("epsilon_spent_total")?,
+                    compensation_total: number("compensation_total")?,
+                })),
+            ))
         }
         other => Err(malformed(format!(
             "{context}: unknown market kind `{other}`"
@@ -634,10 +799,28 @@ pub(crate) fn tenant_from_json(value: &Json) -> Result<TenantState, ServiceError
         ServiceError::MalformedSnapshot(format!("{context}: degenerate knowledge set: {e}"))
     })?;
     // The market kind arrived with schema v2; a v1 tenant is posted-price.
-    let (market, empirical_history) = match value.get("market") {
+    let (market, market_restore) = match value.get("market") {
         Some(market) => market_from_json(market, &context)?,
-        None => (MarketKind::PostedPrice, None),
+        None => (MarketKind::PostedPrice, MarketRestore::None),
     };
+    // Privacy parameters are checked before the tenant state is built: the
+    // compensation contract the ledger bank constructs would otherwise
+    // panic on a corrupted (non-positive) base or sensitivity.
+    if let MarketKind::Privacy(params) = market {
+        for (name, parameter) in [
+            ("epsilon_budget", params.epsilon_budget),
+            ("compensation_base", params.compensation_base),
+            ("compensation_sensitivity", params.compensation_sensitivity),
+            ("data_range", params.data_range),
+            ("laplace_scale", params.laplace_scale),
+        ] {
+            if !(parameter > 0.0 && parameter.is_finite()) {
+                return Err(ServiceError::MalformedSnapshot(format!(
+                    "{context}: privacy `{name}` must be positive and finite, got {parameter}"
+                )));
+            }
+        }
+    }
     // The drift policy arrived with schema v3; older tenants are static.
     let (drift, drift_restore) = match value.get("drift") {
         Some(drift) => drift_from_json(drift, &context)?,
@@ -655,23 +838,53 @@ pub(crate) fn tenant_from_json(value: &Json) -> Result<TenantState, ServiceError
         mechanism.restore_drift_state(restore.fires, restore.restarts, &restore.flags);
     }
     let mut state = TenantState::with_mechanism(id, config, mechanism);
-    if let (
-        Some(history),
-        MarketKind::Auction(AuctionPolicy::Empirical {
-            window,
-            welfare_weight,
-        }),
-    ) = (empirical_history, market)
-    {
-        // `from_history` re-derives the fitted level from the persisted
-        // window, so a restored policy always agrees with its own refit.
-        state.empirical = Some(EmpiricalReserve::from_history(
-            EmpiricalConfig {
-                window: window.max(1),
+    match (market_restore, market) {
+        (
+            MarketRestore::EmpiricalHistory(history),
+            MarketKind::Auction(AuctionPolicy::Empirical {
+                window,
                 welfare_weight,
-            },
-            &history,
-        ));
+            }),
+        ) => {
+            // `from_history` re-derives the fitted level from the persisted
+            // window, so a restored policy always agrees with its own refit.
+            state.empirical = Some(EmpiricalReserve::from_history(
+                EmpiricalConfig {
+                    window: window.max(1),
+                    welfare_weight,
+                },
+                &history,
+            ));
+        }
+        (MarketRestore::Privacy(restore), MarketKind::Privacy(params)) => {
+            for (name, column_len) in [
+                ("epsilon_spent", restore.epsilon_spent.len()),
+                ("compensation", restore.compensation.len()),
+                ("queries", restore.queries.len()),
+                ("exhausted", restore.exhausted.len()),
+            ] {
+                if column_len != dim {
+                    return Err(ServiceError::MalformedSnapshot(format!(
+                        "{context}: privacy `{name}` has {column_len} owners, expected dim={dim}"
+                    )));
+                }
+            }
+            let ledgers: Vec<OwnerLedger> = (0..dim)
+                .map(|owner| OwnerLedger {
+                    epsilon_spent: restore.epsilon_spent[owner],
+                    compensation_accrued: restore.compensation[owner],
+                    queries: restore.queries[owner],
+                    exhausted: restore.exhausted[owner],
+                })
+                .collect();
+            state.privacy = Some(LedgerBank::restore(
+                params,
+                ledgers,
+                restore.epsilon_spent_total,
+                restore.compensation_total,
+            ));
+        }
+        _ => {}
     }
     // The regret/revenue ledger keeps `tenant_report` consistent with the
     // restored shard metrics.  Optional so hand-written minimal snapshots
@@ -757,6 +970,17 @@ impl MarketService {
                 "wal_segment_size",
                 optional_size(self.config().wal_segment_size),
             ),
+            (
+                "privacy_budget",
+                self.config().privacy_budget.map_or(Json::Null, Json::Num),
+            ),
+            (
+                "compensation_base",
+                self.config()
+                    .compensation_base
+                    .map_or(Json::Null, Json::Num),
+            ),
+            ("ledger_paging", Json::Bool(self.config().ledger_paging)),
             ("tenants", Json::Arr(tenants)),
             ("metrics", Json::Arr(metrics)),
         ]))
@@ -808,6 +1032,28 @@ impl MarketService {
         };
         let resident_capacity = optional_size("resident_capacity")?;
         let wal_segment_size = optional_size("wal_segment_size")?;
+        // The privacy knobs arrived with schema v5; older documents carry
+        // neither key, and a v5 service with the knobs unset writes `null`
+        // (numbers) or `false` (the paging flag).
+        let optional_number = |key: &str| -> Result<Option<f64>, ServiceError> {
+            match snapshot.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(value) => value.as_f64().map(Some).ok_or_else(|| {
+                    ServiceError::MalformedSnapshot(format!("bad `{key}`: {value:?}"))
+                }),
+            }
+        };
+        let privacy_budget = optional_number("privacy_budget")?;
+        let compensation_base = optional_number("compensation_base")?;
+        let ledger_paging = match snapshot.get("ledger_paging") {
+            None => false,
+            Some(Json::Bool(flag)) => *flag,
+            Some(other) => {
+                return Err(ServiceError::MalformedSnapshot(format!(
+                    "bad `ledger_paging`: {other:?}"
+                )))
+            }
+        };
         // The sizing was validated above (counts >= 1, optional knobs >= 1
         // when present), so construction can only fail on the knob pairing
         // rule; `?` keeps the error path honest.
@@ -816,6 +1062,9 @@ impl MarketService {
             queue_capacity,
             resident_capacity,
             wal_segment_size,
+            privacy_budget,
+            compensation_base,
+            ledger_paging,
         })?;
         let tenants = snapshot
             .get("tenants")

@@ -6,8 +6,8 @@
 //! sharded by [`crate::routing::shard_of`], and drives each through the
 //! re-entrant [`PricingSession`] interface of `pdm-pricing`.
 //!
-//! Tenants come in two **market kinds**, and one service serves both side
-//! by side:
+//! Tenants come in three **market kinds**, and one service serves them all
+//! side by side:
 //!
 //! * [`MarketKind::PostedPrice`] — the paper's posted-price loop: a quote
 //!   request opens a round, an outcome report closes it.
@@ -15,7 +15,13 @@
 //!   personalized reserve: one self-contained request carries the item and
 //!   the bids, the tenant's [`AuctionPolicy`] quotes the reserve, the round
 //!   clears and feeds back immediately (no open round to abandon).
+//! * [`MarketKind::Privacy`] — the posted-price loop over an explicit data
+//!   owner population with per-owner privacy-budget ledgers
+//!   ([`crate::ledger::LedgerBank`]): each quote debits leakage, accrues
+//!   compensation, and retires owners whose budgets run out, shrinking the
+//!   sellable supply the mechanism prices.
 
+use crate::ledger::LedgerBank;
 use crate::routing::TenantId;
 use pdm_auction::{
     run_auction_round, ClearedRound, EmpiricalConfig, EmpiricalReserve, StaticReserve,
@@ -69,6 +75,39 @@ impl AuctionPolicy {
     }
 }
 
+/// Market parameters of a privacy tenant.  The owner population is the
+/// tenant's feature dimension: coordinate `i` of a query is owner `i`'s
+/// weight, so the `pdm-market` quantifier prices each owner's leakage
+/// `ε_i = |w_i|·Δ/b` directly from the query vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyParams {
+    /// Per-owner privacy budget: an owner whose spent ε cannot absorb the
+    /// next query's leakage is retired for good (sticky exhaustion).
+    pub epsilon_budget: f64,
+    /// Base payment of the tanh compensation contract (must be positive).
+    pub compensation_base: f64,
+    /// Sensitivity of the tanh compensation contract (must be positive).
+    pub compensation_sensitivity: f64,
+    /// Bound Δ on how much one owner's data can move the true answer.
+    pub data_range: f64,
+    /// Laplace noise scale `b` sold queries are answered with.
+    pub laplace_scale: f64,
+}
+
+impl Default for PrivacyParams {
+    /// Unit-scale defaults: budget 1 ε per owner, a 0.1·tanh(2ε) contract,
+    /// unit data range and unit noise.
+    fn default() -> Self {
+        Self {
+            epsilon_budget: 1.0,
+            compensation_base: 0.1,
+            compensation_sensitivity: 2.0,
+            data_range: 1.0,
+            laplace_scale: 1.0,
+        }
+    }
+}
+
 /// Which market a tenant trades in.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MarketKind {
@@ -76,10 +115,14 @@ pub enum MarketKind {
     PostedPrice,
     /// Eager second-price auction with a personalized reserve.
     Auction(AuctionPolicy),
+    /// The posted-price loop over a budgeted data-owner population with
+    /// per-owner privacy ledgers and compensation accounting.
+    Privacy(PrivacyParams),
 }
 
 impl MarketKind {
-    /// Whether this kind serves posted-price (quote/observe) requests.
+    /// Whether this kind serves plain posted-price (quote/observe)
+    /// requests with no ledger accounting.
     #[must_use]
     pub fn is_posted(self) -> bool {
         matches!(self, MarketKind::PostedPrice)
@@ -89,8 +132,17 @@ impl MarketKind {
     #[must_use]
     pub fn auction_policy(self) -> Option<AuctionPolicy> {
         match self {
-            MarketKind::PostedPrice => None,
             MarketKind::Auction(policy) => Some(policy),
+            MarketKind::PostedPrice | MarketKind::Privacy(_) => None,
+        }
+    }
+
+    /// The privacy-market parameters, when this is a privacy tenant.
+    #[must_use]
+    pub fn privacy_params(self) -> Option<PrivacyParams> {
+        match self {
+            MarketKind::Privacy(params) => Some(params),
+            MarketKind::PostedPrice | MarketKind::Auction(_) => None,
         }
     }
 }
@@ -139,6 +191,17 @@ impl TenantConfig {
         config
     }
 
+    /// A privacy tenant over a population of `dim` data owners: the
+    /// paper's posted-price loop, with per-owner privacy-budget ledgers
+    /// debited on every sale and the sellable supply shrinking as owners
+    /// exhaust their budgets.
+    #[must_use]
+    pub fn privacy(dim: usize, horizon: usize, params: PrivacyParams) -> Self {
+        let mut config = Self::standard(dim, horizon);
+        config.market = MarketKind::Privacy(params);
+        config
+    }
+
     /// Attaches a drift policy to the tenant's mechanism (posted-price and
     /// session-learned auction tenants alike).
     #[must_use]
@@ -168,6 +231,8 @@ pub struct TenantState {
     pub session: PricingSession<TenantMechanism>,
     /// The learned state of an [`AuctionPolicy::Empirical`] tenant.
     pub empirical: Option<EmpiricalReserve>,
+    /// The privacy-budget ledger bank of a [`MarketKind::Privacy`] tenant.
+    pub privacy: Option<LedgerBank>,
 }
 
 impl TenantState {
@@ -203,11 +268,16 @@ impl TenantState {
             })),
             _ => None,
         };
+        let privacy = config
+            .market
+            .privacy_params()
+            .map(|params| LedgerBank::new(config.dim, params));
         Self {
             id,
             config,
             session,
             empirical,
+            privacy,
         }
     }
 
@@ -222,7 +292,11 @@ impl TenantState {
             .empirical
             .as_ref()
             .map_or(0, |setter| setter.history().count() * 2 * 8);
-        std::mem::size_of::<Self>() + self.session.memory_footprint_bytes() + empirical
+        let ledgers = self
+            .privacy
+            .as_ref()
+            .map_or(0, LedgerBank::memory_footprint_bytes);
+        std::mem::size_of::<Self>() + self.session.memory_footprint_bytes() + empirical + ledgers
     }
 
     /// Settles one auction round through the tenant's reserve policy —

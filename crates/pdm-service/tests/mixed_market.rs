@@ -13,8 +13,9 @@
 use pdm_auction::{AuctionMarket, AuctionMarketConfig, ValuationDistribution};
 use pdm_linalg::{sampling, Json, Vector};
 use pdm_service::{
-    AuctionPolicy, AuctionRequest, DriftPolicy, MarketService, OutcomeReport, QueryRequest,
-    ServiceConfig, TenantConfig, TenantId, TenantState, SNAPSHOT_SCHEMA_VERSION,
+    AuctionPolicy, AuctionRequest, DriftPolicy, MarketService, OutcomeReport, Payload,
+    PrivacyParams, QueryRequest, ServiceConfig, TenantConfig, TenantId, TenantState,
+    SNAPSHOT_SCHEMA_VERSION,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -410,7 +411,7 @@ fn drift_tenant_snapshot_restores_bit_identically() {
 }
 
 #[test]
-fn checked_in_v1_snapshot_restores_under_schema_v4() {
+fn checked_in_v1_snapshot_restores_under_schema_v5() {
     let fixture = include_str!("fixtures/snapshot_v1.json");
     let mut restored =
         MarketService::restore(&Json::parse(fixture).unwrap()).expect("v1 fixture restores");
@@ -448,7 +449,7 @@ fn checked_in_v1_snapshot_restores_under_schema_v4() {
 }
 
 #[test]
-fn checked_in_v2_snapshot_restores_under_schema_v4() {
+fn checked_in_v2_snapshot_restores_under_schema_v5() {
     let fixture = include_str!("fixtures/snapshot_v2.json");
     let mut restored =
         MarketService::restore(&Json::parse(fixture).unwrap()).expect("v2 fixture restores");
@@ -492,7 +493,7 @@ fn checked_in_v2_snapshot_restores_under_schema_v4() {
 }
 
 #[test]
-fn checked_in_v3_snapshot_restores_under_schema_v4() {
+fn checked_in_v3_snapshot_restores_under_schema_v5() {
     let fixture = include_str!("fixtures/snapshot_v3.json");
     let mut restored =
         MarketService::restore(&Json::parse(fixture).unwrap()).expect("v3 fixture restores");
@@ -530,7 +531,7 @@ fn checked_in_v3_snapshot_restores_under_schema_v4() {
     restored.drain(1);
     // Checkpointing a WAL-less restore is rejected, not silently empty.
     assert!(restored.checkpoint().is_err());
-    // Re-snapshotting upgrades the document to schema v4 with explicit
+    // Re-snapshotting upgrades the document to the current schema with
     // (null) paging knobs and the paging counters.
     let rendered = restored.snapshot().unwrap().render_pretty();
     assert!(rendered.contains(&format!("\"schema_version\": {SNAPSHOT_SCHEMA_VERSION}")));
@@ -543,6 +544,243 @@ fn checked_in_v3_snapshot_restores_under_schema_v4() {
     assert_eq!(again.snapshot().unwrap().render_pretty(), rendered);
 }
 
+#[test]
+fn checked_in_v4_snapshot_restores_under_schema_v5() {
+    let fixture = include_str!("fixtures/snapshot_v4.json");
+    let mut restored =
+        MarketService::restore(&Json::parse(fixture).unwrap()).expect("v4 fixture restores");
+    assert_eq!(restored.tenant_count(), 3);
+    // The v4 paging knobs survive; the v5 privacy knobs default off.
+    assert_eq!(restored.config().resident_capacity, Some(2));
+    assert_eq!(restored.config().wal_segment_size, Some(3));
+    assert_eq!(restored.config().privacy_budget, None);
+    assert_eq!(restored.config().compensation_base, None);
+    assert!(!restored.config().ledger_paging);
+    let metrics = restored.aggregate_metrics();
+    assert_eq!(metrics.quotes_served, 12);
+    assert_eq!(metrics.observations, 12);
+    assert_eq!(metrics.sales, 7);
+    assert_eq!(metrics.revenue.to_bits(), 3.816100928816084f64.to_bits());
+    assert_eq!(metrics.evictions, 6);
+    assert_eq!(metrics.rehydrations, 6);
+    assert_eq!(metrics.auction.auctions, 6);
+    assert_eq!(metrics.auction.sales, 6);
+    assert_eq!(metrics.auction.reserve_hits, 5);
+    assert_eq!(metrics.auction.revenue.to_bits(), 4.9f64.to_bits());
+    assert_eq!(metrics.auction.welfare.to_bits(), 5.4f64.to_bits());
+    assert_eq!(metrics.auction.baseline_revenue.to_bits(), 2.4f64.to_bits());
+    // v4 documents predate the privacy layer: ledger fields default empty.
+    assert_eq!(metrics.epsilon_spent, 0.0);
+    assert_eq!(metrics.compensation_paid, 0.0);
+    assert_eq!(metrics.owners_exhausted, 0);
+    assert_eq!(metrics.privacy_throttled, 0);
+    assert_eq!(metrics.arbitrage_clamps, 0);
+    // The restored posted tenant still serves.
+    restored
+        .submit_quote(QueryRequest {
+            tenant: TenantId(1),
+            features: Vector::from_slice(&[0.5, 0.3, 0.2]),
+            reserve_price: 0.1,
+        })
+        .expect("v4 posted tenant is registered");
+    let quote = *restored.drain(1)[0].quote().expect("a quote response");
+    assert!(quote.posted_price.is_finite());
+    restored
+        .submit_outcome(OutcomeReport {
+            tenant: TenantId(1),
+            accepted: true,
+            market_value: None,
+        })
+        .unwrap();
+    restored.drain(1);
+    // Re-snapshotting upgrades the document to schema v5 with explicit
+    // (null/false) privacy knobs and the privacy counters.
+    let rendered = restored.snapshot().unwrap().render_pretty();
+    assert!(rendered.contains(&format!("\"schema_version\": {SNAPSHOT_SCHEMA_VERSION}")));
+    assert!(rendered.contains("\"privacy_budget\": null"));
+    assert!(rendered.contains("\"compensation_base\": null"));
+    assert!(rendered.contains("\"ledger_paging\": false"));
+    assert!(rendered.contains("\"epsilon_spent\""));
+    assert!(rendered.contains("\"arbitrage_clamps\""));
+    // And the upgraded document round-trips to the identical rendering.
+    let again = MarketService::restore(&Json::parse(&rendered).unwrap()).unwrap();
+    assert_eq!(again.snapshot().unwrap().render_pretty(), rendered);
+}
+
+/// Three privacy tenants whose owners run out of ε budget mid-test.
+fn privacy_service() -> MarketService {
+    let mut service = MarketService::new(ServiceConfig {
+        shards: 2,
+        queue_capacity: 64,
+        wal_segment_size: Some(2),
+        ..ServiceConfig::default()
+    })
+    .expect("valid service config");
+    let params = PrivacyParams {
+        epsilon_budget: 2.5,
+        compensation_base: 0.05,
+        compensation_sensitivity: 2.0,
+        data_range: 1.0,
+        laplace_scale: 1.0,
+    };
+    for id in 30..33u64 {
+        service
+            .register_tenant(TenantId(id), TenantConfig::privacy(DIM, HORIZON, params))
+            .unwrap();
+    }
+    service
+}
+
+/// Pumps privacy waves, recording every posted-price bit and a sentinel
+/// for budget-exhausted refusals — both must be reproduced bit-for-bit
+/// (and refusal-for-refusal) by a restored service.
+fn pump_privacy(service: &mut MarketService, waves: std::ops::Range<usize>, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut produced = Vec::new();
+    for _ in waves {
+        for id in 30..33u64 {
+            let features = sampling::standard_normal_vector(&mut rng, DIM)
+                .map(f64::abs)
+                .normalized();
+            service
+                .submit_quote(QueryRequest {
+                    tenant: TenantId(id),
+                    features,
+                    reserve_price: 0.1,
+                })
+                .unwrap();
+        }
+        for response in service.drain(2) {
+            match &response.payload {
+                Payload::Quoted(quote) => {
+                    produced.push(quote.posted_price.to_bits());
+                    service
+                        .submit_outcome(OutcomeReport {
+                            tenant: response.tenant,
+                            accepted: quote.posted_price <= 1.0,
+                            market_value: Some(1.0),
+                        })
+                        .unwrap();
+                }
+                Payload::Failed(_) => produced.push(u64::MAX),
+                other => panic!("privacy waves only quote or fail, got {other:?}"),
+            }
+        }
+        service.drain(2);
+    }
+    produced
+}
+
+#[test]
+fn privacy_snapshot_restores_bit_identically_with_ledger_counters() {
+    // Uninterrupted: warm-up + continuation, with owners exhausting along
+    // the way so the ledger state is load-bearing for the continuation.
+    let mut uninterrupted = privacy_service();
+    pump_privacy(&mut uninterrupted, 0..8, 5);
+    let expected = pump_privacy(&mut uninterrupted, 8..20, 6);
+    let expected_metrics = uninterrupted.aggregate_metrics();
+    assert!(
+        expected_metrics.owners_exhausted > 0,
+        "the budget must actually exhaust owners, or this test pins nothing"
+    );
+    assert!(expected_metrics.epsilon_spent > 0.0);
+    assert!(expected_metrics.compensation_paid > 0.0);
+    assert!(
+        expected_metrics.compensation_paid <= expected_metrics.revenue,
+        "compensation rides the reserve, so payouts never exceed revenue"
+    );
+
+    // Interrupted at wave 8: the snapshot carries partially-spent ledgers.
+    let mut original = privacy_service();
+    pump_privacy(&mut original, 0..8, 5);
+    let snapshot = original.snapshot().expect("quiescent service");
+    let rendered = snapshot.render_pretty();
+    assert!(
+        rendered.contains("\"kind\": \"privacy\"") || rendered.contains("\"kind\":\"privacy\""),
+        "the document must carry the privacy market kind"
+    );
+    assert!(rendered.contains("epsilon_spent_total"));
+    let mut restored = MarketService::restore(&Json::parse(&rendered).unwrap()).unwrap();
+    let continued = pump_privacy(&mut restored, 8..20, 6);
+
+    assert_eq!(
+        expected, continued,
+        "every posted price and every budget-exhausted refusal must continue \
+         identically across the snapshot"
+    );
+    // The ledger counters carried over and kept counting.
+    let restored_metrics = restored.aggregate_metrics();
+    assert_eq!(
+        restored_metrics.epsilon_spent.to_bits(),
+        expected_metrics.epsilon_spent.to_bits()
+    );
+    assert_eq!(
+        restored_metrics.compensation_paid.to_bits(),
+        expected_metrics.compensation_paid.to_bits()
+    );
+    assert_eq!(
+        restored_metrics.owners_exhausted,
+        expected_metrics.owners_exhausted
+    );
+    assert_eq!(
+        restored_metrics.privacy_throttled,
+        expected_metrics.privacy_throttled
+    );
+
+    // snapshot → restore → snapshot is the identity on the rendering.
+    let restored_again = MarketService::restore(&Json::parse(&rendered).unwrap()).unwrap();
+    assert_eq!(restored_again.snapshot().unwrap().render_pretty(), rendered);
+}
+
+#[test]
+fn wal_restore_mid_checkpoint_with_ledger_records_continues_bit_identically() {
+    // A checkpoint cut lands while one privacy tenant still has a
+    // quoted-but-unobserved round (and a staged ledger charge): the WAL
+    // skips it — mid-round ledger state has no serialised form — and the
+    // next segment carries it after the round closes.
+    let mut original = privacy_service();
+    let base = original.snapshot().expect("fresh service is quiescent");
+    let mut stream: Vec<Json> = Vec::new();
+    pump_privacy(&mut original, 0..3, 41);
+    stream.extend(original.checkpoint().unwrap());
+
+    // Open a round (staging a pending ledger charge) while the owners
+    // still have budget, then cut.
+    original
+        .submit_quote(QueryRequest {
+            tenant: TenantId(30),
+            features: Vector::from_slice(&[0.5, 0.3, 0.2]),
+            reserve_price: 0.1,
+        })
+        .unwrap();
+    let open_quote = *original.drain(1)[0].quote().expect("an open quote");
+    stream.extend(original.checkpoint().unwrap());
+    // Close the round; the next checkpoint carries the skipped tenant with
+    // its settled ledger debits.
+    original
+        .submit_outcome(OutcomeReport {
+            tenant: TenantId(30),
+            accepted: open_quote.posted_price <= 1.0,
+            market_value: Some(1.0),
+        })
+        .unwrap();
+    original.drain(1);
+    stream.extend(original.checkpoint().unwrap());
+
+    let mut restored = MarketService::restore_with_wal(&base, &stream).unwrap();
+    assert_eq!(restored.tenant_count(), 3);
+    // Tenant-level ledger state restored bit-identically, so continuation
+    // traffic prices — and throttles — exactly like the original.
+    let expected = pump_privacy(&mut original, 3..16, 43);
+    let actual = pump_privacy(&mut restored, 3..16, 43);
+    assert_eq!(expected, actual);
+    let exhausted = original.aggregate_metrics().owners_exhausted;
+    assert!(
+        exhausted > 0,
+        "continuation must reach exhaustion to prove the ledgers restored"
+    );
+}
+
 /// The mixed tenant population of [`mixed_service`] under a resident cap
 /// small enough to force paging churn, with the WAL on.
 fn paged_mixed_service() -> MarketService {
@@ -551,6 +789,7 @@ fn paged_mixed_service() -> MarketService {
         queue_capacity: 64,
         resident_capacity: Some(2),
         wal_segment_size: Some(3),
+        ..ServiceConfig::default()
     })
     .expect("valid service config");
     for id in 0..3u64 {
@@ -627,6 +866,7 @@ fn wal_restore_interrupted_mid_eviction_continues_bit_identically() {
         queue_capacity: 64,
         resident_capacity: Some(2),
         wal_segment_size: Some(2),
+        ..ServiceConfig::default()
     })
     .unwrap();
     for &id in &ids {
