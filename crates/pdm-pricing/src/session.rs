@@ -237,9 +237,7 @@ impl<M: PostedPriceMechanism> PricingSession<M> {
     /// regret accounting) and counted in
     /// [`PricingSession::abandoned_rounds`].
     pub fn step(&mut self, features: &Vector, reserve_price: f64) -> Quote {
-        if self.pending.take().is_some() {
-            self.abandoned_rounds += 1;
-        }
+        self.abandon_round();
         let started = self.track_latency.then(Instant::now);
         let quote = self.mechanism.quote(features, reserve_price);
         self.pending_features.copy_from(features);
@@ -288,6 +286,17 @@ impl<M: PostedPriceMechanism> PricingSession<M> {
             return None;
         }
         Some(self.step(&throttled, reserve_price))
+    }
+
+    /// Abandons the open round without feedback or regret accounting,
+    /// counted in [`PricingSession::abandoned_rounds`]; a no-op when no
+    /// round is open.  Callers that refuse a request after a quote was
+    /// issued use this to drop the round state explicitly instead of
+    /// leaving it for the next [`PricingSession::step`] to overwrite.
+    pub fn abandon_round(&mut self) {
+        if self.pending.take().is_some() {
+            self.abandoned_rounds += 1;
+        }
     }
 
     /// Closes the open round with the buyer's decision.

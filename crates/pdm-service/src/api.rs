@@ -146,6 +146,16 @@ impl Response {
         }
     }
 
+    /// The closed round, when this response answered a
+    /// [`Request::Observe`].
+    #[must_use]
+    pub fn observed(&self) -> Option<&ObservedRound> {
+        match &self.payload {
+            Payload::Observed(round) => Some(round),
+            _ => None,
+        }
+    }
+
     /// The settled round, when this response answered a
     /// [`Request::Auction`].
     #[must_use]

@@ -29,7 +29,10 @@
 //!   cannot synthesise a cheaper answer by splitting or merging queries by
 //!   more than that factor.  The floor rides the reserve price (the
 //!   mechanism honours reserves); the ceiling is enforced by
-//!   [`arbitrage_clamp`], and clamps are counted in the shard metrics.
+//!   [`arbitrage_clamp`] and never undercuts the effective reserve — a
+//!   caller-supplied reserve above the markup band wins, so clamping can
+//!   never surface a price below what the data owner asked for.  Clamps
+//!   are counted in the shard metrics.
 //!
 //! Determinism: debits accumulate in FIFO serve order, and the running
 //! totals are persisted verbatim in snapshots (never recomputed by summing
@@ -53,15 +56,21 @@ pub const ARBITRAGE_PRICE_MARKUP: f64 = 8.0;
 /// total compensation, returning the surfaced price and whether the
 /// ceiling was applied.
 ///
+/// The ceiling is `max(reserve, ARBITRAGE_PRICE_MARKUP · C(ε))`: when the
+/// effective reserve (the caller-supplied reserve price, already lifted to
+/// at least the total compensation) exceeds the markup band, the reserve
+/// wins and the band degenerates to that single point — clamping never
+/// surfaces a price below what the data owner asked for.
+///
 /// A non-positive total compensation means no owner is being compensated
 /// for this query (every admitted owner leaks nothing); the band is
 /// degenerate and the price passes through unclamped.
 #[must_use]
-pub fn arbitrage_clamp(posted: f64, total_compensation: f64) -> (f64, bool) {
+pub fn arbitrage_clamp(posted: f64, reserve: f64, total_compensation: f64) -> (f64, bool) {
     if total_compensation <= 0.0 {
         return (posted, false);
     }
-    let ceiling = ARBITRAGE_PRICE_MARKUP * total_compensation;
+    let ceiling = (ARBITRAGE_PRICE_MARKUP * total_compensation).max(reserve);
     if posted > ceiling {
         (ceiling, true)
     } else {
@@ -236,8 +245,12 @@ impl LedgerBank {
     /// Prices the supply side of one arriving query: computes each live
     /// owner's leakage, retires owners whose remaining budget cannot absorb
     /// it (sticky), and stages the charge for [`LedgerBank::settle`].  A
-    /// previously staged charge (an abandoned round) is overwritten, in
-    /// lockstep with the pricing session abandoning its open round.
+    /// previously staged charge (an abandoned round) is overwritten only
+    /// when this quote is sellable — in lockstep with the pricing session,
+    /// which abandons its open round only when a new round actually opens.
+    /// An unsellable quote retires owners but leaves any staged charge (and
+    /// the open round it mirrors) untouched, so a later settlement still
+    /// debits the round that was actually quoted.
     ///
     /// # Panics
     /// Panics when the query does not cover the owner population.
@@ -286,13 +299,15 @@ impl LedgerBank {
                 total_compensation += compensation;
             }
         }
-        self.pending = sellable.then_some(PendingCharge {
-            leakages,
-            compensations,
-            total_leakage,
-            total_compensation,
-            quoted_price: 0.0,
-        });
+        if sellable {
+            self.pending = Some(PendingCharge {
+                leakages,
+                compensations,
+                total_leakage,
+                total_compensation,
+                quoted_price: 0.0,
+            });
+        }
         SupplyQuote {
             active,
             newly_exhausted,
@@ -344,8 +359,9 @@ impl LedgerBank {
         })
     }
 
-    /// Drops a staged charge without settling it (the pricing session
-    /// declined to quote, so no round was opened).
+    /// Drops a staged charge without settling it.  The caller must drop the
+    /// session side of the round state in the same breath (abandon any open
+    /// round) — quote and charge stay in lockstep or settlement desyncs.
     pub fn cancel_quote(&mut self) {
         self.pending = None;
     }
@@ -461,6 +477,31 @@ mod tests {
     }
 
     #[test]
+    fn unsellable_quote_preserves_the_staged_charge() {
+        let mut bank = LedgerBank::new(2, params());
+        // Round A opens and stages its charge…
+        let staged = bank.begin_quote(&Vector::from_slice(&[0.5, 0.25]));
+        assert!(staged.sellable);
+        bank.commit_quote(1.1);
+        // …a follow-up query nobody can afford retires every owner and is
+        // refused — without opening a round, so round A must stay staged.
+        let refused = bank.begin_quote(&Vector::from_slice(&[2.0, 2.0]));
+        assert!(!refused.sellable);
+        assert_eq!(refused.newly_exhausted, 2);
+        assert!(bank.has_pending(), "round A's charge survives the refusal");
+        // The buyer then accepts round A: the sale settles with round A's
+        // debit and compensation, not a phantom zero-charge sale.
+        let sold = bank.settle(true).expect("round A's charge was staged");
+        assert_eq!(sold.quoted_price, 1.1);
+        assert_eq!(sold.total_leakage.to_bits(), staged.total_leakage.to_bits());
+        assert_eq!(
+            bank.epsilon_spent_total().to_bits(),
+            staged.total_leakage.to_bits()
+        );
+        assert!(bank.compensation_total() > 0.0);
+    }
+
+    #[test]
     fn zero_leakage_owners_participate_for_free() {
         // A degenerate data range leaks nothing: everyone sells forever,
         // nobody is compensated, and the band never clamps.
@@ -479,17 +520,25 @@ mod tests {
         bank.settle(true).unwrap();
         assert_eq!(bank.epsilon_spent_total(), 0.0);
         assert_eq!(bank.owners_exhausted(), 0);
-        assert_eq!(arbitrage_clamp(1e12, 0.0), (1e12, false));
+        assert_eq!(arbitrage_clamp(1e12, 0.0, 0.0), (1e12, false));
     }
 
     #[test]
     fn arbitrage_clamp_enforces_the_markup_ceiling() {
-        let (price, clamped) = arbitrage_clamp(100.0, 1.0);
+        let (price, clamped) = arbitrage_clamp(100.0, 0.0, 1.0);
         assert!(clamped);
         assert_eq!(price, ARBITRAGE_PRICE_MARKUP);
-        let (price, clamped) = arbitrage_clamp(2.0, 1.0);
+        let (price, clamped) = arbitrage_clamp(2.0, 0.0, 1.0);
         assert!(!clamped);
         assert_eq!(price, 2.0);
+        // A reserve above the markup band lifts the ceiling: the clamp
+        // never surfaces a price below the effective reserve.
+        let (price, clamped) = arbitrage_clamp(100.0, 20.0, 1.0);
+        assert!(clamped);
+        assert_eq!(price, 20.0);
+        let (price, clamped) = arbitrage_clamp(20.0, 20.0, 1.0);
+        assert!(!clamped);
+        assert_eq!(price, 20.0);
         // The compensation curve is concave through the origin (tanh), so
         // the band's reference is monotone and subadditive in leakage.
         let contract = CompensationContract::new(0.1, 2.0);

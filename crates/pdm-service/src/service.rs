@@ -102,7 +102,11 @@ impl ServiceConfig {
     /// `wal_segment_size == Some(0)` (no record would fit a segment), or
     /// eviction is enabled without the WAL persistence path it pages out
     /// to.  These used to be silently clamped to 1, which hid
-    /// misconfigured deployments.
+    /// misconfigured deployments.  The privacy-ledger knobs are checked
+    /// the same way: `privacy_budget` must be positive and finite,
+    /// `compensation_base` finite and non-negative (a NaN would silently
+    /// no-op the registration `min()`/`max()` folding), and
+    /// `ledger_paging` requires the WAL.
     pub fn validate(&self) -> Result<(), ServiceError> {
         if self.shards == 0 {
             return Err(ServiceError::InvalidConfig(
@@ -135,17 +139,25 @@ impl ServiceConfig {
                     .to_owned(),
             ));
         }
-        if self.privacy_budget.is_some_and(|budget| budget <= 0.0) {
+        if self
+            .privacy_budget
+            .is_some_and(|budget| !budget.is_finite() || budget <= 0.0)
+        {
             return Err(ServiceError::InvalidConfig(
-                "`privacy_budget` must be positive: a zero ε budget retires every owner before \
-                 her first query"
+                "`privacy_budget` must be positive and finite: a zero ε budget retires every \
+                 owner before her first query, and a NaN or infinite cap silently escapes the \
+                 registration `min()` fold"
                     .to_owned(),
             ));
         }
-        if self.compensation_base.is_some_and(|base| base < 0.0) {
+        if self
+            .compensation_base
+            .is_some_and(|base| !base.is_finite() || base < 0.0)
+        {
             return Err(ServiceError::InvalidConfig(
-                "`compensation_base` must not be negative: owners cannot owe the market for \
-                 their own data"
+                "`compensation_base` must be finite and not negative: owners cannot owe the \
+                 market for their own data, and a NaN floor silently escapes the registration \
+                 `max()` fold"
                     .to_owned(),
             ));
         }
@@ -913,6 +925,35 @@ mod tests {
         let message = err.to_string();
         assert!(message.contains("compensation_base"), "{message}");
         assert!(message.contains("negative"), "{message}");
+
+        // A NaN or infinite ε cap would silently no-op the registration
+        // `min()` fold (f64::min ignores NaN) and drop the deployment cap.
+        for bad in [f64::NAN, f64::INFINITY] {
+            let err = MarketService::new(ServiceConfig {
+                shards: 2,
+                queue_capacity: 8,
+                privacy_budget: Some(bad),
+                ..ServiceConfig::default()
+            })
+            .unwrap_err();
+            assert!(matches!(err, ServiceError::InvalidConfig(_)));
+            let message = err.to_string();
+            assert!(message.contains("privacy_budget"), "{message}");
+            assert!(message.contains("finite"), "{message}");
+        }
+
+        // Likewise a NaN compensation floor would escape the `max()` fold.
+        let err = MarketService::new(ServiceConfig {
+            shards: 2,
+            queue_capacity: 8,
+            compensation_base: Some(f64::NAN),
+            ..ServiceConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidConfig(_)));
+        let message = err.to_string();
+        assert!(message.contains("compensation_base"), "{message}");
+        assert!(message.contains("finite"), "{message}");
 
         // Ledger paging without the WAL has no durable home for ledgers.
         let err = MarketService::new(ServiceConfig {

@@ -499,7 +499,8 @@ impl Shard {
     /// mechanism prices it.  The total compensation owed to the surviving
     /// owners rides the reserve — the mechanism never posts below what the
     /// sale costs in payouts — and the surfaced price is clamped to the
-    /// arbitrage-free band `[C(ε), markup · C(ε)]`.  When the clamp fires,
+    /// arbitrage-free band `[C(ε), max(reserve, markup · C(ε))]` (the
+    /// ceiling never undercuts the effective reserve).  When the clamp fires,
     /// the *session* keeps learning from its own unclamped price (the
     /// mechanism's feedback loop stays consistent), while the quote, the
     /// settled round, and every revenue counter use the clamped price the
@@ -530,7 +531,10 @@ impl Shard {
                 else {
                     // A sellable supply has an active non-zero coordinate, so
                     // the session never refuses here; refusing the request is
-                    // still strictly safer than panicking.
+                    // still strictly safer than panicking.  Both sides of the
+                    // round state drop together — the staged charge and any
+                    // open round — so quote and charge stay in lockstep.
+                    state.session.abandon_round();
                     state
                         .privacy
                         .as_mut()
@@ -540,7 +544,7 @@ impl Shard {
                     return Payload::Failed(RequestError::BudgetExhausted);
                 };
                 let (price, clamped) =
-                    arbitrage_clamp(quote.posted_price, supply.total_compensation);
+                    arbitrage_clamp(quote.posted_price, reserve, supply.total_compensation);
                 if clamped {
                     metrics.arbitrage_clamps += 1;
                 }
@@ -835,6 +839,94 @@ mod tests {
         let bank = shard.tenants[&TenantId(7)].privacy.as_ref().unwrap();
         assert_eq!(bank.owners_exhausted(), 2);
         assert!(bank.ledgers().iter().all(|ledger| ledger.exhausted));
+    }
+
+    #[test]
+    fn accepted_sale_after_unsellable_quote_still_settles_the_open_round() {
+        use crate::tenant::PrivacyParams;
+        let mut shard = Shard::new(0, None, false);
+        shard.register(TenantState::new(
+            TenantId(7),
+            TenantConfig::privacy(2, 100, PrivacyParams::default()),
+        ));
+        let quote = |seq: u64, features: &[f64]| {
+            (
+                seq,
+                Request::Quote(QueryRequest {
+                    tenant: TenantId(7),
+                    features: Vector::from_slice(features),
+                    reserve_price: 0.0,
+                }),
+            )
+        };
+        // Quote A opens a round and stages its charge; quote B's leakage
+        // (2.0 per owner against a 1.0 budget) retires everyone and is
+        // refused without opening a round; the buyer then accepts A.  The
+        // sale must settle round A's staged charge — not slip through as a
+        // zero-debit, zero-compensation phantom sale.
+        for (seq, request) in [
+            quote(0, &[0.3, 0.2]),
+            quote(1, &[2.0, 2.0]),
+            (
+                2,
+                Request::Observe(OutcomeReport {
+                    tenant: TenantId(7),
+                    accepted: true,
+                    market_value: Some(2.0),
+                }),
+            ),
+        ] {
+            shard.enqueue(seq, request);
+        }
+        let responses = shard.process_all();
+        assert!(matches!(responses[0].payload, Payload::Quoted(_)));
+        assert_eq!(
+            responses[1].payload,
+            Payload::Failed(RequestError::BudgetExhausted)
+        );
+        let record = responses[2].observed().expect("round A settles");
+        assert!(record.accepted);
+        assert_eq!(shard.metrics.sales, 1);
+        assert!(
+            (shard.metrics.epsilon_spent - 0.5).abs() < 1e-12,
+            "round A's 0.3 + 0.2 of ε must be debited, got {}",
+            shard.metrics.epsilon_spent
+        );
+        assert!(shard.metrics.compensation_paid > 0.0);
+        assert!(shard.metrics.compensation_paid <= shard.metrics.revenue + 1e-12);
+        let bank = shard.tenants[&TenantId(7)].privacy.as_ref().unwrap();
+        assert!(bank.epsilon_spent_total() > 0.0);
+        assert!(!bank.has_pending());
+    }
+
+    #[test]
+    fn arbitrage_clamp_never_undercuts_the_reserve() {
+        use crate::tenant::PrivacyParams;
+        let mut shard = Shard::new(0, None, false);
+        shard.register(TenantState::new(
+            TenantId(7),
+            TenantConfig::privacy(2, 100, PrivacyParams::default()),
+        ));
+        // Total compensation here is ≈ 0.1·(tanh(1.2) + tanh(1.6)) ≈ 0.18,
+        // so the markup ceiling 8·C(ε) ≈ 1.5 sits far below the owner's
+        // stated reserve: the clamp must honour the reserve, not cut under.
+        let reserve_price = 50.0;
+        shard.enqueue(
+            0,
+            Request::Quote(QueryRequest {
+                tenant: TenantId(7),
+                features: Vector::from_slice(&[0.6, 0.8]),
+                reserve_price,
+            }),
+        );
+        let responses = shard.process_all();
+        let quoted = responses[0].quote().expect("a quote response");
+        assert!(
+            quoted.posted_price >= reserve_price,
+            "surfaced price {} undercuts the reserve {}",
+            quoted.posted_price,
+            reserve_price
+        );
     }
 
     #[test]
