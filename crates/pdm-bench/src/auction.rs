@@ -29,8 +29,8 @@ use crate::Scale;
 use pdm_auction::{AuctionLedger, AuctionMarket, AuctionMarketConfig, ValuationDistribution};
 use pdm_linalg::Vector;
 use pdm_service::{
-    AuctionPolicy, AuctionRequest, MarketService, ServiceConfig, TenantConfig, TenantId,
-    TenantState,
+    AuctionPolicy, AuctionRequest, MarketService, MetricRegistry, ServiceConfig, ShardMetrics,
+    TenantConfig, TenantId, TenantState,
 };
 use std::time::{Duration, Instant};
 
@@ -77,6 +77,10 @@ pub struct AuctionPerf {
     pub wall_clock_secs: f64,
     /// Auction rounds settled per second of drain (service) time.
     pub rounds_per_sec: f64,
+    /// Mean per-request service latency in µs, over *every* request of the
+    /// cell (the all-time streaming stats, not the bounded percentile
+    /// window).
+    pub latency_mean_micros: f64,
     /// Median per-request service latency in µs.
     pub latency_p50_micros: f64,
     /// p99 per-request service latency in µs.
@@ -205,8 +209,14 @@ struct RecordedRound {
 /// The per-repetition outcome handed to the aggregator.
 struct RepOutcome {
     ledger: AuctionLedger,
+    /// The service-wide metrics fold, carrying the all-time latency
+    /// streaming stats (the bounded percentile window alone would drop the
+    /// mean).
+    metrics: ShardMetrics,
     latency_pool: Vec<f64>,
     drain_time: Duration,
+    /// The service's final `pdm-obs` scrape, folded into the run registry.
+    scrape: MetricRegistry,
 }
 
 /// Runs one repetition of one cell and verifies it against the serial
@@ -306,7 +316,8 @@ fn run_rep(spec: &AuctionCellSpec, workers: usize, rep: u64) -> Result<RepOutcom
     // The service's own (FIFO-ordered) ledger must agree on every counter;
     // monetary sums legitimately differ in addition order, so they are
     // compared through the counters and the per-round bits above.
-    let served = service.aggregate_metrics().auction;
+    let metrics = service.aggregate_metrics();
+    let served = metrics.auction;
     if served.auctions != ledger.auctions
         || served.sales != ledger.sales
         || served.reserve_hits != ledger.reserve_hits
@@ -331,20 +342,25 @@ fn run_rep(spec: &AuctionCellSpec, workers: usize, rep: u64) -> Result<RepOutcom
         .collect();
     Ok(RepOutcome {
         ledger,
+        metrics,
         latency_pool,
         drain_time,
+        scrape: service.scrape(),
     })
 }
 
-/// Runs one cell (all repetitions) and aggregates it into a report row.
-pub fn run_auction_cell(
+/// Runs one cell (all repetitions) and aggregates it into a report row,
+/// folding every repetition's final service scrape into `obs`.
+pub fn run_auction_cell_obs(
     spec: &AuctionCellSpec,
     workers: usize,
     reps: u64,
+    obs: &mut MetricRegistry,
 ) -> Result<AuctionCellReport, String> {
     let started = Instant::now();
     let reps = reps.max(1);
     let mut totals = AuctionLedger::default();
+    let mut metrics = ShardMetrics::new();
     let mut revenue = Vec::with_capacity(reps as usize);
     let mut baseline = Vec::with_capacity(reps as usize);
     let mut welfare = Vec::with_capacity(reps as usize);
@@ -358,8 +374,10 @@ pub fn run_auction_cell(
         welfare.push(outcome.ledger.welfare);
         hit_rate.push(outcome.ledger.reserve_hit_rate());
         totals.merge(&outcome.ledger);
+        metrics.merge(&outcome.metrics);
         latency_pool.append(&mut outcome.latency_pool);
         drain_time += outcome.drain_time;
+        obs.merge(&outcome.scrape);
     }
 
     let drain_secs = drain_time.as_secs_f64();
@@ -392,10 +410,35 @@ pub fn run_auction_cell(
         perf: AuctionPerf {
             wall_clock_secs: started.elapsed().as_secs_f64(),
             rounds_per_sec,
+            latency_mean_micros: metrics.latency_stats().mean(),
             latency_p50_micros: p50,
             latency_p99_micros: p99,
         },
     })
+}
+
+/// [`run_auction_cell_obs`] with the scrape discarded, for callers that
+/// only want the report row.
+pub fn run_auction_cell(
+    spec: &AuctionCellSpec,
+    workers: usize,
+    reps: u64,
+) -> Result<AuctionCellReport, String> {
+    run_auction_cell_obs(spec, workers, reps, &mut MetricRegistry::new())
+}
+
+/// Runs a set of auction cells (the whole grid, or a `--filter` subset),
+/// folding every cell's scrape into `obs`.
+pub fn run_auction_cells_obs(
+    cells: &[AuctionCellSpec],
+    workers: usize,
+    reps: u64,
+    obs: &mut MetricRegistry,
+) -> Result<Vec<AuctionCellReport>, String> {
+    cells
+        .iter()
+        .map(|spec| run_auction_cell_obs(spec, workers, reps, obs))
+        .collect()
 }
 
 /// Runs a set of auction cells (the whole grid, or a `--filter` subset).
@@ -404,10 +447,7 @@ pub fn run_auction_cells(
     workers: usize,
     reps: u64,
 ) -> Result<Vec<AuctionCellReport>, String> {
-    cells
-        .iter()
-        .map(|spec| run_auction_cell(spec, workers, reps))
-        .collect()
+    run_auction_cells_obs(cells, workers, reps, &mut MetricRegistry::new())
 }
 
 /// Renders the auction cells as the console table `bench auction` prints.
@@ -522,6 +562,26 @@ mod tests {
                 "{policy:?}"
             );
         }
+    }
+
+    #[test]
+    fn latency_mean_pools_the_all_time_stats_across_reps() {
+        // Regression: the cell mean must come from the merged all-time
+        // streaming stats, not be dropped (NaN) or read off the bounded
+        // percentile window.
+        let mut obs = MetricRegistry::new();
+        let report =
+            run_auction_cell_obs(&tiny_cell(2, AuctionPolicy::Session), 2, 2, &mut obs).unwrap();
+        assert!(
+            report.perf.latency_mean_micros.is_finite() && report.perf.latency_mean_micros > 0.0,
+            "mean {} must be a real pooled figure",
+            report.perf.latency_mean_micros
+        );
+        // The scrape folded both repetitions' auction rounds.
+        let rounds = obs
+            .counter_value("auction.rounds_total")
+            .expect("the scrape exports the auction ledger");
+        assert_eq!(rounds as u64, report.auctions);
     }
 
     #[test]

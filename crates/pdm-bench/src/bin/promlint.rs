@@ -1,0 +1,47 @@
+//! `promlint` — lints Prometheus text expositions (`bench --metrics-out`
+//! scrapes, or any file in exposition format 0.0.4).
+//!
+//! Usage: `promlint FILE...`
+//!
+//! Each file is parsed with [`pdm_obs::prom::parse`], which checks the
+//! structural invariants of the format: valid metric names, one `# TYPE`
+//! per family, numeric samples, and cumulative histogram buckets ending in
+//! a `+Inf` bucket that agrees with `_count`.  Exit status is non-zero if
+//! any file fails, so CI can gate on the scrapes every bench workload
+//! writes.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: promlint FILE...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match pdm_obs::prom::parse(&text) {
+            Ok(report) => println!(
+                "{path}: OK ({} families, {} samples)",
+                report.families, report.samples
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

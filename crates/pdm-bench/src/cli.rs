@@ -7,18 +7,19 @@
 //! every experiment accepts `--full`, `--workers`, `--reps`, `--json`, and
 //! `--check` uniformly.
 
-use crate::auction::{auction_grid, render_auction, run_auction_cells};
-use crate::drift::{drift_grid, render_drift, run_drift_cells};
+use crate::auction::{auction_grid, render_auction, run_auction_cells_obs};
+use crate::drift::{drift_grid, render_drift, run_drift_cells_obs};
 use crate::experiments::{experiments_for, render_experiment, render_fig1};
 use crate::grid::expand_jobs;
-use crate::longhaul::{longhaul_grid, render_longhaul, run_longhaul_cells};
-use crate::privacy::{privacy_grid, render_privacy, run_privacy_cells};
+use crate::longhaul::{longhaul_grid, render_longhaul, run_longhaul_cells_obs};
+use crate::privacy::{privacy_grid, render_privacy, run_privacy_cells_obs};
 use crate::report::{
     build_experiment_reports, git_describe, BenchReport, PerfFloor, PerfSummary, SCHEMA_VERSION,
 };
 use crate::runner::run_jobs;
-use crate::serve::{render_serve, render_serve_summary, run_serve_cells, serve_grid};
+use crate::serve::{render_serve, render_serve_summary, run_serve_cells_obs, serve_grid};
 use crate::Scale;
+use pdm_service::MetricRegistry;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -137,6 +138,9 @@ pub struct BenchArgs {
     /// Fail (exit 1) when the serve grid's quotes/sec falls below the floor
     /// file's tolerance band — the perf-smoke CI gate.
     pub perf_floor: Option<PathBuf>,
+    /// Where to write the run's merged `pdm-obs` registry as a Prometheus
+    /// text exposition (format 0.0.4), if anywhere.
+    pub metrics_out: Option<PathBuf>,
 }
 
 /// The usage text printed on parse errors and `--help`.
@@ -145,7 +149,7 @@ pub fn usage() -> String {
     let commands: Vec<&str> = Command::ALL.iter().map(|c| c.name()).collect();
     format!(
         "usage: bench <command> [--full] [--workers N] [--reps N] [--json PATH] [--check]\n\
-         \x20            [--filter SUBSTRING] [--perf-floor PATH]\n\
+         \x20            [--filter SUBSTRING] [--perf-floor PATH] [--metrics-out PATH]\n\
          \n\
          commands: {}\n\
          \n\
@@ -164,6 +168,10 @@ pub fn usage() -> String {
          \x20               exit non-zero when the serve grid's quotes/sec falls\n\
          \x20               below the floor file's tolerance band (the perf-smoke\n\
          \x20               CI gate; see docs/PERF_FLOOR.json)\n\
+         \x20 --metrics-out PATH\n\
+         \x20               write the run's merged pdm-obs registry (service\n\
+         \x20               counters, gauges, per-stage span histograms) to PATH\n\
+         \x20               as a Prometheus text exposition\n\
          \x20 -h, --help    show this message",
         commands.join(", ")
     )
@@ -185,6 +193,7 @@ pub fn parse_args(preset: Option<Command>, args: &[String]) -> Result<Option<Ben
     let mut check = false;
     let mut filter = None;
     let mut perf_floor = None;
+    let mut metrics_out = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -210,6 +219,12 @@ pub fn parse_args(preset: Option<Command>, args: &[String]) -> Result<Option<Ben
                     .next()
                     .ok_or_else(|| "--perf-floor needs a file path".to_owned())?;
                 perf_floor = Some(PathBuf::from(path));
+            }
+            "--metrics-out" => {
+                let path = iter
+                    .next()
+                    .ok_or_else(|| "--metrics-out needs a file path".to_owned())?;
+                metrics_out = Some(PathBuf::from(path));
             }
             "--workers" => {
                 let n = iter
@@ -251,6 +266,7 @@ pub fn parse_args(preset: Option<Command>, args: &[String]) -> Result<Option<Ben
         check,
         filter,
         perf_floor,
+        metrics_out,
     }))
 }
 
@@ -274,7 +290,7 @@ fn run_closed_loop_workload<C, R>(
     args: &BenchArgs,
     workers: usize,
     cells: &[C],
-    run: impl Fn(&[C], usize, u64) -> Result<Vec<R>, String>,
+    mut run: impl FnMut(&[C], usize, u64) -> Result<Vec<R>, String>,
     render: impl Fn(&[R]) -> Vec<String>,
     verified: &str,
 ) -> Result<Vec<R>, String> {
@@ -413,12 +429,16 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         }
     }
 
+    // Every service workload folds its final scrape into this run-wide
+    // registry (counters and histogram buckets merge as exact integer adds,
+    // so the fold order across cells and reps cannot matter).
+    let mut obs = MetricRegistry::new();
     let serve = run_closed_loop_workload(
         "serve",
         args,
         workers,
         &serve_cells,
-        run_serve_cells,
+        |cells, workers, reps| run_serve_cells_obs(cells, workers, reps, &mut obs),
         |rows| vec![render_serve(rows), render_serve_summary(rows)],
         "posted prices, revenue, regret",
     )?;
@@ -427,7 +447,7 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         args,
         workers,
         &auction_cells,
-        run_auction_cells,
+        |cells, workers, reps| run_auction_cells_obs(cells, workers, reps, &mut obs),
         |rows| vec![render_auction(rows)],
         "reserves, clearing prices, ledger counters",
     )?;
@@ -436,7 +456,7 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         args,
         workers,
         &drift_cells,
-        run_drift_cells,
+        |cells, workers, reps| run_drift_cells_obs(cells, workers, reps, &mut obs),
         |rows| vec![render_drift(rows)],
         "posted prices, detector firings, restarts",
     )?;
@@ -445,7 +465,7 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         args,
         workers,
         &longhaul_cells,
-        run_longhaul_cells,
+        |cells, workers, reps| run_longhaul_cells_obs(cells, workers, reps, &mut obs),
         |rows| vec![render_longhaul(rows)],
         "WAL restore continuation, pre-cut ledgers, resident bound",
     )?;
@@ -454,12 +474,22 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
         args,
         workers,
         &privacy_cells,
-        run_privacy_cells,
+        |cells, workers, reps| run_privacy_cells_obs(cells, workers, reps, &mut obs),
         |rows| vec![render_privacy(rows)],
         "posted prices, refusals, ε ledgers, exhaustion trajectory",
     )?;
+    // The report carries only the deterministic half of the registry
+    // (wall-clock histograms excluded), and only when a service workload
+    // actually ran — a simulation-only report has no obs section, exactly
+    // like pre-v8 files.
+    let ran_service_workload = !(serve.is_empty()
+        && auction.is_empty()
+        && drift.is_empty()
+        && longhaul.is_empty()
+        && privacy.is_empty());
 
     let report = BenchReport {
+        obs: ran_service_workload.then(|| obs.to_json(true)),
         schema_version: SCHEMA_VERSION,
         name: args.command.name().to_owned(),
         git_describe: git_describe(),
@@ -486,6 +516,15 @@ pub fn execute(args: &BenchArgs) -> Result<BenchReport, String> {
 
     if let Some(path) = &args.json {
         std::fs::write(path, report.to_json().render_pretty())
+            .map_err(|e| format!("failed to write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+
+    if let Some(path) = &args.metrics_out {
+        // The full registry, wall-clock histograms included — the scrape is
+        // an operational artifact, not a determinism fingerprint.  A
+        // simulation-only run writes an empty (still lint-clean) exposition.
+        std::fs::write(path, obs.render_prometheus())
             .map_err(|e| format!("failed to write {}: {e}", path.display()))?;
         println!("wrote {}", path.display());
     }
@@ -820,6 +859,67 @@ mod tests {
 
         let _ = std::fs::remove_file(permissive);
         let _ = std::fs::remove_file(absurd);
+    }
+
+    #[test]
+    fn metrics_out_flag_parses_and_writes_a_lint_clean_exposition() {
+        // Parsing: the flag takes a path and is off by default.
+        let args = parse_args(None, &strings(&["serve", "--metrics-out", "scrape.prom"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.metrics_out, Some(PathBuf::from("scrape.prom")));
+        assert!(parse_args(None, &strings(&["serve", "--metrics-out"]))
+            .unwrap_err()
+            .contains("--metrics-out"));
+        assert_eq!(
+            parse_args(None, &strings(&["serve"]))
+                .unwrap()
+                .unwrap()
+                .metrics_out,
+            None
+        );
+        assert!(usage().contains("--metrics-out"));
+
+        // End to end on one quick serve cell: the scrape file is a valid
+        // Prometheus exposition carrying the service counters and the
+        // per-stage span histograms, and the JSON report carries the
+        // deterministic half as the v8 `obs` section.
+        let scrape = std::env::temp_dir().join("pdm_metrics_out_serve.prom");
+        let mut args = parse_args(None, &strings(&["serve", "--filter", "mix=uniform"]))
+            .unwrap()
+            .unwrap();
+        args.workers = 2;
+        args.metrics_out = Some(scrape.clone());
+        let report = execute(&args).expect("serve run with --metrics-out");
+        let text = std::fs::read_to_string(&scrape).expect("scrape written");
+        let lint = pdm_obs::prom::parse(&text).expect("exposition lints clean");
+        assert!(lint.families > 0 && lint.samples > 0);
+        assert!(text.contains("pdm_quotes_served_total"));
+        assert!(text.contains("pdm_shard_quote_work_items_bucket"));
+        let obs = report.obs.as_ref().expect("service runs carry obs");
+        let quotes = obs
+            .get("counters")
+            .and_then(|c| c.get("quotes_served_total"))
+            .and_then(crate::json::Json::as_f64)
+            .expect("obs counters carry quotes_served_total");
+        let total: u64 = report.serve.iter().map(|c| c.quotes_served).sum();
+        assert_eq!(quotes as u64, total);
+        let _ = std::fs::remove_file(scrape);
+
+        // A simulation-only run writes an empty (still lint-clean) scrape
+        // and carries no obs section.
+        let scrape = std::env::temp_dir().join("pdm_metrics_out_fig4.prom");
+        let mut fig4 = parse_args(None, &strings(&["fig4", "--filter", "with reserve"]))
+            .unwrap()
+            .unwrap();
+        fig4.workers = 2;
+        fig4.metrics_out = Some(scrape.clone());
+        let report = execute(&fig4).expect("fig4 run with --metrics-out");
+        assert!(report.obs.is_none());
+        let text = std::fs::read_to_string(&scrape).expect("scrape written");
+        let lint = pdm_obs::prom::parse(&text).expect("empty exposition lints clean");
+        assert_eq!(lint.families, 0);
+        let _ = std::fs::remove_file(scrape);
     }
 
     #[test]

@@ -31,7 +31,8 @@ use pdm_pricing::prelude::{
     StepOutcome,
 };
 use pdm_service::{
-    MarketService, OutcomeReport, QueryRequest, ServiceConfig, TenantConfig, TenantId, TenantState,
+    MarketService, MetricRegistry, OutcomeReport, QueryRequest, ServiceConfig, ShardMetrics,
+    TenantConfig, TenantId, TenantState,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -90,6 +91,10 @@ pub struct DriftPerf {
     pub wall_clock_secs: f64,
     /// Quotes served per second of drain (service) time.
     pub quotes_per_sec: f64,
+    /// Mean per-request service latency in µs, over *every* request of the
+    /// cell (the all-time streaming stats, not the bounded percentile
+    /// window).
+    pub latency_mean_micros: f64,
     /// Median per-request service latency in µs.
     pub latency_p50_micros: f64,
     /// p99 per-request service latency in µs.
@@ -231,9 +236,14 @@ struct RepOutcome {
     sales: u64,
     fires: u64,
     restarts: u64,
-    quotes_served: u64,
+    /// The service-wide metrics fold, carrying the request counters *and*
+    /// the all-time latency streaming stats (the bounded percentile window
+    /// alone would drop the mean).
+    metrics: ShardMetrics,
     latency_pool: Vec<f64>,
     drain_time: Duration,
+    /// The service's final `pdm-obs` scrape, folded into the run registry.
+    scrape: MetricRegistry,
 }
 
 /// The tenant config of one cell: the paper's posted-price defaults with
@@ -409,17 +419,20 @@ fn run_rep(spec: &DriftCellSpec, workers: usize, rep: u64) -> Result<RepOutcome,
         sales,
         fires,
         restarts,
-        quotes_served: metrics.quotes_served,
+        metrics,
         latency_pool,
         drain_time,
+        scrape: service.scrape(),
     })
 }
 
-/// Runs one cell (all repetitions) and aggregates it into a report row.
-pub fn run_drift_cell(
+/// Runs one cell (all repetitions) and aggregates it into a report row,
+/// folding every repetition's final service scrape into `obs`.
+pub fn run_drift_cell_obs(
     spec: &DriftCellSpec,
     workers: usize,
     reps: u64,
+    obs: &mut MetricRegistry,
 ) -> Result<DriftCellReport, String> {
     let started = Instant::now();
     let reps = reps.max(1);
@@ -431,7 +444,7 @@ pub fn run_drift_cell(
     let mut sales = 0u64;
     let mut fires = 0u64;
     let mut restarts = 0u64;
-    let mut quotes_served = 0u64;
+    let mut metrics = ShardMetrics::new();
     let mut latency_pool: Vec<f64> = Vec::new();
     let mut drain_time = Duration::ZERO;
     for rep in 0..reps {
@@ -444,14 +457,15 @@ pub fn run_drift_cell(
         sales += outcome.sales;
         fires += outcome.fires;
         restarts += outcome.restarts;
-        quotes_served += outcome.quotes_served;
+        metrics.merge(&outcome.metrics);
         latency_pool.append(&mut outcome.latency_pool);
         drain_time += outcome.drain_time;
+        obs.merge(&outcome.scrape);
     }
 
     let drain_secs = drain_time.as_secs_f64();
     let quotes_per_sec = if drain_secs > 0.0 {
-        quotes_served as f64 / drain_secs
+        metrics.quotes_served as f64 / drain_secs
     } else {
         0.0
     };
@@ -480,10 +494,35 @@ pub fn run_drift_cell(
         perf: DriftPerf {
             wall_clock_secs: started.elapsed().as_secs_f64(),
             quotes_per_sec,
+            latency_mean_micros: metrics.latency_stats().mean(),
             latency_p50_micros: p50,
             latency_p99_micros: p99,
         },
     })
+}
+
+/// [`run_drift_cell_obs`] with the scrape discarded, for callers that only
+/// want the report row.
+pub fn run_drift_cell(
+    spec: &DriftCellSpec,
+    workers: usize,
+    reps: u64,
+) -> Result<DriftCellReport, String> {
+    run_drift_cell_obs(spec, workers, reps, &mut MetricRegistry::new())
+}
+
+/// Runs a set of drift cells (the whole grid, or a `--filter` subset),
+/// folding every cell's scrape into `obs`.
+pub fn run_drift_cells_obs(
+    cells: &[DriftCellSpec],
+    workers: usize,
+    reps: u64,
+    obs: &mut MetricRegistry,
+) -> Result<Vec<DriftCellReport>, String> {
+    cells
+        .iter()
+        .map(|spec| run_drift_cell_obs(spec, workers, reps, obs))
+        .collect()
 }
 
 /// Runs a set of drift cells (the whole grid, or a `--filter` subset).
@@ -492,10 +531,7 @@ pub fn run_drift_cells(
     workers: usize,
     reps: u64,
 ) -> Result<Vec<DriftCellReport>, String> {
-    cells
-        .iter()
-        .map(|spec| run_drift_cell(spec, workers, reps))
-        .collect()
+    run_drift_cells_obs(cells, workers, reps, &mut MetricRegistry::new())
 }
 
 /// Renders the drift cells as the console table `bench drift` prints.
@@ -613,6 +649,32 @@ mod tests {
                 "{policy:?}"
             );
         }
+    }
+
+    #[test]
+    fn latency_mean_pools_the_all_time_stats_across_reps() {
+        // Regression: the cell mean must come from the merged all-time
+        // streaming stats, not be dropped (NaN) or read off the bounded
+        // percentile window.
+        let mut obs = MetricRegistry::new();
+        let report = run_drift_cell_obs(
+            &tiny_cell(piecewise(30), DriftPolicy::Static),
+            2,
+            2,
+            &mut obs,
+        )
+        .unwrap();
+        assert!(
+            report.perf.latency_mean_micros.is_finite() && report.perf.latency_mean_micros > 0.0,
+            "mean {} must be a real pooled figure",
+            report.perf.latency_mean_micros
+        );
+        // The scrape folded both repetitions: the quote-span work histogram
+        // counts every served request of the cell.
+        let quotes = obs
+            .counter_value("quotes_served_total")
+            .expect("the scrape exports the served counter");
+        assert_eq!(quotes as u64, report.rounds);
     }
 
     #[test]

@@ -35,7 +35,8 @@ use crate::table;
 use crate::Scale;
 use pdm_linalg::{sampling, Json, Vector};
 use pdm_service::{
-    MarketService, OutcomeReport, QueryRequest, ServiceConfig, ShardMetrics, TenantConfig, TenantId,
+    MarketService, MetricRegistry, OutcomeReport, QueryRequest, ServiceConfig, ShardMetrics,
+    TenantConfig, TenantId,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -182,6 +183,10 @@ struct RepOutcome {
     resident_memory_bytes: usize,
     restore_latency: Duration,
     drain_time: Duration,
+    /// The *original* service's final `pdm-obs` scrape (the restored twin
+    /// replays the same second half, so folding both would double-count the
+    /// post-cut traffic).
+    scrape: MetricRegistry,
 }
 
 /// Precomputes the full trace: each wave serves a sliding window of
@@ -425,14 +430,17 @@ fn run_rep(spec: &LonghaulCellSpec, workers: usize, rep: u64) -> Result<RepOutco
         restore_latency,
         drain_time,
         metrics,
+        scrape: original.scrape(),
     })
 }
 
-/// Runs one cell (all repetitions) and aggregates it into a report row.
-pub fn run_longhaul_cell(
+/// Runs one cell (all repetitions) and aggregates it into a report row,
+/// folding every repetition's final original-service scrape into `obs`.
+pub fn run_longhaul_cell_obs(
     spec: &LonghaulCellSpec,
     workers: usize,
     reps: u64,
+    obs: &mut MetricRegistry,
 ) -> Result<LonghaulCellReport, String> {
     let started = Instant::now();
     let reps = reps.max(1);
@@ -456,6 +464,7 @@ pub fn run_longhaul_cell(
         memory_bytes += outcome.resident_memory_bytes as f64;
         restore_time += outcome.restore_latency;
         drain_time += outcome.drain_time;
+        obs.merge(&outcome.scrape);
     }
     let drain_secs = drain_time.as_secs_f64();
     let quotes_per_sec = if drain_secs > 0.0 {
@@ -491,16 +500,37 @@ pub fn run_longhaul_cell(
     })
 }
 
+/// [`run_longhaul_cell_obs`] with the scrape discarded, for callers that
+/// only want the report row.
+pub fn run_longhaul_cell(
+    spec: &LonghaulCellSpec,
+    workers: usize,
+    reps: u64,
+) -> Result<LonghaulCellReport, String> {
+    run_longhaul_cell_obs(spec, workers, reps, &mut MetricRegistry::new())
+}
+
+/// Runs a set of longhaul cells (the whole grid, or a `--filter` subset),
+/// folding every cell's scrape into `obs`.
+pub fn run_longhaul_cells_obs(
+    cells: &[LonghaulCellSpec],
+    workers: usize,
+    reps: u64,
+    obs: &mut MetricRegistry,
+) -> Result<Vec<LonghaulCellReport>, String> {
+    cells
+        .iter()
+        .map(|spec| run_longhaul_cell_obs(spec, workers, reps, obs))
+        .collect()
+}
+
 /// Runs a set of longhaul cells (the whole grid, or a `--filter` subset).
 pub fn run_longhaul_cells(
     cells: &[LonghaulCellSpec],
     workers: usize,
     reps: u64,
 ) -> Result<Vec<LonghaulCellReport>, String> {
-    cells
-        .iter()
-        .map(|spec| run_longhaul_cell(spec, workers, reps))
-        .collect()
+    run_longhaul_cells_obs(cells, workers, reps, &mut MetricRegistry::new())
 }
 
 /// Renders the longhaul cells as the console table `bench longhaul` prints.

@@ -40,8 +40,8 @@ use crate::table;
 use crate::Scale;
 use pdm_linalg::{sampling, Json, Vector};
 use pdm_service::{
-    MarketService, OutcomeReport, Payload, PrivacyParams, QueryRequest, ServiceConfig,
-    ShardMetrics, TenantConfig, TenantId,
+    MarketService, MetricRegistry, OutcomeReport, Payload, PrivacyParams, QueryRequest,
+    ServiceConfig, ShardMetrics, TenantConfig, TenantId,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -199,6 +199,10 @@ struct RepOutcome {
     wal_segments: u64,
     restore_latency: Duration,
     drain_time: Duration,
+    /// The *original* service's final `pdm-obs` scrape (the restored twin
+    /// replays the same second half, so folding both would double-count the
+    /// post-cut traffic).
+    scrape: MetricRegistry,
 }
 
 /// Precomputes the full trace: one query per tenant per wave, drawn from
@@ -439,14 +443,17 @@ fn run_rep(spec: &PrivacyCellSpec, workers: usize, rep: u64) -> Result<RepOutcom
         wal_segments: original.wal_segments_written(),
         restore_latency,
         drain_time,
+        scrape: original.scrape(),
     })
 }
 
-/// Runs one cell (all repetitions) and aggregates it into a report row.
-pub fn run_privacy_cell(
+/// Runs one cell (all repetitions) and aggregates it into a report row,
+/// folding every repetition's final original-service scrape into `obs`.
+pub fn run_privacy_cell_obs(
     spec: &PrivacyCellSpec,
     workers: usize,
     reps: u64,
+    obs: &mut MetricRegistry,
 ) -> Result<PrivacyCellReport, String> {
     let started = Instant::now();
     let reps = reps.max(1);
@@ -474,6 +481,7 @@ pub fn run_privacy_cell(
         }
         restore_time += outcome.restore_latency;
         drain_time += outcome.drain_time;
+        obs.merge(&outcome.scrape);
     }
     let drain_secs = drain_time.as_secs_f64();
     let quotes_per_sec = if drain_secs > 0.0 {
@@ -513,16 +521,37 @@ pub fn run_privacy_cell(
     })
 }
 
+/// [`run_privacy_cell_obs`] with the scrape discarded, for callers that
+/// only want the report row.
+pub fn run_privacy_cell(
+    spec: &PrivacyCellSpec,
+    workers: usize,
+    reps: u64,
+) -> Result<PrivacyCellReport, String> {
+    run_privacy_cell_obs(spec, workers, reps, &mut MetricRegistry::new())
+}
+
+/// Runs a set of privacy cells (the whole grid, or a `--filter` subset),
+/// folding every cell's scrape into `obs`.
+pub fn run_privacy_cells_obs(
+    cells: &[PrivacyCellSpec],
+    workers: usize,
+    reps: u64,
+    obs: &mut MetricRegistry,
+) -> Result<Vec<PrivacyCellReport>, String> {
+    cells
+        .iter()
+        .map(|spec| run_privacy_cell_obs(spec, workers, reps, obs))
+        .collect()
+}
+
 /// Runs a set of privacy cells (the whole grid, or a `--filter` subset).
 pub fn run_privacy_cells(
     cells: &[PrivacyCellSpec],
     workers: usize,
     reps: u64,
 ) -> Result<Vec<PrivacyCellReport>, String> {
-    cells
-        .iter()
-        .map(|spec| run_privacy_cell(spec, workers, reps))
-        .collect()
+    run_privacy_cells_obs(cells, workers, reps, &mut MetricRegistry::new())
 }
 
 /// Renders the privacy cells as the console table `bench privacy` prints.

@@ -34,6 +34,13 @@ use std::process::Command;
 
 /// Version of the `BENCH_*.json` schema this build writes.
 ///
+/// v8 added the additive top-level `obs` section (the deterministic half
+/// of the run's merged `pdm-obs` registry — per-stage span work histograms
+/// on the fixed log-bucket grid, the exported service counters, and the
+/// point-in-time gauges — byte-identical for any `--workers`) and the
+/// additive `latency_mean_micros` perf column of the auction and drift
+/// cells, pooled from the all-time streaming latency stats (reads back as
+/// `NaN` from v1–v7 files);
 /// v7 added the additive `privacy` section (the `bench privacy` workload:
 /// privacy-budget economics over a grid of ε budget levels, with
 /// revenue-vs-compensation accounting, the per-wave owners-exhausted
@@ -57,8 +64,8 @@ use std::process::Command;
 /// revenue, the no-reserve baseline, welfare, and reserve hit-rates);
 /// v2 added the additive `serve` section (the `bench serve` closed-loop
 /// workload: quotes/sec plus p50/p99 service latency per workload cell);
-/// v1–v6 reports parse as v7 reports with the missing sections empty.
-pub const SCHEMA_VERSION: u64 = 7;
+/// v1–v7 reports parse as v8 reports with the missing sections empty.
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// Headline throughput summary (schema v5): the serve workload folded into
 /// one first-class perf figure, so CI can gate regressions on a single
@@ -230,6 +237,12 @@ pub struct BenchReport {
     /// Headline throughput summary (schema v5; `None` for simulation-only
     /// runs and for reports read back from v1–v4 files).
     pub perf: Option<PerfSummary>,
+    /// Deterministic observability dump (schema v8): the merged run
+    /// registry's `to_json(deterministic_only = true)` — per-stage span
+    /// work histograms, exported service counters, and gauges, all
+    /// byte-identical for any `--workers`.  `None` for simulation-only
+    /// runs and for reports read back from v1–v7 files.
+    pub obs: Option<Json>,
 }
 
 /// Groups executed job results back into per-experiment aggregates.
@@ -535,6 +548,10 @@ fn auction_cell_json(cell: &AuctionCellReport) -> Json {
         ("wall_clock_secs", Json::Num(cell.perf.wall_clock_secs)),
         ("rounds_per_sec", Json::Num(cell.perf.rounds_per_sec)),
         (
+            "latency_mean_micros",
+            Json::Num(cell.perf.latency_mean_micros),
+        ),
+        (
             "latency_p50_micros",
             Json::Num(cell.perf.latency_p50_micros),
         ),
@@ -603,6 +620,12 @@ fn auction_cell_from_json(value: &Json) -> Result<AuctionCellReport, String> {
         perf: AuctionPerf {
             wall_clock_secs: perf_field("wall_clock_secs")?,
             rounds_per_sec: perf_field("rounds_per_sec")?,
+            // Additive in v8: v1–v7 files read back as NaN, like every
+            // other absent wall-clock figure.
+            latency_mean_micros: perf
+                .get("latency_mean_micros")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN),
             latency_p50_micros: perf_field("latency_p50_micros")?,
             latency_p99_micros: perf_field("latency_p99_micros")?,
         },
@@ -638,6 +661,10 @@ fn drift_cell_json(cell: &DriftCellReport) -> Json {
     let perf = Json::obj(vec![
         ("wall_clock_secs", Json::Num(cell.perf.wall_clock_secs)),
         ("quotes_per_sec", Json::Num(cell.perf.quotes_per_sec)),
+        (
+            "latency_mean_micros",
+            Json::Num(cell.perf.latency_mean_micros),
+        ),
         (
             "latency_p50_micros",
             Json::Num(cell.perf.latency_p50_micros),
@@ -711,6 +738,12 @@ fn drift_cell_from_json(value: &Json) -> Result<DriftCellReport, String> {
         perf: DriftPerf {
             wall_clock_secs: perf_field("wall_clock_secs")?,
             quotes_per_sec: perf_field("quotes_per_sec")?,
+            // Additive in v8: v1–v7 files read back as NaN, like every
+            // other absent wall-clock figure.
+            latency_mean_micros: perf
+                .get("latency_mean_micros")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN),
             latency_p50_micros: perf_field("latency_p50_micros")?,
             latency_p99_micros: perf_field("latency_p99_micros")?,
         },
@@ -1105,6 +1138,11 @@ impl BenchReport {
                 pairs.push(("perf".to_owned(), summary));
             }
         }
+        if let Some(obs) = &self.obs {
+            if let Json::Obj(pairs) = &mut json {
+                pairs.push(("obs".to_owned(), obs.clone()));
+            }
+        }
         json
     }
 
@@ -1229,6 +1267,9 @@ impl BenchReport {
             longhaul,
             privacy,
             perf,
+            // The `obs` section arrived with schema v8; it is carried
+            // verbatim — the registry dump is already canonical JSON.
+            obs: value.get("obs").cloned(),
             name: text("name")?,
             git_describe: text("git_describe")?,
             scale: text("scale")?,
@@ -1322,6 +1363,10 @@ impl BenchReport {
                         .collect(),
                 ),
             ),
+            // The obs dump is built with `to_json(deterministic_only =
+            // true)`, which drops every wall-clock histogram — what's left
+            // (work-unit spans, counters, gauges) is schedule-independent.
+            ("obs", self.obs.clone().unwrap_or(Json::Null)),
         ])
         .render()
     }
@@ -1678,6 +1723,20 @@ impl BenchReport {
                 ));
             }
         }
+        // The v8 obs section, when present, must be the deterministic
+        // registry dump: an object whose sections are themselves objects.
+        if let Some(obs) = &self.obs {
+            match obs {
+                Json::Obj(pairs) => {
+                    for (key, section) in pairs {
+                        if !matches!(section, Json::Obj(_)) {
+                            violations.push(format!("obs: section `{key}` is not an object"));
+                        }
+                    }
+                }
+                _ => violations.push("obs: the section is not an object".to_owned()),
+            }
+        }
         violations
     }
 }
@@ -1804,6 +1863,9 @@ mod tests {
             perf: AuctionPerf {
                 wall_clock_secs: 0.4,
                 rounds_per_sec: 80_000.0,
+                // Finite so the round-trip test's `assert_eq!` can compare
+                // the struct (NaN would fail PartialEq against itself).
+                latency_mean_micros: 3.4,
                 latency_p50_micros: 3.0,
                 latency_p99_micros: 9.0,
             },
@@ -1832,6 +1894,7 @@ mod tests {
             perf: DriftPerf {
                 wall_clock_secs: 0.3,
                 quotes_per_sec: 60_000.0,
+                latency_mean_micros: 3.2,
                 latency_p50_micros: 3.0,
                 latency_p99_micros: 8.0,
             },
@@ -1924,6 +1987,27 @@ mod tests {
             ],
             longhaul: vec![sample_longhaul_cell("tenants=24/cap=8")],
             privacy: vec![sample_privacy_cell("budget=1.5/owners=4")],
+            obs: Some(Json::obj(vec![
+                (
+                    "counters",
+                    Json::obj(vec![("quotes_served_total", Json::Num(768.0))]),
+                ),
+                ("gauges", Json::obj(vec![("tenants", Json::Num(16.0))])),
+                (
+                    "histograms",
+                    Json::obj(vec![(
+                        "shard.quote.work_items",
+                        Json::obj(vec![
+                            ("count", Json::Num(768.0)),
+                            ("sum", Json::Num(768.0)),
+                            (
+                                "buckets",
+                                Json::Arr(vec![Json::Arr(vec![Json::Num(1.0), Json::Num(768.0)])]),
+                            ),
+                        ]),
+                    )]),
+                ),
+            ])),
         }
     }
 
@@ -2111,6 +2195,65 @@ mod tests {
         assert!(reparsed.privacy.is_empty());
         assert!(reparsed.perf.is_some());
         assert!(reparsed.validate().is_empty());
+    }
+
+    #[test]
+    fn v7_reports_without_obs_or_mean_latency_still_parse() {
+        // Simulate a v7 file: every section, but no top-level `obs` and no
+        // `latency_mean_micros` in the auction/drift perf objects.
+        let mut rendered = sample_report().to_json();
+        if let Json::Obj(pairs) = &mut rendered {
+            pairs.retain(|(key, _)| key != "obs");
+            pairs[0].1 = Json::Num(7.0);
+            for (key, section) in pairs.iter_mut() {
+                if key != "auction" && key != "drift" {
+                    continue;
+                }
+                let Json::Arr(cells) = section else {
+                    panic!("{key} is an array")
+                };
+                for cell in cells {
+                    let Json::Obj(fields) = cell else {
+                        panic!("cell is an object")
+                    };
+                    for (name, field) in fields.iter_mut() {
+                        if name == "perf" {
+                            let Json::Obj(perf) = field else {
+                                panic!("perf is an object")
+                            };
+                            perf.retain(|(k, _)| k != "latency_mean_micros");
+                        }
+                    }
+                }
+            }
+        }
+        let reparsed = BenchReport::from_json(&rendered).expect("v7 parses");
+        assert_eq!(reparsed.schema_version, 7);
+        assert!(reparsed.obs.is_none(), "no obs section in a v7 file");
+        // The additive perf column reads back as NaN, like every other
+        // absent wall-clock figure, and validate() stays green.
+        assert!(reparsed.auction[0].perf.latency_mean_micros.is_nan());
+        assert!(reparsed.drift[0].perf.latency_mean_micros.is_nan());
+        assert!(reparsed.validate().is_empty());
+    }
+
+    #[test]
+    fn validate_gates_the_obs_section_shape() {
+        // A malformed obs section (not an object, or with non-object
+        // sections) is a violation; a well-formed one is healthy.
+        assert!(sample_report().validate().is_empty());
+        let mut scalar = sample_report();
+        scalar.obs = Some(Json::Num(1.0));
+        assert!(scalar
+            .validate()
+            .iter()
+            .any(|v| v.contains("obs") && v.contains("not an object")));
+        let mut bad_section = sample_report();
+        bad_section.obs = Some(Json::obj(vec![("counters", Json::Arr(Vec::new()))]));
+        assert!(bad_section
+            .validate()
+            .iter()
+            .any(|v| v.contains("`counters` is not an object")));
     }
 
     #[test]

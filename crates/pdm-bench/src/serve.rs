@@ -40,8 +40,8 @@ use crate::Scale;
 use pdm_linalg::sampling;
 use pdm_pricing::prelude::{RegretReport, StepOutcome};
 use pdm_service::{
-    MarketService, OutcomeReport, QueryRequest, ServiceConfig, ServiceError, ShardMetrics,
-    TenantConfig, TenantId, TenantState,
+    MarketService, MetricRegistry, OutcomeReport, QueryRequest, ServiceConfig, ServiceError,
+    ShardMetrics, TenantConfig, TenantId, TenantState,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -243,6 +243,10 @@ struct RepOutcome {
     /// shards' samples once the union exceeds the bounded window.)
     latency_pool: Vec<f64>,
     drain_time: Duration,
+    /// The service's final `pdm-obs` scrape: per-stage span histograms,
+    /// exported counters, and point-in-time gauges.  Folded across reps and
+    /// cells into the run-wide registry `--metrics-out` writes.
+    scrape: MetricRegistry,
 }
 
 /// Runs one repetition of one cell and verifies it against the serial
@@ -413,14 +417,19 @@ fn run_rep(spec: &ServeCellSpec, workers: usize, rep: u64) -> Result<RepOutcome,
         metrics: service.aggregate_metrics(),
         latency_pool,
         drain_time,
+        scrape: service.scrape(),
     })
 }
 
 /// Runs one cell (all repetitions) and aggregates it into a report row.
-pub fn run_serve_cell(
+/// Every repetition's final service scrape is merged into `obs` (the
+/// registry merge is an exact integer fold, so the rep/cell order never
+/// moves a bucket).
+pub fn run_serve_cell_obs(
     spec: &ServeCellSpec,
     workers: usize,
     reps: u64,
+    obs: &mut MetricRegistry,
 ) -> Result<ServeCellReport, String> {
     let started = Instant::now();
     let reps = reps.max(1);
@@ -438,6 +447,7 @@ pub fn run_serve_cell(
         metrics.merge(&outcome.metrics);
         latency_pool.append(&mut outcome.latency_pool);
         drain_time += outcome.drain_time;
+        obs.merge(&outcome.scrape);
     }
 
     let drain_secs = drain_time.as_secs_f64();
@@ -478,16 +488,37 @@ pub fn run_serve_cell(
     })
 }
 
+/// [`run_serve_cell_obs`] with the scrape discarded, for callers that only
+/// want the report row.
+pub fn run_serve_cell(
+    spec: &ServeCellSpec,
+    workers: usize,
+    reps: u64,
+) -> Result<ServeCellReport, String> {
+    run_serve_cell_obs(spec, workers, reps, &mut MetricRegistry::new())
+}
+
+/// Runs a set of serve cells (the whole grid, or a `--filter` subset),
+/// folding every cell's scrape into `obs`.
+pub fn run_serve_cells_obs(
+    cells: &[ServeCellSpec],
+    workers: usize,
+    reps: u64,
+    obs: &mut MetricRegistry,
+) -> Result<Vec<ServeCellReport>, String> {
+    cells
+        .iter()
+        .map(|spec| run_serve_cell_obs(spec, workers, reps, obs))
+        .collect()
+}
+
 /// Runs a set of serve cells (the whole grid, or a `--filter` subset).
 pub fn run_serve_cells(
     cells: &[ServeCellSpec],
     workers: usize,
     reps: u64,
 ) -> Result<Vec<ServeCellReport>, String> {
-    cells
-        .iter()
-        .map(|spec| run_serve_cell(spec, workers, reps))
-        .collect()
+    run_serve_cells_obs(cells, workers, reps, &mut MetricRegistry::new())
 }
 
 /// Runs the whole serve grid at the given scale.

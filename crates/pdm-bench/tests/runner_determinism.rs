@@ -16,11 +16,12 @@ use pdm_bench::longhaul::{longhaul_grid, run_longhaul_cells};
 use pdm_bench::privacy::{privacy_grid, run_privacy_cells};
 use pdm_bench::report::{build_experiment_reports, BenchReport, PerfSummary, SCHEMA_VERSION};
 use pdm_bench::runner::run_jobs;
-use pdm_bench::serve::run_serve_grid;
+use pdm_bench::serve::{run_serve_cells_obs, serve_grid};
 use pdm_bench::Scale;
 use pdm_linalg::{sampling, Vector};
 use pdm_service::{
-    MarketService, OutcomeReport, Payload, QueryRequest, ServiceConfig, TenantConfig, TenantId,
+    MarketService, MetricRegistry, OutcomeReport, Payload, QueryRequest, ServiceConfig,
+    TenantConfig, TenantId,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -102,13 +103,18 @@ fn report_with_workers(workers: usize, reps: u64) -> BenchReport {
         longhaul: Vec::new(),
         privacy: Vec::new(),
         perf: None,
+        obs: None,
     }
 }
 
 /// Runs the full quick-scale serve grid with the given drain worker count
-/// and wraps it in a report, the way `bench serve --workers N` does.
+/// and wraps it in a report, the way `bench serve --workers N` does — obs
+/// registry included, so the fingerprint comparison below also covers the
+/// v8 `obs` section.
 fn serve_report_with_workers(workers: usize) -> BenchReport {
-    let serve = run_serve_grid(Scale::Quick, workers, 1).expect("the serve grid must run");
+    let mut obs = MetricRegistry::new();
+    let serve = run_serve_cells_obs(&serve_grid(Scale::Quick), workers, 1, &mut obs)
+        .expect("the serve grid must run");
     BenchReport {
         schema_version: SCHEMA_VERSION,
         name: "serve".to_owned(),
@@ -124,6 +130,7 @@ fn serve_report_with_workers(workers: usize) -> BenchReport {
         drift: Vec::new(),
         longhaul: Vec::new(),
         privacy: Vec::new(),
+        obs: Some(obs.to_json(true)),
     }
 }
 
@@ -146,6 +153,7 @@ fn auction_report_with_workers(workers: usize) -> BenchReport {
         longhaul: Vec::new(),
         privacy: Vec::new(),
         perf: None,
+        obs: None,
     }
 }
 
@@ -168,6 +176,7 @@ fn drift_report_with_workers(workers: usize) -> BenchReport {
         longhaul: Vec::new(),
         privacy: Vec::new(),
         perf: None,
+        obs: None,
     }
 }
 
@@ -191,6 +200,7 @@ fn longhaul_report_with_workers(workers: usize) -> BenchReport {
             .expect("the longhaul grid must run"),
         privacy: Vec::new(),
         perf: None,
+        obs: None,
     }
 }
 
@@ -214,6 +224,7 @@ fn privacy_report_with_workers(workers: usize) -> BenchReport {
         privacy: run_privacy_cells(&privacy_grid(Scale::Quick), workers, 1)
             .expect("the privacy grid must run"),
         perf: None,
+        obs: None,
     }
 }
 
@@ -364,6 +375,46 @@ fn serve_aggregates_are_byte_identical_for_1_and_4_workers() {
     }
     assert!(serial.validate().is_empty());
     assert!(parallel.validate().is_empty());
+}
+
+#[test]
+fn obs_registry_is_byte_identical_for_1_and_4_workers() {
+    // The acceptance bar of the observability layer: the merged pdm-obs
+    // registry of a whole quick serve grid — service counters, per-stage
+    // span *work* histograms on the fixed log-bucket grid, and gauges —
+    // must render byte-identical deterministic dumps no matter how many
+    // workers drain the shards.  (Wall-clock span histograms are excluded
+    // by `to_json(true)`, exactly as the v8 report section excludes them.)
+    let mut serial = MetricRegistry::new();
+    let mut parallel = MetricRegistry::new();
+    run_serve_cells_obs(&serve_grid(Scale::Quick), 1, 1, &mut serial)
+        .expect("the serve grid must run serially");
+    run_serve_cells_obs(&serve_grid(Scale::Quick), 4, 1, &mut parallel)
+        .expect("the serve grid must run in parallel");
+    let dump = serial.to_json(true).render();
+    assert_eq!(
+        dump,
+        parallel.to_json(true).render(),
+        "drain worker count must not move a single deterministic bucket"
+    );
+    // The dump actually carries the hot-path stages and the exported
+    // service counters, not just an empty shell.
+    for needle in [
+        "shard.quote.work_items",
+        "shard.observe.work_items",
+        "shard.drain.work_items",
+        "quotes_served_total",
+    ] {
+        assert!(dump.contains(needle), "dump is missing `{needle}`");
+    }
+    // The full scrape additionally carries the wall-clock histograms the
+    // deterministic dump excludes, and still lints as a Prometheus
+    // exposition.
+    let full = serial.to_json(false).render();
+    assert!(full.contains("shard.quote.wall_nanos"));
+    assert!(!dump.contains("shard.quote.wall_nanos"));
+    let lint = pdm_obs::prom::parse(&serial.render_prometheus()).expect("scrape lints clean");
+    assert!(lint.families > 0 && lint.samples > 0);
 }
 
 #[test]

@@ -13,9 +13,10 @@
 //! knowledge set.
 //!
 //! Because this crate is the dependency-free root of the workspace DAG it
-//! also hosts two shared, non-numeric utilities: the deterministic [`json`]
-//! tree (bench reports, service snapshots) and the streaming statistics of
-//! [`stats`].
+//! also hosts the shared, non-numeric utilities: the deterministic [`json`]
+//! tree (bench reports, service snapshots), the streaming statistics of
+//! [`stats`], and the fixed log-bucket grid of [`logbucket`] that the
+//! observability layer's mergeable histograms are built on.
 //!
 //! Everything is `f64`, row-major, and written for clarity first; the matrix
 //! dimensions in the paper (n ≤ 1024) are small enough that straightforward
@@ -39,6 +40,7 @@ pub mod cholesky;
 pub mod eigen;
 pub mod error;
 pub mod json;
+pub mod logbucket;
 pub mod matrix;
 pub mod sampling;
 pub mod simplex;

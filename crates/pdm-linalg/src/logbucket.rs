@@ -1,0 +1,147 @@
+//! Fixed base-2^(1/4) log-bucket boundaries for deterministic histograms.
+//!
+//! The observability layer (`pdm-obs`) summarises latencies and batch sizes
+//! as histograms over a **fixed** bucket grid so that merging two histograms
+//! is an exact integer fold — associative, commutative, and therefore
+//! byte-identical regardless of how many workers produced the pieces.  The
+//! grid lives here, in the dependency-free root of the workspace, because
+//! the bucket arithmetic is shared policy, not an implementation detail of
+//! any one consumer.
+//!
+//! The grid places four buckets per octave: upper edges follow
+//! `2^(k/4)` for `k = 0, 1, 2, …`, i.e. a ratio of `2^(1/4) ≈ 1.189`
+//! between consecutive edges (≈ ±9% relative quantile error).  Edges are
+//! computed in pure 32.32 fixed-point integer arithmetic —
+//! `floor(c_{k mod 4} · 2^(k/4 rounded down octaves)) / 2^32` with the four
+//! sub-octave constants pre-rounded — so the table is identical on every
+//! platform and toolchain: no `exp2`/`log2` float library calls are involved
+//! anywhere in the bucket math.
+//!
+//! Values are unsigned integers (nanoseconds, item counts).  Sub-unity
+//! ratios cannot be told apart at the integer low end, so the first few
+//! edges repeat (1, 1, 1, 1, 2, …); consumers that render the grid must
+//! collapse duplicate edges (see `pdm-obs`).
+
+/// Number of buckets: four per octave across the full `u64` range.
+pub const BUCKETS: usize = 256;
+
+/// 32.32 fixed-point images of `2^(k/4)` for `k = 0..4`, rounded to nearest.
+const SUB_OCTAVE: [u128; 4] = [4_294_967_296, 5_107_605_667, 6_074_001_000, 7_223_245_206];
+
+/// The inclusive upper edge of bucket `k`: `floor(2^(k/4))` in the
+/// fixed-point scheme above.  The final bucket's edge is pinned to
+/// `u64::MAX` — the grid's own top sits at `2^63.75`, and the last bucket
+/// doubles as the `+Inf` bucket so every `u64` value is covered.
+#[must_use]
+pub const fn upper_edge(index: usize) -> u64 {
+    if index >= BUCKETS - 1 {
+        return u64::MAX;
+    }
+    let octave = index / 4;
+    let scaled = SUB_OCTAVE[index % 4] << octave;
+    let edge = scaled >> 32;
+    if edge > u64::MAX as u128 {
+        u64::MAX
+    } else {
+        edge as u64
+    }
+}
+
+/// The full edge table, built at compile time.
+#[must_use]
+pub const fn upper_edges() -> [u64; BUCKETS] {
+    let mut edges = [0u64; BUCKETS];
+    let mut k = 0;
+    while k < BUCKETS {
+        edges[k] = upper_edge(k);
+        k += 1;
+    }
+    edges
+}
+
+/// Compile-time edge table shared by every histogram instance.
+pub const UPPER_EDGES: [u64; BUCKETS] = upper_edges();
+
+/// The bucket holding `value`: the smallest `k` with
+/// `value <= UPPER_EDGES[k]`.  Total — every `u64` lands in exactly one
+/// bucket (the last edge saturates at `u64::MAX`).
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    UPPER_EDGES.partition_point(|&edge| edge < value)
+}
+
+/// The 1-based rank of quantile `q` among `total` ordered observations,
+/// under the deterministic `ceil(q · total)` rule (clamped to `[1, total]`).
+/// Shared so every consumer estimates quantiles identically.
+#[must_use]
+pub fn quantile_rank(total: u64, q: f64) -> u64 {
+    let rank = (q * total as f64).ceil() as u64;
+    rank.clamp(1, total.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_monotone_and_cover_u64() {
+        for pair in UPPER_EDGES.windows(2) {
+            assert!(pair[0] <= pair[1], "edges must be non-decreasing");
+        }
+        assert_eq!(UPPER_EDGES[0], 1);
+        assert_eq!(
+            UPPER_EDGES[BUCKETS - 1],
+            u64::MAX,
+            "the last bucket must catch everything"
+        );
+    }
+
+    #[test]
+    fn exact_powers_of_two_sit_on_their_octave_edge() {
+        for e in 0..62 {
+            assert_eq!(UPPER_EDGES[4 * e], 1u64 << e, "octave {e}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_the_first_edge_at_or_above_the_value() {
+        for &value in &[0u64, 1, 2, 3, 5, 1_000, 1 << 20, u64::MAX] {
+            let k = bucket_index(value);
+            assert!(value <= UPPER_EDGES[k]);
+            if k > 0 {
+                assert!(UPPER_EDGES[k - 1] < value);
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 4);
+    }
+
+    #[test]
+    fn consecutive_edges_keep_the_quarter_octave_ratio() {
+        // Above the integer-resolution floor the ratio between distinct
+        // consecutive edges stays within a hair of 2^(1/4).
+        let target = 2f64.powf(0.25);
+        for k in 40..BUCKETS - 4 {
+            let (lo, hi) = (UPPER_EDGES[k] as f64, UPPER_EDGES[k + 1] as f64);
+            if hi == lo || hi == u64::MAX as f64 {
+                continue;
+            }
+            let ratio = hi / lo;
+            assert!(
+                (ratio - target).abs() < 1e-3,
+                "edge ratio at {k}: {ratio} vs {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_rank_is_clamped_and_deterministic() {
+        assert_eq!(quantile_rank(100, 0.50), 50);
+        assert_eq!(quantile_rank(100, 0.99), 99);
+        assert_eq!(quantile_rank(100, 0.0), 1);
+        assert_eq!(quantile_rank(100, 1.0), 100);
+        assert_eq!(quantile_rank(1, 0.5), 1);
+        assert_eq!(quantile_rank(0, 0.5), 1, "empty totals clamp to rank 1");
+    }
+}

@@ -1,0 +1,126 @@
+//! Bounded ring-buffer event journal for post-mortem dumps.
+//!
+//! A [`EventJournal`] keeps the last `capacity` labelled events (checkpoint
+//! writes, restores, paging storms — whatever the embedder considers worth
+//! a post-mortem trail) with a monotone sequence number, so a scrape taken
+//! after an incident shows what the process did most recently without the
+//! cost or non-determinism of full logging.  The journal is process-local
+//! scratch: it is never part of the deterministic dump and never persisted.
+
+use pdm_linalg::Json;
+use std::collections::VecDeque;
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number (counts every event ever pushed, including
+    /// those the ring has since evicted).
+    pub seq: u64,
+    /// Static event label, e.g. `"wal.checkpoint"`.
+    pub label: &'static str,
+    /// One `u64` of event payload (a segment number, a tenant count, …).
+    pub value: u64,
+}
+
+/// A bounded, overwrite-oldest event ring.
+#[derive(Debug, Clone, Default)]
+pub struct EventJournal {
+    capacity: usize,
+    next_seq: u64,
+    events: VecDeque<Event>,
+}
+
+impl EventJournal {
+    /// A journal holding at most `capacity` events; capacity 0 disables
+    /// recording entirely (pushes are counted but not stored).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            next_seq: 0,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Appends an event, evicting the oldest once full.
+    pub fn push(&mut self, label: &'static str, value: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(Event { seq, label, value });
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring currently holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever pushed, including evicted ones.
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The journal as a JSON array of `{seq, label, value}` objects,
+    /// oldest first — the post-mortem dump format.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.events
+                .iter()
+                .map(|event| {
+                    Json::obj(vec![
+                        ("seq", Json::Num(event.seq as f64)),
+                        ("label", Json::str(event.label)),
+                        ("value", Json::Num(event.value as f64)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_most_recent_events_with_global_seqs() {
+        let mut journal = EventJournal::with_capacity(3);
+        for value in 0..5u64 {
+            journal.push("wal.checkpoint", value);
+        }
+        assert_eq!(journal.len(), 3);
+        assert_eq!(journal.pushed(), 5);
+        let seqs: Vec<u64> = journal.events().map(|event| event.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest evicted, seqs monotone");
+        let rendered = journal.to_json().render();
+        assert!(rendered.contains("wal.checkpoint"));
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_stores_nothing() {
+        let mut journal = EventJournal::with_capacity(0);
+        journal.push("restore", 1);
+        assert!(journal.is_empty());
+        assert_eq!(journal.pushed(), 1);
+        assert_eq!(journal.to_json().render(), "[]");
+    }
+}

@@ -71,6 +71,16 @@
 //!   set, least-recently-served quiescent tenants page out to their
 //!   serialised form and rehydrate on the next request, bounding the
 //!   resident set under tenant churn.
+//! * **Observability** — every shard carries a `pdm-obs`
+//!   [`MetricRegistry`] behind its existing lock: the serving stages
+//!   (`ingest.transfer`, `shard.drain`, `shard.quote`, `shard.observe`,
+//!   `ledger.settle`, `shard.auction`) record spans over deterministic
+//!   log-bucket histograms, and [`MarketService::scrape`] folds shard
+//!   registries, the aggregate [`ShardMetrics`] counters, and point-in-time
+//!   gauges into one registry renderable as Prometheus text or
+//!   deterministic JSON.  Registry state is process-local: snapshots and
+//!   the WAL never carry it, and a restored service scrapes fresh span
+//!   histograms while the persisted ledger counters carry on.
 //!
 //! ## Quickstart
 //!
@@ -112,6 +122,7 @@
 pub mod api;
 pub mod ledger;
 pub mod metrics;
+mod obs;
 pub mod routing;
 mod shard;
 pub mod snapshot;
@@ -128,6 +139,7 @@ pub use ledger::{
     arbitrage_clamp, LedgerBank, OwnerLedger, SettledCharge, SupplyQuote, ARBITRAGE_PRICE_MARKUP,
 };
 pub use metrics::ShardMetrics;
+pub use pdm_obs::MetricRegistry;
 pub use pdm_pricing::drift::DriftPolicy;
 pub use routing::{shard_of, TenantId};
 pub use service::{MarketService, ServiceConfig};

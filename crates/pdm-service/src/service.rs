@@ -37,12 +37,16 @@ use crate::api::{
     AuctionRequest, OutcomeReport, QueryRequest, Request, Response, ServiceError, Ticket,
 };
 use crate::metrics::ShardMetrics;
+use crate::obs::{export_shard_metrics, ServiceObs};
 use crate::routing::{shard_of, TenantId};
 use crate::shard::Shard;
 use crate::tenant::{MarketKind, TenantConfig, TenantState};
+use pdm_linalg::Json;
+use pdm_obs::MetricRegistry;
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
+use std::time::Instant;
 
 /// Sizing of a [`MarketService`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -223,6 +227,10 @@ pub struct MarketService {
     /// cannot add parallelism, it only pays spawn and context-switch
     /// overhead, so [`MarketService::drain`] caps its pool here.
     hardware_workers: usize,
+    /// Service-level observability state: WAL-stage spans plus the bounded
+    /// post-mortem event journal.  Process-local — never persisted; a
+    /// restored service starts with a fresh one (see [`crate::obs`]).
+    pub(crate) obs: Mutex<ServiceObs>,
 }
 
 impl MarketService {
@@ -253,6 +261,7 @@ impl MarketService {
             wal_segments: AtomicU64::new(0),
             hardware_workers: std::thread::available_parallelism()
                 .map_or(1, std::num::NonZeroUsize::get),
+            obs: Mutex::new(ServiceObs::new()),
         })
     }
 
@@ -497,7 +506,16 @@ impl MarketService {
     /// shard's FIFO, preserving seq order.
     fn transfer_stripe(stripe: &IngestStripe, shard: &mut Shard) {
         let mut queue = stripe.queue.lock().expect("ingest stripe poisoned");
+        let moved = queue.len();
+        if moved == 0 {
+            return;
+        }
+        let started = Instant::now();
         shard.admit_transferred(queue.drain(..));
+        shard
+            .obs
+            .registry
+            .record_span(shard.obs.transfer, started.elapsed(), moved as u64);
     }
 
     /// Serves every queued request and returns the responses in
@@ -628,6 +646,99 @@ impl MarketService {
     #[must_use]
     pub fn metrics(&self) -> ShardMetrics {
         self.aggregate_metrics()
+    }
+
+    /// One merged observability registry for the whole service — the scrape
+    /// endpoint's data source.  Render it with
+    /// [`MetricRegistry::render_prometheus`] or dump it with
+    /// [`MetricRegistry::to_json`].
+    ///
+    /// The scrape folds, in this order:
+    ///
+    /// 1. the service-level registry (WAL checkpoint/restore spans),
+    /// 2. every shard's registry, in shard-index order (serving-stage spans),
+    /// 3. the aggregate [`ShardMetrics`] ledger, exported as named counters,
+    /// 4. point-in-time gauges (queue depth, residency, open rounds,
+    ///    memory, WAL segments).
+    ///
+    /// Counter and histogram merges are exact folds in a fixed order, and
+    /// the gauges read deterministic engine state, so everything except the
+    /// wall-clock span halves is a pure function of the request stream —
+    /// byte-identical across worker counts under
+    /// [`MetricRegistry::to_json`]`(true)`.
+    ///
+    /// The registry is process-local and **not** persisted: a restored
+    /// service scrapes fresh (empty) span histograms, while the exported
+    /// ledger counters survive because the [`ShardMetrics`] they re-read at
+    /// every scrape travels in snapshots and WAL segments.
+    #[must_use]
+    pub fn scrape(&self) -> MetricRegistry {
+        let mut merged = self.obs.lock().expect("obs poisoned").registry.clone();
+        let mut resident = 0usize;
+        let mut cold = 0usize;
+        let mut open_rounds = 0usize;
+        let mut memory_bytes = 0usize;
+        let mut shard_backlog = 0usize;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            merged.merge(&shard.obs.registry);
+            resident += shard.resident_count();
+            cold += shard.tenant_count() - shard.resident_count();
+            open_rounds += shard.open_rounds();
+            memory_bytes += shard.resident_memory_bytes();
+            shard_backlog += shard.queue_len();
+        }
+        export_shard_metrics(&mut merged, &self.aggregate_metrics());
+        let striped: usize = self
+            .ingest
+            .iter()
+            .map(|stripe| stripe.queue.lock().expect("ingest stripe poisoned").len())
+            .sum();
+        let mut set = |name: &str, help: &str, value: f64| {
+            let id = merged.gauge(name, help);
+            merged.set(id, value);
+        };
+        set(
+            "queue.depth",
+            "Requests queued across ingest stripes and shard FIFOs",
+            (striped + shard_backlog) as f64,
+        );
+        set(
+            "tenants.resident",
+            "Tenant sessions currently materialised in memory",
+            resident as f64,
+        );
+        set(
+            "tenants.cold",
+            "Tenant sessions paged out to their serialised form",
+            cold as f64,
+        );
+        set(
+            "rounds.open",
+            "Tenants with a quoted-but-unobserved round",
+            open_rounds as f64,
+        );
+        set(
+            "memory.resident_bytes",
+            "Approximate bytes of tenant state held in memory",
+            memory_bytes as f64,
+        );
+        set(
+            "wal.segments_written",
+            "WAL segments written (or replayed) so far",
+            self.wal_segments.load(Ordering::Relaxed) as f64,
+        );
+        merged
+    }
+
+    /// The service's bounded post-mortem event journal (checkpoints,
+    /// restores) as a JSON array of `{seq, label, value}` objects, oldest
+    /// first.  Process-local and wall-clock-free, but *order*-sensitive to
+    /// operator actions — it is diagnostics, not part of any determinism
+    /// comparison.
+    #[must_use]
+    pub fn event_journal(&self) -> Json {
+        self.obs.lock().expect("obs poisoned").journal.to_json()
     }
 
     /// Read access to the shards, for the snapshot writer.
@@ -808,6 +919,157 @@ mod tests {
         assert_eq!(posted_1, posted_4);
         assert_eq!(revenue_1.to_bits(), revenue_4.to_bits());
         assert_eq!(regret_1.to_bits(), regret_4.to_bits());
+    }
+
+    #[test]
+    fn scrape_renders_valid_prometheus_and_a_worker_independent_deterministic_dump() {
+        let run = |workers: usize| {
+            let mut service = service_with_tenants(4, 12);
+            for wave in 0..5 {
+                for id in 0..12 {
+                    let x = Vector::from_slice(&[0.5 + 0.01 * wave as f64, 0.5]);
+                    service
+                        .submit(Request::Quote(QueryRequest {
+                            tenant: TenantId(id),
+                            features: x,
+                            reserve_price: 0.2,
+                        }))
+                        .unwrap();
+                }
+                for response in service.drain(workers) {
+                    let quote = response.quote().unwrap();
+                    service
+                        .submit_outcome(OutcomeReport {
+                            tenant: response.tenant,
+                            accepted: quote.posted_price <= 1.0,
+                            market_value: Some(1.0),
+                        })
+                        .unwrap();
+                }
+                service.drain(workers);
+            }
+            service.scrape()
+        };
+        let serial = run(1);
+        let pooled = run(4);
+
+        // The deterministic half — counters, gauges, work histograms — is
+        // byte-identical across worker counts; only wall-clock span halves
+        // may differ.
+        assert_eq!(serial.to_json(true).render(), pooled.to_json(true).render());
+
+        // The serving stages recorded real work.
+        let drain = serial.histogram_counts("shard.drain.work_items").unwrap();
+        assert!(drain.count() > 0);
+        assert_eq!(drain.sum(), 120, "5 waves × 12 quotes + 12 observes");
+        let quote = serial.histogram_counts("shard.quote.work_items").unwrap();
+        assert!(quote.count() > 0);
+        assert_eq!(quote.sum(), 120, "posted segments cover every request");
+        let transfer = serial
+            .histogram_counts("ingest.transfer.work_items")
+            .unwrap();
+        assert_eq!(transfer.sum(), 120);
+
+        // Ledger counters are exported and gauges read the drained state.
+        assert_eq!(serial.counter_value("quotes_served_total"), Some(60.0));
+        assert_eq!(serial.counter_value("observations_total"), Some(60.0));
+        assert_eq!(serial.gauge_value("queue.depth"), Some(0.0));
+        assert_eq!(serial.gauge_value("rounds.open"), Some(0.0));
+        assert_eq!(serial.gauge_value("tenants.resident"), Some(12.0));
+
+        // The Prometheus rendering passes its own exposition lint.
+        let text = serial.render_prometheus();
+        assert!(text.contains("pdm_quotes_served_total 60"));
+        assert!(text.contains("pdm_shard_drain_wall_nanos_bucket"));
+        pdm_obs::prom::parse(&text).expect("scrape renders a valid exposition");
+    }
+
+    #[test]
+    fn registry_is_process_local_and_resets_on_restore() {
+        // Satellite contract: registry contents are process-local scratch —
+        // a restored service starts with empty span histograms — except the
+        // serving counters, which survive because they are re-exported from
+        // the persisted `ShardMetrics` ledger at every scrape.  The snapshot
+        // schema itself is untouched by the observability layer.
+        let mut service = service_with_tenants(2, 4);
+        for id in 0..4 {
+            service.submit_quote(query(id, &[0.6, 0.8])).unwrap();
+        }
+        for response in service.drain(2) {
+            service
+                .submit_outcome(OutcomeReport {
+                    tenant: response.tenant,
+                    accepted: true,
+                    market_value: Some(1.0),
+                })
+                .unwrap();
+        }
+        service.drain(2);
+        let before = service.scrape();
+        assert!(
+            before
+                .histogram_counts("shard.drain.work_items")
+                .unwrap()
+                .count()
+                > 0
+        );
+        assert_eq!(before.counter_value("quotes_served_total"), Some(4.0));
+
+        let snapshot = service.snapshot().unwrap();
+        let restored = MarketService::restore(&snapshot).unwrap();
+        let after = restored.scrape();
+        assert_eq!(
+            after
+                .histogram_counts("shard.drain.work_items")
+                .unwrap()
+                .count(),
+            0,
+            "span histograms are process-local and reset on restore"
+        );
+        assert_eq!(
+            after.counter_value("quotes_served_total"),
+            Some(4.0),
+            "ledger-backed counters persist through the snapshot"
+        );
+        assert!(restored.event_journal().render().len() >= 2);
+    }
+
+    #[test]
+    fn aggregate_metrics_merges_streaming_latency_stats_across_shards() {
+        // Regression guard for the latency pooling path: the aggregate must
+        // carry the all-time OnlineStats of *every* shard — count summed,
+        // min/max pooled — not just the sliding quantile windows.
+        let mut service = service_with_tenants(4, 12);
+        for id in 0..12 {
+            service.submit_quote(query(id, &[0.6, 0.8])).unwrap();
+        }
+        service.drain(4);
+
+        let per_shard = service.shard_metrics();
+        let active: Vec<_> = per_shard
+            .iter()
+            .filter(|m| m.latency_stats().count() > 0)
+            .collect();
+        assert!(
+            active.len() >= 2,
+            "12 tenants over 4 shards must exercise several shards"
+        );
+        let total: u64 = active.iter().map(|m| m.latency_stats().count()).sum();
+        let min = active
+            .iter()
+            .map(|m| m.latency_stats().min())
+            .fold(f64::INFINITY, f64::min);
+        let max = active
+            .iter()
+            .map(|m| m.latency_stats().max())
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        let aggregate = service.aggregate_metrics();
+        assert_eq!(aggregate.latency_stats().count(), total);
+        assert_eq!(aggregate.latency_stats().min(), min);
+        assert_eq!(aggregate.latency_stats().max(), max);
+        assert!(aggregate.latency_stats().mean() >= min);
+        assert!(aggregate.latency_stats().mean() <= max);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::api::{AuctionRequest, Payload, Request, RequestError, Response};
 use crate::api::{OutcomeReport, QueryRequest};
 use crate::ledger::arbitrage_clamp;
 use crate::metrics::ShardMetrics;
+use crate::obs::ShardObs;
 use crate::routing::TenantId;
 use crate::snapshot::{cold_tenant_json, cold_tenant_state, tenant_json};
 use crate::tenant::TenantState;
@@ -58,6 +59,9 @@ pub(crate) struct Shard {
     last_served: HashMap<TenantId, u64>,
     queue: VecDeque<(u64, Request)>,
     pub(crate) metrics: ShardMetrics,
+    /// Per-shard observability registry and span handles, mutated only by
+    /// the worker holding this shard's lock (see [`crate::obs`]).
+    pub(crate) obs: ShardObs,
     /// Scratch holding the maximal same-tenant FIFO run being drained;
     /// reused across [`Shard::process_all`] calls.
     run_scratch: Vec<(u64, Request)>,
@@ -81,6 +85,7 @@ impl Shard {
             last_served: HashMap::new(),
             queue: VecDeque::new(),
             metrics: ShardMetrics::new(),
+            obs: ShardObs::new(),
             run_scratch: Vec::new(),
             response_scratch: Vec::new(),
         }
@@ -298,7 +303,13 @@ impl Shard {
             self.last_served.insert(tenant, self.clock);
         }
         self.enforce_residency();
-        self.metrics.record_latency_batch(started.elapsed(), total);
+        // One measurement feeds both the latency ledger and the drain span:
+        // the whole-queue timing the hot path already paid for.
+        let elapsed = started.elapsed();
+        self.metrics.record_latency_batch(elapsed, total);
+        self.obs
+            .registry
+            .record_span(self.obs.drain, elapsed, total as u64);
     }
 
     /// Materialises a paged-out tenant before its run is served.  The
@@ -360,6 +371,7 @@ impl Shard {
             .get_mut(&tenant)
             .expect("submit admits only registered tenants");
         let metrics = &mut self.metrics;
+        let obs = &mut self.obs;
         let run = &self.run_scratch;
         let response_scratch = &mut self.response_scratch;
         let shard_index = self.index;
@@ -375,7 +387,13 @@ impl Shard {
         let mut pos = 0;
         while pos < run.len() {
             if let (seq, Request::Auction(auction)) = &run[pos] {
+                let round_started = Instant::now();
                 let payload = Self::serve_auction_one(state, metrics, auction);
+                obs.registry.record_span(
+                    obs.auction,
+                    round_started.elapsed(),
+                    auction.bids.len() as u64,
+                );
                 responses.push(Response {
                     seq: *seq,
                     tenant,
@@ -392,6 +410,10 @@ impl Shard {
                 .map_or(run.len(), |offset| pos + offset);
             let segment = &run[pos..seg_end];
             if posted {
+                // One span batch per fused segment: the ~60 ns/quote hot
+                // path pays a single clock-read pair per segment, never per
+                // request.
+                let segment_started = Instant::now();
                 response_scratch.clear();
                 let batch = segment.iter().map(|(_, request)| match request {
                     Request::Quote(query) => BatchRequest::Quote {
@@ -435,12 +457,25 @@ impl Shard {
                         payload,
                     });
                 }
+                obs.registry.record_span(
+                    obs.quote,
+                    segment_started.elapsed(),
+                    segment.len() as u64,
+                );
             } else if privacy {
                 // Privacy-market traffic is served one request at a time:
                 // every quote first consults the owner ledgers, so there is
-                // no batched session fast path to take.
+                // no batched session fast path to take.  Per-request span
+                // timing is affordable here — this is explicitly not the
+                // batched posted-price hot path.
                 for (seq, request) in segment {
-                    let payload = Self::serve_privacy_one(state, metrics, request);
+                    let span = match request {
+                        Request::Quote(_) => obs.quote,
+                        _ => obs.observe,
+                    };
+                    let request_started = Instant::now();
+                    let payload = Self::serve_privacy_one(state, metrics, obs, request);
+                    obs.registry.record_span(span, request_started.elapsed(), 1);
                     responses.push(Response {
                         seq: *seq,
                         tenant,
@@ -509,6 +544,7 @@ impl Shard {
     fn serve_privacy_one(
         state: &mut TenantState,
         metrics: &mut ShardMetrics,
+        obs: &mut ShardObs,
         request: &Request,
     ) -> Payload {
         match request {
@@ -569,11 +605,14 @@ impl Shard {
                     return Payload::Failed(RequestError::NoOpenRound);
                 };
                 metrics.observations += 1;
+                let settle_started = Instant::now();
                 let settled = state
                     .privacy
                     .as_mut()
                     .expect("privacy tenants carry a ledger bank")
                     .settle(record.accepted);
+                obs.registry
+                    .record_span(obs.settle, settle_started.elapsed(), 1);
                 if let Some(charge) = settled {
                     record.posted_price = charge.quoted_price;
                     record.revenue = if record.accepted {

@@ -27,6 +27,7 @@
 //!   restored service continues bit-identically from it.
 
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 use pdm_linalg::Json;
 
@@ -72,6 +73,7 @@ impl MarketService {
                     .to_owned(),
             ));
         };
+        let started = Instant::now();
         let mut records: Vec<(TenantId, Json)> = Vec::new();
         for shard in self.shards() {
             records.extend(shard.lock().expect("shard poisoned").checkpoint_dirty());
@@ -91,7 +93,7 @@ impl MarketService {
         if chunks.is_empty() {
             chunks.push(Vec::new());
         }
-        Ok(chunks
+        let segments: Vec<Json> = chunks
             .into_iter()
             .enumerate()
             .map(|(offset, tenants)| {
@@ -103,7 +105,15 @@ impl MarketService {
                     ("metrics", Json::Arr(metrics.clone())),
                 ])
             })
-            .collect())
+            .collect();
+        let mut obs = self.obs.lock().expect("obs poisoned");
+        let span = obs.checkpoint;
+        obs.registry
+            .record_span(span, started.elapsed(), segments.len() as u64);
+        // Journal the highest segment number this checkpoint wrote.
+        obs.journal
+            .push("wal.checkpoint", base + segments.len() as u64 - 1);
+        Ok(segments)
     }
 
     /// Rebuilds a service from a full snapshot plus the WAL segments
@@ -120,6 +130,7 @@ impl MarketService {
     /// segment does not match the schema, segments are out of order, or a
     /// segment's metric ledgers do not match the shard count.
     pub fn restore_with_wal(base: &Json, segments: &[Json]) -> Result<Self, ServiceError> {
+        let started = Instant::now();
         let mut service = MarketService::restore(base)?;
         let shards = service.shard_count();
         let mut last_segment: Option<u64> = None;
@@ -201,6 +212,15 @@ impl MarketService {
         }
         if let Some(last) = last_segment {
             service.wal_segments.store(last + 1, Ordering::Relaxed);
+        }
+        {
+            // The restored service's registry starts fresh (observability
+            // state is process-local, never persisted); the replay itself is
+            // the first thing it records.
+            let obs = service.obs.get_mut().expect("obs poisoned");
+            obs.registry
+                .record_span(obs.restore, started.elapsed(), segments.len() as u64);
+            obs.journal.push("wal.restore", segments.len() as u64);
         }
         Ok(service)
     }

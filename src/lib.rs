@@ -68,6 +68,7 @@ pub use pdm_ellipsoid as ellipsoid;
 pub use pdm_learners as learners;
 pub use pdm_linalg as linalg;
 pub use pdm_market as market;
+pub use pdm_obs as obs;
 pub use pdm_pricing as pricing;
 pub use pdm_service as service;
 
