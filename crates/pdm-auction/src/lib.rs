@@ -42,7 +42,7 @@
 //! assert!(result.welfare() >= result.revenue());
 //! ```
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod auction;

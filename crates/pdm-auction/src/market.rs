@@ -274,6 +274,7 @@ impl AuctionMarket {
         let base_value = self
             .theta
             .dot(&round.features)
+            // pdm-lint: allow(no-unwrap-in-lib) reason="theta and the feature vectors come from the same market config; a dimension mismatch is a constructor bug"
             .expect("theta and features share the market dimension");
         round.floor = self.config.floor_fraction * base_value;
         round.base_value = base_value;

@@ -35,7 +35,7 @@
 //! worker pool and aggregation in [`runner`]; the `BENCH_*.json` schema in
 //! [`report`].
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod airbnb_pipeline;

@@ -16,7 +16,7 @@
 //! truth it planted so experiments can verify the learners recover it.
 //! The substitution rationale is recorded in `DESIGN.md` §3.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod airbnb;

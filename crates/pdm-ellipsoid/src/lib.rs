@@ -22,7 +22,7 @@
 //! All three implement [`KnowledgeSet`], so the pricing mechanisms in
 //! `pdm-pricing` can be instantiated against any of them in tests.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cut;

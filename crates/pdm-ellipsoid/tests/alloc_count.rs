@@ -19,18 +19,25 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// pdm-lint: allow(unsafe-requires-waiver) reason="test-only counting allocator delegating to System; GlobalAlloc is an unsafe trait by definition"
 unsafe impl GlobalAlloc for CountingAllocator {
+    // pdm-lint: allow(unsafe-requires-waiver) reason="signature required by the GlobalAlloc trait"
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // pdm-lint: allow(unsafe-requires-waiver) reason="forwards the caller contract unchanged to System.alloc"
         unsafe { System.alloc(layout) }
     }
 
+    // pdm-lint: allow(unsafe-requires-waiver) reason="signature required by the GlobalAlloc trait"
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // pdm-lint: allow(unsafe-requires-waiver) reason="forwards the caller contract unchanged to System.dealloc"
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // pdm-lint: allow(unsafe-requires-waiver) reason="signature required by the GlobalAlloc trait"
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // pdm-lint: allow(unsafe-requires-waiver) reason="forwards the caller contract unchanged to System.realloc"
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

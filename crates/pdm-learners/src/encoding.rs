@@ -4,6 +4,7 @@
 use pdm_linalg::Vector;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
+// pdm-lint: allow(no-hashmap-iteration) reason="the interner below needs O(1) per-token lookup on the encode hot path; it is never iterated"
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
@@ -14,6 +15,7 @@ use std::hash::{Hash, Hasher};
 /// map to a dedicated code of `-1.0`, mirroring pandas' behaviour.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CategoricalEncoder {
+    // pdm-lint: allow(no-hashmap-iteration) reason="code assignment order comes from first-seen order in the input stream, not map traversal; lookups only"
     codes: HashMap<String, usize>,
     categories: Vec<String>,
 }

@@ -15,7 +15,7 @@
 //! * [`scaler::StandardScaler`] and [`split::train_test_split`] provide the
 //!   plumbing both pipelines share.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod encoding;

@@ -123,6 +123,7 @@ impl LinearRegression {
     pub fn predict(&self, row: &Vector) -> f64 {
         self.weights
             .dot(row)
+            // pdm-lint: allow(no-unwrap-in-lib) reason="the fitted weight vector shares the design-matrix dimension by construction of fit()"
             .expect("prediction row must match the fitted dimension")
             + self.intercept
     }

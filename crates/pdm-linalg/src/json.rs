@@ -203,7 +203,9 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            // pdm-lint: allow(no-lossy-cast) reason="char to u32 is lossless by the language definition; the lexical lint cannot see the source type"
             c if (c as u32) < 0x20 => {
+                // pdm-lint: allow(no-lossy-cast) reason="char to u32 is lossless by the language definition; the lexical lint cannot see the source type"
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -330,6 +332,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 // Consume one UTF-8 scalar (the input is a &str, so this is
                 // always at a char boundary).
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8")?;
+                // pdm-lint: allow(no-unwrap-in-lib) reason="the match arm above guarantees the remainder is non-empty"
                 let c = rest.chars().next().expect("non-empty by match arm");
                 out.push(c);
                 *pos += c.len_utf8();

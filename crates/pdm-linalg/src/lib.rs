@@ -33,7 +33,7 @@
 //! assert_eq!(y.as_slice(), &[2.0, 4.0, 6.0]);
 //! ```
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cholesky;

@@ -334,6 +334,7 @@ impl Matrix {
     #[must_use]
     pub fn quadratic_form(&self, x: &Vector) -> f64 {
         assert!(self.is_square(), "quadratic_form requires a square matrix");
+        // pdm-lint: allow(no-unwrap-in-lib) reason="matvec already rejected any dimension mismatch for the same x on this line"
         self.matvec(x).dot(x).expect("dimensions checked above")
     }
 

@@ -1,0 +1,311 @@
+//! `lint.toml` — which rules bind to which crates, and the path whitelists.
+//!
+//! The parser is a deliberate TOML *subset* (the workspace vendors no TOML
+//! crate): `[section]` and `[section.sub]` headers, `key = "string"`,
+//! `key = ["array", "of", "strings"]` (single- or multi-line), `#` comments,
+//! and nothing else.  Unknown syntax is a hard error — a config that cannot
+//! be read exactly must not silently weaken the lint.
+
+use crate::rules::{RuleId, ALL_RULES};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-rule binding: the crates the rule applies to and path prefixes that
+/// are exempt (the "whitelisted wall-clock modules" mechanism).
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    pub crates: Vec<String>,
+    pub allow_paths: Vec<String>,
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories under the workspace root that are scanned for `.rs`
+    /// sources.
+    pub roots: Vec<String>,
+    /// Path prefixes (relative, `/`-separated) excluded from the scan —
+    /// e.g. the linter's own violation fixtures.
+    pub exclude: Vec<String>,
+    /// Rule bindings, keyed by rule.  A rule absent from the config binds
+    /// nowhere.
+    pub rules: BTreeMap<RuleId, RuleConfig>,
+}
+
+/// A config-file error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses the TOML-subset config text.
+    pub fn from_toml_str(text: &str) -> Result<Self, ConfigError> {
+        let mut config = Config {
+            roots: Vec::new(),
+            exclude: Vec::new(),
+            rules: BTreeMap::new(),
+        };
+        let mut section: Option<Section> = None;
+        let mut lines = text.split('\n').enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header.strip_suffix(']').ok_or_else(|| ConfigError {
+                    line: line_no,
+                    message: format!("unterminated section header `{line}`"),
+                })?;
+                section = Some(parse_section(header, line_no)?);
+                if let Some(Section::Rule(rule)) = &section {
+                    config.rules.entry(*rule).or_default();
+                }
+                continue;
+            }
+            let (key, mut value) = line.split_once('=').ok_or_else(|| ConfigError {
+                line: line_no,
+                message: format!("expected `key = value`, got `{line}`"),
+            })?;
+            let key = key.trim();
+            let mut value_owned = value.trim().to_owned();
+            // A multi-line array: keep consuming lines until the `]`.
+            while value_owned.starts_with('[') && !balanced_array(&value_owned) {
+                let (_, next) = lines.next().ok_or_else(|| ConfigError {
+                    line: line_no,
+                    message: format!("unterminated array for key `{key}`"),
+                })?;
+                value_owned.push(' ');
+                value_owned.push_str(strip_comment(next).trim());
+            }
+            value = &value_owned;
+            let values = parse_value(value, line_no)?;
+            match &section {
+                Some(Section::Workspace) => match key {
+                    "roots" => config.roots = values,
+                    "exclude" => config.exclude = values,
+                    other => {
+                        return Err(ConfigError {
+                            line: line_no,
+                            message: format!("unknown [workspace] key `{other}`"),
+                        })
+                    }
+                },
+                Some(Section::Rule(rule)) => {
+                    let entry = config.rules.entry(*rule).or_default();
+                    match key {
+                        "crates" => entry.crates = values,
+                        "allow_paths" => entry.allow_paths = values,
+                        other => {
+                            return Err(ConfigError {
+                                line: line_no,
+                                message: format!("unknown rule key `{other}`"),
+                            })
+                        }
+                    }
+                }
+                None => {
+                    return Err(ConfigError {
+                        line: line_no,
+                        message: format!("key `{key}` outside any section"),
+                    })
+                }
+            }
+        }
+        if config.roots.is_empty() {
+            return Err(ConfigError {
+                line: 0,
+                message: "[workspace] roots must name at least one directory".to_owned(),
+            });
+        }
+        Ok(config)
+    }
+
+    /// The binding for one rule, if the config enables it anywhere.
+    pub fn rule(&self, rule: RuleId) -> Option<&RuleConfig> {
+        self.rules.get(&rule)
+    }
+
+    /// Whether `rule` binds to `crate_name` at `rel_path`, after the
+    /// path whitelist.
+    pub fn binds(&self, rule: RuleId, crate_name: &str, rel_path: &str) -> bool {
+        let Some(rc) = self.rules.get(&rule) else {
+            return false;
+        };
+        if !rc.crates.iter().any(|c| c == crate_name) {
+            return false;
+        }
+        !rc.allow_paths.iter().any(|p| rel_path.starts_with(p))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Section {
+    Workspace,
+    Rule(RuleId),
+}
+
+fn parse_section(header: &str, line_no: usize) -> Result<Section, ConfigError> {
+    let header = header.trim();
+    if header == "workspace" {
+        return Ok(Section::Workspace);
+    }
+    if let Some(rule_name) = header.strip_prefix("rules.") {
+        let rule_name = rule_name.trim().trim_matches('"');
+        let rule = ALL_RULES
+            .iter()
+            .copied()
+            .find(|r| r.name() == rule_name)
+            .ok_or_else(|| ConfigError {
+                line: line_no,
+                message: format!("unknown rule `{rule_name}` (see `pdm-lint --list-rules`)"),
+            })?;
+        return Ok(Section::Rule(rule));
+    }
+    Err(ConfigError {
+        line: line_no,
+        message: format!("unknown section `[{header}]`"),
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` cannot appear inside our string values (paths and crate names),
+    // so a bare prefix scan is enough for the subset.
+    match line.find('#') {
+        Some(pos) if !line[..pos].contains('"') || quote_balanced(&line[..pos]) => &line[..pos],
+        _ => line,
+    }
+}
+
+fn quote_balanced(prefix: &str) -> bool {
+    prefix.matches('"').count().is_multiple_of(2)
+}
+
+fn balanced_array(value: &str) -> bool {
+    value.trim_end().ends_with(']')
+}
+
+/// Parses either one quoted string (returned as a 1-vector) or an array of
+/// quoted strings.
+fn parse_value(value: &str, line_no: usize) -> Result<Vec<String>, ConfigError> {
+    let value = value.trim();
+    if let Some(body) = value.strip_prefix('[') {
+        let body = body
+            .trim_end()
+            .strip_suffix(']')
+            .ok_or_else(|| ConfigError {
+                line: line_no,
+                message: format!("unterminated array `{value}`"),
+            })?;
+        let mut out = Vec::new();
+        for item in body.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            out.push(parse_string(item, line_no)?);
+        }
+        return Ok(out);
+    }
+    Ok(vec![parse_string(value, line_no)?])
+}
+
+fn parse_string(value: &str, line_no: usize) -> Result<String, ConfigError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| ConfigError {
+            line: line_no,
+            message: format!("expected a quoted string, got `{value}`"),
+        })?;
+    if inner.contains('"') {
+        return Err(ConfigError {
+            line: line_no,
+            message: format!("embedded quotes are not supported: `{value}`"),
+        });
+    }
+    Ok(inner.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r##"
+# comment
+[workspace]
+roots = ["crates", "src"]
+exclude = ["crates/pdm-lint/tests/fixtures"]
+
+[rules.no-hashmap-iteration]
+crates = [
+    "pdm-linalg",  # trailing comment
+    "pdm-service",
+]
+
+[rules.no-ambient-clock]
+crates = ["pdm-service"]
+allow_paths = ["crates/pdm-bench/src"]
+"##;
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let config = Config::from_toml_str(SAMPLE).expect("sample parses");
+        assert_eq!(config.roots, vec!["crates", "src"]);
+        assert_eq!(config.exclude.len(), 1);
+        let hm = config.rule(RuleId::NoHashmapIteration).expect("bound");
+        assert_eq!(hm.crates, vec!["pdm-linalg", "pdm-service"]);
+    }
+
+    #[test]
+    fn binds_honors_crates_and_allow_paths() {
+        let config = Config::from_toml_str(SAMPLE).expect("sample parses");
+        assert!(config.binds(
+            RuleId::NoHashmapIteration,
+            "pdm-service",
+            "crates/pdm-service/src/shard.rs"
+        ));
+        assert!(!config.binds(
+            RuleId::NoHashmapIteration,
+            "pdm-bench",
+            "crates/pdm-bench/src/grid.rs"
+        ));
+        assert!(!config.binds(
+            RuleId::NoAmbientClock,
+            "pdm-service",
+            "crates/pdm-bench/src/serve.rs"
+        ));
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let err = Config::from_toml_str("[workspace]\nroots=[\"crates\"]\n[rules.nope]\n")
+            .expect_err("unknown rule");
+        assert!(err.message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = Config::from_toml_str("[workspace]\nroots=[\"c\"]\nwat=\"x\"\n")
+            .expect_err("unknown key");
+        assert!(err.message.contains("unknown [workspace] key"));
+    }
+
+    #[test]
+    fn missing_roots_is_an_error() {
+        let err = Config::from_toml_str("[rules.no-ambient-clock]\ncrates=[\"x\"]\n")
+            .expect_err("no roots");
+        assert!(err.message.contains("roots"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Determinism & hot-path static analysis for the personal-data-pricing
+//! workspace.
+//!
+//! Every guarantee this reproduction makes — bit-identical serial replay,
+//! worker-count-invariant BENCH fingerprints, snapshot/WAL restores that
+//! continue bit-for-bit — rests on source-level invariants that runtime
+//! tests only catch *after* a fingerprint happens to cover them.  This
+//! crate machine-checks those invariants as named, per-crate rules over a
+//! hand-rolled line/token scanner (no `syn`, no dependencies at all,
+//! consistent with the offline vendor policy):
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `no-hashmap-iteration` | `HashMap`/`HashSet` banned in fingerprint crates |
+//! | `no-ambient-clock` | `Instant::now`/`SystemTime` only in whitelisted wall-clock modules |
+//! | `no-ambient-randomness` | all RNG flows from an explicit seed |
+//! | `no-lossy-cast` | no truncating `as` casts in fingerprint crates |
+//! | `no-unwrap-in-lib` | library code returns errors; tests/benches exempt |
+//! | `unsafe-requires-waiver` | every `unsafe` carries a reviewed waiver |
+//!
+//! Exceptions are in-source pragmas, so every one is greppable and carries
+//! a reviewed reason:
+//!
+//! ```text
+//! // pdm-lint: allow(no-ambient-clock) reason="wall-clock latency metric, excluded from the fingerprint"
+//! ```
+//!
+//! Which rules bind to which crates lives in the checked-in `lint.toml` at
+//! the workspace root; the `pdm-lint` binary scans the tree, prints
+//! human-readable diagnostics (or `--json`), and exits non-zero on any
+//! violation — CI gates on it, and the crate's own
+//! `lints_clean_workspace` test keeps `cargo test` equivalent.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pdm_lint::{analyze, Config, FileContext, FileKind};
+//!
+//! let config = Config::from_toml_str(
+//!     "[workspace]\nroots = [\"crates\"]\n[rules.no-ambient-clock]\ncrates = [\"pdm-service\"]\n",
+//! )
+//! .expect("config parses");
+//! let ctx = FileContext {
+//!     crate_name: "pdm-service".to_owned(),
+//!     kind: FileKind::Lib,
+//!     rel_path: "crates/pdm-service/src/shard.rs".to_owned(),
+//! };
+//! let diags = analyze("let t = std::time::Instant::now();", &ctx, &config);
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].rule.name(), "no-ambient-clock");
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod config;
+mod mask;
+mod rules;
+mod workspace;
+
+pub use config::{Config, ConfigError, RuleConfig};
+pub use mask::{mask_source, MaskedLine};
+pub use rules::{analyze, Diagnostic, FileContext, FileKind, RuleId, ALL_RULES};
+pub use workspace::{classify, lint_workspace, render_json, Report};

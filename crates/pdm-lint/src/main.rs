@@ -1,0 +1,177 @@
+//! The `pdm-lint` binary: scan the workspace, report violations, exit
+//! non-zero when the determinism contract is broken.
+//!
+//! ```text
+//! pdm-lint [--root DIR] [--config PATH] [--json PATH] [--quiet] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage/config error.
+
+use pdm_lint::{lint_workspace, render_json, Config, ALL_RULES};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pdm-lint — determinism & hot-path static analysis
+
+USAGE:
+    pdm-lint [OPTIONS]
+
+OPTIONS:
+    --root DIR      workspace root to scan (default: auto-discover from
+                    the current directory by walking up to a lint.toml)
+    --config PATH   config file (default: <root>/lint.toml)
+    --json PATH     additionally write the machine-readable report to PATH
+    --quiet         suppress per-violation lines; print only the summary
+    --list-rules    print the rule table and exit
+    --help          print this help
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    json: Option<PathBuf>,
+    quiet: bool,
+    list_rules: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        config: None,
+        json: None,
+        quiet: false,
+        list_rules: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root requires a directory")?,
+                ))
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config requires a path")?))
+            }
+            "--json" => args.json = Some(PathBuf::from(it.next().ok_or("--json requires a path")?)),
+            "--quiet" => args.quiet = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks up from `start` to the first directory holding a `lint.toml`.
+fn discover_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in ALL_RULES {
+            println!("{:<24} {}", rule.name(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root {
+        Some(root) => root,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match discover_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!(
+                        "error: no lint.toml found walking up from {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let config_path = args.config.unwrap_or_else(|| root.join("lint.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("error: cannot read {}: {err}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::from_toml_str(&config_text) {
+        Ok(config) => config,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint_workspace(&root, &config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(json_path) = &args.json {
+        if let Err(err) = std::fs::write(json_path, render_json(&report)) {
+            eprintln!("error: cannot write {}: {err}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !args.quiet {
+        for d in &report.violations {
+            println!(
+                "{}:{}:{}: [{}] {}",
+                d.file,
+                d.line,
+                d.col,
+                d.rule.name(),
+                d.message
+            );
+            if !d.snippet.is_empty() {
+                println!("    {}", d.snippet);
+            }
+        }
+    }
+    if report.is_clean() {
+        println!(
+            "pdm-lint: {} files scanned, determinism contract holds",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "pdm-lint: {} files scanned, {} violation(s)",
+            report.files_scanned,
+            report.violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

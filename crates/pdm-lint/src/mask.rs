@@ -1,0 +1,312 @@
+//! Comment/string masking: the first pass of the scanner.
+//!
+//! Rule tokens must only match *code*.  `"HashMap"` inside a string literal,
+//! a doc comment mentioning `Instant::now`, or a commented-out `unwrap()`
+//! are not violations.  This pass walks the source once, character by
+//! character, and produces per-line views in which every comment and every
+//! string/char-literal *body* has been blanked to spaces (delimiters are
+//! blanked too, so a stripped `"HashMap"` cannot re-form a token).  Line
+//! comments are additionally captured verbatim so the waiver-pragma parser
+//! can read them.
+//!
+//! The masker understands the Rust lexical forms that matter for masking:
+//! line comments (`//`, `///`, `//!`), nested block comments, plain and raw
+//! strings (any number of `#`s, byte/C variants), char and byte literals,
+//! and the char-literal/lifetime ambiguity (`'a'` vs `<'a>`), resolved with
+//! the standard two-character lookahead.  It does not need to understand
+//! the grammar beyond that — rules operate on tokens, not syntax trees.
+
+/// One source line after masking.
+#[derive(Debug, Clone)]
+pub struct MaskedLine {
+    /// The line with comments and literal bodies blanked to spaces.
+    /// Byte columns of surviving code are preserved exactly.
+    pub code: String,
+    /// Concatenated text of any line comment on this line (without the
+    /// leading slashes), for the waiver-pragma parser.
+    pub comment: String,
+}
+
+impl MaskedLine {
+    /// True when the line carries no code at all (blank, or comment-only).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.chars().all(char::is_whitespace)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* */` (Rust block comments nest).
+    BlockComment(u32),
+    /// Inside `"…"`; the flag records a pending backslash escape.
+    Str {
+        escaped: bool,
+    },
+    /// Inside `r"…"` / `r#"…"#`; the payload is the number of `#`s.
+    RawStr(u32),
+    /// Inside `'…'`; the flag records a pending backslash escape.
+    CharLit {
+        escaped: bool,
+    },
+}
+
+/// Masks a whole source file.  Always returns one entry per input line.
+pub fn mask_source(source: &str) -> Vec<MaskedLine> {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    for raw_line in source.split('\n') {
+        let raw_line = raw_line.strip_suffix('\r').unwrap_or(raw_line);
+        let (masked, next_state) = mask_line(raw_line, state);
+        // Line comments never cross a newline.
+        state = match next_state {
+            State::LineComment => State::Code,
+            other => other,
+        };
+        lines.push(masked);
+    }
+    lines
+}
+
+/// Masks one line starting in `state`; returns the masked line and the
+/// state carried into the next line.
+fn mask_line(line: &str, mut state: State) -> (MaskedLine, State) {
+    let chars: Vec<char> = line.chars().collect();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    comment.extend(&chars[i + 2..]);
+                    // Blank the rest of the line in the code view.
+                    for _ in i..chars.len() {
+                        code.push(' ');
+                    }
+                    i = chars.len();
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Str { escaped: false };
+                    code.push(' ');
+                    i += 1;
+                    continue;
+                }
+                // Raw-string openers: r"…", r#"…"#, br"…", cr#"…"# — the
+                // prefix letter must not extend an identifier (`for` / `Cr`
+                // must not trigger).
+                if (c == 'r' || c == 'b' || c == 'c') && !prev_is_ident(&chars, i) {
+                    if let Some((hashes, consumed)) = raw_string_open(&chars[i..]) {
+                        state = State::RawStr(hashes);
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        i += consumed;
+                        continue;
+                    }
+                    if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        state = State::Str { escaped: false };
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal or lifetime?  `'\…`, or `'x'`-shaped
+                    // (any char followed by a closing quote) is a literal;
+                    // everything else is a lifetime and stays code.
+                    let is_char_lit = match chars.get(i + 1) {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char_lit {
+                        state = State::CharLit { escaped: false };
+                        code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                }
+                code.push(c);
+                i += 1;
+            }
+            State::LineComment => unreachable!("line comments consume the rest of the line"),
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str { escaped } => {
+                if escaped {
+                    state = State::Str { escaped: false };
+                } else if c == '\\' {
+                    state = State::Str { escaped: true };
+                } else if c == '"' {
+                    state = State::Code;
+                }
+                code.push(' ');
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars[i + 1..], hashes) {
+                    for _ in 0..=hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit { escaped } => {
+                if escaped {
+                    state = State::CharLit { escaped: false };
+                } else if c == '\\' {
+                    state = State::CharLit { escaped: true };
+                } else if c == '\'' {
+                    state = State::Code;
+                }
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    (MaskedLine { code, comment }, state)
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Matches a raw-string opener at the start of `rest` (which begins with
+/// `r`, `b`, or `c`): returns `(hash_count, chars_consumed)` through the
+/// opening quote.
+fn raw_string_open(rest: &[char]) -> Option<(u32, usize)> {
+    let mut j = 0usize;
+    // Optional b/c prefix before the r.
+    if rest[0] == 'b' || rest[0] == 'c' {
+        j = 1;
+        if rest.get(j) != Some(&'r') {
+            return None;
+        }
+    }
+    if rest.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while rest.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if rest.get(j) == Some(&'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+/// True when `rest` (the chars after a `"` inside a raw string) starts with
+/// the closing run of `#`s.
+fn closes_raw_string(rest: &[char], hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| rest.get(k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> String {
+        mask_source(src)
+            .into_iter()
+            .map(|l| l.code)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"HashMap\"; // Instant::now\nuse std::collections::HashMap;";
+        let masked = code_of(src);
+        assert!(!masked.contains("Instant"));
+        assert_eq!(masked.matches("HashMap").count(), 1);
+        assert!(masked.contains("use std::collections::HashMap;"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\nunsafe\n*/ c";
+        let masked = code_of(src);
+        assert!(!masked.contains("unsafe"));
+        assert!(masked.contains('a') && masked.contains('b') && masked.contains('c'));
+        assert!(!masked.contains("still"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_body() {
+        let src = "let s = r#\"thread_rng \"quoted\" \"#; let t = 1;";
+        let masked = code_of(src);
+        assert!(!masked.contains("thread_rng"));
+        assert!(masked.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let masked = code_of(src);
+        assert!(masked.contains("<'a>"));
+        assert!(masked.contains("&'a str"));
+        assert!(!masked.contains('x') || !masked.contains("'x'"));
+    }
+
+    #[test]
+    fn line_comment_text_is_captured_for_pragmas() {
+        let src = "let y = 3; // pdm-lint: allow(no-unwrap-in-lib) reason=\"x\"";
+        let lines = mask_source(src);
+        assert!(lines[0].comment.contains("pdm-lint: allow"));
+        assert!(lines[0].code.contains("let y = 3;"));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let src = "let s = \"a\\\"unsafe\\\"b\"; let u = 2;";
+        let masked = code_of(src);
+        assert!(!masked.contains("unsafe"));
+        assert!(masked.contains("let u = 2;"));
+    }
+
+    #[test]
+    fn column_positions_are_preserved() {
+        let src = "let m = \"xx\"; unsafe {}";
+        let masked = code_of(src);
+        assert_eq!(src.find("unsafe"), masked.find("unsafe"));
+    }
+}

@@ -1,0 +1,562 @@
+//! The determinism-contract rules and the per-file analyzer.
+//!
+//! Each rule is a token-level check over masked code (see [`crate::mask`]).
+//! Exceptions are in-source waiver pragmas:
+//!
+//! ```text
+//! // pdm-lint: allow(<rule>[, <rule>…]) reason="non-empty explanation"
+//! ```
+//!
+//! A pragma on its own line waives the next line that carries code; a
+//! trailing pragma waives its own line.  Every waiver must name a known
+//! rule and carry a non-empty reason — malformed pragmas and waivers that
+//! suppress nothing are themselves violations (`invalid-waiver`,
+//! `unused-waiver`), so stale exceptions cannot linger unreviewed.
+
+use crate::config::Config;
+use crate::mask::{mask_source, MaskedLine};
+
+/// The named rules of the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `HashMap`/`HashSet` are banned in fingerprint-bearing crates:
+    /// their iteration order is seeded per process, so any traversal that
+    /// reaches output breaks replay.  Use `BTreeMap`/`BTreeSet`.
+    NoHashmapIteration,
+    /// `Instant::now`/`SystemTime` only in whitelisted wall-clock modules
+    /// (obs wall histograms, bench timing) — never on a fingerprint path.
+    NoAmbientClock,
+    /// No ambient entropy (`thread_rng`, `OsRng`, `RandomState`, …): all
+    /// randomness must flow from an explicit seed.
+    NoAmbientRandomness,
+    /// Truncating `as` casts to narrow numeric types in fingerprint
+    /// crates: silent wrap/round is how fingerprints drift across
+    /// platforms.  Use `TryFrom`/`from`/`to_bits` or waive with the
+    /// value-range argument.
+    NoLossyCast,
+    /// Library crates return errors; `unwrap()`/`expect()` belong in
+    /// tests, benches, and binaries.
+    NoUnwrapInLib,
+    /// Any `unsafe` requires an in-source waiver (and the crates
+    /// additionally `#![forbid(unsafe_code)]`, so the compiler backs the
+    /// lint for non-test code).
+    UnsafeRequiresWaiver,
+    /// Meta: a malformed waiver pragma (unknown rule, missing or empty
+    /// reason).  Always on; not itself waivable.
+    InvalidWaiver,
+    /// Meta: a waiver that suppressed nothing.  Always on; not itself
+    /// waivable.
+    UnusedWaiver,
+}
+
+/// The configurable rules, i.e. everything except the two meta rules.
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::NoHashmapIteration,
+    RuleId::NoAmbientClock,
+    RuleId::NoAmbientRandomness,
+    RuleId::NoLossyCast,
+    RuleId::NoUnwrapInLib,
+    RuleId::UnsafeRequiresWaiver,
+];
+
+impl RuleId {
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::NoHashmapIteration => "no-hashmap-iteration",
+            RuleId::NoAmbientClock => "no-ambient-clock",
+            RuleId::NoAmbientRandomness => "no-ambient-randomness",
+            RuleId::NoLossyCast => "no-lossy-cast",
+            RuleId::NoUnwrapInLib => "no-unwrap-in-lib",
+            RuleId::UnsafeRequiresWaiver => "unsafe-requires-waiver",
+            RuleId::InvalidWaiver => "invalid-waiver",
+            RuleId::UnusedWaiver => "unused-waiver",
+        }
+    }
+
+    /// One-line description, for `--list-rules` and diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::NoHashmapIteration => {
+                "HashMap/HashSet banned in fingerprint crates; use BTreeMap/BTreeSet"
+            }
+            RuleId::NoAmbientClock => {
+                "Instant::now/SystemTime only in whitelisted wall-clock modules"
+            }
+            RuleId::NoAmbientRandomness => "all randomness must be explicitly seeded",
+            RuleId::NoLossyCast => "no truncating `as` casts in fingerprint crates",
+            RuleId::NoUnwrapInLib => "library code returns errors instead of panicking",
+            RuleId::UnsafeRequiresWaiver => "every `unsafe` carries a reviewed waiver",
+            RuleId::InvalidWaiver => "waiver pragma is malformed or lacks a reason",
+            RuleId::UnusedWaiver => "waiver pragma suppresses nothing",
+        }
+    }
+}
+
+/// What kind of build target a file belongs to; rules scope themselves by
+/// kind (e.g. `no-unwrap-in-lib` skips tests and binaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    Lib,
+    Bin,
+    Test,
+    Bench,
+    Example,
+}
+
+/// Where a file sits for rule scoping.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    pub crate_name: String,
+    pub kind: FileKind,
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column of the offending token.
+    pub col: usize,
+    pub rule: RuleId,
+    pub message: String,
+    /// The source line, trimmed, for human output.
+    pub snippet: String,
+}
+
+/// A parsed waiver pragma.
+#[derive(Debug, Clone)]
+struct Waiver {
+    rules: Vec<RuleId>,
+    /// The line the waiver applies to.
+    target_line: usize,
+    /// The line the pragma itself sits on (for unused-waiver reporting).
+    pragma_line: usize,
+    used: bool,
+}
+
+/// Analyzes one masked file against the config.  This is the core the
+/// binary, the fixture tests, and the clean-workspace test all share.
+pub fn analyze(source: &str, ctx: &FileContext, config: &Config) -> Vec<Diagnostic> {
+    let lines = mask_source(source);
+    let raw_lines: Vec<&str> = source.split('\n').collect();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut waivers: Vec<Waiver> = Vec::new();
+
+    collect_waivers(&lines, ctx, &mut waivers, &mut diags);
+    let test_lines = test_region_lines(&lines);
+
+    for (idx, line) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let in_test = test_lines[idx];
+        for &rule in ALL_RULES {
+            if !config.binds(rule, &ctx.crate_name, &ctx.rel_path) {
+                continue;
+            }
+            if !rule_applies(rule, ctx.kind, in_test) {
+                continue;
+            }
+            for (col, token) in find_tokens(rule, &line.code) {
+                let waived = waivers
+                    .iter_mut()
+                    .find(|w| w.target_line == line_no && w.rules.contains(&rule));
+                if let Some(w) = waived {
+                    w.used = true;
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    file: ctx.rel_path.clone(),
+                    line: line_no,
+                    col: col + 1,
+                    rule,
+                    message: format!("`{token}`: {}", rule.describe()),
+                    snippet: raw_lines
+                        .get(idx)
+                        .map_or_else(String::new, |l| l.trim().to_owned()),
+                });
+            }
+        }
+    }
+
+    for waiver in &waivers {
+        if !waiver.used {
+            diags.push(Diagnostic {
+                file: ctx.rel_path.clone(),
+                line: waiver.pragma_line,
+                col: 1,
+                rule: RuleId::UnusedWaiver,
+                message: format!(
+                    "waiver for {} suppresses nothing — remove it or fix the target line",
+                    waiver
+                        .rules
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                snippet: raw_lines
+                    .get(waiver.pragma_line - 1)
+                    .map_or_else(String::new, |l| l.trim().to_owned()),
+            });
+        }
+    }
+
+    diags.sort_by(|a, b| (a.line, a.col, a.rule.name()).cmp(&(b.line, b.col, b.rule.name())));
+    diags
+}
+
+/// Which rules fire in which target kinds, and whether `#[cfg(test)]`
+/// regions are exempt.  Randomness and unsafe bind everywhere (tests must
+/// be seeded too, and unsafe is unsafe wherever it sits); the rest guard
+/// shipped code only.
+fn rule_applies(rule: RuleId, kind: FileKind, in_test: bool) -> bool {
+    match rule {
+        RuleId::NoHashmapIteration | RuleId::NoAmbientClock | RuleId::NoLossyCast => {
+            matches!(kind, FileKind::Lib | FileKind::Bin) && !in_test
+        }
+        RuleId::NoUnwrapInLib => kind == FileKind::Lib && !in_test,
+        RuleId::NoAmbientRandomness | RuleId::UnsafeRequiresWaiver => true,
+        RuleId::InvalidWaiver | RuleId::UnusedWaiver => true,
+    }
+}
+
+/// Finds this rule's tokens in one masked code line; returns `(byte_col,
+/// token)` pairs.
+fn find_tokens(rule: RuleId, code: &str) -> Vec<(usize, String)> {
+    match rule {
+        RuleId::NoHashmapIteration => find_idents(code, &["HashMap", "HashSet"]),
+        RuleId::NoAmbientClock => {
+            let mut hits = find_substr(code, "Instant::now");
+            hits.extend(find_idents(code, &["SystemTime"]));
+            hits
+        }
+        RuleId::NoAmbientRandomness => {
+            let mut hits = find_idents(
+                code,
+                &[
+                    "thread_rng",
+                    "from_entropy",
+                    "OsRng",
+                    "RandomState",
+                    "getrandom",
+                ],
+            );
+            hits.extend(find_substr(code, "rand::random"));
+            hits
+        }
+        RuleId::NoLossyCast => find_lossy_casts(code),
+        RuleId::NoUnwrapInLib => {
+            let mut hits = find_substr(code, ".unwrap()");
+            hits.extend(find_substr(code, ".expect("));
+            hits
+        }
+        RuleId::UnsafeRequiresWaiver => find_idents(code, &["unsafe"]),
+        RuleId::InvalidWaiver | RuleId::UnusedWaiver => Vec::new(),
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whole-identifier occurrences of any of `idents`.
+fn find_idents(code: &str, idents: &[&str]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for ident in idents {
+        for pos in find_all(code, ident) {
+            let before_ok = code[..pos]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !is_ident_char(c));
+            let after_ok = code[pos + ident.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !is_ident_char(c));
+            if before_ok && after_ok {
+                out.push((pos, (*ident).to_owned()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Raw substring occurrences (for multi-token patterns like `.unwrap()`).
+fn find_substr(code: &str, pat: &str) -> Vec<(usize, String)> {
+    find_all(code, pat)
+        .into_iter()
+        .map(|pos| (pos, pat.to_owned()))
+        .collect()
+}
+
+fn find_all(code: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(pat) {
+        out.push(start + pos);
+        start += pos + pat.len();
+    }
+    out
+}
+
+/// Narrow numeric targets of an `as` cast.  A token scanner cannot see the
+/// source type, so the rule approximates: the workspace's canonical widths
+/// are `f64`/`u64`/`i64`/`usize`, and a cast *down* from those is where
+/// silent truncation lives.  Casts to the wide types stay unflagged.
+const NARROW_CAST_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+fn find_lossy_casts(code: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for pos in find_all(code, " as ") {
+        let rest = &code[pos + 4..];
+        let target: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|&c| is_ident_char(c))
+            .collect();
+        if NARROW_CAST_TARGETS.contains(&target.as_str()) {
+            out.push((pos + 1, format!("as {target}")));
+        }
+    }
+    out
+}
+
+/// Marks the lines inside `#[cfg(test)]`-gated items (inline `mod tests`
+/// blocks, gated fns/impls).  Line granularity: a line is "test" when a
+/// gated region is open at its start or opens on it.
+fn test_region_lines(lines: &[MaskedLine]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // Open gated regions: the depth *outside* the region's braces.
+    let mut regions: Vec<i64> = Vec::new();
+    // A seen `#[cfg(test)]` attribute waiting for its item's `{`; holds
+    // the depth at which the attribute appeared.
+    let mut pending: Option<i64> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        if !regions.is_empty() {
+            flags[idx] = true;
+        }
+        if line.code.contains("#[cfg(test)]") {
+            pending = Some(depth);
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending == Some(depth) {
+                        regions.push(depth);
+                        pending = None;
+                        flags[idx] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    while regions.last().is_some_and(|&r| depth <= r) {
+                        regions.pop();
+                    }
+                }
+                // `#[cfg(test)] use …;` / `mod tests;` — attribute
+                // consumed without opening a block.
+                ';' if pending == Some(depth) => pending = None,
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+/// Parses waiver pragmas out of the captured line comments, resolving each
+/// to its target line.
+fn collect_waivers(
+    lines: &[MaskedLine],
+    ctx: &FileContext,
+    waivers: &mut Vec<Waiver>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        // Doc comments (`///` / `//!`) are documentation, not pragmas —
+        // they may legitimately *show* the pragma grammar.  A waiver must
+        // be a plain `//` comment.
+        if line.comment.starts_with('/') || line.comment.starts_with('!') {
+            continue;
+        }
+        let Some(pragma_pos) = line.comment.find("pdm-lint:") else {
+            continue;
+        };
+        let pragma = line.comment[pragma_pos..].trim();
+        match parse_pragma(pragma) {
+            Ok(rules) => {
+                let target_line = if line.is_code_blank() {
+                    // Standalone pragma: waives the next line that carries
+                    // code (skipping blank and comment-only lines).
+                    lines
+                        .iter()
+                        .enumerate()
+                        .skip(idx + 1)
+                        .find(|(_, l)| !l.is_code_blank())
+                        .map(|(j, _)| j + 1)
+                        .unwrap_or(usize::MAX)
+                } else {
+                    line_no
+                };
+                waivers.push(Waiver {
+                    rules,
+                    target_line,
+                    pragma_line: line_no,
+                    used: false,
+                });
+            }
+            Err(why) => diags.push(Diagnostic {
+                file: ctx.rel_path.clone(),
+                line: line_no,
+                col: 1,
+                rule: RuleId::InvalidWaiver,
+                message: why,
+                snippet: pragma.to_owned(),
+            }),
+        }
+    }
+}
+
+/// Grammar: `pdm-lint: allow(rule[, rule…]) reason="non-empty"`.
+fn parse_pragma(pragma: &str) -> Result<Vec<RuleId>, String> {
+    let Some(rest) = pragma.strip_prefix("pdm-lint:") else {
+        return Err("pragma lost its `pdm-lint:` marker".to_owned());
+    };
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix("allow(")
+        .ok_or_else(|| "expected `allow(<rule>)` after `pdm-lint:`".to_owned())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unterminated `allow(` list".to_owned())?;
+    let mut rules = Vec::new();
+    for name in rest[..close].split(',') {
+        let name = name.trim();
+        let rule = ALL_RULES
+            .iter()
+            .copied()
+            .find(|r| r.name() == name)
+            .ok_or_else(|| format!("unknown rule `{name}` in waiver"))?;
+        rules.push(rule);
+    }
+    if rules.is_empty() {
+        return Err("empty rule list in waiver".to_owned());
+    }
+    let tail = rest[close + 1..].trim_start();
+    let reason = tail
+        .strip_prefix("reason=\"")
+        .and_then(|t| t.find('"').map(|end| &t[..end]))
+        .ok_or_else(|| "waiver must carry reason=\"…\"".to_owned())?;
+    if reason.trim().is_empty() {
+        return Err("waiver reason must be non-empty".to_owned());
+    }
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(kind: FileKind) -> FileContext {
+        FileContext {
+            crate_name: "pdm-service".to_owned(),
+            kind,
+            rel_path: "crates/pdm-service/src/x.rs".to_owned(),
+        }
+    }
+
+    fn full_config() -> Config {
+        let toml = r#"
+[workspace]
+roots = ["crates"]
+[rules.no-hashmap-iteration]
+crates = ["pdm-service"]
+[rules.no-ambient-clock]
+crates = ["pdm-service"]
+[rules.no-ambient-randomness]
+crates = ["pdm-service"]
+[rules.no-lossy-cast]
+crates = ["pdm-service"]
+[rules.no-unwrap-in-lib]
+crates = ["pdm-service"]
+[rules.unsafe-requires-waiver]
+crates = ["pdm-service"]
+"#;
+        Config::from_toml_str(toml).expect("test config parses")
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt_for_lib_rules() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f() { x.unwrap() }\n}\n";
+        let diags = analyze(src, &ctx(FileKind::Lib), &full_config());
+        let hashmap_hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == RuleId::NoHashmapIteration)
+            .collect();
+        assert_eq!(hashmap_hits.len(), 1, "{diags:?}");
+        assert_eq!(hashmap_hits[0].line, 1);
+        assert!(!diags.iter().any(|d| d.rule == RuleId::NoUnwrapInLib));
+    }
+
+    #[test]
+    fn trailing_and_standalone_waivers_bind_and_count_as_used() {
+        let src = "\
+// pdm-lint: allow(no-ambient-clock) reason=\"wall-clock metric\"
+let t = Instant::now();
+let u = Instant::now(); // pdm-lint: allow(no-ambient-clock) reason=\"ditto\"
+";
+        let diags = analyze(src, &ctx(FileKind::Lib), &full_config());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unused_and_malformed_waivers_are_violations() {
+        let src = "\
+// pdm-lint: allow(no-ambient-clock) reason=\"nothing here\"
+let x = 1;
+let y = 2; // pdm-lint: allow(no-ambient-clock) reason=\"\"
+";
+        let diags = analyze(src, &ctx(FileKind::Lib), &full_config());
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == RuleId::UnusedWaiver && d.line == 1));
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == RuleId::InvalidWaiver && d.line == 3));
+    }
+
+    #[test]
+    fn lossy_casts_flag_narrow_targets_only() {
+        let src = "let a = x as u32;\nlet b = x as u64;\nlet c = y as usize;\nlet d = z as f32;\n";
+        let diags = analyze(src, &ctx(FileKind::Lib), &full_config());
+        let rules: Vec<_> = diags.iter().map(|d| (d.line, d.message.clone())).collect();
+        assert_eq!(diags.len(), 2, "{rules:?}");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[1].line, 4);
+    }
+
+    #[test]
+    fn randomness_and_unsafe_bind_in_tests_too() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let r = thread_rng(); unsafe {} }\n}\n";
+        let diags = analyze(src, &ctx(FileKind::Lib), &full_config());
+        assert!(diags.iter().any(|d| d.rule == RuleId::NoAmbientRandomness));
+        assert!(diags.iter().any(|d| d.rule == RuleId::UnsafeRequiresWaiver));
+    }
+
+    #[test]
+    fn bin_kind_skips_unwrap_rule() {
+        let src = "fn main() { run().unwrap(); }\n";
+        assert!(analyze(src, &ctx(FileKind::Bin), &full_config()).is_empty());
+        assert!(!analyze(src, &ctx(FileKind::Lib), &full_config()).is_empty());
+    }
+
+    #[test]
+    fn tokens_in_strings_and_comments_do_not_fire() {
+        let src = "let s = \"HashMap unsafe thread_rng\"; // Instant::now\n";
+        assert!(analyze(src, &ctx(FileKind::Lib), &full_config()).is_empty());
+    }
+}

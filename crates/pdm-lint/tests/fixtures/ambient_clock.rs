@@ -1,0 +1,17 @@
+//! Fixture: `no-ambient-clock` — one violation, one waived read, and a
+//! masked occurrence inside a string that must NOT be flagged.
+
+use std::time::Instant;
+
+pub fn unwaived() -> Instant {
+    Instant::now() // line 7: violation
+}
+
+pub fn waived() -> Instant {
+    // pdm-lint: allow(no-ambient-clock) reason="fixture: wall-clock span"
+    Instant::now()
+}
+
+pub fn masked() -> &'static str {
+    "Instant::now() in a string is data, not code"
+}

@@ -1,0 +1,14 @@
+//! Fixture: `no-ambient-randomness` — fires even inside `#[cfg(test)]`
+//! regions, since every suite asserts reproducible trajectories.
+
+pub fn unwaived() {
+    let _ = rand::thread_rng(); // line 5: violation
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seeded_by_entropy() {
+        let _ = rand::rngs::StdRng::from_entropy(); // line 12: violation (tests are NOT exempt)
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: waiver meta-rules — malformed pragmas and unused waivers are
+//! themselves violations, and cannot be waived.
+
+// pdm-lint: allow(no-unwrap-in-lib) — line 4: invalid-waiver (missing reason)
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// pdm-lint: allow(no-such-rule) reason="line 9: invalid-waiver (unknown rule)"
+pub fn unknown_rule() {}
+
+// pdm-lint: allow(no-unwrap-in-lib) reason="line 12: unused-waiver (nothing fires below)"
+pub fn nothing_to_waive() {}

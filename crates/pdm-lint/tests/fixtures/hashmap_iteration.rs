@@ -1,0 +1,9 @@
+//! Fixture: `no-hashmap-iteration` — one violation, one waived use.
+
+use std::collections::HashMap; // line 3: violation
+
+pub fn waived_lookup_table() -> usize {
+    // pdm-lint: allow(no-hashmap-iteration) reason="fixture: lookup-only map"
+    let table: HashMap<u32, u32> = HashMap::new();
+    table.len()
+}

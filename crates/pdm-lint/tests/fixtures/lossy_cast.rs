@@ -1,0 +1,14 @@
+//! Fixture: `no-lossy-cast` — narrowing casts flagged, widening ones not.
+
+pub fn narrowing(x: u64) -> u32 {
+    x as u32 // line 4: violation
+}
+
+pub fn widening(x: u32) -> u64 {
+    x as u64 // widening: never flagged
+}
+
+pub fn waived(c: char) -> u32 {
+    // pdm-lint: allow(no-lossy-cast) reason="fixture: char to u32 is lossless"
+    c as u32
+}

@@ -1,0 +1,10 @@
+//! Fixture: `unsafe-requires-waiver` — bare unsafe flagged, waived passes.
+
+pub fn unwaived(p: *const u32) -> u32 {
+    unsafe { *p } // line 4: violation
+}
+
+pub fn waived(p: *const u32) -> u32 {
+    // pdm-lint: allow(unsafe-requires-waiver) reason="fixture: reviewed deref"
+    unsafe { *p }
+}

@@ -1,0 +1,19 @@
+//! Fixture: `no-unwrap-in-lib` — library code flagged, test regions exempt.
+
+pub fn unwaived(x: Option<u32>) -> u32 {
+    x.unwrap() // line 4: violation
+}
+
+pub fn waived(x: Option<u32>) -> u32 {
+    // pdm-lint: allow(no-unwrap-in-lib) reason="fixture: invariant holds"
+    x.expect("fixture invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1); // test region: never flagged
+    }
+}

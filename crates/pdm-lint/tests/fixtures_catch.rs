@@ -1,0 +1,188 @@
+//! Fixture-corpus tests: every rule catches its seeded violation, waived
+//! lines pass, spans and JSON shape are pinned — plus the gate test that
+//! the shipped workspace lints clean.
+
+use pdm_lint::{
+    analyze, lint_workspace, render_json, Config, FileContext, FileKind, Report, RuleId,
+};
+use std::path::Path;
+
+/// A config binding every configurable rule to the synthetic `fixture`
+/// crate, mirroring the shape of the checked-in `lint.toml`.
+fn fixture_config() -> Config {
+    Config::from_toml_str(
+        r#"
+[workspace]
+roots = ["crates"]
+
+[rules.no-hashmap-iteration]
+crates = ["fixture"]
+
+[rules.no-ambient-clock]
+crates = ["fixture"]
+
+[rules.no-ambient-randomness]
+crates = ["fixture"]
+
+[rules.no-lossy-cast]
+crates = ["fixture"]
+
+[rules.no-unwrap-in-lib]
+crates = ["fixture"]
+
+[rules.unsafe-requires-waiver]
+crates = ["fixture"]
+"#,
+    )
+    .expect("fixture config parses")
+}
+
+fn lint_fixture(name: &str) -> Vec<pdm_lint::Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} must be readable: {e}"));
+    let ctx = FileContext {
+        crate_name: "fixture".to_owned(),
+        kind: FileKind::Lib,
+        rel_path: format!("crates/fixture/src/{name}"),
+    };
+    analyze(&source, &ctx, &fixture_config())
+}
+
+/// (rule, line) pairs for comparing against expectations.
+fn spans(diags: &[pdm_lint::Diagnostic]) -> Vec<(RuleId, usize)> {
+    diags.iter().map(|d| (d.rule, d.line)).collect()
+}
+
+#[test]
+fn hashmap_iteration_fixture() {
+    let diags = lint_fixture("hashmap_iteration.rs");
+    assert_eq!(
+        spans(&diags),
+        vec![(RuleId::NoHashmapIteration, 3)],
+        "unwaived import flagged; both waived tokens on the declaration line pass: {diags:?}"
+    );
+    assert_eq!(diags[0].col, 23, "column points at the HashMap token");
+}
+
+#[test]
+fn ambient_clock_fixture() {
+    let diags = lint_fixture("ambient_clock.rs");
+    assert_eq!(
+        spans(&diags),
+        vec![(RuleId::NoAmbientClock, 7)],
+        "waived read passes and Instant::now inside a string is masked: {diags:?}"
+    );
+}
+
+#[test]
+fn ambient_randomness_fires_in_tests_too() {
+    let diags = lint_fixture("ambient_randomness.rs");
+    assert_eq!(
+        spans(&diags),
+        vec![
+            (RuleId::NoAmbientRandomness, 5),
+            (RuleId::NoAmbientRandomness, 12),
+        ],
+        "seeded-trajectory suites ban ambient entropy even under #[cfg(test)]: {diags:?}"
+    );
+}
+
+#[test]
+fn lossy_cast_fixture() {
+    let diags = lint_fixture("lossy_cast.rs");
+    assert_eq!(
+        spans(&diags),
+        vec![(RuleId::NoLossyCast, 4)],
+        "narrowing cast flagged; widening and waived casts pass: {diags:?}"
+    );
+}
+
+#[test]
+fn unwrap_in_lib_fixture() {
+    let diags = lint_fixture("unwrap_in_lib.rs");
+    assert_eq!(
+        spans(&diags),
+        vec![(RuleId::NoUnwrapInLib, 4)],
+        "library unwrap flagged; waived expect and test-region unwrap pass: {diags:?}"
+    );
+}
+
+#[test]
+fn unsafe_block_fixture() {
+    let diags = lint_fixture("unsafe_block.rs");
+    assert_eq!(
+        spans(&diags),
+        vec![(RuleId::UnsafeRequiresWaiver, 4)],
+        "bare unsafe flagged; waived unsafe passes: {diags:?}"
+    );
+}
+
+#[test]
+fn bad_waiver_fixture() {
+    let diags = lint_fixture("bad_waiver.rs");
+    assert_eq!(
+        spans(&diags),
+        vec![
+            (RuleId::InvalidWaiver, 4),
+            (RuleId::NoUnwrapInLib, 6),
+            (RuleId::InvalidWaiver, 9),
+            (RuleId::UnusedWaiver, 12),
+        ],
+        "malformed pragmas are violations and do not suppress anything: {diags:?}"
+    );
+}
+
+#[test]
+fn json_report_pins_rule_and_span() {
+    let diags = lint_fixture("unwrap_in_lib.rs");
+    let report = Report {
+        root: "fixture-root".to_owned(),
+        files_scanned: 1,
+        violations: diags,
+    };
+    let json = render_json(&report);
+    assert!(json.contains("\"tool\": \"pdm-lint\""), "{json}");
+    assert!(json.contains("\"violation_count\": 1"), "{json}");
+    assert!(
+        json.contains("\"rule\": \"no-unwrap-in-lib\""),
+        "rule name serialised verbatim: {json}"
+    );
+    assert!(json.contains("\"line\": 4"), "span serialised: {json}");
+}
+
+/// The gate: the shipped tree carries zero unwaivered violations under the
+/// checked-in `lint.toml`.  CI runs the binary too; this test makes plain
+/// `cargo test` catch a regression without the extra CI row.
+#[test]
+fn lints_clean_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/pdm-lint sits two levels under the workspace root")
+        .to_path_buf();
+    let config_text =
+        std::fs::read_to_string(root.join("lint.toml")).expect("checked-in lint.toml is readable");
+    let config = Config::from_toml_str(&config_text).expect("checked-in lint.toml parses");
+    let report = lint_workspace(&root, &config).expect("workspace scan succeeds");
+    assert!(report.files_scanned > 100, "the scan saw the real tree");
+    assert!(
+        report.is_clean(),
+        "workspace must lint clean; violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|d| format!(
+                "  {}:{}:{} [{}] {}",
+                d.file,
+                d.line,
+                d.col,
+                d.rule.name(),
+                d.message
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

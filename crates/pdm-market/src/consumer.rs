@@ -87,6 +87,7 @@ impl ConsumerPool {
     pub fn market_value<R: Rng + ?Sized>(&self, rng: &mut R, features: &Vector) -> f64 {
         let base = features
             .dot(&self.theta_star)
+            // pdm-lint: allow(no-unwrap-in-lib) reason="valuation weights are sized to the market dimension by the consumer constructor"
             .expect("features must match the valuation dimension");
         base + self.noise.sample(rng)
     }

@@ -20,7 +20,7 @@
 //! queries with Laplace noise and allocating the compensations — which the
 //! examples use to show end-to-end broker accounting.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod broker;

@@ -43,7 +43,7 @@
 //! assert!(!deterministic.contains("wall_nanos"));
 //! ```
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hist;

@@ -15,7 +15,7 @@
 //! the first real scraper pointed at it.
 
 use crate::registry::MetricRegistry;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Maps a dotted logical name onto the Prometheus charset:
@@ -40,23 +40,25 @@ pub fn exposition_name(name: &str) -> String {
 /// bucket, and always end with the mandatory `+Inf` bucket.
 #[must_use]
 pub fn render(registry: &MetricRegistry) -> String {
+    // fmt::Write to a String cannot fail; the results are discarded, not
+    // unwrapped, to keep the no-unwrap-in-lib surface at zero.
     let mut out = String::new();
     for (name, help, value) in registry.sorted_counters() {
         let prom = exposition_name(name);
-        writeln!(out, "# HELP {prom} {}", escape_help(help)).expect("write to string");
-        writeln!(out, "# TYPE {prom} counter").expect("write to string");
-        writeln!(out, "{prom} {}", fmt_value(value)).expect("write to string");
+        let _ = writeln!(out, "# HELP {prom} {}", escape_help(help));
+        let _ = writeln!(out, "# TYPE {prom} counter");
+        let _ = writeln!(out, "{prom} {}", fmt_value(value));
     }
     for (name, help, value) in registry.sorted_gauges() {
         let prom = exposition_name(name);
-        writeln!(out, "# HELP {prom} {}", escape_help(help)).expect("write to string");
-        writeln!(out, "# TYPE {prom} gauge").expect("write to string");
-        writeln!(out, "{prom} {}", fmt_value(value)).expect("write to string");
+        let _ = writeln!(out, "# HELP {prom} {}", escape_help(help));
+        let _ = writeln!(out, "# TYPE {prom} gauge");
+        let _ = writeln!(out, "{prom} {}", fmt_value(value));
     }
     for (name, help, hist) in registry.sorted_histograms() {
         let prom = exposition_name(name);
-        writeln!(out, "# HELP {prom} {}", escape_help(help)).expect("write to string");
-        writeln!(out, "# TYPE {prom} histogram").expect("write to string");
+        let _ = writeln!(out, "# HELP {prom} {}", escape_help(help));
+        let _ = writeln!(out, "# TYPE {prom} histogram");
         // Cumulative counts over the non-empty prefix of the grid, with
         // duplicate integer edges collapsed (the sub-unity part of the
         // base-2^(1/4) grid repeats edges 1 and 2).
@@ -65,8 +67,7 @@ pub fn render(registry: &MetricRegistry) -> String {
         for (edge, count) in hist.nonzero_buckets() {
             if let Some(previous) = last_edge {
                 if previous != edge {
-                    writeln!(out, "{prom}_bucket{{le=\"{previous}\"}} {cumulative}")
-                        .expect("write to string");
+                    let _ = writeln!(out, "{prom}_bucket{{le=\"{previous}\"}} {cumulative}");
                 }
             }
             cumulative += count;
@@ -74,13 +75,12 @@ pub fn render(registry: &MetricRegistry) -> String {
         }
         if let Some(previous) = last_edge {
             if previous != u64::MAX {
-                writeln!(out, "{prom}_bucket{{le=\"{previous}\"}} {cumulative}")
-                    .expect("write to string");
+                let _ = writeln!(out, "{prom}_bucket{{le=\"{previous}\"}} {cumulative}");
             }
         }
-        writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {}", hist.count()).expect("write to string");
-        writeln!(out, "{prom}_sum {}", fmt_value(hist.sum_f64())).expect("write to string");
-        writeln!(out, "{prom}_count {}", hist.count()).expect("write to string");
+        let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {}", hist.count());
+        let _ = writeln!(out, "{prom}_sum {}", fmt_value(hist.sum_f64()));
+        let _ = writeln!(out, "{prom}_count {}", hist.count());
     }
     out
 }
@@ -126,7 +126,7 @@ pub struct LintReport {
 /// [`render`] emits (at most one label, `le`), which is exactly what the
 /// CI lint needs.
 pub fn parse(text: &str) -> Result<LintReport, String> {
-    let mut types: HashMap<String, String> = HashMap::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
     let mut samples: Vec<Sample> = Vec::new();
     for (line_no, line) in text.lines().enumerate() {
         let line_no = line_no + 1;
@@ -179,9 +179,9 @@ pub fn parse(text: &str) -> Result<LintReport, String> {
             .iter()
             .filter(|sample| sample.name == bucket_series)
             .collect();
-        if buckets.is_empty() {
+        let Some(last) = buckets.last() else {
             return Err(format!("histogram {family} has no _bucket series"));
-        }
+        };
         let mut previous_le = f64::NEG_INFINITY;
         let mut previous_count = 0.0f64;
         for bucket in &buckets {
@@ -202,7 +202,6 @@ pub fn parse(text: &str) -> Result<LintReport, String> {
             previous_le = le;
             previous_count = bucket.value;
         }
-        let last = buckets.last().expect("non-empty checked above");
         if last.le.as_deref() != Some("+Inf") {
             return Err(format!("histogram {family} must end with a +Inf bucket"));
         }

@@ -24,7 +24,7 @@
 
 use crate::hist::LogHistogram;
 use pdm_linalg::Json;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Handle to a registered counter.
@@ -70,7 +70,7 @@ pub struct MetricRegistry {
     counters: Vec<Entry<f64>>,
     gauges: Vec<Entry<f64>>,
     histograms: Vec<Entry<LogHistogram>>,
-    index: HashMap<String, (Kind, usize)>,
+    index: BTreeMap<String, (Kind, usize)>,
 }
 
 impl MetricRegistry {

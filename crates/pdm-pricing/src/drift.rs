@@ -246,6 +246,7 @@ impl DriftProcess {
                         Some(target) => {
                             let distance = target
                                 .distance(&self.raw)
+                                // pdm-lint: allow(no-unwrap-in-lib) reason="the target was (re)built with the raw dimension in ensure_target just above"
                                 .expect("target shares the raw dimension");
                             distance < 0.05 * self.raw.norm().max(1e-12)
                         }
@@ -253,6 +254,7 @@ impl DriftProcess {
                     if need_target {
                         self.target = Some(self.fresh_draw());
                     }
+                    // pdm-lint: allow(no-unwrap-in-lib) reason="ensure_target installed the target on the previous line"
                     let target = self.target.clone().expect("target was just ensured");
                     self.blend(&target, rate);
                 }
@@ -391,6 +393,7 @@ impl Environment for DriftingLinearEnvironment {
             .normalized();
         let noiseless = features
             .dot(&self.theta_star)
+            // pdm-lint: allow(no-unwrap-in-lib) reason="the shadow model is fitted on the same feature dimension it now predicts"
             .expect("features match the model dimension");
         let market_value = noiseless + self.noise.sample(rng);
         let reserve_price = match self.reserve_policy {
@@ -705,6 +708,7 @@ impl<M: MarketValueModel> PostedPriceMechanism for DriftAwarePricing<M> {
                 let fired = self
                     .detector
                     .as_mut()
+                    // pdm-lint: allow(no-unwrap-in-lib) reason="the restart policy constructor always installs a detector for this variant"
                     .expect("restart policy always carries a detector")
                     .observe(surprise);
                 if fired {

@@ -484,6 +484,7 @@ impl AdversarialLemma8Environment {
         let mut tracker = RegretTracker::new(false);
         for t in 1..=self.horizon {
             let features = self.features_for_round(t);
+            // pdm-lint: allow(no-unwrap-in-lib) reason="theta_star is constructed with dimension 2 a few lines above in the same builder"
             let value = features.dot(&self.theta_star).expect("dimension 2");
             let reserve = if t <= self.horizon / 2 {
                 // Reserve = the current middle price along the first axis.

@@ -60,7 +60,7 @@
 //! assert!(outcome.report.regret_ratio() < 0.5);
 //! ```
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod drift;

@@ -46,14 +46,18 @@ impl MercerKernel {
     #[must_use]
     pub fn evaluate(&self, x: &Vector, y: &Vector) -> f64 {
         match *self {
+            // pdm-lint: allow(no-unwrap-in-lib) reason="kernel arguments are dimension-checked at model entry before any kernel evaluation"
             MercerKernel::Linear => x.dot(y).expect("kernel arguments must share a dimension"),
             MercerKernel::Polynomial { degree, coef0 } => {
+                // pdm-lint: allow(no-unwrap-in-lib) reason="kernel arguments are dimension-checked at model entry before any kernel evaluation"
                 let base = x.dot(y).expect("kernel arguments must share a dimension") + coef0;
+                // pdm-lint: allow(no-lossy-cast) reason="the polynomial degree is a small kernel hyper-parameter (single digits in every config); i32 cannot truncate it"
                 base.powi(degree as i32)
             }
             MercerKernel::Rbf { gamma } => {
                 let d = x
                     .distance(y)
+                    // pdm-lint: allow(no-unwrap-in-lib) reason="kernel arguments are dimension-checked at model entry before any kernel evaluation"
                     .expect("kernel arguments must share a dimension");
                 (-gamma * d * d).exp()
             }

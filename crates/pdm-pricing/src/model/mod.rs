@@ -93,6 +93,7 @@ pub trait MarketValueModel: Send + Sync {
         let mapped = self.map_features(features);
         mapped
             .dot(theta)
+            // pdm-lint: allow(no-unwrap-in-lib) reason="theta is sized to the mapped dimension by the fitting routine that produced it"
             .expect("theta length must equal the model's mapped dimension")
     }
 

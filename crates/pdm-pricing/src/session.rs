@@ -238,6 +238,7 @@ impl<M: PostedPriceMechanism> PricingSession<M> {
     /// [`PricingSession::abandoned_rounds`].
     pub fn step(&mut self, features: &Vector, reserve_price: f64) -> Quote {
         self.abandon_round();
+        // pdm-lint: allow(no-ambient-clock) reason="optional latency trace for simulation figures; serving sessions run without_latency_tracking and never read the clock"
         let started = self.track_latency.then(Instant::now);
         let quote = self.mechanism.quote(features, reserve_price);
         self.pending_features.copy_from(features);

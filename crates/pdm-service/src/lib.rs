@@ -116,7 +116,7 @@
 //! service with a closed-loop traffic generator and reports throughput and
 //! latency into the versioned BENCH report.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
@@ -126,6 +126,7 @@ mod obs;
 pub mod routing;
 mod shard;
 pub mod snapshot;
+mod sync;
 pub mod tenant;
 pub mod wal;
 

@@ -40,10 +40,11 @@ use crate::metrics::ShardMetrics;
 use crate::obs::{export_shard_metrics, ServiceObs};
 use crate::routing::{shard_of, TenantId};
 use crate::shard::Shard;
+use crate::sync;
 use crate::tenant::{MarketKind, TenantConfig, TenantState};
 use pdm_linalg::Json;
 use pdm_obs::MetricRegistry;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 use std::time::Instant;
@@ -218,7 +219,7 @@ pub struct MarketService {
     /// Every registered tenant id, readable without touching a shard — the
     /// ingest path checks membership here so admission never contends with
     /// a drain worker holding the shard lock.
-    registry: RwLock<HashSet<TenantId>>,
+    registry: RwLock<BTreeSet<TenantId>>,
     next_seq: AtomicU64,
     /// Monotonic WAL segment number (see [`MarketService::checkpoint`]).
     pub(crate) wal_segments: AtomicU64,
@@ -256,7 +257,7 @@ impl MarketService {
             config,
             ingest: (0..config.shards).map(|_| IngestStripe::new()).collect(),
             shards,
-            registry: RwLock::new(HashSet::new()),
+            registry: RwLock::new(BTreeSet::new()),
             next_seq: AtomicU64::new(0),
             wal_segments: AtomicU64::new(0),
             hardware_workers: std::thread::available_parallelism()
@@ -288,7 +289,7 @@ impl MarketService {
     pub fn tenant_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("shard poisoned").tenant_count())
+            .map(|s| sync::lock(s, "shard").tenant_count())
             .sum()
     }
 
@@ -299,7 +300,7 @@ impl MarketService {
     pub fn resident_tenants(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("shard poisoned").resident_count())
+            .map(|s| sync::lock(s, "shard").resident_count())
             .sum()
     }
 
@@ -310,7 +311,7 @@ impl MarketService {
     pub fn resident_memory_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("shard poisoned").resident_memory_bytes())
+            .map(|s| sync::lock(s, "shard").resident_memory_bytes())
             .sum()
     }
 
@@ -364,23 +365,20 @@ impl MarketService {
     pub(crate) fn apply_wal_record(&mut self, state: TenantState) {
         let index = self.shard_of(state.id);
         let id = state.id;
-        self.shards[index]
-            .get_mut()
-            .expect("shard poisoned")
-            .replace(state);
-        self.registry.write().expect("registry poisoned").insert(id);
+        sync::get_mut(&mut self.shards[index], "shard").replace(state);
+        sync::write(&self.registry, "registry").insert(id);
     }
 
     /// Registers a pre-built tenant state (the snapshot-restore path).
     pub(crate) fn register_state(&mut self, state: TenantState) -> Result<usize, ServiceError> {
         let index = self.shard_of(state.id);
         let id = state.id;
-        let shard = self.shards[index].get_mut().expect("shard poisoned");
+        let shard = sync::get_mut(&mut self.shards[index], "shard");
         if shard.contains(id) {
             return Err(ServiceError::DuplicateTenant(id));
         }
         shard.register(state);
-        self.registry.write().expect("registry poisoned").insert(id);
+        sync::write(&self.registry, "registry").insert(id);
         Ok(index)
     }
 
@@ -396,17 +394,12 @@ impl MarketService {
     ///   growing the queue without bound.
     pub fn ingest(&self, request: Request) -> Result<Ticket, ServiceError> {
         let tenant = request.tenant();
-        if !self
-            .registry
-            .read()
-            .expect("registry poisoned")
-            .contains(&tenant)
-        {
+        if !sync::read(&self.registry, "registry").contains(&tenant) {
             return Err(ServiceError::UnknownTenant(tenant));
         }
         let index = self.shard_of(tenant);
         let stripe = &self.ingest[index];
-        let mut queue = stripe.queue.lock().expect("ingest stripe poisoned");
+        let mut queue = sync::lock(&stripe.queue, "ingest stripe");
         if queue.len() >= self.config.queue_capacity {
             stripe.shed.fetch_add(1, Ordering::Relaxed);
             return Err(ServiceError::QueueFull {
@@ -492,12 +485,12 @@ impl MarketService {
         let striped: usize = self
             .ingest
             .iter()
-            .map(|stripe| stripe.queue.lock().expect("ingest stripe poisoned").len())
+            .map(|stripe| sync::lock(&stripe.queue, "ingest stripe").len())
             .sum();
         let shard_backlog: usize = self
             .shards
             .iter()
-            .map(|s| s.lock().expect("shard poisoned").queue_len())
+            .map(|s| sync::lock(s, "shard").queue_len())
             .sum();
         striped + shard_backlog
     }
@@ -505,11 +498,12 @@ impl MarketService {
     /// Moves everything queued on shard `index`'s ingest stripe into the
     /// shard's FIFO, preserving seq order.
     fn transfer_stripe(stripe: &IngestStripe, shard: &mut Shard) {
-        let mut queue = stripe.queue.lock().expect("ingest stripe poisoned");
+        let mut queue = sync::lock(&stripe.queue, "ingest stripe");
         let moved = queue.len();
         if moved == 0 {
             return;
         }
+        // pdm-lint: allow(no-ambient-clock) reason="wall-clock latency span; wall histograms are documented non-deterministic and excluded from the determinism fingerprint"
         let started = Instant::now();
         shard.admit_transferred(queue.drain(..));
         shard
@@ -561,7 +555,7 @@ impl MarketService {
 
         if workers <= 1 {
             for (stripe, shard) in self.ingest.iter().zip(&mut self.shards) {
-                let shard = shard.get_mut().expect("shard poisoned");
+                let shard = sync::get_mut(shard, "shard");
                 Self::transfer_stripe(stripe, shard);
                 shard.process_all_into(out);
             }
@@ -579,11 +573,11 @@ impl MarketService {
                 break;
             }
             let mut responses = Vec::new();
-            let mut shard = shards[index].lock().expect("shard poisoned");
+            let mut shard = sync::lock(&shards[index], "shard");
             Self::transfer_stripe(&stripes[index], &mut shard);
             shard.process_all_into(&mut responses);
             drop(shard);
-            *slots[index].lock().expect("slot poisoned") = responses;
+            *sync::lock(&slots[index], "slot") = responses;
         };
         std::thread::scope(|scope| {
             for _ in 1..workers {
@@ -593,7 +587,7 @@ impl MarketService {
         });
 
         for slot in slots {
-            out.append(&mut slot.into_inner().expect("slot poisoned"));
+            out.append(&mut sync::into_inner(slot, "slot"));
         }
     }
 
@@ -607,10 +601,7 @@ impl MarketService {
     /// run against a serial simulation bit for bit.
     #[must_use]
     pub fn tenant_report(&self, tenant: TenantId) -> Option<pdm_pricing::prelude::RegretReport> {
-        self.shards[self.shard_of(tenant)]
-            .lock()
-            .expect("shard poisoned")
-            .tenant_report(tenant)
+        sync::lock(&self.shards[self.shard_of(tenant)], "shard").tenant_report(tenant)
     }
 
     /// A clone of each shard's metrics ledger, in shard order, with the
@@ -621,7 +612,7 @@ impl MarketService {
             .iter()
             .zip(&self.ingest)
             .map(|(shard, stripe)| {
-                let mut metrics = shard.lock().expect("shard poisoned").metrics.clone();
+                let mut metrics = sync::lock(shard, "shard").metrics.clone();
                 metrics.shed += stripe.shed.load(Ordering::Relaxed);
                 metrics
             })
@@ -673,14 +664,14 @@ impl MarketService {
     /// every scrape travels in snapshots and WAL segments.
     #[must_use]
     pub fn scrape(&self) -> MetricRegistry {
-        let mut merged = self.obs.lock().expect("obs poisoned").registry.clone();
+        let mut merged = sync::lock(&self.obs, "obs").registry.clone();
         let mut resident = 0usize;
         let mut cold = 0usize;
         let mut open_rounds = 0usize;
         let mut memory_bytes = 0usize;
         let mut shard_backlog = 0usize;
         for shard in &self.shards {
-            let shard = shard.lock().expect("shard poisoned");
+            let shard = sync::lock(shard, "shard");
             merged.merge(&shard.obs.registry);
             resident += shard.resident_count();
             cold += shard.tenant_count() - shard.resident_count();
@@ -692,7 +683,7 @@ impl MarketService {
         let striped: usize = self
             .ingest
             .iter()
-            .map(|stripe| stripe.queue.lock().expect("ingest stripe poisoned").len())
+            .map(|stripe| sync::lock(&stripe.queue, "ingest stripe").len())
             .sum();
         let mut set = |name: &str, help: &str, value: f64| {
             let id = merged.gauge(name, help);
@@ -738,7 +729,7 @@ impl MarketService {
     /// comparison.
     #[must_use]
     pub fn event_journal(&self) -> Json {
-        self.obs.lock().expect("obs poisoned").journal.to_json()
+        sync::lock(&self.obs, "obs").journal.to_json()
     }
 
     /// Read access to the shards, for the snapshot writer.

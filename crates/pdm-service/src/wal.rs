@@ -35,6 +35,7 @@ use crate::api::ServiceError;
 use crate::routing::TenantId;
 use crate::service::MarketService;
 use crate::snapshot::{metrics_from_json, metrics_json, tenant_from_json, SNAPSHOT_SCHEMA_VERSION};
+use crate::sync;
 
 /// The `kind` discriminator carried by every WAL segment document, so a
 /// segment can never be mistaken for a full snapshot (or vice versa).
@@ -73,10 +74,11 @@ impl MarketService {
                     .to_owned(),
             ));
         };
+        // pdm-lint: allow(no-ambient-clock) reason="wall-clock latency span; wall histograms are documented non-deterministic and excluded from the determinism fingerprint"
         let started = Instant::now();
         let mut records: Vec<(TenantId, Json)> = Vec::new();
         for shard in self.shards() {
-            records.extend(shard.lock().expect("shard poisoned").checkpoint_dirty());
+            records.extend(sync::lock(shard, "shard").checkpoint_dirty());
         }
         // Global id order for the same reason snapshots sort: the segment
         // stream must not depend on shard distribution.
@@ -106,7 +108,7 @@ impl MarketService {
                 ])
             })
             .collect();
-        let mut obs = self.obs.lock().expect("obs poisoned");
+        let mut obs = sync::lock(&self.obs, "obs");
         let span = obs.checkpoint;
         obs.registry
             .record_span(span, started.elapsed(), segments.len() as u64);
@@ -130,6 +132,7 @@ impl MarketService {
     /// segment does not match the schema, segments are out of order, or a
     /// segment's metric ledgers do not match the shard count.
     pub fn restore_with_wal(base: &Json, segments: &[Json]) -> Result<Self, ServiceError> {
+        // pdm-lint: allow(no-ambient-clock) reason="wall-clock latency span; wall histograms are documented non-deterministic and excluded from the determinism fingerprint"
         let started = Instant::now();
         let mut service = MarketService::restore(base)?;
         let shards = service.shard_count();
@@ -198,17 +201,14 @@ impl MarketService {
             for (index, ledger) in metrics.iter().enumerate() {
                 let restored =
                     metrics_from_json(ledger, &format!("WAL segment {number} shard {index}"))?;
-                service.shards_mut()[index]
-                    .get_mut()
-                    .expect("shard poisoned")
-                    .metrics = restored;
+                sync::get_mut(&mut service.shards_mut()[index], "shard").metrics = restored;
             }
         }
         // Replay marked replaced tenants dirty; the restored service is in
         // sync with the stream it was rebuilt from, so the WAL starts clean
         // and numbering continues after the last replayed segment.
         for shard in service.shards_mut() {
-            shard.get_mut().expect("shard poisoned").clear_dirty();
+            sync::get_mut(shard, "shard").clear_dirty();
         }
         if let Some(last) = last_segment {
             service.wal_segments.store(last + 1, Ordering::Relaxed);
@@ -217,7 +217,7 @@ impl MarketService {
             // The restored service's registry starts fresh (observability
             // state is process-local, never persisted); the replay itself is
             // the first thing it records.
-            let obs = service.obs.get_mut().expect("obs poisoned");
+            let obs = sync::get_mut(&mut service.obs, "obs");
             obs.registry
                 .record_span(obs.restore, started.elapsed(), segments.len() as u64);
             obs.journal.push("wal.restore", segments.len() as u64);

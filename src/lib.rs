@@ -59,7 +59,7 @@
 //! assert!(outcome.cumulative_regret() >= 0.0);
 //! ```
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use pdm_auction as auction;
